@@ -1,0 +1,71 @@
+package socrel
+
+// Re-exports of the design-space exploration and uncertainty-propagation
+// tooling.
+
+import (
+	"socrel/internal/registry"
+	"socrel/internal/sensitivity"
+)
+
+// Design-space exploration.
+type (
+	// Choice is one open design decision (which candidate serves a
+	// caller/role requirement).
+	Choice = registry.Choice
+	// Configuration is one fully bound point of the design space with
+	// its predicted reliability.
+	Configuration = registry.Configuration
+	// ExploreOptions bounds an exploration.
+	ExploreOptions = registry.ExploreOptions
+)
+
+// Explore enumerates the cartesian product of the choices and returns
+// every configuration ranked by predicted reliability of the target
+// invocation, best first.
+func Explore(asm *Assembly, choices []Choice, opts ExploreOptions, target string, params ...float64) ([]Configuration, error) {
+	return registry.Explore(asm, choices, opts, target, params...)
+}
+
+// Uncertainty propagation.
+type (
+	// Dist is an input-parameter distribution for uncertainty analysis.
+	Dist = sensitivity.Dist
+	// DistKind enumerates distribution families.
+	DistKind = sensitivity.DistKind
+	// UncertaintyResult summarizes an output distribution.
+	UncertaintyResult = sensitivity.UncertaintyResult
+)
+
+// Distribution families.
+const (
+	// DistPoint is a degenerate distribution at A.
+	DistPoint = sensitivity.DistPoint
+	// DistUniform is uniform on [A, B].
+	DistUniform = sensitivity.DistUniform
+	// DistLogUniform is log-uniform on [A, B] (A > 0).
+	DistLogUniform = sensitivity.DistLogUniform
+	// DistNormal has mean A and standard deviation B.
+	DistNormal = sensitivity.DistNormal
+)
+
+// Uncertainty propagates input-parameter uncertainty through f by Monte
+// Carlo sampling and summarizes the output distribution.
+func Uncertainty(f func(params map[string]float64) (float64, error), dists map[string]Dist, samples int, seed int64) (UncertaintyResult, error) {
+	return sensitivity.Uncertainty(f, dists, samples, seed)
+}
+
+// Elasticities returns one-at-a-time normalized sensitivities of f around
+// base for the named parameters.
+func Elasticities(f func(params map[string]float64) (float64, error), base map[string]float64, names []string, step float64) ([]sensitivity.Elasticity, error) {
+	return sensitivity.Elasticities(f, base, names, step)
+}
+
+// Elasticity is a normalized one-at-a-time sensitivity.
+type Elasticity = sensitivity.Elasticity
+
+// ParetoFront filters configurations evaluated with ExploreOptions.WithTime
+// down to the reliability/time non-dominated set.
+func ParetoFront(configs []Configuration) []Configuration {
+	return registry.ParetoFront(configs)
+}

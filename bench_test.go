@@ -1,0 +1,212 @@
+package socrel
+
+// The benchmark harness: one bench per reproduced table/figure (see the
+// experiment index in DESIGN.md), plus micro-benchmarks of the engine's
+// hot paths. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benches time the full regeneration of each table, so
+// their output doubles as a wall-clock budget for cmd/experiments.
+
+import (
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/experiments"
+	"socrel/internal/model"
+	"socrel/internal/sim"
+)
+
+// benchTable runs one experiment generator per iteration.
+func benchTable(b *testing.B, id string) {
+	b.Helper()
+	g, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the paper's Figure 6 (6 curves x 17 list
+// sizes, engine-evaluated).
+func BenchmarkFigure6(b *testing.B) { benchTable(b, "F6") }
+
+// BenchmarkClosedFormAgreement regenerates T1 (engine vs equations 15-22).
+func BenchmarkClosedFormAgreement(b *testing.B) { benchTable(b, "T1") }
+
+// BenchmarkANDSharing regenerates T2 (AND sharing invariance).
+func BenchmarkANDSharing(b *testing.B) { benchTable(b, "T2") }
+
+// BenchmarkORSharing regenerates T3 (OR sharing divergence).
+func BenchmarkORSharing(b *testing.B) { benchTable(b, "T3") }
+
+// BenchmarkMonteCarloValidation regenerates T4 (analytic vs simulation).
+func BenchmarkMonteCarloValidation(b *testing.B) { benchTable(b, "T4") }
+
+// BenchmarkBaselineAblation regenerates T5 (connector-blind baselines).
+func BenchmarkBaselineAblation(b *testing.B) { benchTable(b, "T5") }
+
+// BenchmarkEngineScalability regenerates T6 (synthetic layered assemblies).
+func BenchmarkEngineScalability(b *testing.B) { benchTable(b, "T6") }
+
+// BenchmarkPerfExtension regenerates T7 (expected-time mirror of Figure 6).
+func BenchmarkPerfExtension(b *testing.B) { benchTable(b, "T7") }
+
+// BenchmarkKofN regenerates T8 (k-of-n completion).
+func BenchmarkKofN(b *testing.B) { benchTable(b, "T8") }
+
+// BenchmarkFixedPoint regenerates T9 (recursive assemblies).
+func BenchmarkFixedPoint(b *testing.B) { benchTable(b, "T9") }
+
+// BenchmarkHMMFit regenerates T10 (usage-profile estimation).
+func BenchmarkHMMFit(b *testing.B) { benchTable(b, "T10") }
+
+// BenchmarkSelection regenerates T11 (reliability-driven selection).
+func BenchmarkSelection(b *testing.B) { benchTable(b, "T11") }
+
+// --- Micro-benchmarks of the hot paths. ---
+
+// BenchmarkEvaluateLocal times one cold evaluation of the paper's local
+// assembly (fresh evaluator per iteration: no memo reuse).
+func BenchmarkEvaluateLocal(b *testing.B) {
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.LocalAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(asm, core.Options{}).Pfail("search", 1, 4096, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateRemote times one cold evaluation of the remote assembly
+// (deeper: RPC connector flow plus network).
+func BenchmarkEvaluateRemote(b *testing.B) {
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(asm, core.Options{}).Pfail("search", 1, 4096, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateMemoized times repeat evaluations against a warm
+// evaluator (the service-selection inner loop).
+func BenchmarkEvaluateMemoized(b *testing.B) {
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := core.New(asm, core.Options{})
+	if _, err := ev.Pfail("search", 1, 4096, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Pfail("search", 1, 4096, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyntheticDepth times cold evaluation across recursion depths.
+func BenchmarkSyntheticDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		asm, root, err := experiments.SyntheticAssembly(depth, 2, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(rune('0'+depth)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.New(asm, core.Options{}).Pfail(root, 1e6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatedInvocation times one Monte Carlo invocation of the
+// remote assembly.
+func BenchmarkSimulatedInvocation(b *testing.B) {
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.New(asm, sim.Options{Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Invoke("search", 1, 4096, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCombineState times the per-state failure combination (the
+// innermost arithmetic of the engine).
+func BenchmarkCombineState(b *testing.B) {
+	reqs := []model.RequestFailure{
+		{Int: 0.01, Ext: 0.1}, {Int: 0.02, Ext: 0.2}, {Int: 0.03, Ext: 0.3},
+		{Int: 0.01, Ext: 0.1}, {Int: 0.02, Ext: 0.2},
+	}
+	for _, tc := range []struct {
+		name string
+		comp model.Completion
+		dep  model.Dependency
+		k    int
+	}{
+		{"AND-NoSharing", model.AND, model.NoSharing, 0},
+		{"OR-Sharing", model.OR, model.Sharing, 0},
+		{"3ofN-NoSharing", model.KOfN, model.NoSharing, 3},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.CombineState(tc.comp, tc.dep, tc.k, reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkErrorPropagation regenerates T12 (releasing fail-stop).
+func BenchmarkErrorPropagation(b *testing.B) { benchTable(b, "T12") }
+
+// BenchmarkFaultTolerantConnectors regenerates T13 (connector families).
+func BenchmarkFaultTolerantConnectors(b *testing.B) { benchTable(b, "T13") }
+
+// BenchmarkExploration regenerates T14 (design-space exploration).
+func BenchmarkExploration(b *testing.B) { benchTable(b, "T14") }
+
+// BenchmarkUncertainty regenerates T15 (uncertainty propagation).
+func BenchmarkUncertainty(b *testing.B) { benchTable(b, "T15") }
+
+// BenchmarkResponseTimes regenerates T16 (response-time distribution).
+func BenchmarkResponseTimes(b *testing.B) { benchTable(b, "T16") }

@@ -1,0 +1,75 @@
+// Command experiments regenerates the reproduction's tables and figures:
+// the paper's Figure 6 and the derived/extension experiments T1-T11
+// indexed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments              # run everything, aligned-text output
+//	experiments -list        # list experiment IDs
+//	experiments -run F6,T5   # run a subset
+//	experiments -csv         # CSV output (for plotting)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"socrel/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	runIDs := fs.String("run", "", "comma-separated experiment IDs to run (default: all)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, g := range experiments.All() {
+			fmt.Printf("%-4s %s\n", g.ID, g.Name)
+		}
+		return nil
+	}
+
+	var gens []experiments.Generator
+	if *runIDs == "" {
+		gens = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			g, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			gens = append(gens, g)
+		}
+	}
+
+	for _, g := range gens {
+		table, err := g.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.ID, err)
+		}
+		if *csv {
+			if err := table.CSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around fn (the experiments command
+// prints to stdout directly).
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"F6", "T1", "T13"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-run", "T2,T8"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== T2:") || !strings.Contains(out, "== T8:") {
+		t.Errorf("output:\n%s", out)
+	}
+	if strings.Contains(out, "== F6:") {
+		t.Error("subset ran experiments it should not have")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-run", "T8", "-csv"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "k,f no-sharing") {
+		t.Errorf("csv output:\n%s", out)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	_, err := captureStdout(t, func() error { return run([]string{"-run", "T99"}) })
+	if err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}

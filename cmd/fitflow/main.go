@@ -1,0 +1,150 @@
+// Command fitflow estimates a usage-profile Markov chain from observed
+// invocation traces — the monitoring-side counterpart of the analytic
+// interface (section 5 of the paper discusses constructing the usage
+// profile from imperfect knowledge).
+//
+// Input: one trace per line, state names separated by spaces or commas,
+// e.g.:
+//
+//	Start sort lookup End
+//	Start lookup End
+//
+// Output: the maximum-likelihood transition probabilities with their
+// supporting counts.
+//
+// Usage:
+//
+//	fitflow -traces traces.txt
+//	generate-traces | fitflow -traces -
+//	fitflow -demo 1000     # generate traces from the paper's search flow
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"socrel/internal/hmm"
+	"socrel/internal/markov"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fitflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fitflow", flag.ContinueOnError)
+	tracesFile := fs.String("traces", "", "trace file; '-' reads stdin")
+	demo := fs.Int("demo", 0, "generate N demo traces from the paper's search flow instead of reading a file")
+	seed := fs.Int64("seed", 1, "random seed for -demo")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var traces [][]string
+	switch {
+	case *demo > 0:
+		var err error
+		traces, err = demoTraces(*demo, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "generated %d traces from the search flow (q = 0.9)\n", *demo)
+	case *tracesFile != "":
+		var r io.Reader
+		if *tracesFile == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(*tracesFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		traces, err = readTraces(r)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -traces or -demo is required")
+	}
+
+	ests, err := hmm.EstimateTransitions(traces)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d traces, %d distinct transitions\n", len(traces), len(ests))
+	fmt.Fprintf(out, "%-14s %-14s %-10s %s\n", "from", "to", "prob", "count")
+	for _, e := range ests {
+		fmt.Fprintf(out, "%-14s %-14s %-10.6f %d\n", e.From, e.To, e.Prob, e.Count)
+	}
+	return nil
+}
+
+func readTraces(r io.Reader) ([][]string, error) {
+	var traces [][]string
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		var trace []string
+		for _, f := range fields {
+			if f != "" {
+				trace = append(trace, f)
+			}
+		}
+		if len(trace) > 0 {
+			traces = append(traces, trace)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("no traces in input")
+	}
+	return traces, nil
+}
+
+// demoTraces walks the paper's search flow (q = 0.9).
+func demoTraces(n int, seed int64) ([][]string, error) {
+	chain := markov.New()
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{"Start", "sort", 0.9},
+		{"Start", "lookup", 0.1},
+		{"sort", "lookup", 1},
+		{"lookup", "End", 1},
+	} {
+		if err := chain.SetTransition(tr.from, tr.to, tr.p); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	traces := make([][]string, n)
+	for i := range traces {
+		w, err := chain.Walk(rng, "Start", 100)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = w
+	}
+	return traces, nil
+}

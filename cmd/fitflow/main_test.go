@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-demo", "500", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"500 traces", "Start", "sort", "lookup", "End"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	content := `
+# comment line
+Start a End
+Start a End
+Start,b,End
+`
+	path := filepath.Join(t.TempDir(), "traces.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-traces", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "3 traces") {
+		t.Errorf("output = %q", s)
+	}
+	if !strings.Contains(s, "0.666667") {
+		t.Errorf("expected P(Start->a)=2/3 in output:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-traces", "/does/not/exist"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+	// Empty trace file.
+	path := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(path, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-traces", path}, &out); err == nil {
+		t.Error("expected error for empty trace file")
+	}
+}

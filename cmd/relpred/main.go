@@ -1,0 +1,261 @@
+// Command relpred predicts the reliability of a service in an assembly
+// described in the ADL (textual DSL or JSON).
+//
+// Usage:
+//
+//	relpred -file system.adl -assembly local -service search -params 1,4096,1
+//	relpred -file system.adl -assembly local -service search -params 1,4096,1 -report
+//	relpred -file system.adl -tojson           # convert DSL to JSON
+//	relpred -paper local -params 1,4096,1      # built-in paper example
+//
+// With -fixedpoint, recursive (mutually calling) assemblies are solved by
+// fixed-point iteration instead of being rejected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"socrel/internal/adl"
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/dot"
+	"socrel/internal/model"
+	"socrel/internal/sensitivity"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relpred:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("relpred", flag.ContinueOnError)
+	file := fs.String("file", "", "ADL file (.adl DSL or .json); '-' reads stdin")
+	asmName := fs.String("assembly", "", "assembly name within the document")
+	service := fs.String("service", "search", "service to evaluate")
+	paramsArg := fs.String("params", "", "comma-separated actual parameters")
+	report := fs.Bool("report", false, "print the per-state failure breakdown")
+	toJSON := fs.Bool("tojson", false, "convert the document to JSON and exit")
+	fixedPoint := fs.Bool("fixedpoint", false, "solve recursive assemblies by fixed-point iteration")
+	paper := fs.String("paper", "", "use the built-in paper example: 'local' or 'remote'")
+	dotOut := fs.String("dot", "", "emit Graphviz DOT instead of a prediction: 'flow', 'failures', or 'assembly'")
+	sweep := fs.String("sweep", "", "sweep one formal parameter: 'name=lo:hi:n' (geometric grid); the -params value for that position is ignored")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params, err := parseParams(*paramsArg)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	if *fixedPoint {
+		opts.Cycles = core.CycleFixedPoint
+	}
+
+	var asm *assembly.Assembly
+	switch {
+	case *paper != "":
+		p := assembly.DefaultPaperParams()
+		switch *paper {
+		case "local":
+			asm, err = assembly.LocalAssembly(p)
+		case "remote":
+			asm, err = assembly.RemoteAssembly(p)
+		default:
+			return fmt.Errorf("unknown -paper value %q (want local or remote)", *paper)
+		}
+		if err != nil {
+			return err
+		}
+	case *file != "":
+		doc, err := loadDocument(*file)
+		if err != nil {
+			return err
+		}
+		if *toJSON {
+			data, err := adl.MarshalJSON(doc)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(out, string(data))
+			return err
+		}
+		name := *asmName
+		if name == "" {
+			names := doc.AssemblyNames()
+			if len(names) != 1 {
+				return fmt.Errorf("document defines assemblies %v; pick one with -assembly", names)
+			}
+			name = names[0]
+		}
+		asm, err = doc.BuildAssembly(name)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -file or -paper is required")
+	}
+
+	if *dotOut != "" {
+		return emitDOT(out, asm, *dotOut, *service, params, opts)
+	}
+	if *sweep != "" {
+		return runSweep(out, asm, opts, *service, params, *sweep)
+	}
+
+	ev := core.New(asm, opts)
+	if *report {
+		rep, err := ev.Report(*service, params...)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprint(out, rep.String())
+		return err
+	}
+	pfail, err := ev.Pfail(*service, params...)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "service %s(%s): Pfail = %.9g, reliability = %.9g\n",
+		*service, *paramsArg, pfail, 1-pfail)
+	return err
+}
+
+// runSweep evaluates the service over a geometric grid of one formal
+// parameter and prints a CSV series.
+func runSweep(out io.Writer, asm *assembly.Assembly, opts core.Options, service string, params []float64, spec string) error {
+	name, lo, hi, n, err := parseSweepSpec(spec)
+	if err != nil {
+		return err
+	}
+	svc, err := asm.ServiceByName(service)
+	if err != nil {
+		return err
+	}
+	pos := -1
+	for i, f := range svc.FormalParams() {
+		if f == name {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("service %s has no formal parameter %q (has %v)", service, name, svc.FormalParams())
+	}
+	if len(params) != len(svc.FormalParams()) {
+		return fmt.Errorf("-params must supply all %d parameters of %s (the swept one is overwritten)", len(svc.FormalParams()), service)
+	}
+	grid, err := sensitivity.GeomSpace(lo, hi, n)
+	if err != nil {
+		return err
+	}
+	ev := core.New(asm, opts)
+	fmt.Fprintf(out, "%s,pfail,reliability\n", name)
+	for _, x := range grid {
+		p := append([]float64(nil), params...)
+		p[pos] = x
+		pfail, err := ev.Pfail(service, p...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%g,%.9g,%.9g\n", x, pfail, 1-pfail)
+	}
+	return nil
+}
+
+// parseSweepSpec parses "name=lo:hi:n".
+func parseSweepSpec(spec string) (name string, lo, hi float64, n int, err error) {
+	eq := strings.Index(spec, "=")
+	if eq <= 0 {
+		return "", 0, 0, 0, fmt.Errorf("sweep spec %q: want name=lo:hi:n", spec)
+	}
+	name = spec[:eq]
+	parts := strings.Split(spec[eq+1:], ":")
+	if len(parts) != 3 {
+		return "", 0, 0, 0, fmt.Errorf("sweep spec %q: want name=lo:hi:n", spec)
+	}
+	if lo, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return "", 0, 0, 0, fmt.Errorf("sweep lo: %w", err)
+	}
+	if hi, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return "", 0, 0, 0, fmt.Errorf("sweep hi: %w", err)
+	}
+	if n, err = strconv.Atoi(parts[2]); err != nil {
+		return "", 0, 0, 0, fmt.Errorf("sweep n: %w", err)
+	}
+	return name, lo, hi, n, nil
+}
+
+// emitDOT renders the requested Graphviz view.
+func emitDOT(out io.Writer, asm *assembly.Assembly, kind, service string, params []float64, opts core.Options) error {
+	switch kind {
+	case "assembly":
+		_, err := fmt.Fprint(out, dot.Assembly(asm))
+		return err
+	case "flow", "failures":
+		svc, err := asm.ServiceByName(service)
+		if err != nil {
+			return err
+		}
+		comp, ok := svc.(*model.Composite)
+		if !ok {
+			return fmt.Errorf("service %q is simple; only composite flows can be drawn", service)
+		}
+		if kind == "flow" {
+			_, err := fmt.Fprint(out, dot.Flow(comp))
+			return err
+		}
+		s, err := dot.FlowWithFailures(asm, comp, params, opts)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprint(out, s)
+		return err
+	default:
+		return fmt.Errorf("unknown -dot kind %q (want flow, failures, or assembly)", kind)
+	}
+}
+
+func loadDocument(path string) (*adl.Document, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		return adl.UnmarshalJSON(data)
+	}
+	return adl.ParseDSL(string(data))
+}
+
+func parseParams(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

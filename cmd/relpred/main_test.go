@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testADL = `
+service cpu1 cpu {
+    speed 1e9
+    rate 1e-10
+}
+service app composite(n) {
+    attr phi 1e-8
+    state s and nosharing {
+        call cpu1(n) internal 1 - (1 - phi)^n
+    }
+    transition Start -> s prob 1
+    transition s -> End prob 1
+}
+assembly main {
+    bind app.cpu1 -> cpu1
+}
+`
+
+func writeTempADL(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "system.adl")
+	if err := os.WriteFile(path, []byte(testADL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPaperLocal(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "local", "-params", "1,4096,1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reliability = 0.9568") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "remote", "-params", "1,4096,1", "-report"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sort2", "rpc", "Pfail"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunADLFile(t *testing.T) {
+	path := writeTempADL(t)
+	var out bytes.Buffer
+	err := run([]string{"-file", path, "-service", "app", "-params", "1e6"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "service app") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunToJSON(t *testing.T) {
+	path := writeTempADL(t)
+	var out bytes.Buffer
+	err := run([]string{"-file", path, "-tojson"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"kind": "composite"`) {
+		t.Errorf("json output = %q", out.String())
+	}
+	// The JSON round-trips through the loader.
+	jsonPath := filepath.Join(t.TempDir(), "system.json")
+	if err := os.WriteFile(jsonPath, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-file", jsonPath, "-service", "app", "-params", "1e6"}, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "reliability") {
+		t.Errorf("json round-trip output = %q", out2.String())
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	for _, kind := range []string{"flow", "failures", "assembly"} {
+		var out bytes.Buffer
+		err := run([]string{"-paper", "remote", "-params", "1,4096,1", "-dot", kind}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(out.String(), "digraph") {
+			t.Errorf("%s output = %q", kind, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // neither -file nor -paper
+		{"-paper", "mars"},                  // bad paper name
+		{"-paper", "local", "-params", "x"}, // bad params
+		{"-paper", "local"},                 // wrong arity for search
+		{"-paper", "local", "-params", "1,2,3", "-dot", "hologram"},
+		{"-paper", "local", "-params", "1,2,3", "-service", "ghost"},
+		{"-file", "/does/not/exist"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunDOTSimpleServiceRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "local", "-service", "cpu1", "-dot", "flow"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "simple") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	ps, err := parseParams(" 1, 2.5 ,3e2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[1] != 2.5 || ps[2] != 300 {
+		t.Errorf("params = %v", ps)
+	}
+	if got, err := parseParams(""); err != nil || got != nil {
+		t.Errorf("empty params = %v, %v", got, err)
+	}
+	if _, err := parseParams("1,abc"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "remote", "-params", "1,0,1", "-sweep", "list=16:1024:4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "list,pfail,reliability") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	if got := strings.Count(s, "\n"); got != 5 { // header + 4 rows
+		t.Errorf("lines = %d, want 5:\n%s", got, s)
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	cases := [][]string{
+		{"-paper", "remote", "-params", "1,0,1", "-sweep", "bogus"},
+		{"-paper", "remote", "-params", "1,0,1", "-sweep", "ghost=1:10:3"},
+		{"-paper", "remote", "-params", "1", "-sweep", "list=1:10:3"},
+		{"-paper", "remote", "-params", "1,0,1", "-sweep", "list=10:1:3"},
+		{"-paper", "remote", "-params", "1,0,1", "-sweep", "list=x:1:3"},
+		{"-paper", "remote", "-params", "1,0,1", "-sweep", "list=1:x:3"},
+		{"-paper", "remote", "-params", "1,0,1", "-sweep", "list=1:10:x"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPaper(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "local", "-params", "1,4096,1", "-trials", "2000", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"analytic reliability", "simulated reliability", "95% CI", "INSIDE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunADLFile(t *testing.T) {
+	src := `
+service leaf constant(0.2)
+service app composite {
+    state s and nosharing {
+        call leaf
+    }
+    transition Start -> s prob 1
+    transition s -> End prob 1
+}
+assembly main {
+    bind app.leaf -> leaf
+}
+`
+	path := filepath.Join(t.TempDir(), "sys.adl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-file", path, "-service", "app", "-trials", "3000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "INSIDE") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-paper", "mars"},
+		{"-paper", "local", "-params", "nope"},
+		{"-paper", "local", "-params", "1,2,3", "-trials", "0"},
+		{"-file", "/does/not/exist"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunTimed(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "remote", "-params", "1,1024,1", "-trials", "2000", "-time"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"analytic E[T]", "simulated mean", "P50 / P95 / P99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("timed output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Monitoring closes the loop the paper's conclusion describes: prediction
+// is "one side of the reliability assessment ..., with the other side
+// represented by appropriate monitoring activities to check whether the
+// assembly of selected services will actually achieve the predicted
+// reliability."
+//
+// We predict the remote search assembly's reliability, "deploy" it (the
+// fault-injection simulator plays the deployed system), stream invocation
+// outcomes into a monitor, and watch the sequential test confirm the
+// prediction. Then the network silently degrades — and the monitor flags
+// the violation within a few hundred invocations.
+//
+// Run with: go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socrel"
+)
+
+func main() {
+	p := socrel.DefaultPaperParams()
+	p.Gamma = 5e-2
+	asm, err := socrel.RemoteAssembly(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	predicted, err := socrel.NewEvaluator(asm, socrel.Options{}).
+		Reliability("search", 1, 4096, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted reliability of search(1, 4096, 1): %.4f\n\n", predicted)
+
+	mon, err := socrel.NewMonitor(socrel.MonitorConfig{
+		Predicted: predicted,
+		Degraded:  predicted * 0.9, // alarm if we run 10% below prediction
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: healthy deployment.
+	healthy := socrel.NewSimulator(asm, socrel.SimOptions{Seed: 1})
+	n := feedUntilDecision(mon, healthy)
+	fmt.Printf("phase 1 (healthy): %s after %d invocations (observed %.4f)\n",
+		mon.SPRT(), n, mon.Cumulative())
+
+	// Phase 2: the network degrades 4x without anyone re-running the
+	// prediction. Re-arm the sequential test and keep monitoring.
+	mon.ResetSPRT()
+	pBad := p
+	pBad.Gamma = 2e-1
+	asmBad, err := socrel.RemoteAssembly(pBad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	degraded := socrel.NewSimulator(asmBad, socrel.SimOptions{Seed: 2})
+	n = feedUntilDecision(mon, degraded)
+	fmt.Printf("phase 2 (network degraded 4x): %s after %d further invocations (window %.4f)\n",
+		mon.SPRT(), n, mon.Windowed())
+
+	if mon.SPRT() == socrel.VerdictViolating {
+		fmt.Println("\n-> violation detected: time to re-run selection against the new environment")
+	}
+}
+
+func feedUntilDecision(mon *socrel.Monitor, s *socrel.Simulator) int {
+	n := 0
+	for mon.SPRT() == socrel.VerdictUndecided && n < 100000 {
+		ok, err := s.Invoke("search", 1, 4096, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mon.Record(ok)
+		n++
+	}
+	return n
+}

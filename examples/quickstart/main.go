@@ -1,0 +1,62 @@
+// Quickstart: define a tiny assembly — one software component deployed on
+// one processor — and predict its reliability for different workloads.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socrel"
+)
+
+func main() {
+	// A processing resource: 1 GOPS, hardware failure rate 1e-8 per
+	// second (equation 1 of the paper).
+	cpu := socrel.NewCPU("cpu1", 1e9, 1e-8)
+
+	// A sorter component with software failure rate phi per operation.
+	// Its analytic interface says: sorting a list of n elements issues
+	// n*log2(n) operations to the "cpu" role, and its own code may fail
+	// per equation (14).
+	sorter := socrel.NewComposite("sorter", []string{"n"}, socrel.Attrs{"phi": 1e-9})
+	work, err := sorter.Flow().AddState("work", socrel.AND, socrel.NoSharing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ops := socrel.MustParseExpr("n * log2(n)")
+	work.AddRequest(socrel.Request{
+		Role:     "cpu",
+		Params:   []socrel.Expr{ops},
+		Internal: socrel.SoftwareFailure(socrel.Var("phi"), ops),
+	})
+	if err := sorter.Flow().AddTransitionP(socrel.StartState, "work", 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := sorter.Flow().AddTransitionP("work", socrel.EndState, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Assemble: the sorter's cpu role is served by cpu1 through a perfect
+	// local connection.
+	asm := socrel.NewAssembly("quickstart")
+	asm.MustAddService(cpu)
+	asm.MustAddService(sorter)
+	asm.AddBinding("sorter", "cpu", "cpu1", "")
+	if err := asm.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Predict: reliability as a function of the list size. The engine
+	// propagates n into both the software failure law and the cpu demand.
+	ev := socrel.NewEvaluator(asm, socrel.Options{})
+	fmt.Println("list size     reliability")
+	for _, n := range []float64{1 << 10, 1 << 15, 1 << 20, 1 << 25} {
+		rel, err := ev.Reliability("sorter", n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12.0f  %.9f\n", n, rel)
+	}
+}

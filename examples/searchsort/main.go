@@ -1,0 +1,105 @@
+// Searchsort reproduces the paper's section 4 example end to end: the
+// search service assembled with a local sort (LPC connector, shared node)
+// or a remote sort (RPC connector over an unreliable network), compared
+// across list sizes — the content of the paper's Figure 6 — including the
+// crossover points where the better architecture flips.
+//
+// Run with: go run ./examples/searchsort
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"socrel"
+)
+
+func main() {
+	lists, err := socrel.PowersOfTwo(4, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 6 reproduction: search-service reliability vs list size")
+	fmt.Println()
+
+	// One local curve per phi1 (local sort software failure rate); one
+	// remote curve per gamma (network failure rate) — exactly the curves
+	// the paper plots.
+	for _, phi1 := range []float64{1e-6, 5e-6} {
+		p := socrel.DefaultPaperParams()
+		p.Phi1 = phi1
+		asm, err := socrel.LocalAssembly(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printCurve(fmt.Sprintf("local  phi1=%.0e", phi1), asm, lists)
+	}
+	for _, gamma := range []float64{1e-1, 5e-2, 2.5e-2, 5e-3} {
+		p := socrel.DefaultPaperParams()
+		p.Gamma = gamma
+		asm, err := socrel.RemoteAssembly(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printCurve(fmt.Sprintf("remote gamma=%.1e", gamma), asm, lists)
+	}
+
+	fmt.Println()
+	fmt.Println("crossovers (where the remote assembly overtakes the local one):")
+	for _, phi1 := range []float64{1e-6, 5e-6} {
+		for _, gamma := range []float64{1e-1, 5e-2, 2.5e-2, 5e-3} {
+			reportCrossover(phi1, gamma)
+		}
+	}
+}
+
+func printCurve(name string, asm *socrel.Assembly, lists []float64) {
+	ev := socrel.NewEvaluator(asm, socrel.Options{})
+	fmt.Printf("%-20s", name)
+	for _, list := range lists {
+		rel, err := ev.Reliability("search", 1, list, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" %.4f", rel)
+	}
+	fmt.Println()
+}
+
+func reportCrossover(phi1, gamma float64) {
+	p := socrel.DefaultPaperParams()
+	p.Phi1, p.Gamma = phi1, gamma
+	localAsm, err := socrel.LocalAssembly(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remoteAsm, err := socrel.RemoteAssembly(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evL := socrel.NewEvaluator(localAsm, socrel.Options{})
+	evR := socrel.NewEvaluator(remoteAsm, socrel.Options{})
+	local := func(l float64) (float64, error) { return evL.Pfail("search", 1, l, 1) }
+	remote := func(l float64) (float64, error) { return evR.Pfail("search", 1, l, 1) }
+
+	x, err := socrel.Crossover(local, remote, 16, 1<<20, 1e-6)
+	if err != nil {
+		// No crossover in range: report who wins.
+		lv, lerr := local(1 << 20)
+		rv, rerr := remote(1 << 20)
+		if lerr != nil || rerr != nil {
+			log.Fatal(lerr, rerr)
+		}
+		winner := "local"
+		if rv < lv {
+			winner = "remote"
+		}
+		fmt.Printf("  phi1=%.0e gamma=%.1e: %s assembly wins across the whole range\n",
+			phi1, gamma, winner)
+		return
+	}
+	fmt.Printf("  phi1=%.0e gamma=%.1e: remote becomes more reliable above list ≈ 2^%.1f\n",
+		phi1, gamma, math.Log2(x))
+}

@@ -1,0 +1,112 @@
+// Selection demonstrates the SOC workflow the paper's introduction
+// motivates: providers publish services (with analytic interfaces) into a
+// registry; an integrator discovers candidates for a required role and
+// selects the one whose assembly has the highest *predicted* reliability —
+// a choice that depends on the workload and the network, not just on the
+// providers' own failure rates.
+//
+// Run with: go run ./examples/selection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socrel"
+)
+
+func main() {
+	p := socrel.DefaultPaperParams()
+
+	// Providers publish their sort services into the registry.
+	reg := socrel.NewRegistry()
+	localAsm, err := socrel.LocalAssembly(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remoteAsm, err := socrel.RemoteAssembly(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pub := range []struct {
+		asm  *socrel.Assembly
+		name string
+		desc string
+	}{
+		{localAsm, "sort1", "co-located sort, software failure rate 1e-6"},
+		{remoteAsm, "sort2", "remote sort farm, software failure rate 1e-7"},
+	} {
+		svc, err := pub.asm.ServiceByName(pub.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.Publish(svc, pub.desc, "sort"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("discovered providers for capability 'sort':")
+	for _, e := range reg.Discover("sort") {
+		fmt.Printf("  %-8s %s\n", e.Service.Name(), e.Description)
+	}
+	fmt.Println()
+
+	// The integrator's assembly contains both candidates; selection
+	// evaluates each binding with the prediction engine.
+	candidates := []socrel.Candidate{
+		{Provider: "sort1", Connector: "lpc"},
+		{Provider: "sort2", Connector: "rpc"},
+	}
+
+	fmt.Println("reliability-driven selection across environments:")
+	fmt.Printf("%-10s %-10s %-8s %-10s %s\n", "gamma", "list", "chosen", "R(best)", "R(other)")
+	for _, gamma := range []float64{5e-3, 2.5e-2, 1e-1} {
+		for _, list := range []float64{256, 65536, 1 << 20} {
+			pp := socrel.DefaultPaperParams()
+			pp.Gamma = gamma
+			asm, err := combined(pp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sel, err := socrel.SelectBinding(asm, "search", "sort", candidates,
+				socrel.Options{}, "search", 1, list, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10.1e %-10.0f %-8s %-10.6f %.6f\n",
+				gamma, list, sel.Candidate.Provider,
+				sel.Ranking[0].Reliability, sel.Ranking[1].Reliability)
+		}
+	}
+	fmt.Println()
+	fmt.Println("The winner flips with workload and network quality — the reason")
+	fmt.Println("the paper wants prediction wired into automatic service selection.")
+}
+
+// combined builds an assembly containing both sort providers and both
+// connectors so selection can switch the binding.
+func combined(p socrel.PaperParams) (*socrel.Assembly, error) {
+	local, err := socrel.LocalAssembly(p)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := socrel.RemoteAssembly(p)
+	if err != nil {
+		return nil, err
+	}
+	asm := local.Clone("combined")
+	for _, name := range []string{"sort2", "rpc", "cpu2", "net12"} {
+		svc, err := remote.ServiceByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := asm.AddService(svc); err != nil {
+			return nil, err
+		}
+	}
+	asm.AddBinding("sort2", "cpu", "cpu2", "")
+	asm.AddBinding("rpc", socrel.RoleClientCPU, "cpu1", "")
+	asm.AddBinding("rpc", socrel.RoleServerCPU, "cpu2", "")
+	asm.AddBinding("rpc", socrel.RoleNet, "net12", "")
+	return asm, nil
+}

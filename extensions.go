@@ -1,0 +1,114 @@
+package socrel
+
+// Re-exports of the extension subsystems: fault-tolerance connectors,
+// the error-propagation analysis (releasing the paper's fail-stop
+// assumption), runtime reliability monitoring, and Graphviz export.
+
+import (
+	"socrel/internal/core"
+	"socrel/internal/dot"
+	"socrel/internal/model"
+	"socrel/internal/monitor"
+	"socrel/internal/propagation"
+	"socrel/internal/sim"
+)
+
+// Fault-tolerance connector roles.
+const (
+	// RoleTransport is the underlying-transport role of the
+	// fault-tolerance connectors.
+	RoleTransport = model.RoleTransport
+	// RoleBrokerCPU is the queue connector's broker processing role.
+	RoleBrokerCPU = model.RoleBrokerCPU
+	// RoleNet1 is the queue connector's client-side network role.
+	RoleNet1 = model.RoleNet1
+	// RoleNet2 is the queue connector's server-side network role.
+	RoleNet2 = model.RoleNet2
+)
+
+// NewRetry builds a connector making up to attempts independent delivery
+// attempts over the RoleTransport role (1-of-n redundancy).
+func NewRetry(name string, attempts int) (*Composite, error) {
+	return model.NewRetry(name, attempts)
+}
+
+// NewKOfNTransport builds a redundant transport connector: n channels, at
+// least k must deliver; dependency Sharing models channels multiplexed
+// over one shared resource.
+func NewKOfNTransport(name string, n, k int, dep Dependency) (*Composite, error) {
+	return model.NewKOfNTransport(name, n, k, dep)
+}
+
+// NewQueue builds a store-and-forward (message queue) connector:
+// client -> broker -> server and back, with marshal cost c op/unit and
+// transmission cost m B/unit per hop.
+func NewQueue(name string, c, m float64) (*Composite, error) {
+	return model.NewQueue(name, c, m)
+}
+
+// Error propagation (releasing the fail-stop assumption).
+type (
+	// PropagationBehavior is a flow state's error behavior: visible
+	// failure, error introduction, detection, masking.
+	PropagationBehavior = propagation.Behavior
+	// PropagationResult is the (correct, erroneous, failed) outcome split.
+	PropagationResult = propagation.Result
+	// PropagationAnalysis is an error-propagation model over a flow.
+	PropagationAnalysis = propagation.Analysis
+)
+
+// NewPropagationAnalysis creates an analysis over a bare flow chain
+// (states between StartState and EndState).
+func NewPropagationAnalysis(flow *MarkovChain) *PropagationAnalysis {
+	return propagation.New(flow)
+}
+
+// PropagationFromComposite derives an analysis for a composite at a
+// parameter point: visible failure probabilities from the engine, error
+// behaviors from errBehaviors (absent states are pure fail-stop).
+func PropagationFromComposite(resolver model.Resolver, comp *Composite, params []float64, opts Options, errBehaviors map[string]PropagationBehavior) (*PropagationAnalysis, error) {
+	return propagation.FromComposite(resolver, comp, params, opts, errBehaviors)
+}
+
+// Runtime monitoring.
+type (
+	// Monitor tracks observed invocation outcomes against a predicted
+	// reliability (Wilson interval check + Wald SPRT).
+	Monitor = monitor.Monitor
+	// MonitorConfig parameterizes a Monitor.
+	MonitorConfig = monitor.Config
+	// Verdict is a monitoring check outcome.
+	Verdict = monitor.Verdict
+)
+
+// Monitoring verdicts.
+const (
+	// VerdictUndecided means the evidence is not yet conclusive.
+	VerdictUndecided = monitor.Undecided
+	// VerdictMeeting means the service meets its predicted reliability.
+	VerdictMeeting = monitor.Meeting
+	// VerdictViolating means the service runs below its prediction.
+	VerdictViolating = monitor.Violating
+)
+
+// NewMonitor returns a monitor for the given configuration.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
+
+// Graphviz export.
+
+// FlowDOT renders a composite service's flow as Graphviz DOT (the paper's
+// Figure 1/2 style).
+func FlowDOT(c *Composite) string { return dot.Flow(c) }
+
+// FlowWithFailuresDOT renders the flow augmented with its computed failure
+// structure (Figure 5 style).
+func FlowWithFailuresDOT(resolver model.Resolver, c *Composite, params []float64, opts core.Options) (string, error) {
+	return dot.FlowWithFailures(resolver, c, params, opts)
+}
+
+// AssemblyDOT renders an assembly diagram (Figure 3/4 style).
+func AssemblyDOT(a *Assembly) string { return dot.Assembly(a) }
+
+// TimedEstimate is a simulated response-time distribution from
+// Simulator.EstimateTime (percentiles of successful runs).
+type TimedEstimate = sim.TimedEstimate

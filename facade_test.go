@@ -1,0 +1,283 @@
+package socrel_test
+
+// Coverage of the extension re-exports: every public wrapper must be
+// callable and behave like its internal counterpart.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"socrel"
+)
+
+func TestFacadeConnectors(t *testing.T) {
+	retry, err := socrel.NewRetry("r", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := retry.Roles(); len(got) != 1 || got[0] != socrel.RoleTransport {
+		t.Errorf("retry roles = %v", got)
+	}
+	rep, err := socrel.NewKOfNTransport("rep", 3, 2, socrel.Sharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flow().State("deliver").K != 2 {
+		t.Error("k-of-n threshold lost")
+	}
+	q, err := socrel.NewQueue("q", 10, 270)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := q.Roles()
+	found := map[string]bool{}
+	for _, r := range roles {
+		found[r] = true
+	}
+	for _, want := range []string{socrel.RoleBrokerCPU, socrel.RoleNet1, socrel.RoleNet2} {
+		if !found[want] {
+			t.Errorf("queue missing role %q (has %v)", want, roles)
+		}
+	}
+	lpc, err := socrel.NewLPC("l", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpc.Name() != "l" {
+		t.Error("lpc name")
+	}
+}
+
+func TestFacadePropagation(t *testing.T) {
+	flow := socrel.NewMarkovChain()
+	for _, tr := range []struct{ from, to string }{
+		{socrel.StartState, "s"}, {"s", socrel.EndState},
+	} {
+		if err := flow.SetTransition(tr.from, tr.to, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := socrel.NewPropagationAnalysis(flow)
+	if err := a.SetBehavior("s", socrel.PropagationBehavior{PIntro: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PErroneous-0.25) > 1e-12 {
+		t.Errorf("PErroneous = %g", res.PErroneous)
+	}
+
+	// The composite bridge through the facade.
+	p := socrel.DefaultPaperParams()
+	asm, err := socrel.LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := asm.ServiceByName("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := svc.(*socrel.Composite)
+	if !ok {
+		t.Fatal("search is not a composite")
+	}
+	pa, err := socrel.PropagationFromComposite(asm, comp, []float64{1, 256, 1}, socrel.Options{},
+		map[string]socrel.PropagationBehavior{"sort": {PIntro: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := pa.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PErroneous <= 0 {
+		t.Error("expected erroneous mass")
+	}
+	if res2.Reliability() != res2.PCorrect {
+		t.Error("Reliability() should equal PCorrect")
+	}
+}
+
+func TestFacadeMonitorVerdicts(t *testing.T) {
+	m, err := socrel.NewMonitor(socrel.MonitorConfig{Predicted: 0.9, Degraded: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SPRT() != socrel.VerdictUndecided {
+		t.Error("fresh monitor should be undecided")
+	}
+	for i := 0; i < 100; i++ {
+		m.Record(true)
+	}
+	if m.SPRT() != socrel.VerdictMeeting {
+		t.Errorf("verdict = %v", m.SPRT())
+	}
+	if m.IntervalCheck(1.96, 10) != socrel.VerdictMeeting {
+		t.Errorf("interval verdict = %v", m.IntervalCheck(1.96, 10))
+	}
+}
+
+func TestFacadeDOT(t *testing.T) {
+	p := socrel.DefaultPaperParams()
+	asm, err := socrel.RemoteAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(socrel.AssemblyDOT(asm), "digraph") {
+		t.Error("AssemblyDOT")
+	}
+	svc, err := asm.ServiceByName("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := svc.(*socrel.Composite)
+	if !strings.Contains(socrel.FlowDOT(comp), "call sort(list)") {
+		t.Error("FlowDOT")
+	}
+	s, err := socrel.FlowWithFailuresDOT(asm, comp, []float64{1, 256, 1}, socrel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "Fail") {
+		t.Error("FlowWithFailuresDOT")
+	}
+}
+
+func TestFacadeExploreAndPareto(t *testing.T) {
+	asm := socrel.NewAssembly("f")
+	asm.MustAddService(socrel.NewCPU("fast", 1e9, 1e-3))
+	asm.MustAddService(socrel.NewCPU("safe", 1e8, 1e-5))
+	app := socrel.NewComposite("app", nil, nil)
+	st, err := app.Flow().AddState("s", socrel.AND, socrel.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(socrel.Request{Role: "node", Params: []socrel.Expr{socrel.Num(1e8)}})
+	if err := app.Flow().AddTransitionP(socrel.StartState, "s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Flow().AddTransitionP("s", socrel.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(app)
+
+	configs, err := socrel.Explore(asm,
+		[]socrel.Choice{{Caller: "app", Role: "node",
+			Candidates: []socrel.Candidate{{Provider: "fast"}, {Provider: "safe"}}}},
+		socrel.ExploreOptions{WithTime: true}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 2 {
+		t.Fatalf("configs = %+v", configs)
+	}
+	front := socrel.ParetoFront(configs)
+	if len(front) != 2 { // fast is faster, safe is safer: both survive
+		t.Errorf("front = %+v", front)
+	}
+}
+
+func TestFacadeElasticities(t *testing.T) {
+	f := func(p map[string]float64) (float64, error) { return p["x"] * p["x"], nil }
+	els, err := socrel.Elasticities(f, map[string]float64{"x": 3}, []string{"x"}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 1 || math.Abs(els[0].Value-2) > 1e-6 {
+		t.Errorf("elasticities = %+v", els)
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	r := socrel.NewRegistry()
+	if err := r.Publish(socrel.NewPerfect("svc"), "desc", "tag"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Discover("tag"); len(got) != 1 {
+		t.Errorf("Discover = %v", got)
+	}
+}
+
+func TestFacadeSimpleConstructors(t *testing.T) {
+	if socrel.NewNetwork("n", 1e6, 1e-3).Name() != "n" {
+		t.Error("NewNetwork")
+	}
+	if socrel.NewConstant("c", 0.5).Name() != "c" {
+		t.Error("NewConstant")
+	}
+	s := socrel.NewSimple("s", []string{"x"}, socrel.Attrs{"a": 1}, socrel.MustParseExpr("x * a"))
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	e, err := socrel.ParseExpr("1 + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(socrel.Env{})
+	if err != nil || v != 3 {
+		t.Errorf("ParseExpr eval = %g, %v", v, err)
+	}
+	if socrel.Var("x") == nil || socrel.Num(1) == nil {
+		t.Error("expression constructors")
+	}
+	if _, err := socrel.Sweep("s", []float64{1}, func(x float64) (float64, error) { return x, nil }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeReportAndSimulator(t *testing.T) {
+	p := socrel.DefaultPaperParams()
+	asm, err := socrel.LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := socrel.NewEvaluator(asm, socrel.Options{})
+	rep, err := ev.Report("search", 1, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pfail <= 0 {
+		t.Error("report pfail")
+	}
+	pfail, err := ev.Pfail("search", 1, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfail != rep.Pfail {
+		t.Error("report and Pfail disagree")
+	}
+	traces := [][]string{{"Start", "End"}}
+	if _, err := socrel.EstimateChainFromTraces(traces); err != nil {
+		t.Error(err)
+	}
+	if _, err := socrel.Crossover(
+		func(x float64) (float64, error) { return x, nil },
+		func(x float64) (float64, error) { return 1, nil }, 0, 2, 0); err != nil {
+		t.Error(err)
+	}
+	if _, err := socrel.PowersOfTwo(1, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := socrel.CombineState(socrel.AND, socrel.NoSharing, 0,
+		[]socrel.RequestFailure{{Int: 0.1, Ext: 0.1}}); err != nil {
+		t.Error(err)
+	}
+	prof := socrel.NewPerfProfile(asm)
+	if err := prof.UseCanonicalCosts(asm.ServiceNames()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prof.ExpectedTime("search", 1, 256, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := socrel.SelectBinding(asm, "search", "sort",
+		[]socrel.Candidate{{Provider: "sort1", Connector: "lpc"}},
+		socrel.Options{}, "search", 1, 256, 1); err != nil {
+		t.Error(err)
+	}
+	if socrel.SoftwareFailure(socrel.Num(0.1), socrel.Num(2)) == nil {
+		t.Error("SoftwareFailure")
+	}
+}

@@ -1,0 +1,3 @@
+module socrel
+
+go 1.22

@@ -1,0 +1,78 @@
+package adl_test
+
+import (
+	"fmt"
+
+	"socrel/internal/adl"
+	"socrel/internal/core"
+)
+
+// Example parses a complete system description — services with their
+// analytic interfaces plus an assembly — and predicts a reliability.
+func Example() {
+	const src = `
+service node cpu {
+    speed 1e9
+    rate 1e-9
+}
+service imgresize composite(pixels) {
+    attr phi 1e-9
+    state work and nosharing {
+        call node(50 * pixels) internal 1 - (1 - phi)^(50 * pixels)
+    }
+    transition Start -> work prob 1
+    transition work -> End prob 1
+}
+assembly prod {
+    bind imgresize.node -> node
+}
+`
+	doc, err := adl.ParseDSL(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	asm, err := doc.BuildAssembly("prod")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rel, err := core.New(asm, core.Options{}).Reliability("imgresize", 1e6)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("reliability of resizing a megapixel image: %.6f\n", rel)
+	// Output:
+	// reliability of resizing a megapixel image: 0.951229
+}
+
+func ExampleMarshalJSON() {
+	doc, err := adl.ParseDSL(`
+service loc perfect(ip, op)
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	data, err := adl.MarshalJSON(doc)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(string(data))
+	// Output:
+	// {
+	//   "services": [
+	//     {
+	//       "name": "loc",
+	//       "kind": "simple",
+	//       "params": [
+	//         "ip",
+	//         "op"
+	//       ],
+	//       "pfail": "0"
+	//     }
+	//   ]
+	// }
+}

@@ -1,0 +1,273 @@
+package assembly
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socrel/internal/model"
+)
+
+func TestAddServiceDuplicate(t *testing.T) {
+	a := New("t")
+	if err := a.AddService(model.NewPerfect("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddService(model.NewPerfect("x")); !errors.Is(err, ErrDuplicateService) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestMustAddServicePanics(t *testing.T) {
+	a := New("t")
+	a.MustAddService(model.NewPerfect("x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate")
+		}
+	}()
+	a.MustAddService(model.NewPerfect("x"))
+}
+
+func TestServiceByName(t *testing.T) {
+	a := New("t")
+	a.MustAddService(model.NewCPU("cpu1", 1e9, 1e-9))
+	svc, err := a.ServiceByName("cpu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Name() != "cpu1" {
+		t.Errorf("Name = %q", svc.Name())
+	}
+	if _, err := a.ServiceByName("ghost"); !errors.Is(err, model.ErrUnknownService) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestBindResolution(t *testing.T) {
+	a := New("t")
+	a.AddBinding("caller", "role", "provider", "conn")
+	p, c, err := a.Bind("caller", "role")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != "provider" || c != "conn" {
+		t.Errorf("Bind = %q, %q", p, c)
+	}
+	if _, _, err := a.Bind("caller", "other"); !errors.Is(err, model.ErrNoBinding) {
+		t.Errorf("error = %v", err)
+	}
+	// Rebinding overwrites.
+	a.AddBinding("caller", "role", "p2", "")
+	p, c, err = a.Bind("caller", "role")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != "p2" || c != "" {
+		t.Errorf("rebound Bind = %q, %q", p, c)
+	}
+}
+
+func TestBindingsSorted(t *testing.T) {
+	a := New("t")
+	a.AddBinding("z", "r", "p", "")
+	a.AddBinding("a", "r2", "p", "")
+	a.AddBinding("a", "r1", "p", "")
+	bs := a.Bindings()
+	if len(bs) != 3 {
+		t.Fatalf("Bindings = %v", bs)
+	}
+	if bs[0].Caller != "a" || bs[0].Role != "r1" || bs[2].Caller != "z" {
+		t.Errorf("Bindings order = %v", bs)
+	}
+}
+
+func TestValidateCatchesBrokenBindings(t *testing.T) {
+	base := func() *Assembly {
+		a := New("t")
+		a.MustAddService(model.NewPerfect("prov"))
+		comp := model.NewComposite("app", nil, nil)
+		st, err := comp.Flow().AddState("s", model.AND, model.NoSharing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.AddRequest(model.Request{Role: "r"})
+		if err := comp.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := comp.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+			t.Fatal(err)
+		}
+		a.MustAddService(comp)
+		return a
+	}
+
+	t.Run("valid", func(t *testing.T) {
+		a := base()
+		a.AddBinding("app", "r", "prov", "")
+		if err := a.Validate(); err != nil {
+			t.Errorf("Validate = %v", err)
+		}
+	})
+	t.Run("unknown caller", func(t *testing.T) {
+		a := base()
+		a.AddBinding("app", "r", "prov", "")
+		a.AddBinding("ghost", "r", "prov", "")
+		if err := a.Validate(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("unknown provider", func(t *testing.T) {
+		a := base()
+		a.AddBinding("app", "r", "ghost", "")
+		if err := a.Validate(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("unknown connector", func(t *testing.T) {
+		a := base()
+		a.AddBinding("app", "r", "prov", "ghost")
+		if err := a.Validate(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("unresolved role", func(t *testing.T) {
+		a := base()
+		if err := a.Validate(); err == nil {
+			t.Error("expected error for unbound role with no same-name service")
+		}
+	})
+	t.Run("role as direct service name", func(t *testing.T) {
+		a := base()
+		a.MustAddService(model.NewPerfect("r"))
+		if err := a.Validate(); err != nil {
+			t.Errorf("Validate = %v", err)
+		}
+	})
+	t.Run("invalid service definition", func(t *testing.T) {
+		a := New("t")
+		a.MustAddService(model.NewSimple("bad", nil, nil, nil))
+		if err := a.Validate(); !errors.Is(err, model.ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+}
+
+func TestCloneIndependentBindings(t *testing.T) {
+	a := New("orig")
+	a.MustAddService(model.NewPerfect("p1"))
+	a.MustAddService(model.NewPerfect("p2"))
+	a.AddBinding("x", "r", "p1", "")
+	b := a.Clone("derived")
+	b.AddBinding("x", "r", "p2", "")
+	if p, _, _ := a.Bind("x", "r"); p != "p1" {
+		t.Errorf("original binding mutated: %q", p)
+	}
+	if p, _, _ := b.Bind("x", "r"); p != "p2" {
+		t.Errorf("clone binding = %q", p)
+	}
+	if b.Name() != "derived" || a.Name() != "orig" {
+		t.Error("names wrong after clone")
+	}
+	if len(b.ServiceNames()) != 2 {
+		t.Errorf("clone services = %v", b.ServiceNames())
+	}
+}
+
+func TestPaperAssembliesValidate(t *testing.T) {
+	p := DefaultPaperParams()
+	local, err := LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Validate(); err != nil {
+		t.Errorf("local: %v", err)
+	}
+	remote, err := RemoteAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Validate(); err != nil {
+		t.Errorf("remote: %v", err)
+	}
+	// The expected service sets.
+	wantLocal := []string{"search", "sort1", "lpc", "cpu1"}
+	if got := local.ServiceNames(); len(got) != len(wantLocal) {
+		t.Errorf("local services = %v", got)
+	}
+	wantRemote := []string{"search", "sort2", "rpc", "cpu1", "cpu2", "net12"}
+	if got := remote.ServiceNames(); len(got) != len(wantRemote) {
+		t.Errorf("remote services = %v", got)
+	}
+}
+
+func TestClosedFormsSanity(t *testing.T) {
+	p := DefaultPaperParams()
+	// Closed forms are probabilities and increase with load.
+	if f := ClosedFormCPU(1e-4, 1e9, 1e9); f <= 0 || f >= 1 {
+		t.Errorf("cpu closed form = %g", f)
+	}
+	if ClosedFormCPU(1e-4, 1e9, 1e6) >= ClosedFormCPU(1e-4, 1e9, 1e9) {
+		t.Error("cpu closed form not increasing in N")
+	}
+	if ClosedFormNet(1e-2, 1e6, 1e3) >= ClosedFormNet(1e-2, 1e6, 1e6) {
+		t.Error("net closed form not increasing in B")
+	}
+	if ClosedFormSort(1e-6, 1e-10, 1e9, 256) >= ClosedFormSort(1e-6, 1e-10, 1e9, 4096) {
+		t.Error("sort closed form not increasing in list")
+	}
+	if f := ClosedFormLPC(p); f < 0 || f > 1e-3 {
+		t.Errorf("lpc closed form = %g (should be tiny)", f)
+	}
+	if ClosedFormRPC(p, 100, 1) >= ClosedFormRPC(p, 10000, 1) {
+		t.Error("rpc closed form not increasing in ip")
+	}
+	for _, remote := range []bool{false, true} {
+		f := ClosedFormSearch(p, remote, 1, 4096, 1)
+		if f <= 0 || f >= 1 || math.IsNaN(f) {
+			t.Errorf("search closed form (remote=%v) = %g", remote, f)
+		}
+	}
+}
+
+// TestFigure6CrossoverStructure verifies that the chosen constants
+// reproduce the paper's prose about Figure 6: (a) with phi1 = 1e-6 the
+// remote assembly wins somewhere in the plotted range only for
+// gamma = 5e-3; (b) with phi1 = 5e-6 it also wins for gamma = 2.5e-2;
+// (c) for gamma >= 5e-2 the local assembly wins everywhere in range.
+func TestFigure6CrossoverStructure(t *testing.T) {
+	lists := make([]float64, 0, 17)
+	for e := 4; e <= 20; e++ {
+		lists = append(lists, float64(int(1)<<e))
+	}
+	remoteWinsSomewhere := func(phi1, gamma float64) bool {
+		p := DefaultPaperParams()
+		p.Phi1, p.Gamma = phi1, gamma
+		for _, l := range lists {
+			if ClosedFormSearch(p, true, 1, l, 1) < ClosedFormSearch(p, false, 1, l, 1) {
+				return true
+			}
+		}
+		return false
+	}
+	type caseDef struct {
+		phi1, gamma float64
+		want        bool
+	}
+	cases := []caseDef{
+		{1e-6, 5e-3, true},
+		{1e-6, 2.5e-2, false},
+		{1e-6, 5e-2, false},
+		{1e-6, 1e-1, false},
+		{5e-6, 5e-3, true},
+		{5e-6, 2.5e-2, true},
+		{5e-6, 5e-2, false},
+		{5e-6, 1e-1, false},
+	}
+	for _, c := range cases {
+		if got := remoteWinsSomewhere(c.phi1, c.gamma); got != c.want {
+			t.Errorf("phi1=%g gamma=%g: remote wins somewhere = %v, want %v",
+				c.phi1, c.gamma, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"socrel/internal/core"
+	"socrel/internal/model"
+)
+
+// FromComposite derives a Cheung-style model from a composite service's
+// flow at a fixed actual-parameter point: each working state becomes a
+// component whose reliability is the state's success probability with
+// **connector failures ignored** — the abstraction level of the ref. [19]
+// family, which models components and their control flow but not the
+// interaction infrastructure. Cascading provider reliabilities are computed
+// with the full engine; only the connectors of this composite's own
+// requests are dropped.
+//
+// The gap between the derived model's prediction and the full engine's is
+// exactly the reliability impact of the interaction infrastructure
+// (experiment T5).
+func FromComposite(resolver model.Resolver, comp *model.Composite, params []float64, opts core.Options) (*Cheung, error) {
+	env, err := model.Env(comp, params)
+	if err != nil {
+		return nil, err
+	}
+	ev := core.New(resolver, opts)
+	out := NewCheung()
+
+	for _, st := range comp.Flow().States() {
+		if st.Name == model.StartState || st.Name == model.EndState {
+			continue
+		}
+		fails := make([]model.RequestFailure, len(st.Requests))
+		for i, req := range st.Requests {
+			providerName, _, err := resolver.Bind(comp.Name(), req.Role)
+			if errors.Is(err, model.ErrNoBinding) {
+				providerName = req.Role
+			} else if err != nil {
+				return nil, err
+			}
+			apVals := make([]float64, len(req.Params))
+			for j, e := range req.Params {
+				v, err := e.Eval(env)
+				if err != nil {
+					return nil, fmt.Errorf("baseline: %s state %s: %w", comp.Name(), st.Name, err)
+				}
+				apVals[j] = v
+			}
+			pSvc, err := ev.Pfail(providerName, apVals...)
+			if err != nil {
+				return nil, err
+			}
+			var pInt float64
+			if req.Internal != nil {
+				v, err := req.Internal.Eval(env)
+				if err != nil {
+					return nil, fmt.Errorf("baseline: %s state %s internal: %w", comp.Name(), st.Name, err)
+				}
+				pInt = clamp01(v)
+			}
+			// Connector contribution deliberately omitted.
+			fails[i] = model.RequestFailure{Int: pInt, Ext: pSvc}
+		}
+		f, err := model.CombineState(st.Completion, st.Dependency, st.K, fails)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %s state %s: %w", comp.Name(), st.Name, err)
+		}
+		if err := out.SetComponent(st.Name, 1-f); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, tr := range comp.Flow().Transitions() {
+		p, err := tr.Prob.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %s transition %s -> %s: %w", comp.Name(), tr.From, tr.To, err)
+		}
+		if err := out.SetTransition(tr.From, tr.To, clamp01(p)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,267 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/model"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// simpleModel builds Start -> c1 -> c2 -> End with given reliabilities.
+func simpleModel(t *testing.T, r1, r2 float64) *Cheung {
+	t.Helper()
+	c := NewCheung()
+	if err := c.SetComponent("c1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetComponent("c2", r2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{{"Start", "c1", 1}, {"c1", "c2", 1}, {"c2", "End", 1}} {
+		if err := c.SetTransition(tr.from, tr.to, tr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestCheungSequential(t *testing.T) {
+	c := simpleModel(t, 0.9, 0.8)
+	got, err := c.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, 0.72, 1e-12) {
+		t.Errorf("Reliability = %g, want 0.72", got)
+	}
+}
+
+func TestCheungBranching(t *testing.T) {
+	c := NewCheung()
+	if err := c.SetComponent("a", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetComponent("b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{"Start", "a", 0.7}, {"Start", "b", 0.3},
+		{"a", "End", 1}, {"b", "End", 1},
+	} {
+		if err := c.SetTransition(tr.from, tr.to, tr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.7*0.9 + 0.3*0.5
+	if !approxEq(got, want, 1e-12) {
+		t.Errorf("Reliability = %g, want %g", got, want)
+	}
+}
+
+func TestCheungCyclic(t *testing.T) {
+	// c -> c with prob 0.5, -> End with 0.5; R_c = 0.9.
+	// R = sum_k (0.9 * 0.5)^k * 0.9 * 0.5 ... closed form:
+	// R = 0.9*0.5 / (1 - 0.9*0.5).
+	c := NewCheung()
+	if err := c.SetComponent("c", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{{"Start", "c", 1}, {"c", "c", 0.5}, {"c", "End", 0.5}} {
+		if err := c.SetTransition(tr.from, tr.to, tr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.45 / (1 - 0.45)
+	if !approxEq(got, want, 1e-12) {
+		t.Errorf("Reliability = %g, want %g", got, want)
+	}
+}
+
+func TestCheungErrors(t *testing.T) {
+	c := NewCheung()
+	if err := c.SetComponent("x", 1.5); !errors.Is(err, ErrBadReliability) {
+		t.Errorf("error = %v", err)
+	}
+	// Transition into a state with no reliability assignment.
+	if err := c.SetTransition("Start", "mystery", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition("mystery", "End", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reliability(); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestPathBasedMatchesCheungAcyclic(t *testing.T) {
+	c := simpleModel(t, 0.95, 0.85)
+	exact, err := c.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PathBased(c, PathOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.Reliability, exact, 1e-12) {
+		t.Errorf("path-based %g vs state-based %g", res.Reliability, exact)
+	}
+	if !approxEq(res.Coverage, 1, 1e-12) {
+		t.Errorf("coverage = %g, want 1 on acyclic graph", res.Coverage)
+	}
+	if len(res.Paths) != 1 || len(res.Paths[0].States) != 4 {
+		t.Errorf("paths = %+v", res.Paths)
+	}
+}
+
+func TestPathBasedTruncationOnCycles(t *testing.T) {
+	c := NewCheung()
+	if err := c.SetComponent("c", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{{"Start", "c", 1}, {"c", "c", 0.5}, {"c", "End", 0.5}} {
+		if err := c.SetTransition(tr.from, tr.to, tr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact, err := c.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight truncation: underestimates, coverage < 1.
+	res, err := PathBased(c, PathOptions{MaxLen: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage >= 1-1e-9 {
+		t.Errorf("coverage = %g, expected truncation below 1", res.Coverage)
+	}
+	if res.Reliability > exact {
+		t.Errorf("truncated path-based %g exceeds exact %g", res.Reliability, exact)
+	}
+	// Generous truncation: converges to the exact value.
+	res2, err := PathBased(c, PathOptions{MaxLen: 200, MinProb: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res2.Reliability, exact, 1e-9) {
+		t.Errorf("deep path-based %g vs exact %g", res2.Reliability, exact)
+	}
+	// Paths are sorted by probability.
+	for i := 1; i < len(res2.Paths); i++ {
+		if res2.Paths[i].Prob > res2.Paths[i-1].Prob {
+			t.Fatal("paths not sorted by probability")
+		}
+	}
+}
+
+func TestPathBasedUnknownComponent(t *testing.T) {
+	c := NewCheung()
+	if err := c.SetTransition("Start", "ghost", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition("ghost", "End", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PathBased(c, PathOptions{}); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestAdapterMatchesEngineWithPerfectConnectors: when every connector is
+// perfect, ignoring connectors loses nothing, so the derived Cheung model
+// must agree exactly with the full engine.
+func TestAdapterMatchesEngineWithPerfectConnectors(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	local, err := assembly.LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebind the sort connection to a perfect connection.
+	noConn := local.Clone("noconn")
+	noConn.AddBinding("search", "sort", "sort1", "")
+	svc, err := noConn.ServiceByName("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := svc.(*model.Composite)
+	params := []float64{1, 4096, 1}
+	full, err := core.New(noConn, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheung, err := FromComposite(noConn, comp, params, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cheung.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, full, 1e-12) {
+		t.Errorf("adapter %g vs engine %g", got, full)
+	}
+}
+
+// TestAblationConnectorGap is experiment T5's core claim: on the remote
+// assembly the baseline (no connectors) overestimates reliability, and the
+// gap equals the RPC connector's failure contribution.
+func TestAblationConnectorGap(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	p.Gamma = 5e-2 // unreliable network makes the gap pronounced
+	remote, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := remote.ServiceByName("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := svc.(*model.Composite)
+	params := []float64{1, 4096, 1}
+	full, err := core.New(remote, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheung, err := FromComposite(remote, comp, params, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noConn, err := cheung.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noConn <= full {
+		t.Errorf("baseline %g should overestimate full model %g", noConn, full)
+	}
+	// The overestimate must be substantial here (the network dominates).
+	if (noConn-full)/(1-full) < 0.5 {
+		t.Errorf("connector gap too small: baseline %g vs full %g", noConn, full)
+	}
+}

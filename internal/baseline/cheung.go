@@ -1,0 +1,97 @@
+// Package baseline reimplements the related-work reliability models the
+// paper positions itself against (section 5), for the ablation experiments:
+//
+//   - Cheung-style state-based models (Wang/Wu/Chen, ref. [19]): one
+//     reliability number per component, a probabilistic control-flow graph,
+//     no connectors, no parameter dependency, no sharing.
+//   - Dolbec-Shepard path-based models (ref. [5]): enumerate execution
+//     paths, multiply component reliabilities along each, and weight by
+//     path probability. Exact on acyclic graphs, truncated on cyclic ones.
+//
+// Adapters derive baseline inputs from a full analytic-interface assembly
+// so both can be run on the same architecture; the gap between their
+// predictions and the full engine quantifies what ignoring connectors and
+// the interaction infrastructure costs (experiment T5).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"socrel/internal/markov"
+)
+
+// Errors returned by baseline models.
+var (
+	// ErrUnknownComponent is returned when a flow references a component
+	// with no reliability assignment.
+	ErrUnknownComponent = errors.New("baseline: unknown component")
+	// ErrBadReliability is returned for reliabilities outside [0, 1].
+	ErrBadReliability = errors.New("baseline: reliability outside [0,1]")
+)
+
+// Cheung is a state-based architectural reliability model: components with
+// scalar reliabilities visited according to a control-flow Markov chain
+// from Start to End.
+type Cheung struct {
+	rel   map[string]float64
+	chain *markov.Chain
+}
+
+// NewCheung returns an empty model containing only Start and End.
+func NewCheung() *Cheung {
+	c := &Cheung{rel: make(map[string]float64), chain: markov.New()}
+	c.chain.AddState(startState)
+	c.chain.AddState(endState)
+	return c
+}
+
+const (
+	startState = "Start"
+	endState   = "End"
+	failState  = "Fail"
+)
+
+// SetComponent assigns a component's reliability.
+func (c *Cheung) SetComponent(name string, reliability float64) error {
+	if reliability < 0 || reliability > 1 {
+		return fmt.Errorf("%w: %s = %g", ErrBadReliability, name, reliability)
+	}
+	c.rel[name] = reliability
+	c.chain.AddState(name)
+	return nil
+}
+
+// SetTransition sets a control-flow transition probability.
+func (c *Cheung) SetTransition(from, to string, p float64) error {
+	return c.chain.SetTransition(from, to, p)
+}
+
+// Reliability computes the probability of reaching End from Start with
+// every visited component succeeding: the classic absorbing-chain
+// computation with per-state failure probability 1 - R_i.
+func (c *Cheung) Reliability() (float64, error) {
+	aug := c.chain.Clone()
+	for _, name := range c.chain.States() {
+		if name == startState || name == endState {
+			continue
+		}
+		r, ok := c.rel[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrUnknownComponent, name)
+		}
+		if err := aug.ScaleOutgoing(name, r); err != nil {
+			return 0, err
+		}
+		if r < 1 {
+			if err := aug.SetTransition(name, failState, 1-r); err != nil {
+				return 0, err
+			}
+		}
+	}
+	abs, err := markov.NewAbsorbing(aug, markov.MethodAuto)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	return abs.AbsorptionProbability(startState, endState)
+}

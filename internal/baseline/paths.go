@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Path is one enumerated execution path with its occurrence probability and
+// the product of component reliabilities along it.
+type Path struct {
+	States      []string
+	Prob        float64
+	Reliability float64
+}
+
+// PathOptions bounds path enumeration on cyclic graphs.
+type PathOptions struct {
+	// MaxLen bounds path length in states (default 64).
+	MaxLen int
+	// MinProb prunes paths whose occurrence probability falls below this
+	// threshold (default 1e-12).
+	MinProb float64
+	// MaxPaths bounds the number of enumerated paths (default 100000).
+	MaxPaths int
+}
+
+func (o PathOptions) withDefaults() PathOptions {
+	if o.MaxLen <= 0 {
+		o.MaxLen = 64
+	}
+	if o.MinProb <= 0 {
+		o.MinProb = 1e-12
+	}
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 100000
+	}
+	return o
+}
+
+// PathResult is the outcome of a path-based analysis.
+type PathResult struct {
+	// Reliability is sum over paths of Prob * Reliability.
+	Reliability float64
+	// Coverage is the total probability mass of the enumerated paths;
+	// below 1 it means the truncation missed some (long or rare) paths.
+	Coverage float64
+	// Paths holds the enumerated paths, highest probability first.
+	Paths []Path
+}
+
+// PathBased runs the Dolbec-Shepard analysis on the same inputs as a
+// Cheung model: enumerate Start-to-End paths and accumulate
+// probability-weighted path reliabilities.
+func PathBased(c *Cheung, opts PathOptions) (PathResult, error) {
+	opts = opts.withDefaults()
+	var res PathResult
+	type frame struct {
+		state string
+		path  []string
+		prob  float64
+		rel   float64
+	}
+	stack := []frame{{state: startState, path: []string{startState}, prob: 1, rel: 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.state == endState {
+			res.Paths = append(res.Paths, Path{States: f.path, Prob: f.prob, Reliability: f.rel})
+			res.Reliability += f.prob * f.rel
+			res.Coverage += f.prob
+			if len(res.Paths) >= opts.MaxPaths {
+				break
+			}
+			continue
+		}
+		if len(f.path) >= opts.MaxLen {
+			continue
+		}
+		succ := c.chain.Successors(f.state)
+		for next, p := range succ {
+			np := f.prob * p
+			if np < opts.MinProb {
+				continue
+			}
+			nrel := f.rel
+			if next != endState && next != startState {
+				r, ok := c.rel[next]
+				if !ok {
+					return PathResult{}, fmt.Errorf("%w: %q", ErrUnknownComponent, next)
+				}
+				nrel *= r
+			}
+			path := make([]string, len(f.path)+1)
+			copy(path, f.path)
+			path[len(f.path)] = next
+			stack = append(stack, frame{state: next, path: path, prob: np, rel: nrel})
+		}
+	}
+	sort.Slice(res.Paths, func(i, j int) bool { return res.Paths[i].Prob > res.Paths[j].Prob })
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+)
+
+// buildTransportFixture wires a client/server pair where the search-like
+// caller reaches its provider through a configurable connector chain.
+// It returns the assembly; the caller is "app" with one parameter n,
+// calling provider "svc" (constant failure 0.05) through the binding
+// (app, svc) that tests rebind.
+func buildTransportFixture(t *testing.T) *assembly.Assembly {
+	t.Helper()
+	asm := assembly.New("fixture")
+	asm.MustAddService(model.NewCPU("cpuC", 1e9, 1e-10))
+	asm.MustAddService(model.NewCPU("cpuS", 1e9, 1e-10))
+	asm.MustAddService(model.NewCPU("cpuB", 1e9, 1e-10))
+	asm.MustAddService(model.NewNetwork("netA", 1e5, 5e-2))
+	asm.MustAddService(model.NewNetwork("netB", 1e5, 5e-2))
+	asm.MustAddService(model.NewConstant("svc", 0.05, "n"))
+
+	rpc, err := model.NewRPC("rpc", 10, 270)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(rpc)
+	asm.AddBinding("rpc", model.RoleClientCPU, "cpuC", "")
+	asm.AddBinding("rpc", model.RoleServerCPU, "cpuS", "")
+	asm.AddBinding("rpc", model.RoleNet, "netA", "")
+
+	app := model.NewComposite("app", []string{"n"}, nil)
+	st, err := app.Flow().AddState("call", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{
+		Role:       "svc",
+		Params:     []expr.Expr{expr.Var("n")},
+		ConnParams: []expr.Expr{expr.Var("n"), expr.Num(1)},
+	})
+	if err := app.Flow().AddTransitionP(model.StartState, "call", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Flow().AddTransitionP("call", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(app)
+	asm.AddBinding("app", "svc", "svc", "rpc")
+	return asm
+}
+
+func TestRetryConnectorImprovesReliability(t *testing.T) {
+	asm := buildTransportFixture(t)
+	plain, err := New(asm, Options{}).Pfail("app", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrap the transport in a 3-attempt retry connector.
+	retry, err := model.NewRetry("retry3", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(retry)
+	asm.AddBinding("retry3", model.RoleTransport, "rpc", "")
+	asm.AddBinding("app", "svc", "svc", "retry3")
+	withRetry, err := New(asm, Options{}).Pfail("app", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRetry >= plain {
+		t.Fatalf("retry made things worse: %g vs %g", withRetry, plain)
+	}
+
+	// The connector part should behave like OR over 3 independent rpc
+	// attempts: pConn = pRPC^3.
+	pRPC, err := New(asm, Options{}).Pfail("rpc", 1025, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRetry, err := New(asm, Options{}).Pfail("retry3", 1025, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Pow(pRPC, 3); math.Abs(pRetry-want) > 1e-12 {
+		t.Errorf("retry Pfail = %g, want pRPC^3 = %g", pRetry, want)
+	}
+}
+
+func TestKOfNTransportSharingPenalty(t *testing.T) {
+	// 2-of-3 redundant transport: independent channels vs channels that
+	// share the same underlying rpc (paper's sharing model). Sharing must
+	// be strictly worse.
+	asm := buildTransportFixture(t)
+	for _, tc := range []struct {
+		name string
+		dep  model.Dependency
+	}{
+		{"repNS", model.NoSharing},
+		{"repSH", model.Sharing},
+	} {
+		rep, err := model.NewKOfNTransport(tc.name, 3, 2, tc.dep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asm.MustAddService(rep)
+		asm.AddBinding(tc.name, model.RoleTransport, "rpc", "")
+	}
+	pNS, err := New(asm, Options{}).Pfail("repNS", 1025, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSH, err := New(asm, Options{}).Pfail("repSH", 1025, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSH <= pNS {
+		t.Errorf("sharing (%g) should be worse than independent channels (%g)", pSH, pNS)
+	}
+	// Hand check for the independent case: P(fewer than 2 of 3 succeed).
+	pRPC, err := New(asm, Options{}).Pfail("rpc", 1025, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 1 - pRPC
+	want := 1 - (q*q*q + 3*q*q*pRPC)
+	if math.Abs(pNS-want) > 1e-12 {
+		t.Errorf("2-of-3 Pfail = %g, want %g", pNS, want)
+	}
+}
+
+func TestQueueConnectorEndToEnd(t *testing.T) {
+	asm := buildTransportFixture(t)
+	mq, err := model.NewQueue("mq", 10, 270)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(mq)
+	asm.AddBinding("mq", model.RoleClientCPU, "cpuC", "")
+	asm.AddBinding("mq", model.RoleServerCPU, "cpuS", "")
+	asm.AddBinding("mq", model.RoleBrokerCPU, "cpuB", "")
+	asm.AddBinding("mq", model.RoleNet1, "netA", "")
+	asm.AddBinding("mq", model.RoleNet2, "netB", "")
+	asm.AddBinding("app", "svc", "svc", "mq")
+
+	pQueue, err := New(asm, Options{}).Pfail("mq", 1025, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand check: each size unit crosses two network segments each way and
+	// is marshaled four times per direction; with negligible cpu failure,
+	// Pfail ≈ 1 - exp(-2*gamma*m*(ip+op)/b).
+	gamma, m, b := 5e-2, 270.0, 1e5
+	want := 1 - math.Exp(-2*gamma*m*(1025+1)/b)
+	if math.Abs(pQueue-want) > 1e-6 {
+		t.Errorf("queue Pfail = %g, want ≈ %g", pQueue, want)
+	}
+	// The queue pays two hops, so it must be less reliable than direct rpc
+	// over the same class of network.
+	pRPC, err := New(asm, Options{}).Pfail("rpc", 1025, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pQueue <= pRPC {
+		t.Errorf("two-hop queue (%g) should be less reliable than one-hop rpc (%g)", pQueue, pRPC)
+	}
+}

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"fmt"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+)
+
+// Example reproduces the heart of the paper's section 4: predict the
+// reliability of the search service in both the local and the remote
+// assembly for a 4096-element list.
+func Example() {
+	p := assembly.DefaultPaperParams()
+	local, err := assembly.LocalAssembly(p)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	remote, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rl, err := core.New(local, core.Options{}).Reliability("search", 1, 4096, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rr, err := core.New(remote, core.Options{}).Reliability("search", 1, 4096, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("local:  %.6f\n", rl)
+	fmt.Printf("remote: %.6f\n", rr)
+	// Output:
+	// local:  0.956832
+	// remote: 0.947385
+}
+
+// ExampleEvaluator_PfailService shows evaluating an ad-hoc composite that
+// is not registered with the resolver.
+func ExampleEvaluator_PfailService() {
+	asm := assembly.New("demo")
+	asm.MustAddService(model.NewConstant("backend", 0.2))
+
+	app := model.NewComposite("app", nil, nil)
+	st, err := app.Flow().AddState("s", model.OR, model.NoSharing)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Two independent tries of the backend: OR completion.
+	st.AddRequest(model.Request{Role: "backend"})
+	st.AddRequest(model.Request{Role: "backend"})
+	if err := app.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := app.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	ev := core.New(asm, core.Options{})
+	pfail, err := ev.PfailService(app)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("Pfail = %.2f\n", pfail) // 0.2 * 0.2
+	// Output:
+	// Pfail = 0.04
+}
+
+// ExampleOptions_cycleFixedPoint solves a self-retrying (recursive)
+// service with the fixed-point extension.
+func ExampleOptions_cycleFixedPoint() {
+	asm := assembly.New("retry")
+	asm.MustAddService(model.NewConstant("leaf", 0.1))
+	a := model.NewComposite("a", nil, nil)
+	work, err := a.Flow().AddState("work", model.AND, model.NoSharing)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	work.AddRequest(model.Request{Role: "leaf"})
+	retry, err := a.Flow().AddState("retry", model.AND, model.NoSharing)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	retry.AddRequest(model.Request{Role: "a", Params: []expr.Expr{}})
+	for _, e := range []struct {
+		from, to string
+		p        float64
+	}{
+		{model.StartState, "work", 1},
+		{"work", "retry", 0.5},
+		{"work", model.EndState, 0.5},
+		{"retry", model.EndState, 1},
+	} {
+		if err := a.Flow().AddTransitionP(e.from, e.to, e.p); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	asm.MustAddService(a)
+
+	ev := core.New(asm, core.Options{Cycles: core.CycleFixedPoint})
+	pfail, err := ev.Pfail("a")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("Pfail = %.6f\n", pfail) // 0.1 / (1 - 0.5*0.9)
+	// Output:
+	// Pfail = 0.181818
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the detailed evaluation breakdown of a top-level service
+// invocation: the per-state failure probabilities of its flow and, for each
+// request in each state, the resolved provider/connector and their
+// contributions. Requested services are summarized by their overall failure
+// probability (their own breakdowns can be obtained by evaluating them
+// directly).
+type Report struct {
+	// Service is the evaluated service name.
+	Service string
+	// Params are the actual parameter values of the invocation.
+	Params []float64
+	// Pfail is the overall failure probability (equation 3).
+	Pfail float64
+	// States holds the per-state breakdown in flow order (working states
+	// only; Start and End never fail).
+	States []StateReport
+}
+
+// StateReport is the failure breakdown of one flow state.
+type StateReport struct {
+	// Name is the flow state name.
+	Name string
+	// PFail is p(i, Fail), the state's failure probability.
+	PFail float64
+	// Requests holds the per-request breakdown in declaration order.
+	Requests []RequestReport
+}
+
+// RequestReport is the failure breakdown of one service request.
+type RequestReport struct {
+	// Role is the requested role as written in the flow.
+	Role string
+	// Provider is the concrete service the role resolved to.
+	Provider string
+	// Connector is the connector service transporting the request
+	// (empty for a perfect connection).
+	Connector string
+	// Params are the evaluated actual parameters passed to the provider.
+	Params []float64
+	// PInt is the internal failure probability Pfail_int.
+	PInt float64
+	// PExt is the external failure probability Pfail_ext
+	// (connector and provider combined).
+	PExt float64
+	// ProviderPfail is the provider's own failure probability.
+	ProviderPfail float64
+	// ConnectorPfail is the connector's own failure probability.
+	ConnectorPfail float64
+}
+
+// Report evaluates the named service and returns the detailed breakdown.
+func (ev *Evaluator) Report(service string, params ...float64) (*Report, error) {
+	svc, err := ev.resolver.ServiceByName(service)
+	if err != nil {
+		return nil, err
+	}
+	if ev.opts.Cycles == CycleFixedPoint {
+		// Converge the estimates first, then take a reporting pass.
+		if _, err := ev.PfailService(svc, params...); err != nil {
+			return nil, err
+		}
+	}
+	p, states, err := ev.eval(svc, params, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Service: service, Params: params, Pfail: p, States: states}, nil
+}
+
+// String renders the report as an indented human-readable summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "service %s(%s)\n", r.Service, formatParams(r.Params))
+	fmt.Fprintf(&sb, "  Pfail = %.9g   reliability = %.9g\n", r.Pfail, 1-r.Pfail)
+	for _, st := range r.States {
+		fmt.Fprintf(&sb, "  state %-12s p(i,Fail) = %.9g\n", st.Name, st.PFail)
+		for _, rq := range st.Requests {
+			conn := rq.Connector
+			if conn == "" {
+				conn = "(perfect)"
+			}
+			fmt.Fprintf(&sb, "    call %s -> %s via %s  params=(%s)\n",
+				rq.Role, rq.Provider, conn, formatParams(rq.Params))
+			fmt.Fprintf(&sb, "      Pint=%.6g Pext=%.6g (provider %.6g, connector %.6g)\n",
+				rq.PInt, rq.PExt, rq.ProviderPfail, rq.ConnectorPfail)
+		}
+	}
+	return sb.String()
+}
+
+func formatParams(ps []float64) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%g", p)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,153 @@
+// Package dot renders service flows and assemblies as Graphviz DOT — the
+// machine-drawable counterparts of the paper's Figures 1-5 (service flows,
+// optionally with the failure structure the engine adds) and Figures 3-4
+// (assembly diagrams of components, connectors and bindings).
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/model"
+)
+
+// Flow renders a composite service's usage-profile flow (Figure 1/2
+// style): states with their completion/dependency models and requests,
+// edges with their probability expressions.
+func Flow(c *model.Composite) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", c.Name())
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&b, "  label=%q;\n", flowLabel(c))
+
+	for _, st := range c.Flow().States() {
+		switch st.Name {
+		case model.StartState:
+			fmt.Fprintf(&b, "  %q [shape=circle, style=filled, fillcolor=black, label=\"\", width=0.25];\n", st.Name)
+		case model.EndState:
+			fmt.Fprintf(&b, "  %q [shape=doublecircle, style=filled, fillcolor=black, label=\"\", width=0.2];\n", st.Name)
+		default:
+			fmt.Fprintf(&b, "  %q [shape=box, style=rounded, label=%q];\n", st.Name, stateLabel(st))
+		}
+	}
+	for _, tr := range c.Flow().Transitions() {
+		label := tr.Prob.String()
+		if label == "1" {
+			label = ""
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", tr.From, tr.To, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func flowLabel(c *model.Composite) string {
+	return fmt.Sprintf("%s(%s)", c.Name(), strings.Join(c.FormalParams(), ", "))
+}
+
+func stateLabel(st *model.State) string {
+	var lines []string
+	mode := st.Completion.String()
+	if st.Completion == model.KOfN {
+		mode = fmt.Sprintf("%d-of-%d", st.K, len(st.Requests))
+	}
+	lines = append(lines, fmt.Sprintf("%s [%s/%s]", st.Name, mode, st.Dependency))
+	for _, r := range st.Requests {
+		params := make([]string, len(r.Params))
+		for i, e := range r.Params {
+			params[i] = e.String()
+		}
+		lines = append(lines, fmt.Sprintf("call %s(%s)", r.Role, strings.Join(params, ", ")))
+	}
+	return strings.Join(lines, "\\n")
+}
+
+// FlowWithFailures renders the flow augmented with its failure structure
+// at a concrete parameter point (Figure 5 style): each working state gets
+// a transition to Fail labeled with its computed p(i, Fail), and working
+// transitions are shown rescaled.
+func FlowWithFailures(resolver model.Resolver, c *model.Composite, params []float64, opts core.Options) (string, error) {
+	rep, err := core.New(resolver, opts).Report(c.Name(), params...)
+	if err != nil {
+		return "", err
+	}
+	stateFail := make(map[string]float64, len(rep.States))
+	for _, st := range rep.States {
+		stateFail[st.Name] = st.PFail
+	}
+	env, err := model.Env(c, params)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", c.Name()+"_failures")
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&b, "  label=\"%s with failure structure (Pfail = %.6g)\";\n", flowLabel(c), rep.Pfail)
+	for _, st := range c.Flow().States() {
+		switch st.Name {
+		case model.StartState:
+			fmt.Fprintf(&b, "  %q [shape=circle, style=filled, fillcolor=black, label=\"\", width=0.25];\n", st.Name)
+		case model.EndState:
+			fmt.Fprintf(&b, "  %q [shape=doublecircle, label=\"End\"];\n", st.Name)
+		default:
+			fmt.Fprintf(&b, "  %q [shape=box, style=rounded];\n", st.Name)
+		}
+	}
+	fmt.Fprintf(&b, "  %q [shape=doublecircle, color=red, fontcolor=red];\n", model.FailState)
+	for _, tr := range c.Flow().Transitions() {
+		p, err := tr.Prob.Eval(env)
+		if err != nil {
+			return "", fmt.Errorf("dot: transition %s -> %s: %w", tr.From, tr.To, err)
+		}
+		p *= 1 - stateFail[tr.From]
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%.6g\"];\n", tr.From, tr.To, p)
+	}
+	names := make([]string, 0, len(stateFail))
+	for name := range stateFail {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if f := stateFail[name]; f > 0 {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%.6g\", color=red, fontcolor=red];\n",
+				name, model.FailState, f)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// Assembly renders an assembly diagram (Figure 3/4 style): services as
+// nodes (boxes for composites, ellipses for simple resources), bindings as
+// labeled edges caller -> provider, with the connector on the edge label.
+func Assembly(a *assembly.Assembly) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", a.Name())
+	b.WriteString("  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&b, "  label=\"assembly %s\";\n", a.Name())
+	for _, name := range a.ServiceNames() {
+		svc, err := a.ServiceByName(name)
+		if err != nil {
+			continue
+		}
+		switch svc.(type) {
+		case *model.Composite:
+			fmt.Fprintf(&b, "  %q [shape=box];\n", name)
+		default:
+			fmt.Fprintf(&b, "  %q [shape=ellipse, style=filled, fillcolor=lightgray];\n", name)
+		}
+	}
+	for _, bind := range a.Bindings() {
+		label := bind.Role
+		if bind.Connector != "" {
+			label += " via " + bind.Connector
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", bind.Caller, bind.Provider, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/model"
+)
+
+func paperSearch(t *testing.T) (*assembly.Assembly, *model.Composite) {
+	t.Helper()
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := asm.ServiceByName("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asm, svc.(*model.Composite)
+}
+
+func TestFlowDOT(t *testing.T) {
+	_, search := paperSearch(t)
+	out := Flow(search)
+	for _, want := range []string{
+		"digraph \"search\"",
+		"search(elem, list, res)",
+		"call sort(list)",
+		"call cpu(log2(list))",
+		"\"Start\" -> \"sort\"",
+		"[label=\"q\"]",
+		"\"lookup\" -> \"End\"",
+		"AND/NoSharing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Flow DOT missing %q\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestFlowWithFailuresDOT(t *testing.T) {
+	asm, search := paperSearch(t)
+	out, err := FlowWithFailures(asm, search, []float64{1, 4096, 1}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"failure structure",
+		"\"sort\" -> \"Fail\"",
+		"\"lookup\" -> \"Fail\"",
+		"Pfail = ",
+		"color=red",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failure DOT missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestFlowWithFailuresBadParams(t *testing.T) {
+	asm, search := paperSearch(t)
+	if _, err := FlowWithFailures(asm, search, []float64{1}, core.Options{}); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestAssemblyDOT(t *testing.T) {
+	asm, _ := paperSearch(t)
+	out := Assembly(asm)
+	for _, want := range []string{
+		"digraph \"remote\"",
+		"\"search\" [shape=box]",
+		"\"cpu1\" [shape=ellipse",
+		"\"search\" -> \"sort2\" [label=\"sort via rpc\"]",
+		"\"rpc\" -> \"net12\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("assembly DOT missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestKofNStateLabel(t *testing.T) {
+	rep, err := model.NewKOfNTransport("rep", 3, 2, model.Sharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Flow(rep)
+	if !strings.Contains(out, "2-of-3") || !strings.Contains(out, "Sharing") {
+		t.Errorf("k-of-n label missing:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"socrel/internal/core"
+)
+
+func TestAllGeneratorsRun(t *testing.T) {
+	for _, g := range All() {
+		g := g
+		t.Run(g.ID, func(t *testing.T) {
+			if g.ID == "T4" && testing.Short() {
+				t.Skip("Monte Carlo experiment skipped in -short mode")
+			}
+			table, err := g.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", g.ID, err)
+			}
+			if table.ID != g.ID {
+				t.Errorf("table ID = %q, want %q", table.ID, g.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Errorf("row width %d != %d columns", len(row), len(table.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := table.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), g.ID) {
+				t.Error("render missing ID")
+			}
+			buf.Reset()
+			if err := table.CSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if lines := strings.Count(buf.String(), "\n"); lines != len(table.Rows)+1 {
+				t.Errorf("CSV has %d lines, want %d", lines, len(table.Rows)+1)
+			}
+			if strings.Contains(table.Notes, "WARNING") {
+				t.Errorf("%s reported a verification warning: %s", g.ID, table.Notes)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if g, ok := ByID("f6"); !ok || g.ID != "F6" {
+		t.Errorf("ByID(f6) = %+v, %v", g, ok)
+	}
+	if _, ok := ByID("T99"); ok {
+		t.Error("ByID(T99) should fail")
+	}
+}
+
+func TestFigure6SeriesShape(t *testing.T) {
+	series, err := Figure6Series()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 { // 2 local curves + 4 remote curves
+		t.Fatalf("series = %d, want 6", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 17 { // 2^4..2^20
+			t.Errorf("%s has %d points, want 17", s.Name, len(s.Points))
+		}
+		// Reliability decreases with list size within every curve.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y > s.Points[i-1].Y+1e-12 {
+				t.Errorf("%s not monotone at %g", s.Name, s.Points[i].X)
+				break
+			}
+		}
+		for _, pt := range s.Points {
+			if pt.Y < 0 || pt.Y > 1 || math.IsNaN(pt.Y) {
+				t.Errorf("%s has invalid reliability %g", s.Name, pt.Y)
+			}
+		}
+	}
+}
+
+func TestSyntheticAssembly(t *testing.T) {
+	asm, root, err := SyntheticAssembly(3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != "L3" {
+		t.Errorf("root = %q", root)
+	}
+	if err := asm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(asm, core.Options{}).Pfail(root, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Errorf("Pfail = %g", p)
+	}
+	// Deeper assemblies are less reliable (more cpu exposure).
+	asm2, root2, err := SyntheticAssembly(4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.New(asm2, core.Options{}).Pfail(root2, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 <= p {
+		t.Errorf("depth 4 Pfail %g should exceed depth 3 Pfail %g", p2, p)
+	}
+}
+
+func TestRetryAssembly(t *testing.T) {
+	asm, err := RetryAssembly(0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.New(asm, core.Options{Cycles: core.CycleFixedPoint}).Pfail("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.2 / (1 - 0.5*0.8)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Pfail = %g, want %g", got, want)
+	}
+}
+
+func TestTableAddRowFormatting(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b", "c"}}
+	tb.AddRow(1.23456789, "text", 42)
+	if tb.Rows[0][0] != "1.23457" || tb.Rows[0][1] != "text" || tb.Rows[0][2] != "42" {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := &Table{Columns: []string{"x"}, Rows: [][]string{{`hello, "world"`}}}
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"hello, ""world"""`) {
+		t.Errorf("CSV = %q", buf.String())
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/sensitivity"
+)
+
+// figure6Lists returns the list sizes of the Figure 6 sweep: powers of two
+// from 2^4 to 2^20.
+func figure6Lists() []float64 {
+	xs, err := sensitivity.PowersOfTwo(4, 20)
+	if err != nil {
+		panic(err) // static range, cannot fail
+	}
+	return xs
+}
+
+// Figure6Series computes the curves of Figure 6 with the generic engine:
+// one local series per phi1 value and one remote series per gamma value
+// (the local assembly does not depend on gamma, nor the remote one on
+// phi1, matching the paper's figure layout).
+func Figure6Series() ([]sensitivity.Series, error) {
+	lists := figure6Lists()
+	var out []sensitivity.Series
+
+	for _, phi1 := range assembly.Figure6Phi1 {
+		p := assembly.DefaultPaperParams()
+		p.Phi1 = phi1
+		asm, err := assembly.LocalAssembly(p)
+		if err != nil {
+			return nil, err
+		}
+		ev := core.New(asm, core.Options{})
+		s, err := sensitivity.Sweep(
+			fmt.Sprintf("local phi1=%.0e", phi1), lists,
+			func(list float64) (float64, error) {
+				return ev.Reliability("search", 1, list, 1)
+			})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+
+	for _, gamma := range assembly.Figure6Gamma {
+		p := assembly.DefaultPaperParams()
+		p.Gamma = gamma
+		asm, err := assembly.RemoteAssembly(p)
+		if err != nil {
+			return nil, err
+		}
+		ev := core.New(asm, core.Options{})
+		s, err := sensitivity.Sweep(
+			fmt.Sprintf("remote gamma=%.1e", gamma), lists,
+			func(list float64) (float64, error) {
+				return ev.Reliability("search", 1, list, 1)
+			})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure6 renders the Figure 6 series as a table (one row per list size,
+// one column per curve) and summarizes the crossover structure in the
+// notes.
+func Figure6() (*Table, error) {
+	series, err := Figure6Series()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "F6",
+		Title: "search-service reliability, local vs remote assembly (engine-computed)",
+	}
+	t.Columns = append(t.Columns, "list")
+	for _, s := range series {
+		t.Columns = append(t.Columns, s.Name)
+	}
+	for i := range figure6Lists() {
+		row := make([]any, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("2^%d", 4+i))
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.9f", s.Points[i].Y))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = figure6CrossoverSummary()
+	return t, nil
+}
+
+// figure6CrossoverSummary reports, per (phi1, gamma), whether the remote
+// assembly meaningfully wins anywhere in the plotted range and where it
+// first overtakes the local one — the qualitative content of the paper's
+// discussion of Figure 6. "Meaningfully" excludes the saturated tail where
+// both curves have flattened to the 1-q floor and differ only by float
+// noise; a reliability margin below margin is treated as a tie.
+func figure6CrossoverSummary() string {
+	const margin = 1e-6
+	var sb []string
+	for _, phi1 := range assembly.Figure6Phi1 {
+		for _, gamma := range assembly.Figure6Gamma {
+			p := assembly.DefaultPaperParams()
+			p.Phi1, p.Gamma = phi1, gamma
+			firstWin := math.NaN()
+			remoteEverWorse := false
+			for _, l := range figure6Lists() {
+				lv := assembly.ClosedFormSearch(p, false, 1, l, 1)
+				rv := assembly.ClosedFormSearch(p, true, 1, l, 1)
+				if rv < lv-margin && math.IsNaN(firstWin) {
+					firstWin = l
+				}
+				if rv > lv+margin {
+					remoteEverWorse = true
+				}
+			}
+			switch {
+			case math.IsNaN(firstWin):
+				sb = append(sb, fmt.Sprintf("phi1=%.0e gamma=%.1e: local wins everywhere in range",
+					phi1, gamma))
+			case !remoteEverWorse:
+				sb = append(sb, fmt.Sprintf("phi1=%.0e gamma=%.1e: remote wins everywhere in range",
+					phi1, gamma))
+			default:
+				sb = append(sb, fmt.Sprintf("phi1=%.0e gamma=%.1e: remote overtakes local at list≈2^%.0f",
+					phi1, gamma, math.Log2(firstWin)))
+			}
+		}
+	}
+	out := ""
+	for i, s := range sb {
+		if i > 0 {
+			out += "; "
+		}
+		out += s
+	}
+	return out
+}

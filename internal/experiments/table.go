@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the
+// reproduction: the paper's Figure 6 plus the derived and extension
+// experiments indexed in DESIGN.md (T1-T16). Each experiment returns a
+// Table that renders as aligned text or CSV; cmd/experiments prints them
+// and the root bench suite times them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid of formatted cells.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (F6, T1, ...).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Columns holds the header cells.
+	Columns []string
+	// Rows holds the data cells, one slice per row.
+	Rows [][]string
+	// Notes carries the experiment's outcome summary (the
+	// paper-vs-measured verdict recorded in EXPERIMENTS.md).
+	Notes string
+}
+
+// AddRow appends a formatted row; values are formatted with %v, floats
+// with %.6g.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Notes); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if strings.ContainsAny(cell, ",\"\n") {
+				parts[i] = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			} else {
+				parts[i] = cell
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Generator produces one experiment table.
+type Generator struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns the registered experiment generators in index order.
+func All() []Generator {
+	return []Generator{
+		{"F6", "Figure 6: local vs remote reliability", Figure6},
+		{"T1", "closed-form agreement", T1ClosedFormAgreement},
+		{"T2", "AND sharing invariance", T2ANDSharing},
+		{"T3", "OR sharing divergence", T3ORSharing},
+		{"T4", "Monte Carlo validation", T4MonteCarlo},
+		{"T5", "baseline ablation", T5BaselineAblation},
+		{"T6", "engine scalability", T6Scalability},
+		{"T7", "performance extension", T7Performance},
+		{"T8", "k-of-n completion", T8KofN},
+		{"T9", "fixed-point recursion", T9FixedPoint},
+		{"T10", "usage-profile estimation", T10TraceFitting},
+		{"T11", "reliability-driven selection", T11Selection},
+		{"T12", "error propagation extension", T12ErrorPropagation},
+		{"T13", "fault-tolerant connectors", T13FaultTolerantConnectors},
+		{"T14", "design-space exploration", T14Exploration},
+		{"T15", "uncertainty propagation", T15Uncertainty},
+		{"T16", "response-time distribution", T16ResponseTimes},
+	}
+}
+
+// ByID returns the generator with the given ID.
+func ByID(id string) (Generator, bool) {
+	for _, g := range All() {
+		if strings.EqualFold(g.ID, id) {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/model"
+	"socrel/internal/propagation"
+)
+
+// T12ErrorPropagation quantifies what the fail-stop assumption hides: on
+// the remote assembly, let the sort provider silently corrupt a fraction
+// of its outputs and sweep the lookup stage's detection coverage.
+func T12ErrorPropagation() (*Table, error) {
+	t := &Table{
+		ID:      "T12",
+		Title:   "releasing fail-stop: silent sort corruption (PIntro=0.02) vs detection coverage (remote assembly, list=4096)",
+		Columns: []string{"PDetect at lookup", "P correct", "P erroneous (silent)", "P failed", "fail-stop R (for reference)"},
+	}
+	p := assembly.DefaultPaperParams()
+	p.Gamma = 5e-3
+	asm, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := asm.ServiceByName("search")
+	if err != nil {
+		return nil, err
+	}
+	comp, ok := svc.(*model.Composite)
+	if !ok {
+		return nil, fmt.Errorf("experiments: search is not composite")
+	}
+	params := []float64{1, 4096, 1}
+	failStop, err := core.New(asm, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		return nil, err
+	}
+	for _, detect := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		a, err := propagation.FromComposite(asm, comp, params, core.Options{}, map[string]propagation.Behavior{
+			"sort":   {PIntro: 0.02},
+			"lookup": {PDetect: detect},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.Run()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(detect,
+			fmt.Sprintf("%.6f", res.PCorrect),
+			fmt.Sprintf("%.6f", res.PErroneous),
+			fmt.Sprintf("%.6f", res.PFailed),
+			fmt.Sprintf("%.6f", failStop))
+	}
+	t.Notes = "a fail-stop analysis reports R regardless of silent corruption; the propagation extension separates the erroneous mass and shows detection converting it into (visible) failures — the paper's deferred extension [11]"
+	return t, nil
+}
+
+// T13FaultTolerantConnectors studies the connector families of section 2's
+// "connectors can include fault-tolerance" remark: a plain RPC, an m-of-n
+// redundant transport with independent vs shared channels, and a
+// store-and-forward queue, all carrying the paper's remote sort request.
+func T13FaultTolerantConnectors() (*Table, error) {
+	t := &Table{
+		ID:      "T13",
+		Title:   "connector families carrying sort(4096) over an unreliable network (gamma=5e-2)",
+		Columns: []string{"connector", "connector Pfail", "end-to-end search R"},
+	}
+	p := assembly.DefaultPaperParams()
+	p.Gamma = 5e-2
+
+	type variant struct {
+		name  string
+		setup func(asm *assembly.Assembly) (connector string, err error)
+	}
+	variants := []variant{
+		{"rpc (paper)", func(asm *assembly.Assembly) (string, error) {
+			return "rpc", nil
+		}},
+		{"retry x2 over rpc", func(asm *assembly.Assembly) (string, error) {
+			r, err := model.NewRetry("retry2", 2)
+			if err != nil {
+				return "", err
+			}
+			if err := asm.AddService(r); err != nil {
+				return "", err
+			}
+			asm.AddBinding("retry2", model.RoleTransport, "rpc", "")
+			return "retry2", nil
+		}},
+		{"retry x3 over rpc", func(asm *assembly.Assembly) (string, error) {
+			r, err := model.NewRetry("retry3", 3)
+			if err != nil {
+				return "", err
+			}
+			if err := asm.AddService(r); err != nil {
+				return "", err
+			}
+			asm.AddBinding("retry3", model.RoleTransport, "rpc", "")
+			return "retry3", nil
+		}},
+		{"2-of-3 independent channels", func(asm *assembly.Assembly) (string, error) {
+			r, err := model.NewKOfNTransport("rep23", 3, 2, model.NoSharing)
+			if err != nil {
+				return "", err
+			}
+			if err := asm.AddService(r); err != nil {
+				return "", err
+			}
+			asm.AddBinding("rep23", model.RoleTransport, "rpc", "")
+			return "rep23", nil
+		}},
+		{"2-of-3 shared channel", func(asm *assembly.Assembly) (string, error) {
+			r, err := model.NewKOfNTransport("rep23s", 3, 2, model.Sharing)
+			if err != nil {
+				return "", err
+			}
+			if err := asm.AddService(r); err != nil {
+				return "", err
+			}
+			asm.AddBinding("rep23s", model.RoleTransport, "rpc", "")
+			return "rep23s", nil
+		}},
+		{"store-and-forward queue", func(asm *assembly.Assembly) (string, error) {
+			q, err := model.NewQueue("mq", p.C, p.M)
+			if err != nil {
+				return "", err
+			}
+			if err := asm.AddService(q); err != nil {
+				return "", err
+			}
+			if err := asm.AddService(model.NewCPU("broker", p.S1, p.Lambda1)); err != nil {
+				return "", err
+			}
+			if err := asm.AddService(model.NewNetwork("net2", p.B, p.Gamma)); err != nil {
+				return "", err
+			}
+			asm.AddBinding("mq", model.RoleClientCPU, "cpu1", "")
+			asm.AddBinding("mq", model.RoleServerCPU, "cpu2", "")
+			asm.AddBinding("mq", model.RoleBrokerCPU, "broker", "")
+			asm.AddBinding("mq", model.RoleNet1, "net12", "")
+			asm.AddBinding("mq", model.RoleNet2, "net2", "")
+			return "mq", nil
+		}},
+	}
+
+	for _, v := range variants {
+		asm, err := assembly.RemoteAssembly(p)
+		if err != nil {
+			return nil, err
+		}
+		connector, err := v.setup(asm)
+		if err != nil {
+			return nil, err
+		}
+		asm.AddBinding("search", "sort", "sort2", connector)
+		ev := core.New(asm, core.Options{})
+		connPfail, err := ev.Pfail(connector, 1+4096, 1)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := ev.Reliability("search", 1, 4096, 1)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, fmt.Sprintf("%.6f", connPfail), fmt.Sprintf("%.6f", rel))
+	}
+	t.Notes = "retry/replication connectors recover most of the network-induced unreliability when channels are independent; sharing the channel (paper's dependency model) voids the redundancy, and the two-hop queue doubles the exposure"
+	return t, nil
+}

@@ -1,0 +1,429 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Env binds identifiers to numeric values during evaluation.
+type Env map[string]float64
+
+// Clone returns an independent copy of the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge returns a new Env containing e's bindings overridden by o's.
+func (e Env) Merge(o Env) Env {
+	out := e.Clone()
+	for k, v := range o {
+		out[k] = v
+	}
+	return out
+}
+
+// Evaluation errors.
+var (
+	// ErrUnboundIdentifier is returned when evaluation encounters an
+	// identifier with no binding in the environment.
+	ErrUnboundIdentifier = errors.New("expr: unbound identifier")
+	// ErrDomain is returned when a function is evaluated outside its
+	// mathematical domain (e.g. log of a non-positive number).
+	ErrDomain = errors.New("expr: domain error")
+	// ErrDivisionByZero is returned when a division has a zero denominator.
+	ErrDivisionByZero = errors.New("expr: division by zero")
+)
+
+// Expr is an immutable expression tree node.
+type Expr interface {
+	// Eval computes the value of the expression under env.
+	Eval(env Env) (float64, error)
+	// Vars appends the free identifiers of the expression to set.
+	vars(set map[string]bool)
+	// Diff returns the symbolic derivative with respect to name.
+	Diff(name string) Expr
+	// String renders a parseable representation of the expression.
+	String() string
+	// precedence is used by String to parenthesize minimally.
+	precedence() int
+}
+
+// Vars returns the sorted set of free identifiers in e.
+func Vars(e Expr) []string {
+	set := make(map[string]bool)
+	e.vars(set)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Num is a numeric literal.
+type Num float64
+
+// Eval implements Expr.
+func (n Num) Eval(Env) (float64, error) { return float64(n), nil }
+
+func (n Num) vars(map[string]bool) {}
+
+// Diff implements Expr: the derivative of a constant is zero.
+func (n Num) Diff(string) Expr { return Num(0) }
+
+func (n Num) String() string {
+	if float64(n) < 0 {
+		return "(" + strconv.FormatFloat(float64(n), 'g', -1, 64) + ")"
+	}
+	return strconv.FormatFloat(float64(n), 'g', -1, 64)
+}
+
+func (n Num) precedence() int { return 5 }
+
+// Var is an identifier resolved against the evaluation environment.
+type Var string
+
+// Eval implements Expr.
+func (v Var) Eval(env Env) (float64, error) {
+	val, ok := env[string(v)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnboundIdentifier, string(v))
+	}
+	return val, nil
+}
+
+func (v Var) vars(set map[string]bool) { set[string(v)] = true }
+
+// Diff implements Expr.
+func (v Var) Diff(name string) Expr {
+	if string(v) == name {
+		return Num(1)
+	}
+	return Num(0)
+}
+
+func (v Var) String() string { return string(v) }
+
+func (v Var) precedence() int { return 5 }
+
+// Op enumerates binary operators.
+type Op int
+
+// Binary operators.
+const (
+	OpAdd Op = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpPow:
+		return "^"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+func (o Op) prec() int {
+	switch o {
+	case OpAdd, OpSub:
+		return 1
+	case OpMul, OpDiv:
+		return 2
+	case OpPow:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Binary is a binary operation node.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b *Binary) Eval(env Env) (float64, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	case OpDiv:
+		if r == 0 {
+			return 0, fmt.Errorf("%w: %s / 0", ErrDivisionByZero, b.L)
+		}
+		return l / r, nil
+	case OpPow:
+		v := math.Pow(l, r)
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("%w: pow(%g, %g)", ErrDomain, l, r)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("expr: unknown operator %v", b.Op)
+	}
+}
+
+func (b *Binary) vars(set map[string]bool) {
+	b.L.vars(set)
+	b.R.vars(set)
+}
+
+// Diff implements Expr using the standard differentiation rules. For powers
+// with a non-constant exponent it rewrites f^g as exp(g*log(f)).
+func (b *Binary) Diff(name string) Expr {
+	dl, dr := b.L.Diff(name), b.R.Diff(name)
+	switch b.Op {
+	case OpAdd:
+		return Add(dl, dr)
+	case OpSub:
+		return Sub(dl, dr)
+	case OpMul:
+		return Add(Mul(dl, b.R), Mul(b.L, dr))
+	case OpDiv:
+		// (l/r)' = (l'r - lr') / r^2
+		return Div(Sub(Mul(dl, b.R), Mul(b.L, dr)), Pow(b.R, Num(2)))
+	case OpPow:
+		if rc, ok := b.R.(Num); ok {
+			// (f^c)' = c f^(c-1) f'
+			return Mul(Mul(b.R, Pow(b.L, Num(float64(rc)-1))), dl)
+		}
+		// f^g = exp(g log f): (f^g)' = f^g (g' log f + g f'/f)
+		return Mul(b, Add(Mul(dr, Call1("log", b.L)), Mul(b.R, Div(dl, b.L))))
+	default:
+		return Num(math.NaN())
+	}
+}
+
+func (b *Binary) String() string {
+	var sb strings.Builder
+	writeChild := func(c Expr, needHigher bool) {
+		p := c.precedence()
+		threshold := b.Op.prec()
+		if needHigher {
+			threshold++
+		}
+		if p < threshold {
+			sb.WriteByte('(')
+			sb.WriteString(c.String())
+			sb.WriteByte(')')
+			return
+		}
+		sb.WriteString(c.String())
+	}
+	// - and / are left-associative: the right child needs strictly higher
+	// precedence to avoid parentheses. ^ is right-associative: the left
+	// child needs them instead.
+	switch b.Op {
+	case OpPow:
+		writeChild(b.L, true)
+	default:
+		writeChild(b.L, false)
+	}
+	sb.WriteString(" " + b.Op.String() + " ")
+	switch b.Op {
+	case OpSub, OpDiv:
+		writeChild(b.R, true)
+	default:
+		writeChild(b.R, false)
+	}
+	return sb.String()
+}
+
+func (b *Binary) precedence() int { return b.Op.prec() }
+
+// Neg is unary minus.
+type Neg struct{ X Expr }
+
+// Eval implements Expr.
+func (n *Neg) Eval(env Env) (float64, error) {
+	v, err := n.X.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return -v, nil
+}
+
+func (n *Neg) vars(set map[string]bool) { n.X.vars(set) }
+
+// Diff implements Expr.
+func (n *Neg) Diff(name string) Expr { return &Neg{X: n.X.Diff(name)} }
+
+func (n *Neg) String() string {
+	if n.X.precedence() < 3 {
+		return "-(" + n.X.String() + ")"
+	}
+	return "-" + n.X.String()
+}
+
+func (n *Neg) precedence() int { return 3 }
+
+// builtin describes a builtin function.
+type builtin struct {
+	arity int
+	eval  func(args []float64) (float64, error)
+}
+
+var builtins = map[string]builtin{
+	"exp": {1, func(a []float64) (float64, error) { return math.Exp(a[0]), nil }},
+	"log": {1, func(a []float64) (float64, error) {
+		if a[0] <= 0 {
+			return 0, fmt.Errorf("%w: log(%g)", ErrDomain, a[0])
+		}
+		return math.Log(a[0]), nil
+	}},
+	"log2": {1, func(a []float64) (float64, error) {
+		if a[0] <= 0 {
+			return 0, fmt.Errorf("%w: log2(%g)", ErrDomain, a[0])
+		}
+		return math.Log2(a[0]), nil
+	}},
+	"log10": {1, func(a []float64) (float64, error) {
+		if a[0] <= 0 {
+			return 0, fmt.Errorf("%w: log10(%g)", ErrDomain, a[0])
+		}
+		return math.Log10(a[0]), nil
+	}},
+	"sqrt": {1, func(a []float64) (float64, error) {
+		if a[0] < 0 {
+			return 0, fmt.Errorf("%w: sqrt(%g)", ErrDomain, a[0])
+		}
+		return math.Sqrt(a[0]), nil
+	}},
+	"abs":   {1, func(a []float64) (float64, error) { return math.Abs(a[0]), nil }},
+	"floor": {1, func(a []float64) (float64, error) { return math.Floor(a[0]), nil }},
+	"ceil":  {1, func(a []float64) (float64, error) { return math.Ceil(a[0]), nil }},
+	"pow": {2, func(a []float64) (float64, error) {
+		v := math.Pow(a[0], a[1])
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("%w: pow(%g, %g)", ErrDomain, a[0], a[1])
+		}
+		return v, nil
+	}},
+	"min": {2, func(a []float64) (float64, error) { return math.Min(a[0], a[1]), nil }},
+	"max": {2, func(a []float64) (float64, error) { return math.Max(a[0], a[1]), nil }},
+}
+
+// IsBuiltin reports whether name is a builtin function and its arity.
+func IsBuiltin(name string) (arity int, ok bool) {
+	b, ok := builtins[name]
+	return b.arity, ok
+}
+
+// CallExpr is a call to a builtin function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (c *CallExpr) Eval(env Env) (float64, error) {
+	b, ok := builtins[c.Name]
+	if !ok {
+		return 0, fmt.Errorf("expr: unknown function %q", c.Name)
+	}
+	if len(c.Args) != b.arity {
+		return 0, fmt.Errorf("expr: %s expects %d argument(s), got %d", c.Name, b.arity, len(c.Args))
+	}
+	vals := make([]float64, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		vals[i] = v
+	}
+	return b.eval(vals)
+}
+
+func (c *CallExpr) vars(set map[string]bool) {
+	for _, a := range c.Args {
+		a.vars(set)
+	}
+}
+
+// Diff implements Expr for the differentiable builtins. Non-differentiable
+// builtins (abs, floor, ceil, min, max) differentiate to NaN constants so
+// the error is visible at evaluation time rather than silently wrong.
+func (c *CallExpr) Diff(name string) Expr {
+	switch c.Name {
+	case "exp":
+		return Mul(c, c.Args[0].Diff(name))
+	case "log":
+		return Div(c.Args[0].Diff(name), c.Args[0])
+	case "log2":
+		return Div(c.Args[0].Diff(name), Mul(c.Args[0], Num(math.Ln2)))
+	case "log10":
+		return Div(c.Args[0].Diff(name), Mul(c.Args[0], Num(math.Ln10)))
+	case "sqrt":
+		return Div(c.Args[0].Diff(name), Mul(Num(2), c))
+	case "pow":
+		return Pow(c.Args[0], c.Args[1]).Diff(name)
+	default:
+		return Num(math.NaN())
+	}
+}
+
+func (c *CallExpr) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (c *CallExpr) precedence() int { return 5 }
+
+// Constructor helpers used by Diff, Simplify and programmatic model building.
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return &Binary{Op: OpAdd, L: l, R: r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return &Binary{Op: OpSub, L: l, R: r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return &Binary{Op: OpMul, L: l, R: r} }
+
+// Div returns l / r.
+func Div(l, r Expr) Expr { return &Binary{Op: OpDiv, L: l, R: r} }
+
+// Pow returns l ^ r.
+func Pow(l, r Expr) Expr { return &Binary{Op: OpPow, L: l, R: r} }
+
+// Call1 returns name(arg) for a unary builtin.
+func Call1(name string, arg Expr) Expr { return &CallExpr{Name: name, Args: []Expr{arg}} }
+
+// Call2 returns name(a, b) for a binary builtin.
+func Call2(name string, a, b Expr) Expr { return &CallExpr{Name: name, Args: []Expr{a, b}} }

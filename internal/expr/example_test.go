@@ -1,0 +1,60 @@
+package expr_test
+
+import (
+	"fmt"
+
+	"socrel/internal/expr"
+)
+
+func Example() {
+	// Parse the paper's sort-cost expression and evaluate it for a
+	// concrete list size.
+	e := expr.MustParse("list * log2(list)")
+	ops, err := e.Eval(expr.Env{"list": 1024})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("operations: %.0f\n", ops)
+	// Output:
+	// operations: 10240
+}
+
+func ExampleParse() {
+	e, err := expr.Parse("1 - exp(-lambda * N / s)")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	p, err := e.Eval(expr.Env{"lambda": 1e-4, "N": 1e9, "s": 1e9})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("Pfail = %.6f\n", p)
+	// Output:
+	// Pfail = 0.000100
+}
+
+func ExampleExpr_diff() {
+	// Symbolic differentiation for sensitivity analysis.
+	e := expr.MustParse("exp(-g * x)")
+	d := expr.Simplify(e.Diff("g"))
+	v, err := d.Eval(expr.Env{"g": 0.5, "x": 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("d/dg at (0.5, 2): %.6f\n", v)
+	// Output:
+	// d/dg at (0.5, 2): -0.735759
+}
+
+func ExampleBind() {
+	// Partially evaluate an expression, leaving some parameters free.
+	e := expr.MustParse("a * n + b")
+	partial := expr.Bind(e, expr.Env{"a": 2, "b": 0})
+	fmt.Println(partial)
+	// Output:
+	// 2 * n
+}

@@ -1,0 +1,181 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses source into an expression tree.
+func Parse(source string) (Expr, error) {
+	p := &parser{lex: lexer{input: source}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokenEOF {
+		return nil, p.errorf("unexpected %s", p.cur.kind)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for statically known-good expressions; it panics on
+// error and is intended for package-level construction of builtin models.
+func MustParse(source string) Expr {
+	e, err := Parse(source)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// parser is a Pratt (precedence climbing) parser over the lexer.
+type parser struct {
+	lex lexer
+	cur token
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Input: p.lex.input, Pos: p.cur.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = tok
+	return nil
+}
+
+// binding powers per operator; power is right-associative.
+func binaryOp(k tokenKind) (op Op, leftBP, rightBP int, ok bool) {
+	switch k {
+	case tokenPlus:
+		return OpAdd, 10, 11, true
+	case tokenMinus:
+		return OpSub, 10, 11, true
+	case tokenStar:
+		return OpMul, 20, 21, true
+	case tokenSlash:
+		return OpDiv, 20, 21, true
+	case tokenCaret:
+		return OpPow, 41, 40, true // right-associative
+	default:
+		return 0, 0, 0, false
+	}
+}
+
+func (p *parser) parseExpr(minBP int) (Expr, error) {
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, leftBP, rightBP, ok := binaryOp(p.cur.kind)
+		if !ok || leftBP < minBP {
+			return lhs, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr(rightBP)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.cur.kind {
+	case tokenNumber:
+		v, err := strconv.ParseFloat(p.cur.text, 64)
+		if err != nil {
+			return nil, p.errorf("malformed number %q", p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Num(v), nil
+
+	case tokenMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Unary minus binds tighter than * and / but looser than ^,
+		// so -x^2 parses as -(x^2).
+		x, err := p.parseExpr(30)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x}, nil
+
+	case tokenLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokenRParen {
+			return nil, p.errorf("expected ')', got %s", p.cur.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case tokenIdent:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokenLParen {
+			return Var(name), nil
+		}
+		return p.parseCall(name)
+
+	default:
+		return nil, p.errorf("expected expression, got %s", p.cur.kind)
+	}
+}
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	arity, ok := IsBuiltin(name)
+	if !ok {
+		return nil, p.errorf("unknown function %q", name)
+	}
+	if err := p.advance(); err != nil { // consume '('
+		return nil, err
+	}
+	var args []Expr
+	if p.cur.kind != tokenRParen {
+		for {
+			a, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.cur.kind != tokenComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.cur.kind != tokenRParen {
+		return nil, p.errorf("expected ')' closing call to %s, got %s", name, p.cur.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if len(args) != arity {
+		return nil, p.errorf("%s expects %d argument(s), got %d", name, arity, len(args))
+	}
+	return &CallExpr{Name: name, Args: args}, nil
+}

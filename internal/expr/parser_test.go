@@ -1,0 +1,244 @@
+package expr
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func evalString(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-12*math.Max(scale, 1)
+}
+
+func TestParseAndEval(t *testing.T) {
+	env := Env{"x": 3, "y": 2, "list": 1024}
+	tests := []struct {
+		src  string
+		want float64
+	}{
+		{"1", 1},
+		{"1.5", 1.5},
+		{".5", 0.5},
+		{"2e3", 2000},
+		{"2E-3", 0.002},
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"2 ^ 3 ^ 2", 512}, // right-associative
+		{"-2 ^ 2", -4},     // unary minus binds looser than ^
+		{"(-2) ^ 2", 4},
+		{"10 - 3 - 2", 5}, // left-associative
+		{"12 / 3 / 2", 2},
+		{"x + y", 5},
+		{"x * y - y", 4},
+		{"-x", -3},
+		{"--x", 3},
+		{"exp(0)", 1},
+		{"log(exp(1))", 1},
+		{"log2(list)", 10},
+		{"log10(1000)", 3},
+		{"sqrt(16)", 4},
+		{"abs(-3.5)", 3.5},
+		{"floor(2.7)", 2},
+		{"ceil(2.1)", 3},
+		{"pow(2, 10)", 1024},
+		{"min(3, 7)", 3},
+		{"max(3, 7)", 7},
+		{"list * log2(list)", 10240},
+		{"1 - exp(-2 * 0)", 0},
+		{"2*x^2 - 3*x + 1", 10},
+		{"min(x, y) + max(x, y)", 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			got := evalString(t, tt.src, env)
+			if !almostEqual(got, tt.want) {
+				t.Errorf("eval(%q) = %g, want %g", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 +",
+		"* 2",
+		"(1 + 2",
+		"1 + 2)",
+		"foo(1)",      // unknown function
+		"exp()",       // arity
+		"exp(1, 2)",   // arity
+		"pow(1)",      // arity
+		"min(1,2,3)",  // arity
+		"1 2",         // trailing token
+		"x $ y",       // bad character
+		"1..2",        // malformed number
+		"exp(1,, 2)",  // empty argument
+		"log(3) 4",    // trailing expression
+		"((((((1))))", // unbalanced
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("1 + $")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, want *SyntaxError", err)
+	}
+	if se.Pos != 4 {
+		t.Errorf("Pos = %d, want 4", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "1 + $") {
+		t.Errorf("message %q does not contain the input", se.Error())
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	tests := []struct {
+		src  string
+		env  Env
+		want error
+	}{
+		{"x + 1", Env{}, ErrUnboundIdentifier},
+		{"log(0)", nil, ErrDomain},
+		{"log(-1)", nil, ErrDomain},
+		{"log2(0)", nil, ErrDomain},
+		{"log10(-2)", nil, ErrDomain},
+		{"sqrt(-1)", nil, ErrDomain},
+		{"1 / 0", nil, ErrDivisionByZero},
+		{"1 / (x - x)", Env{"x": 5}, ErrDivisionByZero},
+		{"(-1) ^ 0.5", nil, ErrDomain},
+		{"pow(-1, 0.5)", nil, ErrDomain},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			e, err := Parse(tt.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if _, err := e.Eval(tt.env); !errors.Is(err, tt.want) {
+				t.Errorf("Eval error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := MustParse("a * log2(b) + c / (a - d)")
+	got := Vars(e)
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+	if vs := Vars(Num(3)); len(vs) != 0 {
+		t.Errorf("Vars(3) = %v, want empty", vs)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	env := Env{"x": 1.7, "y": 0.3, "z": 42}
+	sources := []string{
+		"1 + 2 * 3",
+		"(1 + 2) * 3",
+		"2 ^ 3 ^ 2",
+		"-x",
+		"x - (y - z)",
+		"x / (y / z)",
+		"(x + y) ^ 2",
+		"-(x + y)",
+		"exp(-x * y / z)",
+		"min(x, max(y, z))",
+		"x * log2(z) - sqrt(y)",
+		"1 - (1 - x) * (1 - y)",
+	}
+	for _, src := range sources {
+		t.Run(src, func(t *testing.T) {
+			e1, err := Parse(src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			printed := e1.String()
+			e2, err := Parse(printed)
+			if err != nil {
+				t.Fatalf("re-Parse(%q): %v", printed, err)
+			}
+			v1, err1 := e1.Eval(env)
+			v2, err2 := e2.Eval(env)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval errors: %v, %v", err1, err2)
+			}
+			if !almostEqual(v1, v2) {
+				t.Errorf("round trip %q -> %q changed value: %g vs %g", src, printed, v1, v2)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("1 +")
+}
+
+func TestEnvCloneMerge(t *testing.T) {
+	base := Env{"a": 1, "b": 2}
+	clone := base.Clone()
+	clone["a"] = 99
+	if base["a"] != 1 {
+		t.Error("Clone aliases the original map")
+	}
+	merged := base.Merge(Env{"b": 20, "c": 3})
+	if merged["a"] != 1 || merged["b"] != 20 || merged["c"] != 3 {
+		t.Errorf("Merge = %v", merged)
+	}
+	if base["b"] != 2 {
+		t.Error("Merge mutated the receiver")
+	}
+}
+
+func TestNumberFollowedByIdent(t *testing.T) {
+	// "2e" should lex as number 2 followed by identifier e when no exponent
+	// digits follow; "2 e" is then a parse error (two expressions).
+	if _, err := Parse("2e"); err == nil {
+		t.Error("Parse(\"2e\") succeeded, want error")
+	}
+	// But a proper exponent works.
+	if got := evalString(t, "2e2", nil); got != 200 {
+		t.Errorf("2e2 = %g", got)
+	}
+}

@@ -1,0 +1,142 @@
+package expr
+
+import "math"
+
+// Simplify returns an algebraically simplified expression with the same
+// value on every environment where the original is defined. It performs
+// constant folding and the usual identity eliminations (x+0, x*1, x*0,
+// x^1, x^0, --x, 0/x, folding of constant-only function calls).
+//
+// Simplification can extend the domain of an expression (for example
+// 0 * log(x) simplifies to 0, which is defined at x <= 0); it never
+// shrinks it.
+func Simplify(e Expr) Expr {
+	switch n := e.(type) {
+	case Num, Var:
+		return e
+
+	case *Neg:
+		x := Simplify(n.X)
+		if c, ok := x.(Num); ok {
+			return Num(-float64(c))
+		}
+		if inner, ok := x.(*Neg); ok {
+			return inner.X
+		}
+		return &Neg{X: x}
+
+	case *Binary:
+		l, r := Simplify(n.L), Simplify(n.R)
+		lc, lIsConst := l.(Num)
+		rc, rIsConst := r.(Num)
+		if lIsConst && rIsConst {
+			if v, err := (&Binary{Op: n.Op, L: l, R: r}).Eval(nil); err == nil && !math.IsNaN(v) {
+				return Num(v)
+			}
+		}
+		switch n.Op {
+		case OpAdd:
+			if lIsConst && float64(lc) == 0 {
+				return r
+			}
+			if rIsConst && float64(rc) == 0 {
+				return l
+			}
+		case OpSub:
+			if rIsConst && float64(rc) == 0 {
+				return l
+			}
+			if lIsConst && float64(lc) == 0 {
+				return Simplify(&Neg{X: r})
+			}
+		case OpMul:
+			if lIsConst {
+				if float64(lc) == 0 {
+					return Num(0)
+				}
+				if float64(lc) == 1 {
+					return r
+				}
+			}
+			if rIsConst {
+				if float64(rc) == 0 {
+					return Num(0)
+				}
+				if float64(rc) == 1 {
+					return l
+				}
+			}
+		case OpDiv:
+			if lIsConst && float64(lc) == 0 {
+				return Num(0)
+			}
+			if rIsConst && float64(rc) == 1 {
+				return l
+			}
+		case OpPow:
+			if rIsConst {
+				if float64(rc) == 1 {
+					return l
+				}
+				if float64(rc) == 0 {
+					return Num(1)
+				}
+			}
+			if lIsConst && float64(lc) == 1 {
+				return Num(1)
+			}
+		}
+		return &Binary{Op: n.Op, L: l, R: r}
+
+	case *CallExpr:
+		args := make([]Expr, len(n.Args))
+		allConst := true
+		for i, a := range n.Args {
+			args[i] = Simplify(a)
+			if _, ok := args[i].(Num); !ok {
+				allConst = false
+			}
+		}
+		out := &CallExpr{Name: n.Name, Args: args}
+		if allConst {
+			if v, err := out.Eval(nil); err == nil && !math.IsNaN(v) {
+				return Num(v)
+			}
+		}
+		return out
+
+	default:
+		return e
+	}
+}
+
+// Bind substitutes constant values for the given identifiers, returning a
+// partially evaluated (and simplified) expression. Identifiers absent from
+// bindings remain free.
+func Bind(e Expr, bindings Env) Expr {
+	return Simplify(bind(e, bindings))
+}
+
+func bind(e Expr, bindings Env) Expr {
+	switch n := e.(type) {
+	case Num:
+		return n
+	case Var:
+		if v, ok := bindings[string(n)]; ok {
+			return Num(v)
+		}
+		return n
+	case *Neg:
+		return &Neg{X: bind(n.X, bindings)}
+	case *Binary:
+		return &Binary{Op: n.Op, L: bind(n.L, bindings), R: bind(n.R, bindings)}
+	case *CallExpr:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = bind(a, bindings)
+		}
+		return &CallExpr{Name: n.Name, Args: args}
+	default:
+		return e
+	}
+}

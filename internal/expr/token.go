@@ -1,0 +1,176 @@
+// Package expr implements the small arithmetic expression language used by
+// analytic interfaces to express parameter dependency: actual parameters of
+// cascading service requests, transition probabilities, and failure laws are
+// all expressions over the formal parameters and attributes of a service.
+//
+// The language supports floating point literals, identifiers, the binary
+// operators + - * / ^ (right-associative power), unary minus, parentheses,
+// and calls to a fixed set of builtin functions (exp, log, log2, log10,
+// sqrt, pow, min, max, abs, floor, ceil).
+//
+// Expressions are parsed once into an immutable AST and evaluated many times
+// against an Env binding identifiers to values. ASTs support symbolic
+// differentiation and algebraic simplification, which the sensitivity
+// analysis package uses to compute exact parameter sensitivities.
+package expr
+
+import "fmt"
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokenEOF tokenKind = iota + 1
+	tokenNumber
+	tokenIdent
+	tokenPlus
+	tokenMinus
+	tokenStar
+	tokenSlash
+	tokenCaret
+	tokenLParen
+	tokenRParen
+	tokenComma
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokenEOF:
+		return "end of input"
+	case tokenNumber:
+		return "number"
+	case tokenIdent:
+		return "identifier"
+	case tokenPlus:
+		return "'+'"
+	case tokenMinus:
+		return "'-'"
+	case tokenStar:
+		return "'*'"
+	case tokenSlash:
+		return "'/'"
+	case tokenCaret:
+		return "'^'"
+	case tokenLParen:
+		return "'('"
+	case tokenRParen:
+		return "')'"
+	case tokenComma:
+		return "','"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is a single lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input
+}
+
+// SyntaxError describes a parse failure at a byte offset of the input.
+type SyntaxError struct {
+	Input string // the full expression source
+	Pos   int    // byte offset of the offending token
+	Msg   string // human readable description
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: parse %q: %s at offset %d", e.Input, e.Msg, e.Pos)
+}
+
+// lexer scans an expression source string into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// next returns the next token, advancing the lexer.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokenEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case isDigit(c) || c == '.':
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokenIdent, text: l.input[start:l.pos], pos: start}, nil
+	}
+	l.pos++
+	switch c {
+	case '+':
+		return token{kind: tokenPlus, text: "+", pos: start}, nil
+	case '-':
+		return token{kind: tokenMinus, text: "-", pos: start}, nil
+	case '*':
+		return token{kind: tokenStar, text: "*", pos: start}, nil
+	case '/':
+		return token{kind: tokenSlash, text: "/", pos: start}, nil
+	case '^':
+		return token{kind: tokenCaret, text: "^", pos: start}, nil
+	case '(':
+		return token{kind: tokenLParen, text: "(", pos: start}, nil
+	case ')':
+		return token{kind: tokenRParen, text: ")", pos: start}, nil
+	case ',':
+		return token{kind: tokenComma, text: ",", pos: start}, nil
+	}
+	return token{}, &SyntaxError{Input: l.input, Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+// lexNumber scans a floating point literal: digits, optional fraction,
+// optional exponent (e or E with optional sign).
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) && isDigit(l.input[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.input) && l.input[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.input) && isDigit(l.input[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos == start || (l.pos == start+1 && l.input[start] == '.') {
+		return token{}, &SyntaxError{Input: l.input, Pos: start, Msg: "malformed number"}
+	}
+	if l.pos < len(l.input) && (l.input[l.pos] == 'e' || l.input[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.input) && (l.input[l.pos] == '+' || l.input[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos >= len(l.input) || !isDigit(l.input[l.pos]) {
+			// Not an exponent after all (e.g. "2e" followed by an ident);
+			// treat the 'e' as the start of the next token.
+			l.pos = mark
+		} else {
+			for l.pos < len(l.input) && isDigit(l.input[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	return token{kind: tokenNumber, text: l.input[start:l.pos], pos: start}, nil
+}

@@ -1,0 +1,86 @@
+package hmm
+
+import (
+	"fmt"
+
+	"socrel/internal/markov"
+)
+
+// EstimateChain computes the maximum-likelihood Markov chain from fully
+// observed state traces (each trace is the sequence of visited state
+// names, e.g. produced by monitoring a deployed service or by
+// markov.Chain.Walk): transition probabilities are normalized visit counts.
+// States that are always terminal in the traces become absorbing.
+//
+// This is the fully-observable special case of usage-profile estimation;
+// use the HMM machinery when observations only indirectly identify states.
+func EstimateChain(traces [][]string) (*markov.Chain, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("%w: no traces", ErrBadSequence)
+	}
+	counts := make(map[string]map[string]int)
+	chain := markov.New()
+	for _, trace := range traces {
+		if len(trace) == 0 {
+			return nil, fmt.Errorf("%w: empty trace", ErrBadSequence)
+		}
+		for i, s := range trace {
+			chain.AddState(s)
+			if i+1 < len(trace) {
+				if counts[s] == nil {
+					counts[s] = make(map[string]int)
+				}
+				counts[s][trace[i+1]]++
+			}
+		}
+	}
+	for from, tos := range counts {
+		var total int
+		for _, c := range tos {
+			total += c
+		}
+		for to, c := range tos {
+			if err := chain.SetTransition(from, to, float64(c)/float64(total)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return chain, nil
+}
+
+// TransitionEstimate reports an estimated transition probability with the
+// number of observations that support it.
+type TransitionEstimate struct {
+	From, To string
+	Prob     float64
+	Count    int
+}
+
+// EstimateTransitions returns the raw estimates underlying EstimateChain,
+// sorted by (From, To) through the chain's deterministic state order, for
+// reporting and for feeding estimated probabilities back into a flow.
+func EstimateTransitions(traces [][]string) ([]TransitionEstimate, error) {
+	chain, err := EstimateChain(traces)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int)
+	for _, trace := range traces {
+		for i := 0; i+1 < len(trace); i++ {
+			counts[trace[i]+"\x00"+trace[i+1]]++
+		}
+	}
+	var out []TransitionEstimate
+	for _, from := range chain.States() {
+		succ := chain.Successors(from)
+		for _, to := range chain.States() {
+			if p, ok := succ[to]; ok {
+				out = append(out, TransitionEstimate{
+					From: from, To: to, Prob: p,
+					Count: counts[from+"\x00"+to],
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package hmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"socrel/internal/markov"
+)
+
+// chainWrapper adapts a markov.Chain for the convergence test.
+type chainWrapper struct {
+	*markov.Chain
+}
+
+func newChainWrapper(t *testing.T) *chainWrapper {
+	t.Helper()
+	c := markov.New()
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{"Start", "work", 0.9},
+		{"Start", "skip", 0.1},
+		{"work", "End", 0.95},
+		{"work", "Fail", 0.05},
+		{"skip", "End", 1},
+	} {
+		if err := c.SetTransition(tr.from, tr.to, tr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &chainWrapper{Chain: c}
+}
+
+// Walk delegates to the underlying chain.
+func (c *chainWrapper) Walk(rng *rand.Rand, from string, maxSteps int) ([]string, error) {
+	return c.Chain.Walk(rng, from, maxSteps)
+}

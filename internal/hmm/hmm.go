@@ -1,0 +1,423 @@
+// Package hmm implements discrete hidden Markov models — scaled
+// forward/backward, Viterbi decoding, and Baum-Welch estimation — plus
+// maximum-likelihood estimation of usage-profile Markov chains from
+// observed invocation traces.
+//
+// The paper's section 5 cites the use of hidden Markov models to cope with
+// imperfect knowledge of a service's behavior when constructing the usage
+// profile its analytic interface publishes. This package provides that
+// substrate: with fully observable traces EstimateChain recovers the flow's
+// transition probabilities directly; with noisy observations a HMM fitted
+// by Baum-Welch recovers them through the emission layer.
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Errors returned by this package.
+var (
+	// ErrBadModel is returned for malformed model dimensions or
+	// distributions.
+	ErrBadModel = errors.New("hmm: invalid model")
+	// ErrBadSequence is returned for empty sequences or out-of-range
+	// observation symbols.
+	ErrBadSequence = errors.New("hmm: invalid observation sequence")
+)
+
+// HMM is a discrete hidden Markov model with N hidden states and M
+// observation symbols.
+type HMM struct {
+	// Pi is the initial state distribution (length N).
+	Pi []float64
+	// A is the state transition matrix (N x N rows summing to one).
+	A [][]float64
+	// B is the emission matrix (N x M rows summing to one).
+	B [][]float64
+}
+
+// New returns a uniform HMM with n states and m symbols.
+func New(n, m int) *HMM {
+	h := &HMM{
+		Pi: make([]float64, n),
+		A:  make([][]float64, n),
+		B:  make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		h.Pi[i] = 1 / float64(n)
+		h.A[i] = make([]float64, n)
+		h.B[i] = make([]float64, m)
+		for j := 0; j < n; j++ {
+			h.A[i][j] = 1 / float64(n)
+		}
+		for k := 0; k < m; k++ {
+			h.B[i][k] = 1 / float64(m)
+		}
+	}
+	return h
+}
+
+// NewRandom returns an HMM with randomly perturbed distributions, the usual
+// Baum-Welch starting point (a perfectly uniform start is a saddle point).
+func NewRandom(n, m int, rng *rand.Rand) *HMM {
+	h := New(n, m)
+	perturb := func(row []float64) {
+		var sum float64
+		for i := range row {
+			row[i] = 0.5 + rng.Float64()
+			sum += row[i]
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	perturb(h.Pi)
+	for i := range h.A {
+		perturb(h.A[i])
+		perturb(h.B[i])
+	}
+	return h
+}
+
+// N returns the number of hidden states.
+func (h *HMM) N() int { return len(h.Pi) }
+
+// M returns the number of observation symbols.
+func (h *HMM) M() int {
+	if len(h.B) == 0 {
+		return 0
+	}
+	return len(h.B[0])
+}
+
+// Validate checks dimensions and that all distributions sum to one.
+func (h *HMM) Validate() error {
+	n := h.N()
+	if n == 0 || len(h.A) != n || len(h.B) != n {
+		return fmt.Errorf("%w: inconsistent dimensions", ErrBadModel)
+	}
+	m := h.M()
+	if m == 0 {
+		return fmt.Errorf("%w: no observation symbols", ErrBadModel)
+	}
+	checkDist := func(row []float64, what string) error {
+		var sum float64
+		for _, v := range row {
+			if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+				return fmt.Errorf("%w: %s has probability %g", ErrBadModel, what, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("%w: %s sums to %g", ErrBadModel, what, sum)
+		}
+		return nil
+	}
+	if err := checkDist(h.Pi, "Pi"); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if len(h.A[i]) != n {
+			return fmt.Errorf("%w: A row %d has length %d", ErrBadModel, i, len(h.A[i]))
+		}
+		if len(h.B[i]) != m {
+			return fmt.Errorf("%w: B row %d has length %d", ErrBadModel, i, len(h.B[i]))
+		}
+		if err := checkDist(h.A[i], fmt.Sprintf("A[%d]", i)); err != nil {
+			return err
+		}
+		if err := checkDist(h.B[i], fmt.Sprintf("B[%d]", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *HMM) checkSequence(obs []int) error {
+	if len(obs) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadSequence)
+	}
+	m := h.M()
+	for t, o := range obs {
+		if o < 0 || o >= m {
+			return fmt.Errorf("%w: symbol %d at position %d outside [0, %d)", ErrBadSequence, o, t, m)
+		}
+	}
+	return nil
+}
+
+// forwardScaled runs the scaled forward pass, returning alpha, the scale
+// factors, and the log-likelihood of the sequence.
+func (h *HMM) forwardScaled(obs []int) (alpha [][]float64, scales []float64, logLik float64) {
+	n, T := h.N(), len(obs)
+	alpha = make([][]float64, T)
+	scales = make([]float64, T)
+	alpha[0] = make([]float64, n)
+	var c0 float64
+	for i := 0; i < n; i++ {
+		alpha[0][i] = h.Pi[i] * h.B[i][obs[0]]
+		c0 += alpha[0][i]
+	}
+	if c0 == 0 {
+		return nil, nil, math.Inf(-1)
+	}
+	scales[0] = c0
+	for i := 0; i < n; i++ {
+		alpha[0][i] /= c0
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, n)
+		var ct float64
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += alpha[t-1][i] * h.A[i][j]
+			}
+			alpha[t][j] = s * h.B[j][obs[t]]
+			ct += alpha[t][j]
+		}
+		if ct == 0 {
+			return nil, nil, math.Inf(-1)
+		}
+		scales[t] = ct
+		for j := 0; j < n; j++ {
+			alpha[t][j] /= ct
+		}
+	}
+	for _, c := range scales {
+		logLik += math.Log(c)
+	}
+	return alpha, scales, logLik
+}
+
+// backwardScaled runs the scaled backward pass with the forward scales.
+func (h *HMM) backwardScaled(obs []int, scales []float64) [][]float64 {
+	n, T := h.N(), len(obs)
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, n)
+	for i := 0; i < n; i++ {
+		beta[T-1][i] = 1 / scales[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+			}
+			beta[t][i] = s / scales[t]
+		}
+	}
+	return beta
+}
+
+// LogLikelihood returns the log-probability of the observation sequence.
+func (h *HMM) LogLikelihood(obs []int) (float64, error) {
+	if err := h.checkSequence(obs); err != nil {
+		return 0, err
+	}
+	_, _, ll := h.forwardScaled(obs)
+	return ll, nil
+}
+
+// Viterbi returns the most likely hidden state path for the observations
+// and its log-probability.
+func (h *HMM) Viterbi(obs []int) ([]int, float64, error) {
+	if err := h.checkSequence(obs); err != nil {
+		return nil, 0, err
+	}
+	n, T := h.N(), len(obs)
+	logA := make([][]float64, n)
+	logB := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		logA[i] = make([]float64, n)
+		logB[i] = make([]float64, h.M())
+		for j := 0; j < n; j++ {
+			logA[i][j] = safeLog(h.A[i][j])
+		}
+		for k := 0; k < h.M(); k++ {
+			logB[i][k] = safeLog(h.B[i][k])
+		}
+	}
+	delta := make([][]float64, T)
+	psi := make([][]int, T)
+	delta[0] = make([]float64, n)
+	psi[0] = make([]int, n)
+	for i := 0; i < n; i++ {
+		delta[0][i] = safeLog(h.Pi[i]) + logB[i][obs[0]]
+	}
+	for t := 1; t < T; t++ {
+		delta[t] = make([]float64, n)
+		psi[t] = make([]int, n)
+		for j := 0; j < n; j++ {
+			best, bestI := math.Inf(-1), 0
+			for i := 0; i < n; i++ {
+				if v := delta[t-1][i] + logA[i][j]; v > best {
+					best, bestI = v, i
+				}
+			}
+			delta[t][j] = best + logB[j][obs[t]]
+			psi[t][j] = bestI
+		}
+	}
+	best, bestI := math.Inf(-1), 0
+	for i := 0; i < n; i++ {
+		if delta[T-1][i] > best {
+			best, bestI = delta[T-1][i], i
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = bestI
+	for t := T - 2; t >= 0; t-- {
+		path[t] = psi[t+1][path[t+1]]
+	}
+	return path, best, nil
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}
+
+// FitResult summarizes a Baum-Welch run.
+type FitResult struct {
+	// Iterations performed.
+	Iterations int
+	// LogLikelihood of the data under the final model (sum over
+	// sequences).
+	LogLikelihood float64
+	// Converged reports whether the likelihood improvement dropped below
+	// the tolerance before the iteration budget ran out.
+	Converged bool
+}
+
+// BaumWelch re-estimates the model in place from the observation sequences
+// until the total log-likelihood improves by less than tol or maxIter
+// sweeps elapse.
+func (h *HMM) BaumWelch(sequences [][]int, maxIter int, tol float64) (FitResult, error) {
+	if err := h.Validate(); err != nil {
+		return FitResult{}, err
+	}
+	if len(sequences) == 0 {
+		return FitResult{}, fmt.Errorf("%w: no sequences", ErrBadSequence)
+	}
+	for _, obs := range sequences {
+		if err := h.checkSequence(obs); err != nil {
+			return FitResult{}, err
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	n, m := h.N(), h.M()
+	prevLL := math.Inf(-1)
+	var res FitResult
+	for iter := 1; iter <= maxIter; iter++ {
+		// Accumulators across sequences.
+		piAcc := make([]float64, n)
+		aNum := mat(n, n)
+		aDen := make([]float64, n)
+		bNum := mat(n, m)
+		bDen := make([]float64, n)
+		var totalLL float64
+
+		for _, obs := range sequences {
+			alpha, scales, ll := h.forwardScaled(obs)
+			if math.IsInf(ll, -1) {
+				return res, fmt.Errorf("%w: sequence has zero probability under the model", ErrBadSequence)
+			}
+			totalLL += ll
+			beta := h.backwardScaled(obs, scales)
+			T := len(obs)
+			// gamma_t(i) ∝ alpha_t(i) * beta_t(i); with this scaling the
+			// product times scales[t] is already normalized.
+			for t := 0; t < T; t++ {
+				for i := 0; i < n; i++ {
+					g := alpha[t][i] * beta[t][i] * scales[t]
+					if t == 0 {
+						piAcc[i] += g
+					}
+					if t < T-1 {
+						aDen[i] += g
+					}
+					bNum[i][obs[t]] += g
+					bDen[i] += g
+				}
+			}
+			for t := 0; t < T-1; t++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						xi := alpha[t][i] * h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+						aNum[i][j] += xi
+					}
+				}
+			}
+		}
+
+		// Re-estimate.
+		nSeq := float64(len(sequences))
+		for i := 0; i < n; i++ {
+			h.Pi[i] = piAcc[i] / nSeq
+			if aDen[i] > 0 {
+				for j := 0; j < n; j++ {
+					h.A[i][j] = aNum[i][j] / aDen[i]
+				}
+			}
+			if bDen[i] > 0 {
+				for k := 0; k < m; k++ {
+					h.B[i][k] = bNum[i][k] / bDen[i]
+				}
+			}
+		}
+
+		res.Iterations = iter
+		res.LogLikelihood = totalLL
+		if totalLL-prevLL < tol && iter > 1 {
+			res.Converged = true
+			return res, nil
+		}
+		prevLL = totalLL
+	}
+	return res, nil
+}
+
+func mat(r, c int) [][]float64 {
+	out := make([][]float64, r)
+	for i := range out {
+		out[i] = make([]float64, c)
+	}
+	return out
+}
+
+// Sample generates an observation sequence of length T from the model.
+func (h *HMM) Sample(rng *rand.Rand, T int) (states, obs []int) {
+	states = make([]int, T)
+	obs = make([]int, T)
+	state := sampleDist(rng, h.Pi)
+	for t := 0; t < T; t++ {
+		states[t] = state
+		obs[t] = sampleDist(rng, h.B[state])
+		state = sampleDist(rng, h.A[state])
+	}
+	return states, obs
+}
+
+func sampleDist(rng *rand.Rand, dist []float64) int {
+	u := rng.Float64()
+	var acc float64
+	for i, p := range dist {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(dist) - 1
+}

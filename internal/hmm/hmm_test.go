@@ -1,0 +1,380 @@
+package hmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// twoStateModel is a simple well-separated HMM used across tests.
+func twoStateModel() *HMM {
+	return &HMM{
+		Pi: []float64{0.8, 0.2},
+		A: [][]float64{
+			{0.7, 0.3},
+			{0.2, 0.8},
+		},
+		B: [][]float64{
+			{0.9, 0.1},
+			{0.15, 0.85},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoStateModel().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := twoStateModel()
+	bad.A[0][0] = 0.9 // row no longer sums to 1
+	if err := bad.Validate(); !errors.Is(err, ErrBadModel) {
+		t.Errorf("error = %v", err)
+	}
+	neg := twoStateModel()
+	neg.Pi[0], neg.Pi[1] = -0.1, 1.1
+	if err := neg.Validate(); !errors.Is(err, ErrBadModel) {
+		t.Errorf("error = %v", err)
+	}
+	if err := (&HMM{}).Validate(); !errors.Is(err, ErrBadModel) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNewUniform(t *testing.T) {
+	h := New(3, 4)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 3 || h.M() != 4 {
+		t.Errorf("dims = %d, %d", h.N(), h.M())
+	}
+	if h.A[1][2] != 1.0/3 || h.B[0][3] != 0.25 {
+		t.Error("not uniform")
+	}
+}
+
+func TestNewRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		if err := NewRandom(3, 5, rng).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLogLikelihoodHandComputed verifies the forward pass against a direct
+// enumeration: P(obs) = sum over state paths.
+func TestLogLikelihoodHandComputed(t *testing.T) {
+	h := twoStateModel()
+	obs := []int{0, 1, 0}
+	// Brute force over all 2^3 hidden paths.
+	var total float64
+	n := h.N()
+	var rec func(t int, state int, p float64)
+	rec = func(tt int, state int, p float64) {
+		p *= h.B[state][obs[tt]]
+		if tt == len(obs)-1 {
+			total += p
+			return
+		}
+		for next := 0; next < n; next++ {
+			rec(tt+1, next, p*h.A[state][next])
+		}
+	}
+	for s := 0; s < n; s++ {
+		rec(0, s, h.Pi[s])
+	}
+	got, err := h.LogLikelihood(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, math.Log(total), 1e-10) {
+		t.Errorf("LogLikelihood = %g, want %g", got, math.Log(total))
+	}
+}
+
+func TestSequenceErrors(t *testing.T) {
+	h := twoStateModel()
+	if _, err := h.LogLikelihood(nil); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := h.LogLikelihood([]int{0, 5}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	if _, _, err := h.Viterbi([]int{-1}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := h.BaumWelch(nil, 10, 0); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := h.BaumWelch([][]int{{0, 9}}, 10, 0); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestViterbiDeterministicEmissions(t *testing.T) {
+	// With identity emissions the Viterbi path is the observation sequence.
+	h := &HMM{
+		Pi: []float64{0.5, 0.5},
+		A: [][]float64{
+			{0.6, 0.4},
+			{0.3, 0.7},
+		},
+		B: [][]float64{
+			{1, 0},
+			{0, 1},
+		},
+	}
+	obs := []int{0, 1, 1, 0, 1}
+	path, logp, err := h.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range obs {
+		if path[i] != obs[i] {
+			t.Fatalf("path = %v, want %v", path, obs)
+		}
+	}
+	if math.IsInf(logp, -1) || math.IsNaN(logp) {
+		t.Errorf("logp = %g", logp)
+	}
+}
+
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	h := twoStateModel()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		T := rng.Intn(6) + 2
+		obs := make([]int, T)
+		for i := range obs {
+			obs[i] = rng.Intn(2)
+		}
+		path, logp, err := h.Viterbi(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force best path.
+		best := math.Inf(-1)
+		n := h.N()
+		paths := 1
+		for i := 0; i < T; i++ {
+			paths *= n
+		}
+		for mask := 0; mask < paths; mask++ {
+			p := 1.0
+			prev := -1
+			mm := mask
+			for tt := 0; tt < T; tt++ {
+				s := mm % n
+				mm /= n
+				if tt == 0 {
+					p *= h.Pi[s]
+				} else {
+					p *= h.A[prev][s]
+				}
+				p *= h.B[s][obs[tt]]
+				prev = s
+			}
+			if lp := math.Log(p); lp > best {
+				best = lp
+			}
+		}
+		if !approxEq(logp, best, 1e-9) {
+			t.Errorf("trial %d: viterbi %g vs brute force %g (path %v)", trial, logp, best, path)
+		}
+	}
+}
+
+// TestBaumWelchIncreasesLikelihood: EM must be monotone in the total
+// log-likelihood.
+func TestBaumWelchIncreasesLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := twoStateModel()
+	var seqs [][]int
+	for i := 0; i < 30; i++ {
+		_, obs := truth.Sample(rng, 40)
+		seqs = append(seqs, obs)
+	}
+	h := NewRandom(2, 2, rng)
+	llBefore := 0.0
+	for _, s := range seqs {
+		ll, err := h.LogLikelihood(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llBefore += ll
+	}
+	res, err := h.BaumWelch(seqs, 50, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogLikelihood < llBefore {
+		t.Errorf("BW decreased log-likelihood: %g -> %g", llBefore, res.LogLikelihood)
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("fitted model invalid: %v", err)
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations performed")
+	}
+}
+
+// TestBaumWelchRecoversEmissions: with near-identity emissions and abundant
+// data, the fitted model's stationary behavior approximates the truth.
+// Full parameter identifiability is up to state permutation, so compare
+// sequence likelihoods rather than raw matrices.
+func TestBaumWelchRecoversLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	truth := twoStateModel()
+	var train, test [][]int
+	for i := 0; i < 80; i++ {
+		_, obs := truth.Sample(rng, 60)
+		train = append(train, obs)
+	}
+	for i := 0; i < 20; i++ {
+		_, obs := truth.Sample(rng, 60)
+		test = append(test, obs)
+	}
+	fitted := NewRandom(2, 2, rng)
+	if _, err := fitted.BaumWelch(train, 200, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	var llTrue, llFit float64
+	for _, s := range test {
+		a, err := truth.LogLikelihood(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fitted.LogLikelihood(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llTrue += a
+		llFit += b
+	}
+	// The fitted model should be close to the truth in held-out
+	// log-likelihood (within 2% relative).
+	if llFit < llTrue-0.02*math.Abs(llTrue) {
+		t.Errorf("held-out logL: fitted %g much worse than truth %g", llFit, llTrue)
+	}
+}
+
+func TestSampleShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := twoStateModel()
+	states, obs := h.Sample(rng, 25)
+	if len(states) != 25 || len(obs) != 25 {
+		t.Fatalf("lengths = %d, %d", len(states), len(obs))
+	}
+	for i := range states {
+		if states[i] < 0 || states[i] >= h.N() || obs[i] < 0 || obs[i] >= h.M() {
+			t.Fatalf("out of range at %d: state %d obs %d", i, states[i], obs[i])
+		}
+	}
+}
+
+func TestEstimateChainCounting(t *testing.T) {
+	traces := [][]string{
+		{"Start", "a", "End"},
+		{"Start", "a", "End"},
+		{"Start", "b", "End"},
+		{"Start", "a", "Fail"},
+	}
+	chain, err := EstimateChain(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.Transition("Start", "a"); !approxEq(got, 0.75, 1e-12) {
+		t.Errorf("P(Start->a) = %g, want 0.75", got)
+	}
+	if got := chain.Transition("Start", "b"); !approxEq(got, 0.25, 1e-12) {
+		t.Errorf("P(Start->b) = %g, want 0.25", got)
+	}
+	if got := chain.Transition("a", "End"); !approxEq(got, 2.0/3, 1e-12) {
+		t.Errorf("P(a->End) = %g, want 2/3", got)
+	}
+	if err := chain.Validate(); err != nil {
+		t.Errorf("estimated chain invalid: %v", err)
+	}
+}
+
+func TestEstimateChainErrors(t *testing.T) {
+	if _, err := EstimateChain(nil); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := EstimateChain([][]string{{}}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestEstimateTransitions(t *testing.T) {
+	traces := [][]string{
+		{"Start", "a", "End"},
+		{"Start", "b", "End"},
+	}
+	ests, err := EstimateTransitions(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 4 {
+		t.Fatalf("estimates = %+v", ests)
+	}
+	for _, e := range ests {
+		if e.Count != 1 || !approxEq(e.Prob, ifElse(e.From == "Start", 0.5, 1.0), 1e-12) {
+			t.Errorf("estimate = %+v", e)
+		}
+	}
+}
+
+func ifElse(cond bool, a, b float64) float64 {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// TestEstimateChainConvergence: estimates from walks of a known chain
+// converge to the true probabilities as traces grow (experiment T10's
+// mechanism).
+func TestEstimateChainConvergence(t *testing.T) {
+	truth := mustChain(t)
+	rng := rand.New(rand.NewSource(6))
+	var errSmall, errLarge float64
+	for _, n := range []int{50, 5000} {
+		var traces [][]string
+		for i := 0; i < n; i++ {
+			walk, err := truth.Walk(rng, "Start", 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces = append(traces, walk)
+		}
+		est, err := EstimateChain(traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(est.Transition("Start", "work") - 0.9)
+		if n == 50 {
+			errSmall = e
+		} else {
+			errLarge = e
+		}
+	}
+	// Error is not strictly monotone per sample (a small run can land on
+	// the true value by luck), so bound both absolutely: the large-sample
+	// estimate must be tight, the small-sample one merely sane.
+	if errLarge > 0.02 {
+		t.Errorf("large-sample error %g too big", errLarge)
+	}
+	if errSmall > 0.2 {
+		t.Errorf("small-sample error %g too big", errSmall)
+	}
+}
+
+func mustChain(t *testing.T) *chainWrapper {
+	t.Helper()
+	return newChainWrapper(t)
+}

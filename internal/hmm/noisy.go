@@ -1,0 +1,151 @@
+package hmm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"socrel/internal/markov"
+)
+
+// NoisyFitOptions configures FitChainNoisy.
+type NoisyFitOptions struct {
+	// Noise is the assumed observation confusion probability: each
+	// monitored event reports the wrong state with this probability
+	// (spread uniformly over the other states). Used to initialize the
+	// emission matrix (default 0.05).
+	Noise float64
+	// MaxIter bounds Baum-Welch sweeps (default 100).
+	MaxIter int
+	// Tol is the Baum-Welch convergence tolerance (default 1e-6).
+	Tol float64
+	// Seed seeds the emission/transition perturbation.
+	Seed int64
+}
+
+func (o NoisyFitOptions) withDefaults() NoisyFitOptions {
+	if o.Noise <= 0 {
+		o.Noise = 0.05
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	return o
+}
+
+// FitChainNoisy estimates a usage-profile Markov chain from traces whose
+// observations are unreliable: each event names a state but may be wrong
+// with the configured confusion probability. This is the full
+// imperfect-knowledge setting the paper cites hidden Markov models for
+// (section 5, ref [16]): a HMM with one hidden state per flow state and
+// near-identity emissions is fitted by Baum-Welch, and its transition
+// matrix is read back as the estimated chain.
+//
+// states fixes the state universe and index order; every observation must
+// name one of them. The returned chain's transition probabilities are the
+// fitted A matrix restricted to rows with support; the estimated initial
+// state is pinned to the first element of states (conventionally
+// model.StartState), whose Pi weight the fit must dominate.
+func FitChainNoisy(traces [][]string, states []string, opts NoisyFitOptions) (*markov.Chain, *HMM, error) {
+	opts = opts.withDefaults()
+	if len(states) < 2 {
+		return nil, nil, fmt.Errorf("%w: need at least two states", ErrBadSequence)
+	}
+	index := make(map[string]int, len(states))
+	for i, s := range states {
+		if _, dup := index[s]; dup {
+			return nil, nil, fmt.Errorf("%w: duplicate state %q", ErrBadSequence, s)
+		}
+		index[s] = i
+	}
+	if len(traces) == 0 {
+		return nil, nil, fmt.Errorf("%w: no traces", ErrBadSequence)
+	}
+	sequences := make([][]int, len(traces))
+	for ti, tr := range traces {
+		if len(tr) == 0 {
+			return nil, nil, fmt.Errorf("%w: empty trace %d", ErrBadSequence, ti)
+		}
+		seq := make([]int, len(tr))
+		for i, s := range tr {
+			idx, ok := index[s]
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: trace %d mentions unknown state %q", ErrBadSequence, ti, s)
+			}
+			seq[i] = idx
+		}
+		sequences[ti] = seq
+	}
+
+	n := len(states)
+	h := New(n, n)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Near-identity emissions at the assumed confusion level, and mildly
+	// perturbed transitions so EM can break symmetry.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				h.B[i][j] = 1 - opts.Noise
+			} else {
+				h.B[i][j] = opts.Noise / float64(n-1)
+			}
+			h.A[i][j] = (1 + 0.2*rng.Float64()) / float64(n)
+		}
+		normalize(h.A[i])
+		// Observations start at the flow entry: bias Pi there.
+		h.Pi[i] = opts.Noise / float64(n-1)
+	}
+	h.Pi[0] = 1 - opts.Noise
+	normalize(h.Pi)
+
+	if _, err := h.BaumWelch(sequences, opts.MaxIter, opts.Tol); err != nil {
+		return nil, nil, err
+	}
+
+	chain := markov.New()
+	for _, s := range states {
+		chain.AddState(s)
+	}
+	const support = 1e-6
+	for i := 0; i < n; i++ {
+		// Row i is meaningful only if the hidden state is visited; rows of
+		// unvisited states keep Baum-Welch's arbitrary values, so skip
+		// rows whose expected occupancy is negligible by checking the
+		// fitted emission self-probability (unvisited states keep their
+		// initialization exactly).
+		var kept []int
+		for j := 0; j < n; j++ {
+			if h.A[i][j] > support {
+				kept = append(kept, j)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		var sum float64
+		for _, j := range kept {
+			sum += h.A[i][j]
+		}
+		for _, j := range kept {
+			if err := chain.SetTransition(states[i], states[j], h.A[i][j]/sum); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return chain, h, nil
+}
+
+func normalize(row []float64) {
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}

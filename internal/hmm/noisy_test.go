@@ -1,0 +1,132 @@
+package hmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"socrel/internal/markov"
+)
+
+// noisyTraces walks the chain and corrupts each observed state name with
+// the given confusion probability.
+func noisyTraces(t *testing.T, chain *markov.Chain, states []string, n int, noise float64, seed int64) [][]string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	traces := make([][]string, n)
+	for i := range traces {
+		walk, err := chain.Walk(rng, states[0], 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := make([]string, len(walk))
+		for j, s := range walk {
+			if rng.Float64() < noise {
+				// Report a uniformly random wrong state.
+				for {
+					cand := states[rng.Intn(len(states))]
+					if cand != s {
+						obs[j] = cand
+						break
+					}
+				}
+			} else {
+				obs[j] = s
+			}
+		}
+		traces[i] = obs
+	}
+	return traces
+}
+
+func searchChain(t *testing.T, q float64) (*markov.Chain, []string) {
+	t.Helper()
+	c := markov.New()
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{"Start", "sort", q},
+		{"Start", "lookup", 1 - q},
+		{"sort", "lookup", 1},
+		{"lookup", "End", 1},
+	} {
+		if err := c.SetTransition(tr.from, tr.to, tr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, []string{"Start", "sort", "lookup", "End"}
+}
+
+func TestFitChainNoisyRecoversQ(t *testing.T) {
+	const q, noise = 0.9, 0.05
+	truth, states := searchChain(t, q)
+	traces := noisyTraces(t, truth, states, 3000, noise, 1)
+
+	est, fitted, err := FitChainNoisy(traces, states, NoisyFitOptions{Noise: noise, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fitted.Validate(); err != nil {
+		t.Errorf("fitted HMM invalid: %v", err)
+	}
+	qHat := est.Transition("Start", "sort")
+	if math.Abs(qHat-q) > 0.05 {
+		t.Errorf("HMM estimate q = %g, want ≈ %g", qHat, q)
+	}
+
+	// The HMM estimate must beat naive counting on the noisy traces,
+	// which is biased by the confusion (naive counting sees spurious
+	// transitions).
+	naive, err := EstimateChain(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveErr := math.Abs(naive.Transition("Start", "sort") - q)
+	hmmErr := math.Abs(qHat - q)
+	if hmmErr > naiveErr+0.01 {
+		t.Errorf("HMM error %g should not be worse than naive counting %g", hmmErr, naiveErr)
+	}
+}
+
+func TestFitChainNoisyCleanTracesMatchCounting(t *testing.T) {
+	// With no actual corruption and a small assumed noise, the fit should
+	// land near the counting estimate.
+	const q = 0.7
+	truth, states := searchChain(t, q)
+	traces := noisyTraces(t, truth, states, 2000, 0, 3)
+	est, _, err := FitChainNoisy(traces, states, NoisyFitOptions{Noise: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting, err := EstimateChain(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := math.Abs(est.Transition("Start", "sort") - counting.Transition("Start", "sort"))
+	if d > 0.05 {
+		t.Errorf("HMM (%g) vs counting (%g) differ by %g on clean traces",
+			est.Transition("Start", "sort"), counting.Transition("Start", "sort"), d)
+	}
+}
+
+func TestFitChainNoisyErrors(t *testing.T) {
+	_, states := searchChain(t, 0.9)
+	if _, _, err := FitChainNoisy(nil, states, NoisyFitOptions{}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	if _, _, err := FitChainNoisy([][]string{{"Start"}}, []string{"only"}, NoisyFitOptions{}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	if _, _, err := FitChainNoisy([][]string{{"Start", "ghost"}}, states, NoisyFitOptions{}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	if _, _, err := FitChainNoisy([][]string{{}}, states, NoisyFitOptions{}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+	dup := []string{"a", "a"}
+	if _, _, err := FitChainNoisy([][]string{{"a"}}, dup, NoisyFitOptions{}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("error = %v", err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package linalg provides the small dense and sparse linear algebra kernel
+// used to solve absorbing Markov chains: dense matrices with LU
+// factorization, and compressed sparse row matrices with Jacobi and
+// Gauss-Seidel iterative solvers for large flows.
+//
+// Everything is float64 and row-major; no external dependencies.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Errors returned by linear algebra routines.
+var (
+	// ErrDimensionMismatch is returned when operand shapes are incompatible.
+	ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+	// ErrSingular is returned when a matrix is (numerically) singular.
+	ErrSingular = errors.New("linalg: singular matrix")
+	// ErrNoConvergence is returned when an iterative solver fails to reach
+	// the requested tolerance within its iteration budget.
+	ErrNoConvergence = errors.New("linalg: iteration did not converge")
+)
+
+// Dense is a dense row-major matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zero rows x cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// DenseFromRows builds a matrix from row slices, which must all have equal
+// length. The data is copied.
+func DenseFromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty row set", ErrDimensionMismatch)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrDimensionMismatch, i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add increments the element at (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Mul returns the matrix product m * o.
+func (m *Dense) Mul(o *Dense) (*Dense, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("%w: %dx%d * %dx%d", ErrDimensionMismatch, m.rows, m.cols, o.rows, o.cols)
+	}
+	out := NewDense(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			orow := o.data[k*o.cols : (k+1)*o.cols]
+			dst := out.data[i*o.cols : (i+1)*o.cols]
+			for j, b := range orow {
+				dst[j] += a * b
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m * x.
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("%w: %dx%d * vec(%d)", ErrDimensionMismatch, m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Dense) Scale(s float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// Sub returns m - o.
+func (m *Dense) Sub(o *Dense) (*Dense, error) {
+	if m.rows != o.rows || m.cols != o.cols {
+		return nil, fmt.Errorf("%w: %dx%d - %dx%d", ErrDimensionMismatch, m.rows, m.cols, o.rows, o.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= o.data[i]
+	}
+	return out, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.6g", m.At(i, j))
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// LU is an LU factorization with partial pivoting: P*A = L*U, stored packed
+// in a single matrix with the permutation alongside.
+type LU struct {
+	lu   *Dense
+	perm []int
+	sign int
+}
+
+// Factorize computes the LU decomposition of the square matrix a.
+// The input is not modified.
+func Factorize(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: LU of %dx%d", ErrDimensionMismatch, a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Partial pivoting: find the largest magnitude entry in the column.
+		pivot := col
+		maxAbs := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if ab := math.Abs(lu.At(r, col)); ab > maxAbs {
+				maxAbs = ab
+				pivot = r
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		if pivot != col {
+			lu.swapRows(pivot, col)
+			perm[pivot], perm[col] = perm[col], perm[pivot]
+			sign = -sign
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			for c := col + 1; c < n; c++ {
+				lu.Add(r, c, -f*lu.At(col, c))
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm, sign: sign}, nil
+}
+
+func (m *Dense) swapRows(a, b int) {
+	ra := m.data[a*m.cols : (a+1)*m.cols]
+	rb := m.data[b*m.cols : (b+1)*m.cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Solve solves A x = b for x using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: solve with vec(%d), want %d", ErrDimensionMismatch, len(b), n)
+	}
+	x := make([]float64, n)
+	// Apply permutation: x = P b.
+	for i, p := range f.perm {
+		x[i] = b[p]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		row := f.lu.data[i*n : i*n+i]
+		s := x[i]
+		for j, l := range row {
+			s -= l * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Determinant returns det(A) from the factorization.
+func (f *LU) Determinant() float64 {
+	det := float64(f.sign)
+	n := f.lu.rows
+	for i := 0; i < n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Solve solves the square system A x = b with LU factorization.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A^-1.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	out := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out.Set(i, j, col[i])
+		}
+	}
+	return out, nil
+}
+
+// NormInf returns the infinity norm (max absolute row sum).
+func (m *Dense) NormInf() float64 {
+	var best float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for j := 0; j < m.cols; j++ {
+			s += math.Abs(m.At(i, j))
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// VecNormInf returns the infinity norm of a vector.
+func VecNormInf(x []float64) float64 {
+	var best float64
+	for _, v := range x {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// VecSub returns a - b.
+func VecSub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %g, want 7", m.At(1, 2))
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestDenseFromRows(t *testing.T) {
+	m, err := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %g", m.At(1, 0))
+	}
+	if _, err := DenseFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged rows error = %v", err)
+	}
+	if _, err := DenseFromRows(nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := DenseFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewDense(3, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mismatch error = %v", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("y = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mismatch error = %v", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("shape = %dx%d", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %g", at.At(2, 1))
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !approxEq(x[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular error = %v", err)
+	}
+}
+
+func TestFactorizeNonSquare(t *testing.T) {
+	if _, err := Factorize(NewDense(2, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	a, _ := DenseFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x[0], 7, 1e-12) || !approxEq(x[1], 3, 1e-12) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(f.Determinant(), -6, 1e-10) {
+		t.Errorf("det = %g, want -6", f.Determinant())
+	}
+	id := Identity(5)
+	fi, _ := Factorize(id)
+	if !approxEq(fi.Determinant(), 1, 1e-12) {
+		t.Errorf("det(I) = %g", fi.Determinant())
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !approxEq(prod.At(i, j), want, 1e-12) {
+				t.Errorf("A*A^-1[%d][%d] = %g", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+// TestSolveRandomSystems is a property test: for random well-conditioned
+// systems, A * Solve(A, b) == b.
+func TestSolveRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		n := rng.Intn(8) + 2
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			// Diagonal dominance keeps the system well conditioned.
+			a.Add(i, i, float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		return VecNormInf(VecSub(ax, b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, -2}, {3, 4}})
+	if a.NormInf() != 7 {
+		t.Errorf("NormInf = %g, want 7", a.NormInf())
+	}
+	if VecNormInf([]float64{-9, 2}) != 9 {
+		t.Errorf("VecNormInf = %g", VecNormInf([]float64{-9, 2}))
+	}
+}
+
+func TestSubAndScale(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := DenseFromRows([][]float64{{1, 1}, {1, 1}})
+	c, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(1, 1) != 3 {
+		t.Errorf("Sub = %v", c)
+	}
+	c.Scale(2)
+	if c.At(1, 1) != 6 {
+		t.Errorf("Scale = %v", c)
+	}
+	if _, err := a.Sub(NewDense(3, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	s := Identity(2).String()
+	if len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

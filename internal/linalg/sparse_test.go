@@ -1,0 +1,185 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRBuildAndAt(t *testing.T) {
+	m, err := NewCSR(3, 3, []Coord{
+		{0, 1, 2}, {1, 2, 3}, {2, 0, 4}, {0, 1, 1}, // duplicate summed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 1); got != 3 {
+		t.Errorf("At(0,1) = %g, want 3 (duplicates summed)", got)
+	}
+	if got := m.At(1, 1); got != 0 {
+		t.Errorf("At(1,1) = %g, want 0", got)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Errorf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestCSRZeroSumDropped(t *testing.T) {
+	m, err := NewCSR(2, 2, []Coord{{0, 0, 1}, {0, 0, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0 (cancelled entries dropped)", m.NNZ())
+	}
+}
+
+func TestCSRErrors(t *testing.T) {
+	if _, err := NewCSR(0, 2, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("zero rows error = %v", err)
+	}
+	if _, err := NewCSR(2, 2, []Coord{{5, 0, 1}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("out of bounds error = %v", err)
+	}
+	m, _ := NewCSR(2, 2, nil)
+	if _, err := m.MulVec([]float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mulvec error = %v", err)
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := rng.Intn(10) + 2
+		var entries []Coord
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					entries = append(entries, Coord{i, j, rng.NormFloat64()})
+				}
+			}
+		}
+		m, err := NewCSR(n, n, entries)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ys, err := m.MulVec(x)
+		if err != nil {
+			return false
+		}
+		yd, err := m.ToDense().MulVec(x)
+		if err != nil {
+			return false
+		}
+		return VecNormInf(VecSub(ys, yd)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSubstochastic builds a random strictly substochastic Q (row sums
+// <= 0.9), the transient part of an absorbing chain.
+func randomSubstochastic(rng *rand.Rand, n int) *CSR {
+	var entries []Coord
+	for i := 0; i < n; i++ {
+		remaining := 0.9 * rng.Float64()
+		k := rng.Intn(3) + 1
+		for c := 0; c < k; c++ {
+			j := rng.Intn(n)
+			p := remaining * rng.Float64()
+			remaining -= p
+			entries = append(entries, Coord{i, j, p})
+		}
+	}
+	m, err := NewCSR(n, n, entries)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestIterativeSolversMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(15) + 2
+		q := randomSubstochastic(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		// Direct: (I - Q) x = b.
+		iq, err := Identity(n).Sub(q.ToDense())
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := Solve(iq, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jac, _, err := SolveJacobi(q, b, IterOptions{Tol: 1e-13})
+		if err != nil {
+			t.Fatalf("jacobi: %v", err)
+		}
+		gs, _, err := SolveGaussSeidel(q, b, IterOptions{Tol: 1e-13})
+		if err != nil {
+			t.Fatalf("gauss-seidel: %v", err)
+		}
+		if d := VecNormInf(VecSub(jac, direct)); d > 1e-8 {
+			t.Errorf("trial %d: jacobi differs from direct by %g", trial, d)
+		}
+		if d := VecNormInf(VecSub(gs, direct)); d > 1e-8 {
+			t.Errorf("trial %d: gauss-seidel differs from direct by %g", trial, d)
+		}
+	}
+}
+
+func TestGaussSeidelFasterThanJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	q := randomSubstochastic(rng, 40)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = 1
+	}
+	_, itJ, err := SolveJacobi(q, b, IterOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, itGS, err := SolveGaussSeidel(q, b, IterOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itGS > itJ {
+		t.Errorf("gauss-seidel took %d sweeps, jacobi %d; expected GS <= Jacobi", itGS, itJ)
+	}
+}
+
+func TestIterativeNoConvergence(t *testing.T) {
+	// Q with spectral radius 1 (a stochastic cycle) cannot converge for
+	// nonzero b: x = b + Qx diverges.
+	q, err := NewCSR(2, 2, []Coord{{0, 1, 1}, {1, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SolveJacobi(q, []float64{1, 1}, IterOptions{MaxIter: 100}); !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("jacobi error = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestIterativeDimensionErrors(t *testing.T) {
+	q, _ := NewCSR(2, 2, nil)
+	if _, _, err := SolveJacobi(q, []float64{1}, IterOptions{}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("jacobi error = %v", err)
+	}
+	if _, _, err := SolveGaussSeidel(q, []float64{1}, IterOptions{}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("gs error = %v", err)
+	}
+}

@@ -1,0 +1,294 @@
+package markov
+
+import (
+	"fmt"
+	"math/rand"
+
+	"socrel/internal/linalg"
+)
+
+// Method selects the linear solver used for absorbing-chain analysis.
+type Method int
+
+// Solver methods.
+const (
+	// MethodAuto picks MethodDense below the dense size threshold and
+	// MethodIterative above it.
+	MethodAuto Method = iota
+	// MethodDense solves the (I - Q) systems by LU factorization.
+	MethodDense
+	// MethodIterative solves them by Gauss-Seidel sweeps over a sparse Q.
+	MethodIterative
+)
+
+// denseThreshold is the number of transient states above which MethodAuto
+// switches to the sparse iterative solver.
+const denseThreshold = 256
+
+// Absorbing is a prepared analysis of an absorbing chain: the transient /
+// absorbing partition and the solver configuration.
+type Absorbing struct {
+	chain      *Chain
+	method     Method
+	transient  []int // chain indices of transient states, in index order
+	absorbing  []int // chain indices of absorbing states, in index order
+	tPos       map[int]int
+	q          *linalg.CSR // transient-to-transient probabilities
+	luOnce     *linalg.LU
+	iterOpts   linalg.IterOptions
+	numVisited int
+}
+
+// NewAbsorbing validates the chain and prepares an absorbing analysis.
+// It fails with ErrNotAbsorbing if the chain has no absorbing state or some
+// transient state cannot reach one.
+func NewAbsorbing(c *Chain, method Method) (*Absorbing, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Absorbing{chain: c, method: method, tPos: make(map[int]int)}
+	for i := range c.names {
+		if c.isAbsorbing(i) {
+			a.absorbing = append(a.absorbing, i)
+		} else {
+			a.tPos[i] = len(a.transient)
+			a.transient = append(a.transient, i)
+		}
+	}
+	if len(a.absorbing) == 0 {
+		return nil, fmt.Errorf("%w: no absorbing state", ErrNotAbsorbing)
+	}
+	// Every transient state must reach an absorbing state.
+	absorbingSet := make(map[int]bool, len(a.absorbing))
+	for _, i := range a.absorbing {
+		absorbingSet[i] = true
+	}
+	for _, ti := range a.transient {
+		reached := c.reachableFrom(ti)
+		ok := false
+		for r := range reached {
+			if absorbingSet[r] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: state %q cannot reach an absorbing state", ErrNotAbsorbing, c.names[ti])
+		}
+	}
+	// Build the sparse Q matrix over transient states.
+	var entries []linalg.Coord
+	for _, ti := range a.transient {
+		row := a.tPos[ti]
+		for _, e := range c.edges[ti] {
+			if col, ok := a.tPos[e.to]; ok && e.p > 0 {
+				entries = append(entries, linalg.Coord{Row: row, Col: col, Val: e.p})
+			}
+		}
+	}
+	q, err := linalg.NewCSR(max(len(a.transient), 1), max(len(a.transient), 1), entries)
+	if err != nil {
+		return nil, err
+	}
+	a.q = q
+	if a.method == MethodAuto {
+		if len(a.transient) <= denseThreshold {
+			a.method = MethodDense
+		} else {
+			a.method = MethodIterative
+		}
+	}
+	return a, nil
+}
+
+// NumTransient returns the number of transient states.
+func (a *Absorbing) NumTransient() int { return len(a.transient) }
+
+// solve solves (I - Q) x = b with the configured method.
+func (a *Absorbing) solve(b []float64) ([]float64, error) {
+	switch a.method {
+	case MethodDense:
+		if a.luOnce == nil {
+			iq, err := linalg.Identity(len(a.transient)).Sub(a.q.ToDense())
+			if err != nil {
+				return nil, err
+			}
+			lu, err := linalg.Factorize(iq)
+			if err != nil {
+				return nil, fmt.Errorf("markov: factorize I-Q: %w", err)
+			}
+			a.luOnce = lu
+		}
+		return a.luOnce.Solve(b)
+	case MethodIterative:
+		x, _, err := linalg.SolveGaussSeidel(a.q, b, a.iterOpts)
+		return x, err
+	default:
+		return nil, fmt.Errorf("markov: unknown method %d", a.method)
+	}
+}
+
+// AbsorptionProbability returns the probability that, starting from the
+// named state, the chain is eventually absorbed in the named absorbing
+// state. Starting from an absorbing state returns 1 for itself and 0
+// otherwise.
+func (a *Absorbing) AbsorptionProbability(from, into string) (float64, error) {
+	fi, ok := a.chain.index[from]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownState, from)
+	}
+	ii, ok := a.chain.index[into]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownState, into)
+	}
+	if !a.chain.isAbsorbing(ii) {
+		return 0, fmt.Errorf("%w: %q is not absorbing", ErrNotAbsorbing, into)
+	}
+	if a.chain.isAbsorbing(fi) {
+		if fi == ii {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	// x_t = sum_j Q_tj x_j + R_t,into  where R_t,into is the one-step
+	// probability of jumping from t straight into the target.
+	b := make([]float64, len(a.transient))
+	for _, ti := range a.transient {
+		for _, e := range a.chain.edges[ti] {
+			if e.to == ii {
+				b[a.tPos[ti]] = e.p
+			}
+		}
+	}
+	x, err := a.solve(b)
+	if err != nil {
+		return 0, err
+	}
+	return clampProb(x[a.tPos[fi]]), nil
+}
+
+// ExpectedVisits returns the expected number of visits to each transient
+// state before absorption, starting from the named state: the start state's
+// row of the fundamental matrix N = (I-Q)^-1.
+func (a *Absorbing) ExpectedVisits(from string) (map[string]float64, error) {
+	fi, ok := a.chain.index[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownState, from)
+	}
+	out := make(map[string]float64, len(a.transient))
+	if a.chain.isAbsorbing(fi) {
+		return out, nil
+	}
+	// Row of N: solve (I - Q)^T y = e_from, since N = (I-Q)^-1 and the row
+	// from the left is a column of the transpose. For the iterative path we
+	// instead solve per column; dense is the common case, so transpose there.
+	switch a.method {
+	case MethodDense:
+		iqt, err := linalg.Identity(len(a.transient)).Sub(a.q.ToDense().Transpose())
+		if err != nil {
+			return nil, err
+		}
+		e := make([]float64, len(a.transient))
+		e[a.tPos[fi]] = 1
+		y, err := linalg.Solve(iqt, e)
+		if err != nil {
+			return nil, err
+		}
+		for _, ti := range a.transient {
+			out[a.chain.names[ti]] = y[a.tPos[ti]]
+		}
+		return out, nil
+	default:
+		// One solve per target column j: N[from][j] = ((I-Q)^-1 e_j)[from].
+		for _, tj := range a.transient {
+			e := make([]float64, len(a.transient))
+			e[a.tPos[tj]] = 1
+			x, err := a.solve(e)
+			if err != nil {
+				return nil, err
+			}
+			out[a.chain.names[tj]] = x[a.tPos[fi]]
+		}
+		return out, nil
+	}
+}
+
+// ExpectedSteps returns the expected number of steps before absorption
+// starting from the named state.
+func (a *Absorbing) ExpectedSteps(from string) (float64, error) {
+	visits, err := a.ExpectedVisits(from)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, v := range visits {
+		total += v
+	}
+	return total, nil
+}
+
+// ExpectedReward returns the expected total reward accumulated before
+// absorption starting from the named state, where reward maps transient
+// state names to a per-visit reward. States absent from the map contribute
+// zero. The performance extension uses this with per-state execution times.
+func (a *Absorbing) ExpectedReward(from string, reward map[string]float64) (float64, error) {
+	visits, err := a.ExpectedVisits(from)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for name, v := range visits {
+		total += v * reward[name]
+	}
+	return total, nil
+}
+
+// Walk simulates the chain from the named state until absorption or
+// maxSteps transitions, whichever comes first, and returns the visited
+// state names including the start and final state.
+func (c *Chain) Walk(rng *rand.Rand, from string, maxSteps int) ([]string, error) {
+	i, ok := c.index[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownState, from)
+	}
+	path := []string{c.names[i]}
+	for step := 0; step < maxSteps; step++ {
+		if c.isAbsorbing(i) {
+			return path, nil
+		}
+		u := rng.Float64()
+		var acc float64
+		next := -1
+		for _, e := range c.edges[i] {
+			acc += e.p
+			if u < acc {
+				next = e.to
+				break
+			}
+		}
+		if next == -1 {
+			// Row sums to slightly under 1 from float error; take the last.
+			next = c.edges[i][len(c.edges[i])-1].to
+		}
+		i = next
+		path = append(path, c.names[i])
+	}
+	return path, nil
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,246 @@
+// Package markov implements the discrete-time Markov chains that analytic
+// interfaces use to model service usage profiles, plus the absorbing-chain
+// analyses the reliability engine needs: absorption probabilities,
+// fundamental-matrix statistics (expected visits, expected steps), reward
+// accumulation, and seeded random-walk simulation.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by chain construction and analysis.
+var (
+	// ErrUnknownState is returned when a named state does not exist.
+	ErrUnknownState = errors.New("markov: unknown state")
+	// ErrInvalidProbability is returned for probabilities outside [0, 1]
+	// or rows that do not sum to one.
+	ErrInvalidProbability = errors.New("markov: invalid probability")
+	// ErrNotAbsorbing is returned by absorbing-chain analyses when some
+	// transient state cannot reach any absorbing state.
+	ErrNotAbsorbing = errors.New("markov: chain is not absorbing")
+	// ErrAbsorbingState is returned when a transition is added out of a
+	// state previously marked absorbing via a probability-1 self loop.
+	ErrAbsorbingState = errors.New("markov: state is absorbing")
+)
+
+// probTol is the tolerance used when validating that row sums equal one.
+const probTol = 1e-9
+
+// Chain is a finite discrete-time Markov chain under construction or
+// analysis. States are identified by name. A state with no outgoing
+// transitions is treated as absorbing.
+type Chain struct {
+	names []string
+	index map[string]int
+	// edges[i] holds the outgoing transitions of state i sorted by target.
+	edges [][]edge
+}
+
+type edge struct {
+	to int
+	p  float64
+}
+
+// New returns an empty chain.
+func New() *Chain {
+	return &Chain{index: make(map[string]int)}
+}
+
+// AddState adds a state with the given name and returns its index.
+// Adding an existing name is idempotent.
+func (c *Chain) AddState(name string) int {
+	if i, ok := c.index[name]; ok {
+		return i
+	}
+	i := len(c.names)
+	c.names = append(c.names, name)
+	c.index[name] = i
+	c.edges = append(c.edges, nil)
+	return i
+}
+
+// NumStates returns the number of states.
+func (c *Chain) NumStates() int { return len(c.names) }
+
+// StateName returns the name of state i.
+func (c *Chain) StateName(i int) string { return c.names[i] }
+
+// StateIndex returns the index of the named state.
+func (c *Chain) StateIndex(name string) (int, bool) {
+	i, ok := c.index[name]
+	return i, ok
+}
+
+// States returns the state names in index order. The slice is a copy.
+func (c *Chain) States() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// SetTransition sets the transition probability from one state to another,
+// adding the states if needed. Setting an existing transition overwrites it;
+// setting probability zero removes it.
+func (c *Chain) SetTransition(from, to string, p float64) error {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return fmt.Errorf("%w: P(%s -> %s) = %g", ErrInvalidProbability, from, to, p)
+	}
+	fi := c.AddState(from)
+	ti := c.AddState(to)
+	es := c.edges[fi]
+	pos := sort.Search(len(es), func(k int) bool { return es[k].to >= ti })
+	if pos < len(es) && es[pos].to == ti {
+		if p == 0 {
+			c.edges[fi] = append(es[:pos], es[pos+1:]...)
+		} else {
+			es[pos].p = p
+		}
+		return nil
+	}
+	if p == 0 {
+		return nil
+	}
+	es = append(es, edge{})
+	copy(es[pos+1:], es[pos:])
+	es[pos] = edge{to: ti, p: p}
+	c.edges[fi] = es
+	return nil
+}
+
+// Transition returns the probability of moving from one state to another.
+func (c *Chain) Transition(from, to string) float64 {
+	fi, ok := c.index[from]
+	if !ok {
+		return 0
+	}
+	ti, ok := c.index[to]
+	if !ok {
+		return 0
+	}
+	for _, e := range c.edges[fi] {
+		if e.to == ti {
+			return e.p
+		}
+	}
+	return 0
+}
+
+// Successors returns the outgoing transitions of the named state as a map
+// from target name to probability.
+func (c *Chain) Successors(name string) map[string]float64 {
+	i, ok := c.index[name]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]float64, len(c.edges[i]))
+	for _, e := range c.edges[i] {
+		out[c.names[e.to]] = e.p
+	}
+	return out
+}
+
+// ScaleOutgoing multiplies every outgoing transition probability of the
+// named state by factor. The reliability engine uses this to weigh existing
+// transitions by 1 - p(i, Fail) when adding the failure structure.
+func (c *Chain) ScaleOutgoing(name string, factor float64) error {
+	if factor < 0 || factor > 1 || math.IsNaN(factor) {
+		return fmt.Errorf("%w: scale factor %g", ErrInvalidProbability, factor)
+	}
+	i, ok := c.index[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownState, name)
+	}
+	for k := range c.edges[i] {
+		c.edges[i][k].p *= factor
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the chain.
+func (c *Chain) Clone() *Chain {
+	out := New()
+	for _, n := range c.names {
+		out.AddState(n)
+	}
+	out.edges = make([][]edge, len(c.edges))
+	for i, es := range c.edges {
+		out.edges[i] = append([]edge(nil), es...)
+	}
+	return out
+}
+
+// isAbsorbing reports whether state i is absorbing: no outgoing edges, or a
+// single self loop with probability one.
+func (c *Chain) isAbsorbing(i int) bool {
+	es := c.edges[i]
+	if len(es) == 0 {
+		return true
+	}
+	return len(es) == 1 && es[0].to == i && math.Abs(es[0].p-1) <= probTol
+}
+
+// AbsorbingStates returns the names of all absorbing states in index order.
+func (c *Chain) AbsorbingStates() []string {
+	var out []string
+	for i := range c.names {
+		if c.isAbsorbing(i) {
+			out = append(out, c.names[i])
+		}
+	}
+	return out
+}
+
+// TransientStates returns the names of all non-absorbing states in index
+// order.
+func (c *Chain) TransientStates() []string {
+	var out []string
+	for i := range c.names {
+		if !c.isAbsorbing(i) {
+			out = append(out, c.names[i])
+		}
+	}
+	return out
+}
+
+// Validate checks that every non-absorbing state's outgoing probabilities
+// sum to one (within tolerance) and that each probability is in [0, 1].
+func (c *Chain) Validate() error {
+	for i, es := range c.edges {
+		if c.isAbsorbing(i) {
+			continue
+		}
+		var sum float64
+		for _, e := range es {
+			if e.p < 0 || e.p > 1+probTol {
+				return fmt.Errorf("%w: P(%s -> %s) = %g", ErrInvalidProbability, c.names[i], c.names[e.to], e.p)
+			}
+			sum += e.p
+		}
+		if math.Abs(sum-1) > probTol {
+			return fmt.Errorf("%w: outgoing probabilities of %q sum to %.12g", ErrInvalidProbability, c.names[i], sum)
+		}
+	}
+	return nil
+}
+
+// reachableFrom returns the set of state indices reachable from start
+// (including start itself).
+func (c *Chain) reachableFrom(start int) map[int]bool {
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range c.edges[i] {
+			if e.p > 0 && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,425 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// searchFlow builds the paper's search-service flow augmented with a failure
+// structure: Start -> {1 (sort, prob q), 2 (cpu, prob 1-q)}, 1 -> 2, and from
+// each working state a failure transition f1/f2 to Fail.
+func searchFlow(t *testing.T, q, f1, f2 float64) *Chain {
+	t.Helper()
+	c := New()
+	mustSet := func(from, to string, p float64) {
+		t.Helper()
+		if err := c.SetTransition(from, to, p); err != nil {
+			t.Fatalf("SetTransition(%s,%s,%g): %v", from, to, p, err)
+		}
+	}
+	mustSet("Start", "1", q)
+	mustSet("Start", "2", 1-q)
+	mustSet("1", "2", 1-f1)
+	mustSet("1", "Fail", f1)
+	mustSet("2", "End", 1-f2)
+	mustSet("2", "Fail", f2)
+	return c
+}
+
+func TestChainBasics(t *testing.T) {
+	c := New()
+	i := c.AddState("a")
+	if j := c.AddState("a"); j != i {
+		t.Errorf("AddState not idempotent: %d != %d", i, j)
+	}
+	if c.NumStates() != 1 {
+		t.Errorf("NumStates = %d", c.NumStates())
+	}
+	if name := c.StateName(i); name != "a" {
+		t.Errorf("StateName = %q", name)
+	}
+	if _, ok := c.StateIndex("missing"); ok {
+		t.Error("StateIndex found a missing state")
+	}
+	if err := c.SetTransition("a", "b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transition("a", "b"); got != 0.5 {
+		t.Errorf("Transition = %g", got)
+	}
+	if got := c.Transition("a", "zzz"); got != 0 {
+		t.Errorf("Transition to unknown = %g", got)
+	}
+	if got := c.Transition("zzz", "a"); got != 0 {
+		t.Errorf("Transition from unknown = %g", got)
+	}
+	// Overwrite and remove.
+	if err := c.SetTransition("a", "b", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transition("a", "b"); got != 0.7 {
+		t.Errorf("overwritten Transition = %g", got)
+	}
+	if err := c.SetTransition("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transition("a", "b"); got != 0 {
+		t.Errorf("removed Transition = %g", got)
+	}
+}
+
+func TestSetTransitionRejectsBadProbability(t *testing.T) {
+	c := New()
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := c.SetTransition("a", "b", p); !errors.Is(err, ErrInvalidProbability) {
+			t.Errorf("SetTransition(p=%g) error = %v", p, err)
+		}
+	}
+}
+
+func TestSuccessorsAndStates(t *testing.T) {
+	c := searchFlow(t, 0.9, 0.1, 0.2)
+	succ := c.Successors("Start")
+	if len(succ) != 2 || succ["1"] != 0.9 || !approxEq(succ["2"], 0.1, 1e-15) {
+		t.Errorf("Successors(Start) = %v", succ)
+	}
+	if c.Successors("nope") != nil {
+		t.Error("Successors of unknown state should be nil")
+	}
+	states := c.States()
+	if len(states) != 5 {
+		t.Errorf("States = %v", states)
+	}
+	states[0] = "mutated"
+	if c.StateName(0) == "mutated" {
+		t.Error("States aliases internal storage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := searchFlow(t, 0.9, 0.1, 0.2)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	bad := New()
+	if err := bad.SetTransition("a", "b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.SetTransition("a", "c", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(); !errors.Is(err, ErrInvalidProbability) {
+		t.Errorf("Validate error = %v", err)
+	}
+}
+
+func TestAbsorbingClassification(t *testing.T) {
+	c := searchFlow(t, 0.9, 0.1, 0.2)
+	abs := c.AbsorbingStates()
+	if len(abs) != 2 {
+		t.Fatalf("AbsorbingStates = %v", abs)
+	}
+	tr := c.TransientStates()
+	if len(tr) != 3 {
+		t.Fatalf("TransientStates = %v", tr)
+	}
+	// A probability-1 self loop also counts as absorbing.
+	d := New()
+	if err := d.SetTransition("x", "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.AbsorbingStates(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("self-loop AbsorbingStates = %v", got)
+	}
+}
+
+func TestScaleOutgoing(t *testing.T) {
+	c := searchFlow(t, 0.9, 0, 0)
+	if err := c.ScaleOutgoing("2", 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transition("2", "End"); !approxEq(got, 0.75, 1e-15) {
+		t.Errorf("scaled transition = %g", got)
+	}
+	if err := c.ScaleOutgoing("nope", 0.5); !errors.Is(err, ErrUnknownState) {
+		t.Errorf("unknown state error = %v", err)
+	}
+	if err := c.ScaleOutgoing("2", 1.5); !errors.Is(err, ErrInvalidProbability) {
+		t.Errorf("bad factor error = %v", err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	c := searchFlow(t, 0.9, 0.1, 0.2)
+	d := c.Clone()
+	if err := d.SetTransition("Start", "1", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transition("Start", "1"); got != 0.9 {
+		t.Errorf("Clone aliases original: %g", got)
+	}
+}
+
+// TestAbsorptionHandComputed checks absorption probabilities against a
+// hand-computed value: P(End) = q(1-f1)(1-f2) + (1-q)(1-f2).
+func TestAbsorptionHandComputed(t *testing.T) {
+	q, f1, f2 := 0.9, 0.1, 0.2
+	c := searchFlow(t, q, f1, f2)
+	a, err := NewAbsorbing(c, MethodDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.AbsorptionProbability("Start", "End")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q*(1-f1)*(1-f2) + (1-q)*(1-f2)
+	if !approxEq(got, want, 1e-12) {
+		t.Errorf("P(Start -> End) = %g, want %g", got, want)
+	}
+	gotFail, err := a.AbsorptionProbability("Start", "Fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got+gotFail, 1, 1e-12) {
+		t.Errorf("P(End) + P(Fail) = %g, want 1", got+gotFail)
+	}
+}
+
+func TestAbsorptionFromAbsorbingState(t *testing.T) {
+	c := searchFlow(t, 0.9, 0.1, 0.2)
+	a, err := NewAbsorbing(c, MethodAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.AbsorptionProbability("End", "End")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("P(End -> End) = %g, want 1", p)
+	}
+	p, err = a.AbsorptionProbability("End", "Fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("P(End -> Fail) = %g, want 0", p)
+	}
+}
+
+func TestAbsorptionErrors(t *testing.T) {
+	c := searchFlow(t, 0.9, 0.1, 0.2)
+	a, err := NewAbsorbing(c, MethodDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AbsorptionProbability("nope", "End"); !errors.Is(err, ErrUnknownState) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := a.AbsorptionProbability("Start", "nope"); !errors.Is(err, ErrUnknownState) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := a.AbsorptionProbability("Start", "1"); !errors.Is(err, ErrNotAbsorbing) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNotAbsorbingChain(t *testing.T) {
+	// Pure cycle: no absorbing state.
+	c := New()
+	if err := c.SetTransition("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition("b", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAbsorbing(c, MethodDense); !errors.Is(err, ErrNotAbsorbing) {
+		t.Errorf("error = %v", err)
+	}
+	// A transient state that cannot reach the absorbing one.
+	d := New()
+	if err := d.SetTransition("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTransition("b", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	d.AddState("done")
+	if _, err := NewAbsorbing(d, MethodDense); !errors.Is(err, ErrNotAbsorbing) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestExpectedVisitsAndSteps(t *testing.T) {
+	// Geometric loop: s -> s with prob p, s -> End with prob 1-p.
+	// Expected visits to s = 1/(1-p); expected steps = 1/(1-p).
+	p := 0.75
+	c := New()
+	if err := c.SetTransition("s", "s", p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition("s", "End", 1-p); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAbsorbing(c, MethodDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits, err := a.ExpectedVisits("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(visits["s"], 4, 1e-10) {
+		t.Errorf("ExpectedVisits[s] = %g, want 4", visits["s"])
+	}
+	steps, err := a.ExpectedSteps("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(steps, 4, 1e-10) {
+		t.Errorf("ExpectedSteps = %g, want 4", steps)
+	}
+}
+
+func TestExpectedReward(t *testing.T) {
+	c := searchFlow(t, 1.0, 0, 0) // deterministic Start -> 1 -> 2 -> End
+	a, err := NewAbsorbing(c, MethodDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.ExpectedReward("Start", map[string]float64{"1": 10, "2": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(r, 15, 1e-10) {
+		t.Errorf("ExpectedReward = %g, want 15", r)
+	}
+}
+
+func TestDenseAndIterativeAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		c := randomAbsorbingChain(rng, rng.Intn(20)+3)
+		ad, err := NewAbsorbing(c, MethodDense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ai, err := NewAbsorbing(c.Clone(), MethodIterative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := ad.AbsorptionProbability(stateName(0), "End")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := ai.AbsorptionProbability(stateName(0), "End")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEq(pd, pi, 1e-8) {
+			t.Errorf("trial %d: dense %g vs iterative %g", trial, pd, pi)
+		}
+	}
+}
+
+// randomAbsorbingChain builds a random layered chain s0..s_{n-1} where each
+// state moves forward, to End, or to Fail.
+func randomAbsorbingChain(rng *rand.Rand, n int) *Chain {
+	c := New()
+	c.AddState("End")
+	c.AddState("Fail")
+	for i := 0; i < n; i++ {
+		from := stateName(i)
+		pEnd := rng.Float64() * 0.3
+		pFail := rng.Float64() * 0.2
+		rest := 1 - pEnd - pFail
+		if i == n-1 {
+			pEnd += rest
+			rest = 0
+		}
+		if err := c.SetTransition(from, "End", pEnd); err != nil {
+			panic(err)
+		}
+		if err := c.SetTransition(from, "Fail", pFail); err != nil {
+			panic(err)
+		}
+		if rest > 0 {
+			if err := c.SetTransition(from, stateName(i+1), rest); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return c
+}
+
+func stateName(i int) string { return "s" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestWalkReachesAbsorption(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := searchFlow(t, 0.9, 0.1, 0.2)
+	endCount := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		path, err := c.Walk(rng, "Start", 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := path[len(path)-1]
+		if last != "End" && last != "Fail" {
+			t.Fatalf("walk ended in non-absorbing state %q", last)
+		}
+		if last == "End" {
+			endCount++
+		}
+	}
+	a, _ := NewAbsorbing(c, MethodDense)
+	want, _ := a.AbsorptionProbability("Start", "End")
+	got := float64(endCount) / trials
+	// 3-sigma binomial bound.
+	sigma := math.Sqrt(want * (1 - want) / trials)
+	if math.Abs(got-want) > 3*sigma+1e-9 {
+		t.Errorf("empirical P(End) = %g, analytic %g (3σ = %g)", got, want, 3*sigma)
+	}
+}
+
+func TestWalkUnknownState(t *testing.T) {
+	c := New()
+	if _, err := c.Walk(rand.New(rand.NewSource(1)), "ghost", 10); !errors.Is(err, ErrUnknownState) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestWalkMaxSteps(t *testing.T) {
+	c := New()
+	if err := c.SetTransition("a", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Probability-1 self loop is absorbing, so the walk ends immediately.
+	path, err := c.Walk(rand.New(rand.NewSource(1)), "a", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 {
+		t.Errorf("path = %v", path)
+	}
+	// A genuine cycle gets cut at maxSteps.
+	d := New()
+	if err := d.SetTransition("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTransition("b", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	path, err = d.Walk(rand.New(rand.NewSource(1)), "a", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 8 { // start + 7 steps
+		t.Errorf("len(path) = %d, want 8", len(path))
+	}
+}

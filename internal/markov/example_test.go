@@ -1,0 +1,72 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"socrel/internal/markov"
+)
+
+// Example analyzes the paper's augmented search flow (Figure 5): a chain
+// with End and Fail absorbing states, solved for the success probability.
+func Example() {
+	c := markov.New()
+	q, f1, f2 := 0.9, 0.05, 0.01
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{"Start", "sort", q},
+		{"Start", "lookup", 1 - q},
+		{"sort", "lookup", 1 - f1},
+		{"sort", "Fail", f1},
+		{"lookup", "End", 1 - f2},
+		{"lookup", "Fail", f2},
+	} {
+		if err := c.SetTransition(tr.from, tr.to, tr.p); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	abs, err := markov.NewAbsorbing(c, markov.MethodAuto)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	pEnd, err := abs.AbsorptionProbability("Start", "End")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("P(success) = %.6f\n", pEnd)
+	// q(1-f1)(1-f2) + (1-q)(1-f2) = 0.946935
+	// Output:
+	// P(success) = 0.946935
+}
+
+// ExampleAbsorbing_ExpectedReward accumulates per-state costs along a flow
+// — the mechanism behind the performance extension.
+func ExampleAbsorbing_ExpectedReward() {
+	c := markov.New()
+	if err := c.SetTransition("work", "work", 0.5); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := c.SetTransition("work", "End", 0.5); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	abs, err := markov.NewAbsorbing(c, markov.MethodAuto)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Two expected visits, 3 time units each.
+	t, err := abs.ExpectedReward("work", map[string]float64{"work": 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("expected cost = %g\n", t)
+	// Output:
+	// expected cost = 6
+}

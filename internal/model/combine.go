@@ -1,0 +1,145 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadCombine is returned when failure probabilities cannot be combined
+// (mismatched lengths, invalid K, probabilities outside [0, 1]).
+var ErrBadCombine = errors.New("model: invalid failure combination")
+
+// RequestFailure is the pair of failure probabilities of one request A_ij
+// in a flow state: the internal part Pfail_int (call operation / software
+// fault) and the external part Pfail_ext (connector + target service),
+// per section 3.2.
+type RequestFailure struct {
+	Int float64 // Pfail_int(A_ij)
+	Ext float64 // Pfail_ext(A_ij) = 1 - (1-Pfail(C_j))·(1-Pfail(S_j))
+}
+
+// Total returns the request's overall failure probability per equation (8):
+// 1 - (1-Pint)(1-Pext).
+func (r RequestFailure) Total() float64 {
+	return 1 - (1-r.Int)*(1-r.Ext)
+}
+
+// ExtFailure combines a connector failure probability and a target-service
+// failure probability into Pfail_ext per the decomposition in equation (8):
+// the external part does not fail only if neither the connector nor the
+// requested service fails.
+func ExtFailure(connector, service float64) float64 {
+	return 1 - (1-connector)*(1-service)
+}
+
+// CombineState computes the state failure probability p_{S,fp}(i, Fail)
+// from the per-request failure probabilities, under the given completion
+// and dependency models. K is used only for the KOfN completion model.
+//
+// Formulas (section 3.2):
+//
+//	AND / NoSharing: eq. (6)   f = 1 - Π_j (1 - Ptotal_j)
+//	OR  / NoSharing: eq. (7)   f = Π_j Ptotal_j
+//	AND / Sharing:   eq. (11)  f = 1 - Π_j (1-Pint_j) · Π_j (1-Pext_j)
+//	OR  / Sharing:   eq. (12)  f = 1 - Π_j (1-Pext_j) · (1 - Π_j Pint_j)
+//
+// The KOfN extension requires at least K fulfilled requests:
+//
+//	KOfN / NoSharing: f = P[#successes < K] with independent success
+//	    probabilities (1-Pint_j)(1-Pext_j) (Poisson-binomial tail).
+//	KOfN / Sharing:   one external failure fails every request, so
+//	    f = (1 - Π_j (1-Pext_j)) + Π_j (1-Pext_j) · P[#internal-successes < K].
+//
+// KOfN reduces to AND at K = n and to OR at K = 1 under both dependency
+// models, which the tests verify.
+//
+// A state with no requests never fails: f = 0.
+func CombineState(completion Completion, dependency Dependency, k int, reqs []RequestFailure) (float64, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	for i, r := range reqs {
+		if r.Int < 0 || r.Int > 1 || r.Ext < 0 || r.Ext > 1 {
+			return 0, fmt.Errorf("%w: request %d has Pint=%g Pext=%g", ErrBadCombine, i, r.Int, r.Ext)
+		}
+	}
+	switch completion {
+	case AND:
+		switch dependency {
+		case NoSharing:
+			noFail := 1.0
+			for _, r := range reqs {
+				noFail *= 1 - r.Total()
+			}
+			return clamp01(1 - noFail), nil
+		case Sharing:
+			intOK, extOK := 1.0, 1.0
+			for _, r := range reqs {
+				intOK *= 1 - r.Int
+				extOK *= 1 - r.Ext
+			}
+			return clamp01(1 - intOK*extOK), nil
+		}
+	case OR:
+		switch dependency {
+		case NoSharing:
+			allFail := 1.0
+			for _, r := range reqs {
+				allFail *= r.Total()
+			}
+			return clamp01(allFail), nil
+		case Sharing:
+			extOK, intFail := 1.0, 1.0
+			for _, r := range reqs {
+				extOK *= 1 - r.Ext
+				intFail *= r.Int
+			}
+			return clamp01(1 - extOK*(1-intFail)), nil
+		}
+	case KOfN:
+		if k < 1 || k > len(reqs) {
+			return 0, fmt.Errorf("%w: K=%d with %d requests", ErrBadCombine, k, len(reqs))
+		}
+		switch dependency {
+		case NoSharing:
+			probs := make([]float64, len(reqs))
+			for i, r := range reqs {
+				probs[i] = 1 - r.Total() // success probability
+			}
+			return clamp01(poissonBinomialTailBelow(probs, k)), nil
+		case Sharing:
+			extOK := 1.0
+			probs := make([]float64, len(reqs))
+			for i, r := range reqs {
+				extOK *= 1 - r.Ext
+				probs[i] = 1 - r.Int // success given no external failure
+			}
+			fewerThanK := poissonBinomialTailBelow(probs, k)
+			return clamp01((1 - extOK) + extOK*fewerThanK), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: completion=%v dependency=%v", ErrBadCombine, completion, dependency)
+}
+
+// poissonBinomialTailBelow returns P[X < k] where X is the number of
+// successes among independent Bernoulli trials with the given success
+// probabilities, computed by the standard O(n·k) dynamic program.
+func poissonBinomialTailBelow(success []float64, k int) float64 {
+	n := len(success)
+	// dist[j] = P[#successes among trials seen so far == j], truncated at k
+	// successes (we only need P[X < k], so probabilities at >= k collapse).
+	dist := make([]float64, k+1)
+	dist[0] = 1
+	for i := 0; i < n; i++ {
+		p := success[i]
+		for j := k; j >= 1; j-- {
+			dist[j] = dist[j]*(1-p) + dist[j-1]*p
+		}
+		dist[0] *= 1 - p
+	}
+	var tail float64
+	for j := 0; j < k; j++ {
+		tail += dist[j]
+	}
+	return tail
+}

@@ -1,0 +1,289 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestFailureTotal(t *testing.T) {
+	// Equation (8): Ptotal = 1 - (1-Pint)(1-Pext).
+	r := RequestFailure{Int: 0.1, Ext: 0.2}
+	want := 1 - 0.9*0.8
+	if !approxEq(r.Total(), want, 1e-15) {
+		t.Errorf("Total = %g, want %g", r.Total(), want)
+	}
+}
+
+func TestExtFailure(t *testing.T) {
+	// Connector and service failures compose per equation (8)'s
+	// decomposition.
+	if got := ExtFailure(0, 0); got != 0 {
+		t.Errorf("ExtFailure(0,0) = %g", got)
+	}
+	if got := ExtFailure(1, 0); got != 1 {
+		t.Errorf("ExtFailure(1,0) = %g", got)
+	}
+	want := 1 - 0.9*0.7
+	if got := ExtFailure(0.1, 0.3); !approxEq(got, want, 1e-15) {
+		t.Errorf("ExtFailure = %g, want %g", got, want)
+	}
+}
+
+func randomReqs(rng *rand.Rand, n int) []RequestFailure {
+	reqs := make([]RequestFailure, n)
+	for i := range reqs {
+		reqs[i] = RequestFailure{Int: rng.Float64(), Ext: rng.Float64()}
+	}
+	return reqs
+}
+
+func TestCombineEmptyStateNeverFails(t *testing.T) {
+	for _, comp := range []Completion{AND, OR} {
+		f, err := CombineState(comp, NoSharing, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != 0 {
+			t.Errorf("%v: empty state f = %g", comp, f)
+		}
+	}
+}
+
+func TestCombineANDNoSharingHand(t *testing.T) {
+	// Equation (6) with two requests.
+	reqs := []RequestFailure{{Int: 0.1, Ext: 0.2}, {Int: 0.05, Ext: 0.3}}
+	f, err := CombineState(AND, NoSharing, 0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (0.9*0.8)*(0.95*0.7)
+	if !approxEq(f, want, 1e-15) {
+		t.Errorf("f = %g, want %g", f, want)
+	}
+}
+
+func TestCombineORNoSharingHand(t *testing.T) {
+	// Equation (7) with two requests.
+	reqs := []RequestFailure{{Int: 0.1, Ext: 0.2}, {Int: 0.05, Ext: 0.3}}
+	f, err := CombineState(OR, NoSharing, 0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - 0.9*0.8) * (1 - 0.95*0.7)
+	if !approxEq(f, want, 1e-15) {
+		t.Errorf("f = %g, want %g", f, want)
+	}
+}
+
+func TestCombineORSharingHand(t *testing.T) {
+	// Equation (12) with two requests.
+	reqs := []RequestFailure{{Int: 0.1, Ext: 0.2}, {Int: 0.05, Ext: 0.3}}
+	f, err := CombineState(OR, Sharing, 0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extOK := 0.8 * 0.7
+	intFail := 0.1 * 0.05
+	want := 1 - extOK*(1-intFail)
+	if !approxEq(f, want, 1e-15) {
+		t.Errorf("f = %g, want %g", f, want)
+	}
+}
+
+// TestANDSharingInvariance verifies the paper's analytical identity: under
+// the AND completion model, sharing does not change the state failure
+// probability (eq. 6+8 == eq. 11+13).
+func TestANDSharingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		reqs := randomReqs(rng, rng.Intn(7)+1)
+		a, err1 := CombineState(AND, NoSharing, 0, reqs)
+		b, err2 := CombineState(AND, Sharing, 0, reqs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestORSharingPessimism verifies the qualitative claim of section 3.2:
+// under the OR completion model, sharing can only hurt (the shared external
+// service correlates the replicas' failures), so f_sharing >= f_nosharing.
+func TestORSharingPessimism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		reqs := randomReqs(rng, rng.Intn(7)+1)
+		ns, err1 := CombineState(OR, NoSharing, 0, reqs)
+		sh, err2 := CombineState(OR, Sharing, 0, reqs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sh >= ns-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestORSharingDiffersFromNoSharing reproduces the paper's observation that
+// (unlike AND) the two dependency models give different results for OR.
+func TestORSharingDiffersFromNoSharing(t *testing.T) {
+	reqs := []RequestFailure{{Int: 0.01, Ext: 0.3}, {Int: 0.01, Ext: 0.3}}
+	ns, err := CombineState(OR, NoSharing, 0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := CombineState(OR, Sharing, 0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ns-sh) < 1e-6 {
+		t.Errorf("OR sharing (%g) ≈ no sharing (%g); expected a clear difference", sh, ns)
+	}
+}
+
+// TestKOfNReducesToANDOR verifies the k-of-n generalization: K = n matches
+// AND and K = 1 matches OR, under both dependency models.
+func TestKOfNReducesToANDOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dep := range []Dependency{NoSharing, Sharing} {
+		f := func() bool {
+			n := rng.Intn(6) + 1
+			reqs := randomReqs(rng, n)
+			and, err := CombineState(AND, dep, 0, reqs)
+			if err != nil {
+				return false
+			}
+			kn, err := CombineState(KOfN, dep, n, reqs)
+			if err != nil {
+				return false
+			}
+			or, err := CombineState(OR, dep, 0, reqs)
+			if err != nil {
+				return false
+			}
+			k1, err := CombineState(KOfN, dep, 1, reqs)
+			if err != nil {
+				return false
+			}
+			return math.Abs(and-kn) < 1e-12 && math.Abs(or-k1) < 1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("dependency %v: %v", dep, err)
+		}
+	}
+}
+
+// TestKOfNMonotoneInK verifies that requiring more completions can only
+// increase the failure probability.
+func TestKOfNMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dep := range []Dependency{NoSharing, Sharing} {
+		for trial := 0; trial < 200; trial++ {
+			n := rng.Intn(6) + 2
+			reqs := randomReqs(rng, n)
+			prev := -1.0
+			for k := 1; k <= n; k++ {
+				f, err := CombineState(KOfN, dep, k, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f < prev-1e-12 {
+					t.Fatalf("dep %v: f(K=%d) = %g < f(K=%d) = %g", dep, k, f, k-1, prev)
+				}
+				prev = f
+			}
+		}
+	}
+}
+
+func TestCombineStateErrors(t *testing.T) {
+	reqs := randomReqs(rand.New(rand.NewSource(5)), 3)
+	if _, err := CombineState(KOfN, NoSharing, 0, reqs); !errors.Is(err, ErrBadCombine) {
+		t.Errorf("K=0 error = %v", err)
+	}
+	if _, err := CombineState(KOfN, NoSharing, 4, reqs); !errors.Is(err, ErrBadCombine) {
+		t.Errorf("K>n error = %v", err)
+	}
+	if _, err := CombineState(Completion(99), NoSharing, 0, reqs); !errors.Is(err, ErrBadCombine) {
+		t.Errorf("bad completion error = %v", err)
+	}
+	if _, err := CombineState(AND, Dependency(99), 0, reqs); !errors.Is(err, ErrBadCombine) {
+		t.Errorf("bad dependency error = %v", err)
+	}
+	bad := []RequestFailure{{Int: -0.1, Ext: 0.5}}
+	if _, err := CombineState(AND, NoSharing, 0, bad); !errors.Is(err, ErrBadCombine) {
+		t.Errorf("bad probability error = %v", err)
+	}
+}
+
+// TestCombineProbabilityBounds is a property test: every combination is a
+// probability.
+func TestCombineProbabilityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		n := rng.Intn(6) + 1
+		reqs := randomReqs(rng, n)
+		for _, comp := range []Completion{AND, OR} {
+			for _, dep := range []Dependency{NoSharing, Sharing} {
+				v, err := CombineState(comp, dep, 0, reqs)
+				if err != nil || v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		k := rng.Intn(n) + 1
+		for _, dep := range []Dependency{NoSharing, Sharing} {
+			v, err := CombineState(KOfN, dep, k, reqs)
+			if err != nil || v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKOfNAgainstBruteForce cross-checks the Poisson-binomial DP against
+// exhaustive enumeration over all 2^n outcomes.
+func TestKOfNAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(5) + 1
+		k := rng.Intn(n) + 1
+		reqs := randomReqs(rng, n)
+		got, err := CombineState(KOfN, NoSharing, k, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: sum over all outcome masks with < k successes.
+		var want float64
+		for mask := 0; mask < (1 << n); mask++ {
+			successes := 0
+			p := 1.0
+			for j := 0; j < n; j++ {
+				ps := 1 - reqs[j].Total()
+				if mask&(1<<j) != 0 {
+					p *= ps
+					successes++
+				} else {
+					p *= 1 - ps
+				}
+			}
+			if successes < k {
+				want += p
+			}
+		}
+		if !approxEq(got, want, 1e-12) {
+			t.Errorf("trial %d (n=%d k=%d): DP %g vs brute force %g", trial, n, k, got, want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"socrel/internal/expr"
+)
+
+// Connector roles used by the LPC and RPC connector flows. Assemblies bind
+// these roles to concrete cpu and network resources.
+const (
+	// RoleCPU is the single processing role of the LPC connector.
+	RoleCPU = "cpu"
+	// RoleClientCPU is the client-side processing role of RPC (marshal /
+	// unmarshal on the caller's node).
+	RoleClientCPU = "clientcpu"
+	// RoleServerCPU is the server-side processing role of RPC.
+	RoleServerCPU = "servercpu"
+	// RoleNet is the communication role of RPC.
+	RoleNet = "net"
+)
+
+// NewLPC builds the "local procedure call" connector of Figure 2: a
+// composite service with formal parameters (ip, op) — the sizes of the data
+// transmitted to and from the callee — that requires only a processing
+// service for the constant number of control-transfer operations l.
+// Its software failure rate is zero (all Internal expressions nil), per
+// section 4.
+//
+// The single request targets the RoleCPU role.
+func NewLPC(name string, l float64) (*Composite, error) {
+	c := NewComposite(name, []string{"ip", "op"}, Attrs{"l": l})
+	st, err := c.Flow().AddState("xfer", AND, NoSharing)
+	if err != nil {
+		return nil, err
+	}
+	st.AddRequest(Request{
+		Role:   RoleCPU,
+		Params: []expr.Expr{expr.Var("l")},
+	})
+	if err := c.Flow().AddTransitionP(StartState, "xfer", 1); err != nil {
+		return nil, err
+	}
+	if err := c.Flow().AddTransitionP("xfer", EndState, 1); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewRPC builds the "remote procedure call" connector of Figure 2: two
+// AND states — request transport (marshal ip on the client, transmit m·ip,
+// unmarshal on the server) and response transport (marshal op on the
+// server, transmit m·op, unmarshal on the client). Processing costs are
+// c operations per size unit and communication costs m bytes per size
+// unit. Its software failure rate is zero, per section 4.
+//
+// Requests target the RoleClientCPU, RoleServerCPU and RoleNet roles.
+func NewRPC(name string, c, m float64) (*Composite, error) {
+	conn := NewComposite(name, []string{"ip", "op"}, Attrs{"c": c, "m": m})
+	req, err := conn.Flow().AddState("request", AND, NoSharing)
+	if err != nil {
+		return nil, err
+	}
+	req.AddRequest(Request{Role: RoleClientCPU, Params: []expr.Expr{expr.MustParse("c * ip")}})
+	req.AddRequest(Request{Role: RoleNet, Params: []expr.Expr{expr.MustParse("m * ip")}})
+	req.AddRequest(Request{Role: RoleServerCPU, Params: []expr.Expr{expr.MustParse("c * ip")}})
+	resp, err := conn.Flow().AddState("response", AND, NoSharing)
+	if err != nil {
+		return nil, err
+	}
+	resp.AddRequest(Request{Role: RoleServerCPU, Params: []expr.Expr{expr.MustParse("c * op")}})
+	resp.AddRequest(Request{Role: RoleNet, Params: []expr.Expr{expr.MustParse("m * op")}})
+	resp.AddRequest(Request{Role: RoleClientCPU, Params: []expr.Expr{expr.MustParse("c * op")}})
+	for _, e := range []struct {
+		from, to string
+	}{
+		{StartState, "request"},
+		{"request", "response"},
+		{"response", EndState},
+	} {
+		if err := conn.Flow().AddTransitionP(e.from, e.to, 1); err != nil {
+			return nil, err
+		}
+	}
+	return conn, nil
+}
+
+// SoftwareFailure returns the internal-failure expression of equation (14)
+// for a request executing opsExpr operations in a component with software
+// failure rate phi per operation: 1 - (1-phi)^ops. The phi argument is an
+// expression so callers can reference an attribute (e.g. expr.Var("phi"))
+// or a literal.
+func SoftwareFailure(phi, opsExpr expr.Expr) expr.Expr {
+	return expr.Sub(expr.Num(1), expr.Pow(expr.Sub(expr.Num(1), phi), opsExpr))
+}

@@ -1,0 +1,118 @@
+package model
+
+import (
+	"fmt"
+
+	"socrel/internal/expr"
+)
+
+// Additional connector families beyond the paper's Figure 2. Section 2
+// observes that a connector "can also represent a complex architectural
+// element carrying out tasks that are not limited to the mere transmission
+// of some information, but could also include services such as security
+// and fault-tolerance"; these constructors realize the fault-tolerance
+// side using the completion and dependency models of section 3.2.
+
+// RoleTransport is the role the fault-tolerance connectors delegate to:
+// assemblies bind it to an underlying transport connector (e.g. an RPC
+// connector), whose (ip, op) parameters are forwarded unchanged.
+const RoleTransport = "transport"
+
+// NewKOfNTransport builds a redundant transport connector: the request is
+// sent over n transport channels and at least k must deliver it. With
+// dependency NoSharing the channels are independent (true spatial
+// redundancy); with Sharing they run over one shared channel (the paper's
+// sharing model), in which case redundancy buys much less.
+//
+// NewKOfNTransport(name, n, 1, NoSharing) is a retry/failover connector;
+// NewKOfNTransport(name, n, n, dep) degenerates to n sequential mandatory
+// deliveries.
+func NewKOfNTransport(name string, n, k int, dep Dependency) (*Composite, error) {
+	if n < 1 || k < 1 || k > n {
+		return nil, fmt.Errorf("%w: k-of-n transport with n=%d k=%d", ErrInvalidService, n, k)
+	}
+	c := NewComposite(name, []string{"ip", "op"}, nil)
+	completion := KOfN
+	st, err := c.Flow().AddState("deliver", completion, dep)
+	if err != nil {
+		return nil, err
+	}
+	st.K = k
+	for i := 0; i < n; i++ {
+		st.AddRequest(Request{
+			Role:   RoleTransport,
+			Params: []expr.Expr{expr.Var("ip"), expr.Var("op")},
+		})
+	}
+	if err := c.Flow().AddTransitionP(StartState, "deliver", 1); err != nil {
+		return nil, err
+	}
+	if err := c.Flow().AddTransitionP("deliver", EndState, 1); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewRetry builds a fault-tolerance connector that makes up to attempts
+// independent delivery attempts over the underlying transport, at least
+// one of which must succeed. Under the fail-stop/no-repair model,
+// independent sequential retries and independent parallel attempts have
+// the same success probability, so this is the 1-of-n special case of
+// NewKOfNTransport with independent channels.
+func NewRetry(name string, attempts int) (*Composite, error) {
+	return NewKOfNTransport(name, attempts, 1, NoSharing)
+}
+
+// NewQueue builds a store-and-forward (message queue) connector: the
+// request travels client -> broker -> server and the response back, each
+// hop paying marshaling (c operations per size unit, like RPC) and
+// transmission (m bytes per size unit) on its own network segment.
+//
+// Roles: RoleClientCPU, RoleServerCPU, "brokercpu", "net1" (client side),
+// "net2" (server side). Its software failure rate is zero, like the
+// paper's LPC/RPC connectors.
+func NewQueue(name string, c, m float64) (*Composite, error) {
+	conn := NewComposite(name, []string{"ip", "op"}, Attrs{"c": c, "m": m})
+	type leg struct {
+		state string
+		size  string // "ip" or "op"
+		net   string
+		from  string // cpu doing the marshal
+		to    string // cpu doing the unmarshal
+	}
+	legs := []leg{
+		{"toBroker", "ip", "net1", RoleClientCPU, RoleBrokerCPU},
+		{"toServer", "ip", "net2", RoleBrokerCPU, RoleServerCPU},
+		{"replyToBroker", "op", "net2", RoleServerCPU, RoleBrokerCPU},
+		{"replyToClient", "op", "net1", RoleBrokerCPU, RoleClientCPU},
+	}
+	prev := StartState
+	for _, l := range legs {
+		st, err := conn.Flow().AddState(l.state, AND, NoSharing)
+		if err != nil {
+			return nil, err
+		}
+		procCost := expr.MustParse("c * " + l.size)
+		st.AddRequest(Request{Role: l.from, Params: []expr.Expr{procCost}})
+		st.AddRequest(Request{Role: l.net, Params: []expr.Expr{expr.MustParse("m * " + l.size)}})
+		st.AddRequest(Request{Role: l.to, Params: []expr.Expr{procCost}})
+		if err := conn.Flow().AddTransitionP(prev, l.state, 1); err != nil {
+			return nil, err
+		}
+		prev = l.state
+	}
+	if err := conn.Flow().AddTransitionP(prev, EndState, 1); err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Queue connector roles beyond the shared cpu roles.
+const (
+	// RoleBrokerCPU is the queue broker's processing role.
+	RoleBrokerCPU = "brokercpu"
+	// RoleNet1 is the client-to-broker network segment role.
+	RoleNet1 = "net1"
+	// RoleNet2 is the broker-to-server network segment role.
+	RoleNet2 = "net2"
+)

@@ -1,0 +1,82 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestKOfNTransportStructure(t *testing.T) {
+	c, err := NewKOfNTransport("rep", 3, 2, NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	st := c.Flow().State("deliver")
+	if st.Completion != KOfN || st.K != 2 || len(st.Requests) != 3 {
+		t.Errorf("state = %+v", st)
+	}
+	if got := c.Roles(); len(got) != 1 || got[0] != RoleTransport {
+		t.Errorf("Roles = %v", got)
+	}
+	if got := c.FormalParams(); len(got) != 2 || got[0] != "ip" || got[1] != "op" {
+		t.Errorf("FormalParams = %v", got)
+	}
+}
+
+func TestKOfNTransportBadArgs(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{0, 1}, {3, 0}, {3, 4}, {-1, -1}} {
+		if _, err := NewKOfNTransport("x", tc.n, tc.k, NoSharing); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("n=%d k=%d: error = %v", tc.n, tc.k, err)
+		}
+	}
+}
+
+func TestRetryIsOneOfN(t *testing.T) {
+	c, err := NewRetry("retry", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Flow().State("deliver")
+	if st.K != 1 || len(st.Requests) != 4 || st.Dependency != NoSharing {
+		t.Errorf("state = %+v", st)
+	}
+}
+
+func TestQueueStructure(t *testing.T) {
+	q, err := NewQueue("mq", 10, 270)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	roles := q.Roles()
+	want := map[string]bool{
+		RoleClientCPU: true, RoleServerCPU: true, RoleBrokerCPU: true,
+		RoleNet1: true, RoleNet2: true,
+	}
+	if len(roles) != len(want) {
+		t.Fatalf("Roles = %v", roles)
+	}
+	for _, r := range roles {
+		if !want[r] {
+			t.Errorf("unexpected role %q", r)
+		}
+	}
+	// Four sequential AND states of three requests each.
+	working := 0
+	for _, st := range q.Flow().States() {
+		if st.Name == StartState || st.Name == EndState {
+			continue
+		}
+		working++
+		if st.Completion != AND || len(st.Requests) != 3 {
+			t.Errorf("state %q = %+v", st.Name, st)
+		}
+	}
+	if working != 4 {
+		t.Errorf("working states = %d, want 4", working)
+	}
+}

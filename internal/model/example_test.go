@@ -1,0 +1,61 @@
+package model_test
+
+import (
+	"fmt"
+
+	"socrel/internal/model"
+)
+
+// ExampleNewCPU shows the closed-form failure law of equation (1).
+func ExampleNewCPU() {
+	cpu := model.NewCPU("cpu1", 1e9, 1e-4) // 1 GOPS, 1e-4 failures/s
+	p, err := cpu.Pfail([]float64{5e9})    // five seconds of work
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("Pfail(cpu, 5e9 ops) = %.6f\n", p)
+	// Output:
+	// Pfail(cpu, 5e9 ops) = 0.000500
+}
+
+// ExampleCombineState compares the OR completion model with and without
+// service sharing — the analytical centerpiece of section 3.2.
+func ExampleCombineState() {
+	// Three replicas, each with internal failure 0.01 and external
+	// failure 0.2.
+	reqs := []model.RequestFailure{
+		{Int: 0.01, Ext: 0.2},
+		{Int: 0.01, Ext: 0.2},
+		{Int: 0.01, Ext: 0.2},
+	}
+	independent, err := model.CombineState(model.OR, model.NoSharing, 0, reqs)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	shared, err := model.CombineState(model.OR, model.Sharing, 0, reqs)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("independent replicas: f = %.6f\n", independent)
+	fmt.Printf("shared service:       f = %.6f\n", shared)
+	// Output:
+	// independent replicas: f = 0.008999
+	// shared service:       f = 0.488001
+}
+
+// ExampleNewRPC shows the Figure 2 RPC connector structure.
+func ExampleNewRPC() {
+	rpc, err := model.NewRPC("rpc", 10, 270)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("roles:", rpc.Roles())
+	fmt.Println("params:", rpc.FormalParams())
+	// Output:
+	// roles: [clientcpu net servercpu]
+	// params: [ip op]
+}

@@ -1,0 +1,215 @@
+// Package model defines the service model of the paper: analytic
+// interfaces for simple and composite services, usage-profile flows whose
+// states hold sets of cascading service requests, completion models
+// (AND, OR, and the k-out-of-n generalization), dependency models
+// (sharing / no sharing), and the connector constructions of section 4
+// (local processing, LPC, RPC).
+//
+// Everything that may depend on a service's formal parameters — actual
+// parameters of cascading requests, transition probabilities, internal and
+// simple-service failure laws — is an expression tree from internal/expr,
+// which is what makes the model compositional and serializable.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"socrel/internal/expr"
+)
+
+// Reserved flow state names.
+const (
+	// StartState is the entry point of every flow; it models no real
+	// behavior and can never fail (section 3.2).
+	StartState = "Start"
+	// EndState is the absorbing state representing successful completion.
+	EndState = "End"
+	// FailState is the absorbing failure state added by the engine when
+	// augmenting a flow with its failure structure. It must not appear in
+	// user flows.
+	FailState = "Fail"
+)
+
+// Errors returned by model construction and validation.
+var (
+	// ErrInvalidService is returned when a service definition is malformed.
+	ErrInvalidService = errors.New("model: invalid service")
+	// ErrUnknownService is returned by resolvers when a name has no
+	// definition.
+	ErrUnknownService = errors.New("model: unknown service")
+	// ErrNoBinding is returned by resolvers when a (caller, role) pair has
+	// no binding.
+	ErrNoBinding = errors.New("model: no binding")
+	// ErrArity is returned when a service is invoked with the wrong number
+	// of actual parameters.
+	ErrArity = errors.New("model: wrong number of parameters")
+)
+
+// Attrs holds the named numeric attributes published in an analytic
+// interface (speeds, failure rates, bandwidths, ...). Attribute values are
+// visible as identifiers in the service's expressions; formal parameters
+// shadow attributes of the same name.
+type Attrs = expr.Env
+
+// Service is an analytic interface: something that offers a single named
+// service with formal parameters and attributes. Implementations are
+// *Simple and *Composite.
+type Service interface {
+	// Name returns the unique service name.
+	Name() string
+	// FormalParams returns the ordered formal parameter names.
+	FormalParams() []string
+	// Attributes returns the published attributes (not a copy; callers
+	// must not modify).
+	Attributes() Attrs
+	// Validate checks structural well-formedness.
+	Validate() error
+}
+
+// Env builds the evaluation environment for a service invocation:
+// attributes overridden by formal parameters bound to actual values.
+func Env(s Service, params []float64) (expr.Env, error) {
+	formals := s.FormalParams()
+	if len(params) != len(formals) {
+		return nil, fmt.Errorf("%w: %s expects %d, got %d", ErrArity, s.Name(), len(formals), len(params))
+	}
+	env := make(expr.Env, len(formals)+len(s.Attributes()))
+	for k, v := range s.Attributes() {
+		env[k] = v
+	}
+	for i, f := range formals {
+		env[f] = params[i]
+	}
+	return env, nil
+}
+
+// Simple is a service that requires no other service: its failure
+// probability is a known closed-form function of its formal parameters and
+// attributes (section 3.1).
+type Simple struct {
+	name    string
+	formals []string
+	attrs   Attrs
+	pfail   expr.Expr
+}
+
+var _ Service = (*Simple)(nil)
+
+// NewSimple defines a simple service whose failure probability is given by
+// the pfail expression over formals and attrs.
+func NewSimple(name string, formals []string, attrs Attrs, pfail expr.Expr) *Simple {
+	return &Simple{name: name, formals: append([]string(nil), formals...), attrs: attrs, pfail: pfail}
+}
+
+// NewCPU returns a processing resource per equation (1):
+// Pfail(cpu, N) = 1 - exp(-lambda*N/s), with speed s (operations per time
+// unit) and failure rate lambda (failures per time unit).
+func NewCPU(name string, speed, failureRate float64) *Simple {
+	return NewSimple(name, []string{"N"},
+		Attrs{"s": speed, "lambda": failureRate},
+		expr.MustParse("1 - exp(-lambda * N / s)"))
+}
+
+// NewNetwork returns a communication resource per equation (2):
+// Pfail(net, B) = 1 - exp(-beta*B/b), with bandwidth b (bytes per time
+// unit) and failure rate beta (failures per time unit).
+func NewNetwork(name string, bandwidth, failureRate float64) *Simple {
+	return NewSimple(name, []string{"B"},
+		Attrs{"b": bandwidth, "beta": failureRate},
+		expr.MustParse("1 - exp(-beta * B / b)"))
+}
+
+// NewPerfect returns a perfectly reliable service with the given formal
+// parameters (all ignored). Section 3.1 uses these for "local processing"
+// connectors that are pure modeling artifacts.
+func NewPerfect(name string, formals ...string) *Simple {
+	return NewSimple(name, formals, nil, expr.Num(0))
+}
+
+// NewConstant returns a service with a constant failure probability.
+func NewConstant(name string, pfail float64, formals ...string) *Simple {
+	return NewSimple(name, formals, nil, expr.Num(pfail))
+}
+
+// Name implements Service.
+func (s *Simple) Name() string { return s.name }
+
+// FormalParams implements Service.
+func (s *Simple) FormalParams() []string { return append([]string(nil), s.formals...) }
+
+// Attributes implements Service.
+func (s *Simple) Attributes() Attrs { return s.attrs }
+
+// PfailExpr returns the failure-law expression.
+func (s *Simple) PfailExpr() expr.Expr { return s.pfail }
+
+// Pfail evaluates the failure probability for the given actual parameters,
+// clamped to [0, 1].
+func (s *Simple) Pfail(params []float64) (float64, error) {
+	env, err := Env(s, params)
+	if err != nil {
+		return 0, err
+	}
+	v, err := s.pfail.Eval(env)
+	if err != nil {
+		return 0, fmt.Errorf("model: Pfail(%s): %w", s.name, err)
+	}
+	return clamp01(v), nil
+}
+
+// Validate implements Service.
+func (s *Simple) Validate() error {
+	if s.name == "" {
+		return fmt.Errorf("%w: empty name", ErrInvalidService)
+	}
+	if s.pfail == nil {
+		return fmt.Errorf("%w: %s has no failure law", ErrInvalidService, s.name)
+	}
+	if err := checkFreeVars(s.pfail, s.formals, s.attrs); err != nil {
+		return fmt.Errorf("%w: %s failure law: %v", ErrInvalidService, s.name, err)
+	}
+	return seenDuplicates(s.name, s.formals)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// checkFreeVars verifies that every free identifier of e is either a formal
+// parameter or an attribute.
+func checkFreeVars(e expr.Expr, formals []string, attrs Attrs) error {
+	known := make(map[string]bool, len(formals)+len(attrs))
+	for _, f := range formals {
+		known[f] = true
+	}
+	for a := range attrs {
+		known[a] = true
+	}
+	for _, v := range expr.Vars(e) {
+		if !known[v] {
+			return fmt.Errorf("unbound identifier %q", v)
+		}
+	}
+	return nil
+}
+
+func seenDuplicates(name string, formals []string) error {
+	seen := make(map[string]bool, len(formals))
+	for _, f := range formals {
+		if f == "" {
+			return fmt.Errorf("%w: %s has an empty formal parameter", ErrInvalidService, name)
+		}
+		if seen[f] {
+			return fmt.Errorf("%w: %s has duplicate formal parameter %q", ErrInvalidService, name, f)
+		}
+		seen[f] = true
+	}
+	return nil
+}

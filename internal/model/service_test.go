@@ -1,0 +1,480 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socrel/internal/expr"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCPUFailureLaw(t *testing.T) {
+	// Equation (1): Pfail(cpu, N) = 1 - exp(-lambda*N/s).
+	cpu := NewCPU("cpu1", 1e9, 1e-4)
+	p, err := cpu.Pfail([]float64{1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Exp(-1e-4)
+	if !approxEq(p, want, 1e-15) {
+		t.Errorf("Pfail = %g, want %g", p, want)
+	}
+	// Zero work never fails.
+	p, err = cpu.Pfail([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("Pfail(0 ops) = %g, want 0", p)
+	}
+}
+
+func TestNetworkFailureLaw(t *testing.T) {
+	// Equation (2): Pfail(net, B) = 1 - exp(-beta*B/b).
+	net := NewNetwork("net12", 1e6, 1e-2)
+	p, err := net.Pfail([]float64{5e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Exp(-1e-2*0.5)
+	if !approxEq(p, want, 1e-15) {
+		t.Errorf("Pfail = %g, want %g", p, want)
+	}
+}
+
+func TestPerfectAndConstant(t *testing.T) {
+	loc := NewPerfect("loc1", "ip", "op")
+	p, err := loc.Pfail([]float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("perfect Pfail = %g", p)
+	}
+	c := NewConstant("flaky", 0.25)
+	p, err = c.Pfail(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.25 {
+		t.Errorf("constant Pfail = %g", p)
+	}
+}
+
+func TestPfailArity(t *testing.T) {
+	cpu := NewCPU("cpu1", 1e9, 1e-4)
+	if _, err := cpu.Pfail(nil); !errors.Is(err, ErrArity) {
+		t.Errorf("error = %v, want ErrArity", err)
+	}
+	if _, err := cpu.Pfail([]float64{1, 2}); !errors.Is(err, ErrArity) {
+		t.Errorf("error = %v, want ErrArity", err)
+	}
+}
+
+func TestPfailClamped(t *testing.T) {
+	s := NewSimple("weird", []string{"x"}, nil, expr.MustParse("x"))
+	p, err := s.Pfail([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("Pfail clamped = %g, want 1", p)
+	}
+	p, err = s.Pfail([]float64{-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("Pfail clamped = %g, want 0", p)
+	}
+}
+
+func TestSimpleValidate(t *testing.T) {
+	good := NewCPU("cpu1", 1e9, 1e-4)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid simple rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		s    *Simple
+	}{
+		{"empty name", NewSimple("", nil, nil, expr.Num(0))},
+		{"nil law", NewSimple("x", nil, nil, nil)},
+		{"unbound var", NewSimple("x", []string{"a"}, nil, expr.MustParse("a + ghost"))},
+		{"duplicate formals", NewSimple("x", []string{"a", "a"}, nil, expr.Num(0))},
+		{"empty formal", NewSimple("x", []string{""}, nil, expr.Num(0))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.s.Validate(); !errors.Is(err, ErrInvalidService) {
+				t.Errorf("Validate = %v, want ErrInvalidService", err)
+			}
+		})
+	}
+}
+
+func TestEnvShadowing(t *testing.T) {
+	// Formal parameters shadow attributes of the same name.
+	s := NewSimple("x", []string{"v"}, Attrs{"v": 99, "w": 7}, expr.MustParse("v + w"))
+	env, err := Env(s, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["v"] != 1 || env["w"] != 7 {
+		t.Errorf("env = %v", env)
+	}
+}
+
+func TestFormalParamsCopied(t *testing.T) {
+	s := NewCPU("cpu1", 1, 1)
+	fp := s.FormalParams()
+	fp[0] = "mutated"
+	if s.FormalParams()[0] != "N" {
+		t.Error("FormalParams aliases internal storage")
+	}
+}
+
+func TestFlowConstruction(t *testing.T) {
+	f := NewFlow()
+	if f.State(StartState) == nil || f.State(EndState) == nil {
+		t.Fatal("missing reserved states")
+	}
+	st, err := f.AddState("work", AND, NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(Request{Role: "cpu", Params: []expr.Expr{expr.Num(5)}})
+	if got := f.State("work"); got == nil || len(got.Requests) != 1 {
+		t.Errorf("State(work) = %+v", got)
+	}
+	if err := f.AddTransitionP(StartState, "work", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddTransitionP("work", EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Transitions()); got != 2 {
+		t.Errorf("Transitions = %d", got)
+	}
+	if got := len(f.States()); got != 3 {
+		t.Errorf("States = %d", got)
+	}
+}
+
+func TestFlowReservedAndDuplicateStates(t *testing.T) {
+	f := NewFlow()
+	for _, name := range []string{StartState, EndState, FailState} {
+		if _, err := f.AddState(name, AND, NoSharing); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("AddState(%q) error = %v", name, err)
+		}
+	}
+	if _, err := f.AddState("a", AND, NoSharing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddState("a", OR, Sharing); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("duplicate AddState error = %v", err)
+	}
+}
+
+func TestFlowTransitionErrors(t *testing.T) {
+	f := NewFlow()
+	if err := f.AddTransitionP("ghost", EndState, 1); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("error = %v", err)
+	}
+	if err := f.AddTransitionP(StartState, "ghost", 1); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("error = %v", err)
+	}
+	if err := f.AddTransitionP(EndState, StartState, 1); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("transition out of End error = %v", err)
+	}
+}
+
+// buildValidComposite builds a minimal valid composite for validation tests.
+func buildValidComposite(t *testing.T) *Composite {
+	t.Helper()
+	c := NewComposite("svc", []string{"n"}, Attrs{"phi": 1e-6})
+	st, err := c.Flow().AddState("s1", AND, NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(Request{
+		Role:     "cpu",
+		Params:   []expr.Expr{expr.MustParse("n * log2(n)")},
+		Internal: SoftwareFailure(expr.Var("phi"), expr.MustParse("n * log2(n)")),
+	})
+	if err := c.Flow().AddTransitionP(StartState, "s1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("s1", EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompositeValidate(t *testing.T) {
+	c := buildValidComposite(t)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid composite rejected: %v", err)
+	}
+	if got := c.Roles(); len(got) != 1 || got[0] != "cpu" {
+		t.Errorf("Roles = %v", got)
+	}
+}
+
+func TestCompositeValidateRejects(t *testing.T) {
+	t.Run("start with requests", func(t *testing.T) {
+		c := buildValidComposite(t)
+		c.Flow().State(StartState).AddRequest(Request{Role: "cpu"})
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+	t.Run("dangling state", func(t *testing.T) {
+		c := buildValidComposite(t)
+		if _, err := c.Flow().AddState("orphan", AND, NoSharing); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+	t.Run("bad KofN", func(t *testing.T) {
+		c := buildValidComposite(t)
+		c.Flow().State("s1").Completion = KOfN
+		c.Flow().State("s1").K = 5 // more than the single request
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+	t.Run("no completion model", func(t *testing.T) {
+		c := buildValidComposite(t)
+		c.Flow().State("s1").Completion = 0
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+	t.Run("no dependency model", func(t *testing.T) {
+		c := buildValidComposite(t)
+		c.Flow().State("s1").Dependency = 0
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+	t.Run("unbound transition expr", func(t *testing.T) {
+		c := buildValidComposite(t)
+		if err := c.Flow().AddTransition("s1", EndState, expr.Var("ghost")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+	t.Run("unbound request param", func(t *testing.T) {
+		c := buildValidComposite(t)
+		c.Flow().State("s1").AddRequest(Request{Role: "cpu", Params: []expr.Expr{expr.Var("ghost")}})
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+	t.Run("empty role", func(t *testing.T) {
+		c := buildValidComposite(t)
+		c.Flow().State("s1").AddRequest(Request{Role: ""})
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+	t.Run("sharing with mixed roles", func(t *testing.T) {
+		c := buildValidComposite(t)
+		st := c.Flow().State("s1")
+		st.Dependency = Sharing
+		st.AddRequest(Request{Role: "other"})
+		if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+			t.Errorf("error = %v", err)
+		}
+	})
+}
+
+func TestLPCStructure(t *testing.T) {
+	lpc, err := NewLPC("lpc", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lpc.Validate(); err != nil {
+		t.Errorf("LPC invalid: %v", err)
+	}
+	if got := lpc.FormalParams(); len(got) != 2 || got[0] != "ip" || got[1] != "op" {
+		t.Errorf("FormalParams = %v", got)
+	}
+	if got := lpc.Roles(); len(got) != 1 || got[0] != RoleCPU {
+		t.Errorf("Roles = %v", got)
+	}
+}
+
+func TestRPCStructure(t *testing.T) {
+	rpc, err := NewRPC("rpc", 10, 270)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rpc.Validate(); err != nil {
+		t.Errorf("RPC invalid: %v", err)
+	}
+	roles := rpc.Roles()
+	want := []string{RoleClientCPU, RoleNet, RoleServerCPU}
+	if len(roles) != len(want) {
+		t.Fatalf("Roles = %v, want %v", roles, want)
+	}
+	for i := range want {
+		if roles[i] != want[i] {
+			t.Fatalf("Roles = %v, want %v", roles, want)
+		}
+	}
+	// Two working states with three requests each (Figure 2).
+	var working int
+	for _, st := range rpc.Flow().States() {
+		if st.Name == StartState || st.Name == EndState {
+			continue
+		}
+		working++
+		if len(st.Requests) != 3 {
+			t.Errorf("state %q has %d requests, want 3", st.Name, len(st.Requests))
+		}
+		if st.Completion != AND {
+			t.Errorf("state %q completion = %v, want AND", st.Name, st.Completion)
+		}
+	}
+	if working != 2 {
+		t.Errorf("RPC has %d working states, want 2", working)
+	}
+}
+
+func TestSoftwareFailure(t *testing.T) {
+	// Equation (14): 1 - (1-phi)^N.
+	e := SoftwareFailure(expr.Num(1e-3), expr.Var("N"))
+	v, err := e.Eval(expr.Env{"N": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(1-1e-3, 1000)
+	if !approxEq(v, want, 1e-12) {
+		t.Errorf("software failure = %g, want %g", v, want)
+	}
+}
+
+func TestCompletionDependencyStrings(t *testing.T) {
+	if AND.String() != "AND" || OR.String() != "OR" || KOfN.String() != "KofN" {
+		t.Error("completion String() mismatch")
+	}
+	if NoSharing.String() != "NoSharing" || Sharing.String() != "Sharing" {
+		t.Error("dependency String() mismatch")
+	}
+	if Completion(99).String() == "" || Dependency(99).String() == "" {
+		t.Error("unknown enums must still render")
+	}
+}
+
+func TestCompositeValidateConstantSums(t *testing.T) {
+	// Constant transition probabilities that do not sum to one are caught
+	// statically.
+	c := buildValidComposite(t)
+	if err := c.Flow().AddTransitionP("s1", EndState, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("error = %v, want ErrInvalidService for sum 1.5", err)
+	}
+	// A constant probability outside [0, 1] is caught too.
+	c2 := buildValidComposite(t)
+	if _, err := c2.Flow().AddState("s2", AND, NoSharing); err != nil {
+		t.Fatal(err)
+	}
+	// Rewire: s1 -> s2 with probability 1.3 (and remove validity by
+	// construction): build a fresh composite instead.
+	c3 := NewComposite("bad", nil, nil)
+	st, err := c3.Flow().AddState("s", AND, NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+	if err := c3.Flow().AddTransition(StartState, "s", expr.Num(1.3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Flow().AddTransitionP("s", EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Validate(); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("error = %v, want ErrInvalidService for P=1.3", err)
+	}
+	// Parameter-dependent probabilities defer the check to evaluation.
+	c4 := NewComposite("deferred", []string{"q"}, nil)
+	st4, err := c4.Flow().AddState("s", AND, NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st4
+	if err := c4.Flow().AddTransition(StartState, "s", expr.Var("q")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c4.Flow().AddTransitionP("s", EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c4.Validate(); err != nil {
+		t.Errorf("parametric transitions must not fail static validation: %v", err)
+	}
+	// Attribute-valued probabilities are resolved statically via Bind.
+	c5 := NewComposite("attrprob", nil, Attrs{"q": 0.4})
+	st5, err := c5.Flow().AddState("a", AND, NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st5
+	if _, err := c5.Flow().AddState("b", AND, NoSharing); err != nil {
+		t.Fatal(err)
+	}
+	if err := c5.Flow().AddTransition(StartState, "a", expr.Var("q")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c5.Flow().AddTransition(StartState, "b", expr.MustParse("1 - q")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c5.Flow().AddTransitionP("a", EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c5.Flow().AddTransitionP("b", EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c5.Validate(); err != nil {
+		t.Errorf("attribute-probability flow rejected: %v", err)
+	}
+}
+
+func TestCompositeValidateDuplicateTransition(t *testing.T) {
+	// Duplicate (from, to) edges are ambiguous (the engine would overwrite
+	// where the simulator would sum), so validation rejects them.
+	c := NewComposite("dup", nil, nil)
+	if _, err := c.Flow().AddState("a", AND, NoSharing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Flow().AddState("b", AND, NoSharing); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP(StartState, "a", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP(StartState, "a", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP(StartState, "b", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("a", EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("b", EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("error = %v, want ErrInvalidService for duplicate edge", err)
+	}
+}

@@ -1,0 +1,32 @@
+package monitor_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"socrel/internal/monitor"
+)
+
+// Example monitors a deployed service whose true reliability has dropped
+// below the engine's prediction; the sequential test raises the alarm.
+func Example() {
+	m, err := monitor.New(monitor.Config{
+		Predicted: 0.95, // what the engine promised
+		Degraded:  0.85, // the degradation level worth alarming on
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := 0
+	for m.SPRT() == monitor.Undecided {
+		m.Record(rng.Float64() < 0.85) // the service actually runs at 0.85
+		n++
+	}
+	fmt.Println("verdict:", m.SPRT())
+	fmt.Println("decided within 500 observations:", n < 500)
+	// Output:
+	// verdict: violating prediction
+	// decided within 500 observations: true
+}

@@ -1,0 +1,231 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Predicted: 0},
+		{Predicted: 1},
+		{Predicted: -0.5},
+		{Predicted: 0.9, Degraded: 0.95}, // degraded above predicted
+		{Predicted: 0.9, Degraded: -0.1},
+		{Predicted: 0.9, Alpha: 2},
+		{Predicted: 0.9, Beta: -1},
+		{Predicted: 0.9, Window: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %d: error = %v", i, err)
+		}
+	}
+	if _, err := New(Config{Predicted: 0.9}); err != nil {
+		t.Errorf("defaulted config rejected: %v", err)
+	}
+}
+
+func TestEstimates(t *testing.T) {
+	m, err := New(Config{Predicted: 0.9, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cumulative() != 0 || m.Windowed() != 0 {
+		t.Error("empty monitor should report 0")
+	}
+	outcomes := []bool{true, true, false, true, true, true}
+	for _, o := range outcomes {
+		m.Record(o)
+	}
+	if m.Total() != 6 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	if got := m.Cumulative(); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("Cumulative = %g", got)
+	}
+	// Window of 4 sees the last four: false->shifted out; last 4 = F T T T?
+	// outcomes[2:] = F T T T -> 3/4.
+	if got := m.Windowed(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Windowed = %g", got)
+	}
+}
+
+func TestSPRTDetectsDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := New(Config{Predicted: 0.95, Degraded: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed outcomes at the degraded rate; must reach Violating.
+	steps := 0
+	for m.SPRT() == Undecided && steps < 100000 {
+		m.Record(rng.Float64() < 0.85)
+		steps++
+	}
+	if m.SPRT() != Violating {
+		t.Fatalf("verdict = %v after %d steps", m.SPRT(), steps)
+	}
+	if steps > 2000 {
+		t.Errorf("SPRT took %d observations, expected a quick decision", steps)
+	}
+}
+
+func TestSPRTAcceptsHealthyService(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := New(Config{Predicted: 0.95, Degraded: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for m.SPRT() == Undecided && steps < 100000 {
+		m.Record(rng.Float64() < 0.95)
+		steps++
+	}
+	if m.SPRT() != Meeting {
+		t.Fatalf("verdict = %v after %d steps", m.SPRT(), steps)
+	}
+}
+
+func TestSPRTErrorRates(t *testing.T) {
+	// Empirical false-alarm rate at the predicted level stays near alpha.
+	const trials = 200
+	falseAlarms := 0
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < trials; trial++ {
+		m, err := New(Config{Predicted: 0.9, Degraded: 0.7, Alpha: 0.05, Beta: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m.SPRT() == Undecided {
+			m.Record(rng.Float64() < 0.9)
+		}
+		if m.SPRT() == Violating {
+			falseAlarms++
+		}
+	}
+	rate := float64(falseAlarms) / trials
+	if rate > 0.12 { // alpha=0.05 with generous slack for 200 trials
+		t.Errorf("false alarm rate = %g, want ~0.05", rate)
+	}
+}
+
+func TestResetSPRT(t *testing.T) {
+	m, err := New(Config{Predicted: 0.95, Degraded: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		m.Record(false)
+	}
+	if m.SPRT() != Violating {
+		t.Fatalf("verdict = %v", m.SPRT())
+	}
+	m.ResetSPRT()
+	if m.SPRT() != Undecided {
+		t.Error("reset did not re-arm the test")
+	}
+	if m.Total() != 50 {
+		t.Error("reset must keep cumulative statistics")
+	}
+}
+
+func TestIntervalCheck(t *testing.T) {
+	m, err := New(Config{Predicted: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.IntervalCheck(1.96, 100); v != Undecided {
+		t.Errorf("verdict with no data = %v", v)
+	}
+	// 2000 observations at 70%: clearly violating a 0.9 prediction.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		m.Record(rng.Float64() < 0.7)
+	}
+	if v := m.IntervalCheck(1.96, 100); v != Violating {
+		t.Errorf("verdict = %v, want Violating", v)
+	}
+	// A healthy service meets the prediction.
+	m2, err := New(Config{Predicted: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		m2.Record(rng.Float64() < 0.9)
+	}
+	if v := m2.IntervalCheck(1.96, 100); v != Meeting {
+		t.Errorf("verdict = %v, want Meeting", v)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Undecided.String() == "" || Meeting.String() == "" || Violating.String() == "" ||
+		Verdict(42).String() == "" {
+		t.Error("empty verdict strings")
+	}
+}
+
+// TestMonitorAgainstSimulatedAssembly closes the paper's loop: predict the
+// remote assembly's reliability, deploy it (the simulator), monitor the
+// outcomes, and confirm the monitor reports the prediction as met — then
+// degrade the network and confirm a violation is detected.
+func TestMonitorAgainstSimulatedAssembly(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	p.Gamma = 5e-2
+	asm, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := core.New(asm, core.Options{}).Reliability("search", 1, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := New(Config{Predicted: predicted, Degraded: predicted * 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(asm, sim.Options{Seed: 5})
+	for i := 0; i < 20000 && m.SPRT() == Undecided; i++ {
+		ok, err := s.Invoke("search", 1, 4096, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Record(ok)
+	}
+	if m.SPRT() != Meeting {
+		t.Fatalf("healthy deployment verdict = %v (observed %g, predicted %g)",
+			m.SPRT(), m.Cumulative(), predicted)
+	}
+
+	// The network degrades 4x; the same prediction must now be violated.
+	pBad := p
+	pBad.Gamma = 2e-1
+	asmBad, err := assembly.RemoteAssembly(pBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(Config{Predicted: predicted, Degraded: predicted * 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBad := sim.New(asmBad, sim.Options{Seed: 6})
+	for i := 0; i < 20000 && m2.SPRT() == Undecided; i++ {
+		ok, err := sBad.Invoke("search", 1, 4096, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2.Record(ok)
+	}
+	if m2.SPRT() != Violating {
+		t.Fatalf("degraded deployment verdict = %v (observed %g, predicted %g)",
+			m2.SPRT(), m2.Cumulative(), predicted)
+	}
+}

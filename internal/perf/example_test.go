@@ -1,0 +1,41 @@
+package perf_test
+
+import (
+	"fmt"
+
+	"socrel/internal/assembly"
+	"socrel/internal/perf"
+)
+
+// Example computes the expected execution time of the paper's search
+// service under both assemblies — the §6 performance extension.
+func Example() {
+	p := assembly.DefaultPaperParams()
+	for _, tc := range []struct {
+		name  string
+		build func(assembly.PaperParams) (*assembly.Assembly, error)
+	}{
+		{"local", assembly.LocalAssembly},
+		{"remote", assembly.RemoteAssembly},
+	} {
+		asm, err := tc.build(p)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		prof := perf.New(asm)
+		if err := prof.UseCanonicalCosts(asm.ServiceNames()); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		t, err := prof.ExpectedTime("search", 1, 1024, 1)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%s: E[T] = %.3e s\n", tc.name, t)
+	}
+	// Output:
+	// local: E[T] = 1.013e-05 s
+	// remote: E[T] = 2.493e+00 s
+}

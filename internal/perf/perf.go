@@ -1,0 +1,286 @@
+// Package perf extends the reliability framework to the performance QoS
+// dimension, as the paper's conclusion suggests ("the presented ideas can
+// also be extended ... to other QoS aspects (e.g. performance)").
+//
+// The same analytic interfaces are reused: simple services get a cost law
+// (expected service time as an expression of their parameters and
+// attributes, e.g. N/s for a processor), and composite services accumulate
+// the expected cost of their flows via the Markov reward structure —
+// expected visits to each state times the state's expected cost — with
+// cascading requests evaluated recursively, including connector transport
+// costs.
+package perf
+
+import (
+	"errors"
+	"fmt"
+
+	"socrel/internal/expr"
+	"socrel/internal/markov"
+	"socrel/internal/model"
+)
+
+// ErrNoCost is returned when a simple service has no registered cost law.
+var ErrNoCost = errors.New("perf: no cost law for service")
+
+// Profile computes expected execution times over a resolver. Cost laws are
+// registered per simple service; composite services derive their cost from
+// their flows.
+type Profile struct {
+	resolver model.Resolver
+	costs    map[string]expr.Expr
+	memo     map[string]float64
+	active   map[string]bool
+}
+
+// New returns an empty performance profile over the resolver.
+func New(resolver model.Resolver) *Profile {
+	return &Profile{
+		resolver: resolver,
+		costs:    make(map[string]expr.Expr),
+		memo:     make(map[string]float64),
+		active:   make(map[string]bool),
+	}
+}
+
+// SetCost registers the expected-time law of a simple service as an
+// expression over its formal parameters and attributes.
+func (p *Profile) SetCost(service string, law expr.Expr) {
+	p.costs[service] = law
+	p.memo = make(map[string]float64) // cost laws changed; drop cache
+}
+
+// CPUCost is the canonical processing cost law N/s: the abstract parameter
+// N divided by the speed attribute s.
+func CPUCost() expr.Expr { return expr.MustParse("N / s") }
+
+// NetCost is the canonical communication cost law B/b.
+func NetCost() expr.Expr { return expr.MustParse("B / b") }
+
+// UseCanonicalCosts registers CPUCost/NetCost for every registered service
+// whose attributes look like a cpu (s and lambda) or a network (b and
+// beta), and zero cost for perfect services. Services with explicit
+// SetCost calls are left untouched.
+func (p *Profile) UseCanonicalCosts(names []string) error {
+	for _, name := range names {
+		if _, ok := p.costs[name]; ok {
+			continue
+		}
+		svc, err := p.resolver.ServiceByName(name)
+		if err != nil {
+			return err
+		}
+		simple, ok := svc.(*model.Simple)
+		if !ok {
+			continue
+		}
+		attrs := simple.Attributes()
+		if _, hasS := attrs["s"]; hasS {
+			p.costs[name] = CPUCost()
+			continue
+		}
+		if _, hasB := attrs["b"]; hasB {
+			p.costs[name] = NetCost()
+			continue
+		}
+		p.costs[name] = expr.Num(0)
+	}
+	return nil
+}
+
+// SimpleCost returns the execution time of one invocation of the named
+// simple service, evaluating its registered cost law. It implements the
+// sim package's Coster interface, letting the fault-injection simulator
+// accumulate response times along its walks.
+func (p *Profile) SimpleCost(service string, params []float64) (float64, error) {
+	svc, err := p.resolver.ServiceByName(service)
+	if err != nil {
+		return 0, err
+	}
+	simple, ok := svc.(*model.Simple)
+	if !ok {
+		return 0, fmt.Errorf("perf: %q is not a simple service", service)
+	}
+	law, ok := p.costs[service]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoCost, service)
+	}
+	env, err := model.Env(simple, params)
+	if err != nil {
+		return 0, err
+	}
+	t, err := law.Eval(env)
+	if err != nil {
+		return 0, fmt.Errorf("perf: cost of %s: %w", service, err)
+	}
+	return t, nil
+}
+
+// ExpectedTime returns the expected execution time of the named service
+// with the given actual parameters. Failures are ignored: the flow is
+// traversed with its nominal probabilities (the time of a successful
+// execution profile).
+func (p *Profile) ExpectedTime(service string, params ...float64) (float64, error) {
+	svc, err := p.resolver.ServiceByName(service)
+	if err != nil {
+		return 0, err
+	}
+	return p.expectedTime(svc, params)
+}
+
+func invocationKey(name string, params []float64) string {
+	key := name
+	for _, v := range params {
+		key += fmt.Sprintf("|%.17g", v)
+	}
+	return key
+}
+
+func (p *Profile) expectedTime(svc model.Service, params []float64) (float64, error) {
+	key := invocationKey(svc.Name(), params)
+	if t, ok := p.memo[key]; ok {
+		return t, nil
+	}
+	if p.active[key] {
+		return 0, fmt.Errorf("perf: recursive assembly at %s(%v)", svc.Name(), params)
+	}
+
+	switch s := svc.(type) {
+	case *model.Simple:
+		law, ok := p.costs[s.Name()]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoCost, s.Name())
+		}
+		env, err := model.Env(s, params)
+		if err != nil {
+			return 0, err
+		}
+		t, err := law.Eval(env)
+		if err != nil {
+			return 0, fmt.Errorf("perf: cost of %s: %w", s.Name(), err)
+		}
+		p.memo[key] = t
+		return t, nil
+
+	case *model.Composite:
+		p.active[key] = true
+		defer delete(p.active, key)
+		t, err := p.compositeTime(s, params)
+		if err != nil {
+			return 0, err
+		}
+		p.memo[key] = t
+		return t, nil
+
+	default:
+		return 0, fmt.Errorf("%w: unsupported service type %T", model.ErrInvalidService, svc)
+	}
+}
+
+// compositeTime computes expected visits of each flow state times the
+// state's per-visit cost (the summed cost of its requests, including
+// connector transport).
+func (p *Profile) compositeTime(svc *model.Composite, params []float64) (float64, error) {
+	env, err := model.Env(svc, params)
+	if err != nil {
+		return 0, err
+	}
+	flow := svc.Flow()
+	chain := markov.New()
+	chain.AddState(model.StartState)
+	chain.AddState(model.EndState)
+	for _, tr := range flow.Transitions() {
+		prob, err := tr.Prob.Eval(env)
+		if err != nil {
+			return 0, fmt.Errorf("perf: %s transition %s -> %s: %w", svc.Name(), tr.From, tr.To, err)
+		}
+		if err := chain.SetTransition(tr.From, tr.To, clamp01(prob)); err != nil {
+			return 0, fmt.Errorf("perf: %s: %w", svc.Name(), err)
+		}
+	}
+
+	rewards := make(map[string]float64)
+	for _, st := range flow.States() {
+		if st.Name == model.StartState || st.Name == model.EndState {
+			continue
+		}
+		var stateCost float64
+		for _, req := range st.Requests {
+			c, err := p.requestCost(svc, req, env)
+			if err != nil {
+				return 0, fmt.Errorf("perf: %s state %q: %w", svc.Name(), st.Name, err)
+			}
+			stateCost += c
+		}
+		rewards[st.Name] = stateCost
+	}
+
+	abs, err := markov.NewAbsorbing(chain, markov.MethodAuto)
+	if err != nil {
+		return 0, fmt.Errorf("perf: %s: %w", svc.Name(), err)
+	}
+	return abs.ExpectedReward(model.StartState, rewards)
+}
+
+// requestCost is the expected time of one request: connector transport plus
+// provider execution. Requests of a state are assumed to execute
+// sequentially (their costs add), the conservative choice for a
+// single-threaded orchestration.
+func (p *Profile) requestCost(svc *model.Composite, req model.Request, env expr.Env) (float64, error) {
+	providerName, connectorName, err := p.resolver.Bind(svc.Name(), req.Role)
+	if errors.Is(err, model.ErrNoBinding) {
+		providerName, connectorName = req.Role, ""
+	} else if err != nil {
+		return 0, err
+	}
+	provider, err := p.resolver.ServiceByName(providerName)
+	if err != nil {
+		return 0, err
+	}
+	apVals, err := evalAll(req.Params, env)
+	if err != nil {
+		return 0, err
+	}
+	total, err := p.expectedTime(provider, apVals)
+	if err != nil {
+		return 0, err
+	}
+	if connectorName != "" {
+		connector, err := p.resolver.ServiceByName(connectorName)
+		if err != nil {
+			return 0, err
+		}
+		cpVals, err := evalAll(req.ConnParams, env)
+		if err != nil {
+			return 0, err
+		}
+		ct, err := p.expectedTime(connector, cpVals)
+		if err != nil {
+			return 0, err
+		}
+		total += ct
+	}
+	return total, nil
+}
+
+func evalAll(exprs []expr.Expr, env expr.Env) ([]float64, error) {
+	out := make([]float64, len(exprs))
+	for i, e := range exprs {
+		v, err := e.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,225 @@
+package perf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func paperProfile(t *testing.T, asm *assembly.Assembly) *Profile {
+	t.Helper()
+	p := New(asm)
+	if err := p.UseCanonicalCosts(asm.ServiceNames()); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSimpleCPUCost(t *testing.T) {
+	asm := assembly.New("t")
+	asm.MustAddService(model.NewCPU("cpu1", 1e9, 1e-10))
+	p := paperProfile(t, asm)
+	got, err := p.ExpectedTime("cpu1", 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, 2, 1e-12) {
+		t.Errorf("ExpectedTime = %g, want 2", got)
+	}
+}
+
+func TestSimpleNetCost(t *testing.T) {
+	asm := assembly.New("t")
+	asm.MustAddService(model.NewNetwork("net", 1e5, 1e-2))
+	p := paperProfile(t, asm)
+	got, err := p.ExpectedTime("net", 5e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, 0.5, 1e-12) {
+		t.Errorf("ExpectedTime = %g, want 0.5", got)
+	}
+}
+
+func TestMissingCostLaw(t *testing.T) {
+	asm := assembly.New("t")
+	asm.MustAddService(model.NewCPU("cpu1", 1e9, 1e-10))
+	p := New(asm) // no canonical costs
+	if _, err := p.ExpectedTime("cpu1", 1); !errors.Is(err, ErrNoCost) {
+		t.Errorf("error = %v, want ErrNoCost", err)
+	}
+	if _, err := p.ExpectedTime("ghost"); !errors.Is(err, model.ErrUnknownService) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestPerfectServicesZeroCost(t *testing.T) {
+	asm := assembly.New("t")
+	asm.MustAddService(model.NewPerfect("loc", "ip", "op"))
+	p := paperProfile(t, asm)
+	got, err := p.ExpectedTime("loc", 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("ExpectedTime = %g, want 0", got)
+	}
+}
+
+// TestPaperSearchTimeHandComputed verifies the composite accumulation on
+// the paper's local assembly against the hand-derived expectation:
+// E[T] = q * (T_lpc + T_sort1) + T_lookup
+// where T_lpc = l/s1, T_sort1 = L*log2(L)/s1, T_lookup = log2(L)/s1.
+func TestPaperSearchTimeHandComputed(t *testing.T) {
+	pp := assembly.DefaultPaperParams()
+	asm, err := assembly.LocalAssembly(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := paperProfile(t, asm)
+	list := 4096.0
+	got, err := p.ExpectedTime("search", 1, list, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pp.Q*(pp.L/pp.S1+list*math.Log2(list)/pp.S1) + math.Log2(list)/pp.S1
+	if !approxEq(got, want, 1e-15) {
+		t.Errorf("ExpectedTime = %g, want %g", got, want)
+	}
+}
+
+// TestRemoteSlowerThanLocal mirrors Figure 6 in the time domain
+// (experiment T7): with the default constants the remote assembly pays the
+// RPC marshaling and transmission costs, so it is slower.
+func TestRemoteSlowerThanLocal(t *testing.T) {
+	pp := assembly.DefaultPaperParams()
+	local, err := assembly.LocalAssembly(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := assembly.RemoteAssembly(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, list := range []float64{16, 1024, 1 << 20} {
+		tl, err := paperProfile(t, local).ExpectedTime("search", 1, list, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := paperProfile(t, remote).ExpectedTime("search", 1, list, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr <= tl {
+			t.Errorf("list=%g: remote %g should be slower than local %g", list, tr, tl)
+		}
+	}
+}
+
+// TestRemoteTimeHandComputed checks the RPC transport cost explicitly:
+// E[T_remote] = q*(T_rpc + T_sort2) + T_lookup with
+// T_rpc = 2*c*(ip+op)/s1... split across both cpus and the network.
+func TestRemoteTimeHandComputed(t *testing.T) {
+	pp := assembly.DefaultPaperParams()
+	asm, err := assembly.RemoteAssembly(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := paperProfile(t, asm)
+	elem, list, res := 1.0, 1024.0, 1.0
+	got, err := p.ExpectedTime("search", elem, list, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, op := elem+list, res
+	tRPC := pp.C*ip/pp.S1 + pp.M*ip/pp.B + pp.C*ip/pp.S2 + // request leg
+		pp.C*op/pp.S2 + pp.M*op/pp.B + pp.C*op/pp.S1 // response leg
+	tSort := list * math.Log2(list) / pp.S2
+	tLookup := math.Log2(list) / pp.S1
+	want := pp.Q*(tRPC+tSort) + tLookup
+	if !approxEq(got, want, 1e-15) {
+		t.Errorf("ExpectedTime = %g, want %g", got, want)
+	}
+}
+
+func TestLoopingFlowTime(t *testing.T) {
+	// s -> s with prob r: expected visits 1/(1-r), each visit costs c.
+	asm := assembly.New("t")
+	asm.MustAddService(model.NewCPU("cpu", 1, 0)) // cost law N/s = N
+	c := model.NewComposite("app", nil, nil)
+	st, err := c.Flow().AddState("s", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "cpu", Params: []expr.Expr{expr.Num(3)}})
+	if err := c.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("s", "s", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("s", model.EndState, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(c)
+	p := paperProfile(t, asm)
+	got, err := p.ExpectedTime("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, 6, 1e-12) { // 2 expected visits * cost 3
+		t.Errorf("ExpectedTime = %g, want 6", got)
+	}
+}
+
+func TestRecursiveAssemblyRejected(t *testing.T) {
+	asm := assembly.New("t")
+	c := model.NewComposite("a", nil, nil)
+	st, err := c.Flow().AddState("s", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "a"})
+	if err := c.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(c)
+	p := paperProfile(t, asm)
+	if _, err := p.ExpectedTime("a"); err == nil {
+		t.Error("expected recursion error")
+	}
+}
+
+func TestSetCostOverride(t *testing.T) {
+	asm := assembly.New("t")
+	asm.MustAddService(model.NewCPU("cpu1", 1e9, 0))
+	p := New(asm)
+	p.SetCost("cpu1", expr.MustParse("2 * N / s"))
+	got, err := p.ExpectedTime("cpu1", 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, 2, 1e-12) {
+		t.Errorf("overridden cost = %g, want 2", got)
+	}
+	// UseCanonicalCosts must not clobber the explicit law.
+	if err := p.UseCanonicalCosts(asm.ServiceNames()); err != nil {
+		t.Fatal(err)
+	}
+	got, err = p.ExpectedTime("cpu1", 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, 2, 1e-12) {
+		t.Errorf("cost after UseCanonicalCosts = %g, want 2", got)
+	}
+}

@@ -1,0 +1,47 @@
+package propagation_test
+
+import (
+	"fmt"
+
+	"socrel/internal/markov"
+	"socrel/internal/model"
+	"socrel/internal/propagation"
+)
+
+// Example shows what fail-stop analyses miss: a pipeline whose first stage
+// silently corrupts 10% of its outputs while the second stage detects only
+// half of the corrupted inputs.
+func Example() {
+	flow := markov.New()
+	for _, tr := range []struct{ from, to string }{
+		{model.StartState, "produce"},
+		{"produce", "consume"},
+		{"consume", model.EndState},
+	} {
+		if err := flow.SetTransition(tr.from, tr.to, 1); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	a := propagation.New(flow)
+	if err := a.SetBehavior("produce", propagation.Behavior{PIntro: 0.1}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := a.SetBehavior("consume", propagation.Behavior{PDetect: 0.5}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := a.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("correct:           %.2f\n", res.PCorrect)
+	fmt.Printf("silently erroneous: %.2f\n", res.PErroneous)
+	fmt.Printf("visibly failed:     %.2f\n", res.PFailed)
+	// Output:
+	// correct:           0.90
+	// silently erroneous: 0.05
+	// visibly failed:     0.05
+}

@@ -1,0 +1,252 @@
+// Package propagation releases the paper's fail-stop assumption — the
+// extension its conclusion explicitly defers ("the fail-stop assumption
+// ... should be released to deal also with error propagation aspects
+// [11]", citing Laprie's dependability taxonomy).
+//
+// Under fail-stop, every fault manifests as a detected service
+// interruption, so an execution either completes correctly or visibly
+// fails. With error propagation, a component may instead produce an
+// *erroneous but undetected* result that contaminates downstream
+// computation. Each flow state therefore gets a behavior quadruple:
+//
+//   - PFail:  probability the state visibly fails (the fail-stop part,
+//     exactly what the reliability engine computes per state);
+//   - PIntro: probability that, having not failed, the state introduces an
+//     error into its output;
+//   - PDetect: probability that a state *receiving* contaminated input
+//     detects the error, turning it into a visible failure (fail-stop
+//     recovery of detectability);
+//   - PMask: probability that a state receiving contaminated input masks
+//     the error (its output is clean despite the dirty input).
+//
+// The analysis builds the product chain (flow state) x (clean | dirty) and
+// solves for the three absorbing outcomes: Correct (End reached with clean
+// data), Erroneous (End reached with contaminated data — the silent
+// failure mass invisible to a fail-stop model), and Failed.
+package propagation
+
+import (
+	"errors"
+	"fmt"
+
+	"socrel/internal/core"
+	"socrel/internal/markov"
+	"socrel/internal/model"
+)
+
+// ErrBadBehavior is returned for probabilities outside [0, 1] or an
+// inconsistent detect/mask split.
+var ErrBadBehavior = errors.New("propagation: invalid state behavior")
+
+// Behavior is the error-propagation behavior of one flow state.
+type Behavior struct {
+	// PFail is the visible (fail-stop) failure probability of the state.
+	PFail float64
+	// PIntro is the probability of introducing an error given no visible
+	// failure.
+	PIntro float64
+	// PDetect is the probability of detecting contaminated input
+	// (resulting in a visible failure).
+	PDetect float64
+	// PMask is the probability of masking contaminated input (clean
+	// output). The remaining mass 1-PDetect-PMask propagates the error.
+	PMask float64
+}
+
+func (b Behavior) validate(state string) error {
+	for _, p := range []float64{b.PFail, b.PIntro, b.PDetect, b.PMask} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("%w: state %q has probability %g", ErrBadBehavior, state, p)
+		}
+	}
+	if b.PDetect+b.PMask > 1+1e-12 {
+		return fmt.Errorf("%w: state %q has PDetect+PMask = %g > 1", ErrBadBehavior, state, b.PDetect+b.PMask)
+	}
+	return nil
+}
+
+// Result is the three-way outcome distribution of an execution.
+type Result struct {
+	// PCorrect is the probability of completing with a correct result.
+	PCorrect float64
+	// PErroneous is the probability of completing with an undetected
+	// erroneous result — invisible to a fail-stop analysis.
+	PErroneous float64
+	// PFailed is the probability of a visible failure.
+	PFailed float64
+}
+
+// Reliability returns the strict reliability: correct completion only.
+func (r Result) Reliability() float64 { return r.PCorrect }
+
+// Analysis is an error-propagation model over a flow.
+type Analysis struct {
+	chain     *markov.Chain // the bare flow (Start/states/End), validated
+	behaviors map[string]Behavior
+}
+
+// New creates an analysis over a flow chain. The chain must contain
+// model.StartState and model.EndState; every non-Start/End transient state
+// must get a Behavior via SetBehavior before Run.
+func New(flow *markov.Chain) *Analysis {
+	return &Analysis{chain: flow, behaviors: make(map[string]Behavior)}
+}
+
+// SetBehavior assigns a state's error behavior.
+func (a *Analysis) SetBehavior(state string, b Behavior) error {
+	if err := b.validate(state); err != nil {
+		return err
+	}
+	if _, ok := a.chain.StateIndex(state); !ok {
+		return fmt.Errorf("%w: %q", markov.ErrUnknownState, state)
+	}
+	a.behaviors[state] = b
+	return nil
+}
+
+// Run solves the product chain and returns the outcome distribution.
+func (a *Analysis) Run() (Result, error) {
+	if err := a.chain.Validate(); err != nil {
+		return Result{}, fmt.Errorf("propagation: %w", err)
+	}
+	const (
+		okEnd  = "CorrectEnd"
+		badEnd = "ErroneousEnd"
+		fail   = "Fail"
+	)
+	clean := func(s string) string { return s + "|clean" }
+	dirty := func(s string) string { return s + "|dirty" }
+
+	prod := markov.New()
+	prod.AddState(okEnd)
+	prod.AddState(badEnd)
+	prod.AddState(fail)
+
+	states := a.chain.States()
+	for _, s := range states {
+		if s == model.EndState {
+			continue
+		}
+		if s != model.StartState {
+			if _, ok := a.behaviors[s]; !ok {
+				return Result{}, fmt.Errorf("%w: state %q has no behavior", ErrBadBehavior, s)
+			}
+		}
+		succ := a.chain.Successors(s)
+
+		// Transition helper: from a product state with outcome
+		// probabilities (pFailOut, pCleanOut, pDirtyOut), distribute over
+		// the flow successors, mapping End to the terminal outcomes.
+		emit := func(from string, pFailOut, pCleanOut, pDirtyOut float64) error {
+			if pFailOut > 0 {
+				if err := prod.SetTransition(from, fail, pFailOut); err != nil {
+					return err
+				}
+			}
+			for next, p := range succ {
+				if p == 0 {
+					continue
+				}
+				cleanTo, dirtyTo := clean(next), dirty(next)
+				if next == model.EndState {
+					cleanTo, dirtyTo = okEnd, badEnd
+				}
+				if pCleanOut > 0 {
+					if err := prod.SetTransition(from, cleanTo, pCleanOut*p); err != nil {
+						return err
+					}
+				}
+				if pDirtyOut > 0 {
+					if err := prod.SetTransition(from, dirtyTo, pDirtyOut*p); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+
+		if s == model.StartState {
+			// Start models no behavior: clean pass-through (the paper's
+			// "no failure can occur in it").
+			if err := emit(clean(s), 0, 1, 0); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+		b := a.behaviors[s]
+
+		// Clean input: fail with PFail; otherwise introduce an error with
+		// PIntro.
+		if err := emit(clean(s), b.PFail, (1-b.PFail)*(1-b.PIntro), (1-b.PFail)*b.PIntro); err != nil {
+			return Result{}, err
+		}
+
+		// Dirty input: detect (visible failure), mask (process as clean),
+		// or propagate. Masking still exposes the state's own failure and
+		// error-introduction behavior; propagation keeps the output dirty
+		// but the state can still visibly fail on its own.
+		pProp := 1 - b.PDetect - b.PMask
+		failOut := b.PDetect + (b.PMask+pProp)*b.PFail
+		cleanOut := b.PMask * (1 - b.PFail) * (1 - b.PIntro)
+		dirtyOut := b.PMask*(1-b.PFail)*b.PIntro + pProp*(1-b.PFail)
+		if err := emit(dirty(s), failOut, cleanOut, dirtyOut); err != nil {
+			return Result{}, err
+		}
+	}
+
+	abs, err := markov.NewAbsorbing(prod, markov.MethodAuto)
+	if err != nil {
+		return Result{}, fmt.Errorf("propagation: %w", err)
+	}
+	start := clean(model.StartState)
+	var res Result
+	if res.PCorrect, err = abs.AbsorptionProbability(start, okEnd); err != nil {
+		return Result{}, err
+	}
+	if res.PErroneous, err = abs.AbsorptionProbability(start, badEnd); err != nil {
+		return Result{}, err
+	}
+	if res.PFailed, err = abs.AbsorptionProbability(start, fail); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// FromComposite builds an analysis for a composite service at a concrete
+// parameter point: the per-state visible failure probabilities come from
+// the reliability engine (a core.Report), the flow structure from the
+// composite, and the error behaviors (PIntro/PDetect/PMask) from the
+// supplied map (states absent from the map get zero error behavior —
+// pure fail-stop).
+func FromComposite(resolver model.Resolver, comp *model.Composite, params []float64, opts core.Options, errBehaviors map[string]Behavior) (*Analysis, error) {
+	ev := core.New(resolver, opts)
+	rep, err := ev.Report(comp.Name(), params...)
+	if err != nil {
+		return nil, err
+	}
+	env, err := model.Env(comp, params)
+	if err != nil {
+		return nil, err
+	}
+	chain := markov.New()
+	chain.AddState(model.StartState)
+	chain.AddState(model.EndState)
+	for _, tr := range comp.Flow().Transitions() {
+		p, err := tr.Prob.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("propagation: transition %s -> %s: %w", tr.From, tr.To, err)
+		}
+		if err := chain.SetTransition(tr.From, tr.To, p); err != nil {
+			return nil, err
+		}
+	}
+	a := New(chain)
+	for _, st := range rep.States {
+		b := errBehaviors[st.Name]
+		b.PFail = st.PFail
+		if err := a.SetBehavior(st.Name, b); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

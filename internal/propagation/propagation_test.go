@@ -1,0 +1,293 @@
+package propagation
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/markov"
+	"socrel/internal/model"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// linearChain builds Start -> s1 -> s2 -> End.
+func linearChain(t *testing.T) *markov.Chain {
+	t.Helper()
+	c := markov.New()
+	for _, tr := range []struct{ from, to string }{
+		{model.StartState, "s1"}, {"s1", "s2"}, {"s2", model.EndState},
+	} {
+		if err := c.SetTransition(tr.from, tr.to, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestPureFailStopMatchesReliability(t *testing.T) {
+	// With zero error behavior the analysis reduces to the fail-stop
+	// result: PCorrect = (1-f1)(1-f2), PErroneous = 0.
+	c := linearChain(t)
+	a := New(c)
+	if err := a.SetBehavior("s1", Behavior{PFail: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetBehavior("s2", Behavior{PFail: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.PCorrect, 0.9*0.8, 1e-12) {
+		t.Errorf("PCorrect = %g, want 0.72", res.PCorrect)
+	}
+	if res.PErroneous != 0 {
+		t.Errorf("PErroneous = %g, want 0", res.PErroneous)
+	}
+	if !approxEq(res.PFailed, 1-0.72, 1e-12) {
+		t.Errorf("PFailed = %g", res.PFailed)
+	}
+}
+
+func TestErrorIntroductionHandComputed(t *testing.T) {
+	// s1 introduces errors with 0.3 (never fails); s2 neither detects nor
+	// masks. PErroneous = 0.3, PCorrect = 0.7.
+	c := linearChain(t)
+	a := New(c)
+	if err := a.SetBehavior("s1", Behavior{PIntro: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetBehavior("s2", Behavior{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.PErroneous, 0.3, 1e-12) || !approxEq(res.PCorrect, 0.7, 1e-12) {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestDetectionTurnsErrorsIntoFailures(t *testing.T) {
+	// Full detection downstream: the erroneous mass becomes failures.
+	c := linearChain(t)
+	a := New(c)
+	if err := a.SetBehavior("s1", Behavior{PIntro: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetBehavior("s2", Behavior{PDetect: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.PFailed, 0.3, 1e-12) || res.PErroneous != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestMaskingRestoresCorrectness(t *testing.T) {
+	// Full masking downstream: the erroneous mass is recovered.
+	c := linearChain(t)
+	a := New(c)
+	if err := a.SetBehavior("s1", Behavior{PIntro: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetBehavior("s2", Behavior{PMask: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.PCorrect, 1, 1e-12) {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestMixedDetectMaskPropagate(t *testing.T) {
+	// s1 introduces with 0.4; s2: detect 0.25, mask 0.25, propagate 0.5.
+	c := linearChain(t)
+	a := New(c)
+	if err := a.SetBehavior("s1", Behavior{PIntro: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetBehavior("s2", Behavior{PDetect: 0.25, PMask: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCorrect := 0.6 + 0.4*0.25 // clean path + masked
+	wantErr := 0.4 * 0.5          // propagated
+	wantFail := 0.4 * 0.25        // detected
+	if !approxEq(res.PCorrect, wantCorrect, 1e-12) ||
+		!approxEq(res.PErroneous, wantErr, 1e-12) ||
+		!approxEq(res.PFailed, wantFail, 1e-12) {
+		t.Errorf("result = %+v, want (%g, %g, %g)", res, wantCorrect, wantErr, wantFail)
+	}
+}
+
+// TestOutcomesSumToOne is a property test over random chains/behaviors.
+func TestOutcomesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func() bool {
+		n := rng.Intn(5) + 1
+		c := markov.New()
+		prev := model.StartState
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = "s" + string(rune('0'+i))
+			if err := c.SetTransition(prev, names[i], 1); err != nil {
+				return false
+			}
+			prev = names[i]
+		}
+		if err := c.SetTransition(prev, model.EndState, 1); err != nil {
+			return false
+		}
+		a := New(c)
+		for _, name := range names {
+			d := rng.Float64()
+			m := rng.Float64() * (1 - d)
+			if err := a.SetBehavior(name, Behavior{
+				PFail:   rng.Float64() * 0.5,
+				PIntro:  rng.Float64() * 0.5,
+				PDetect: d,
+				PMask:   m,
+			}); err != nil {
+				return false
+			}
+		}
+		res, err := a.Run()
+		if err != nil {
+			return false
+		}
+		sum := res.PCorrect + res.PErroneous + res.PFailed
+		return approxEq(sum, 1, 1e-9) &&
+			res.PCorrect >= 0 && res.PErroneous >= 0 && res.PFailed >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBehaviorValidation(t *testing.T) {
+	c := linearChain(t)
+	a := New(c)
+	if err := a.SetBehavior("s1", Behavior{PFail: -0.1}); !errors.Is(err, ErrBadBehavior) {
+		t.Errorf("error = %v", err)
+	}
+	if err := a.SetBehavior("s1", Behavior{PDetect: 0.7, PMask: 0.7}); !errors.Is(err, ErrBadBehavior) {
+		t.Errorf("error = %v", err)
+	}
+	if err := a.SetBehavior("ghost", Behavior{}); !errors.Is(err, markov.ErrUnknownState) {
+		t.Errorf("error = %v", err)
+	}
+	// Missing behavior surfaces at Run.
+	if err := a.SetBehavior("s1", Behavior{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(); !errors.Is(err, ErrBadBehavior) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestBranchingFlowPropagation(t *testing.T) {
+	// Start -> a (0.5) -> End, Start -> b (0.5) -> End; only a introduces.
+	c := markov.New()
+	if err := c.SetTransition(model.StartState, "a", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition(model.StartState, "b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition("a", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTransition("b", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := New(c)
+	if err := a.SetBehavior("a", Behavior{PIntro: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetBehavior("b", Behavior{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.PErroneous, 0.2, 1e-12) {
+		t.Errorf("PErroneous = %g, want 0.2", res.PErroneous)
+	}
+}
+
+// TestFromCompositeMatchesEngine verifies the bridge: with zero error
+// behaviors, PCorrect equals the engine's reliability, and with nonzero
+// introduction the silent-failure mass appears.
+func TestFromCompositeMatchesEngine(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	p.Gamma = 5e-2
+	asm, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := asm.ServiceByName("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := svc.(*model.Composite)
+	params := []float64{1, 4096, 1}
+
+	failStop, err := core.New(asm, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero error behaviors: exact fail-stop agreement.
+	a, err := FromComposite(asm, comp, params, core.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.PCorrect, failStop, 1e-12) || res.PErroneous != 0 {
+		t.Errorf("fail-stop bridge: %+v vs engine %g", res, failStop)
+	}
+
+	// The sort state silently corrupts 1% of its outputs; the lookup
+	// state detects half of the corrupted inputs.
+	a2, err := FromComposite(asm, comp, params, core.Options{}, map[string]Behavior{
+		"sort":   {PIntro: 0.01},
+		"lookup": {PDetect: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := a2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PErroneous <= 0 {
+		t.Error("expected a silent-failure mass")
+	}
+	if res2.PCorrect >= failStop {
+		t.Errorf("strict reliability %g should drop below fail-stop %g", res2.PCorrect, failStop)
+	}
+	if !approxEq(res2.PCorrect+res2.PErroneous+res2.PFailed, 1, 1e-9) {
+		t.Errorf("outcomes sum to %g", res2.PCorrect+res2.PErroneous+res2.PFailed)
+	}
+}

@@ -1,0 +1,60 @@
+package registry_test
+
+import (
+	"fmt"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+	"socrel/internal/registry"
+)
+
+// ExampleSelectBinding picks the provider whose *assembly* has the highest
+// predicted reliability — not necessarily the provider with the best own
+// failure rate: here the remote provider is better in isolation but loses
+// once its connector is accounted for.
+func ExampleSelectBinding() {
+	asm := assembly.New("demo")
+	asm.MustAddService(model.NewConstant("near", 0.02, "n")) // worse service, perfect link
+	asm.MustAddService(model.NewConstant("far", 0.005, "n")) // better service...
+	// ...but reached over an unreliable link.
+	asm.MustAddService(model.NewConstant("wan", 0.03, "ip", "op"))
+
+	app := model.NewComposite("app", []string{"n"}, nil)
+	st, err := app.Flow().AddState("s", model.AND, model.NoSharing)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st.AddRequest(model.Request{
+		Role:       "backend",
+		Params:     []expr.Expr{expr.Var("n")},
+		ConnParams: []expr.Expr{expr.Var("n"), expr.Num(1)},
+	})
+	if err := app.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := app.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	asm.MustAddService(app)
+
+	sel, err := registry.SelectBinding(asm, "app", "backend",
+		[]registry.Candidate{
+			{Provider: "near"},
+			{Provider: "far", Connector: "wan"},
+		},
+		core.Options{}, "app", 100)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("selected %s (R = %.4f)\n", sel.Candidate.Provider, sel.Reliability)
+	fmt.Printf("runner-up R = %.4f\n", sel.Ranking[1].Reliability)
+	// Output:
+	// selected near (R = 0.9800)
+	// runner-up R = 0.9651
+}

@@ -1,0 +1,142 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/perf"
+)
+
+// Choice is one open design decision: which candidate should satisfy the
+// (Caller, Role) requirement.
+type Choice struct {
+	Caller     string
+	Role       string
+	Candidates []Candidate
+}
+
+// Configuration is one fully bound point of the design space.
+type Configuration struct {
+	// Picks maps "caller/role" to the chosen candidate, in the order of
+	// the explored choices.
+	Picks []Candidate
+	// Reliability is the predicted reliability of the target invocation.
+	Reliability float64
+	// ExpectedTime is the predicted execution time of the target
+	// invocation; populated only when ExploreOptions.WithTime is set.
+	ExpectedTime float64
+}
+
+// ExploreOptions bounds the design-space enumeration.
+type ExploreOptions struct {
+	// MaxConfigurations caps the cartesian product size (default 10000).
+	MaxConfigurations int
+	// Engine configures the evaluator.
+	Engine core.Options
+	// WithTime additionally evaluates each configuration's expected
+	// execution time (canonical cost laws), enabling Pareto analysis of
+	// the reliability/performance trade-off.
+	WithTime bool
+}
+
+// Explore enumerates the cartesian product of the choices, evaluates the
+// target invocation's reliability for each resulting assembly, and returns
+// all configurations ranked best-first. It generalizes SelectBinding from
+// one open role to a whole deployment space — the paper's "different
+// architectural alternatives ... modeled by simply connecting the same set
+// of services using different connectors".
+func Explore(asm *assembly.Assembly, choices []Choice, opts ExploreOptions, target string, params ...float64) ([]Configuration, error) {
+	if len(choices) == 0 {
+		return nil, ErrNoCandidates
+	}
+	total := 1
+	maxConfigs := opts.MaxConfigurations
+	if maxConfigs <= 0 {
+		maxConfigs = 10000
+	}
+	for _, c := range choices {
+		if len(c.Candidates) == 0 {
+			return nil, fmt.Errorf("%w: choice %s/%s", ErrNoCandidates, c.Caller, c.Role)
+		}
+		if total > maxConfigs/len(c.Candidates) {
+			return nil, fmt.Errorf("registry: design space exceeds %d configurations", maxConfigs)
+		}
+		total *= len(c.Candidates)
+	}
+
+	idx := make([]int, len(choices))
+	out := make([]Configuration, 0, total)
+	for {
+		trial := asm.Clone(asm.Name() + "#explore")
+		picks := make([]Candidate, len(choices))
+		for i, c := range choices {
+			cand := c.Candidates[idx[i]]
+			picks[i] = cand
+			trial.AddBinding(c.Caller, c.Role, cand.Provider, cand.Connector)
+		}
+		if err := trial.Validate(); err != nil {
+			return nil, fmt.Errorf("registry: configuration %v: %w", picks, err)
+		}
+		rel, err := core.New(trial, opts.Engine).Reliability(target, params...)
+		if err != nil {
+			return nil, fmt.Errorf("registry: configuration %v: %w", picks, err)
+		}
+		cfg := Configuration{Picks: picks, Reliability: rel}
+		if opts.WithTime {
+			prof := perf.New(trial)
+			if err := prof.UseCanonicalCosts(trial.ServiceNames()); err != nil {
+				return nil, fmt.Errorf("registry: configuration %v: %w", picks, err)
+			}
+			t, err := prof.ExpectedTime(target, params...)
+			if err != nil {
+				return nil, fmt.Errorf("registry: configuration %v: %w", picks, err)
+			}
+			cfg.ExpectedTime = t
+		}
+		out = append(out, cfg)
+
+		// Advance the mixed-radix counter.
+		pos := len(idx) - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < len(choices[pos].Candidates) {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			break
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Reliability > out[j].Reliability })
+	return out, nil
+}
+
+// ParetoFront filters configurations (evaluated with WithTime) down to the
+// non-dominated set: a configuration survives unless some other one is at
+// least as reliable AND at least as fast, and strictly better in one of
+// the two. The result keeps the input's best-reliability-first order.
+func ParetoFront(configs []Configuration) []Configuration {
+	var out []Configuration
+	for i, c := range configs {
+		dominated := false
+		for j, o := range configs {
+			if i == j {
+				continue
+			}
+			betterOrEqual := o.Reliability >= c.Reliability && o.ExpectedTime <= c.ExpectedTime
+			strictlyBetter := o.Reliability > c.Reliability || o.ExpectedTime < c.ExpectedTime
+			if betterOrEqual && strictlyBetter {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}

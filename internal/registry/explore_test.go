@@ -1,0 +1,191 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+)
+
+// exploreFixture: an app calling two roles, each with two candidate
+// providers of different reliabilities.
+func exploreFixture(t *testing.T) *assembly.Assembly {
+	t.Helper()
+	asm := assembly.New("explore")
+	asm.MustAddService(model.NewConstant("goodA", 0.01))
+	asm.MustAddService(model.NewConstant("badA", 0.2))
+	asm.MustAddService(model.NewConstant("goodB", 0.02))
+	asm.MustAddService(model.NewConstant("badB", 0.3))
+	app := model.NewComposite("app", nil, nil)
+	st, err := app.Flow().AddState("s", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "roleA"})
+	st.AddRequest(model.Request{Role: "roleB"})
+	if err := app.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(app)
+	return asm
+}
+
+func exploreChoices() []Choice {
+	return []Choice{
+		{Caller: "app", Role: "roleA", Candidates: []Candidate{{Provider: "goodA"}, {Provider: "badA"}}},
+		{Caller: "app", Role: "roleB", Candidates: []Candidate{{Provider: "goodB"}, {Provider: "badB"}}},
+	}
+}
+
+func TestExploreRanksConfigurations(t *testing.T) {
+	asm := exploreFixture(t)
+	configs, err := Explore(asm, exploreChoices(), ExploreOptions{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 4 {
+		t.Fatalf("configs = %d, want 4", len(configs))
+	}
+	best := configs[0]
+	if best.Picks[0].Provider != "goodA" || best.Picks[1].Provider != "goodB" {
+		t.Errorf("best = %+v", best.Picks)
+	}
+	want := 0.99 * 0.98
+	if diff := best.Reliability - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("best reliability = %g, want %g", best.Reliability, want)
+	}
+	// Ranked descending.
+	for i := 1; i < len(configs); i++ {
+		if configs[i].Reliability > configs[i-1].Reliability {
+			t.Fatal("configurations not sorted")
+		}
+	}
+	worst := configs[len(configs)-1]
+	if worst.Picks[0].Provider != "badA" || worst.Picks[1].Provider != "badB" {
+		t.Errorf("worst = %+v", worst.Picks)
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	asm := exploreFixture(t)
+	if _, err := Explore(asm, nil, ExploreOptions{}, "app"); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("error = %v", err)
+	}
+	empty := []Choice{{Caller: "app", Role: "roleA"}}
+	if _, err := Explore(asm, empty, ExploreOptions{}, "app"); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := Explore(asm, exploreChoices(), ExploreOptions{MaxConfigurations: 2}, "app"); err == nil {
+		t.Error("expected cap error")
+	}
+	bad := []Choice{{Caller: "app", Role: "roleA", Candidates: []Candidate{{Provider: "ghost"}}}}
+	if _, err := Explore(asm, bad, ExploreOptions{}, "app"); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestExploreDoesNotMutate(t *testing.T) {
+	asm := exploreFixture(t)
+	if _, err := Explore(asm, exploreChoices(), ExploreOptions{}, "app"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := asm.Bind("app", "roleA"); !errors.Is(err, model.ErrNoBinding) {
+		t.Errorf("Explore mutated the input assembly: %v", err)
+	}
+}
+
+// TestExploreMatchesSelectBinding: a single choice degenerates to
+// SelectBinding.
+func TestExploreMatchesSelectBinding(t *testing.T) {
+	asm := exploreFixture(t)
+	asm.AddBinding("app", "roleB", "goodB", "")
+	choice := exploreChoices()[:1]
+	configs, err := Explore(asm, choice, ExploreOptions{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectBinding(asm, "app", "roleA", choice[0].Candidates, core.Options{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if configs[0].Picks[0] != sel.Candidate {
+		t.Errorf("Explore best %+v != SelectBinding %+v", configs[0].Picks[0], sel.Candidate)
+	}
+	if diff := configs[0].Reliability - sel.Reliability; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("reliabilities differ: %g vs %g", configs[0].Reliability, sel.Reliability)
+	}
+}
+
+func TestExploreWithTimeAndPareto(t *testing.T) {
+	// Candidates trade reliability for speed: fastSlow is less reliable
+	// but cheaper than slowSafe; a third option is dominated (worse at
+	// both).
+	asm := assembly.New("pareto")
+	asm.MustAddService(model.NewCPU("fast", 1e9, 1e-3))  // cheap, flaky
+	asm.MustAddService(model.NewCPU("safe", 1e8, 1e-5))  // slow, reliable
+	asm.MustAddService(model.NewCPU("worst", 1e7, 1e-2)) // slow AND flaky
+	app := model.NewComposite("app", nil, nil)
+	st, err := app.Flow().AddState("s", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "node", Params: []expr.Expr{expr.Num(1e8)}})
+	if err := app.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(app)
+
+	choices := []Choice{{
+		Caller: "app", Role: "node",
+		Candidates: []Candidate{{Provider: "fast"}, {Provider: "safe"}, {Provider: "worst"}},
+	}}
+	configs, err := Explore(asm, choices, ExploreOptions{WithTime: true}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 3 {
+		t.Fatalf("configs = %d", len(configs))
+	}
+	for _, c := range configs {
+		if c.ExpectedTime <= 0 {
+			t.Errorf("config %v has no expected time", c.Picks)
+		}
+	}
+	front := ParetoFront(configs)
+	if len(front) != 2 {
+		t.Fatalf("pareto front = %d configurations: %+v", len(front), front)
+	}
+	for _, c := range front {
+		if c.Picks[0].Provider == "worst" {
+			t.Error("dominated configuration survived")
+		}
+	}
+}
+
+func TestParetoFrontDegenerate(t *testing.T) {
+	if got := ParetoFront(nil); got != nil {
+		t.Errorf("ParetoFront(nil) = %v", got)
+	}
+	one := []Configuration{{Reliability: 0.9, ExpectedTime: 1}}
+	if got := ParetoFront(one); len(got) != 1 {
+		t.Errorf("single config front = %v", got)
+	}
+	// Identical configurations: none dominates the other (no strict
+	// improvement), both survive.
+	two := []Configuration{
+		{Reliability: 0.9, ExpectedTime: 1},
+		{Reliability: 0.9, ExpectedTime: 1},
+	}
+	if got := ParetoFront(two); len(got) != 2 {
+		t.Errorf("identical configs front = %v", got)
+	}
+}

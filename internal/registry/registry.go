@@ -1,0 +1,186 @@
+// Package registry provides the service-oriented computing substrate the
+// paper assumes around the prediction engine: a registry where providers
+// publish services (with their analytic interfaces) under capability tags,
+// and a selection procedure that — as the introduction motivates — drives
+// the choice among candidate providers by the predicted reliability of the
+// resulting assembly.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/model"
+)
+
+// Errors returned by the registry.
+var (
+	// ErrAlreadyPublished is returned when a service name is taken.
+	ErrAlreadyPublished = errors.New("registry: service already published")
+	// ErrNotFound is returned when a name or tag has no entries.
+	ErrNotFound = errors.New("registry: not found")
+	// ErrNoCandidates is returned when selection is given no candidates.
+	ErrNoCandidates = errors.New("registry: no candidates")
+)
+
+// Entry is one published service.
+type Entry struct {
+	// Service is the published analytic interface.
+	Service model.Service
+	// Tags are the capability tags the service is discoverable under.
+	Tags []string
+	// Description is free-form provider documentation.
+	Description string
+}
+
+// Registry is a concurrency-safe in-memory service registry.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+	byTag   map[string]map[string]bool
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		entries: make(map[string]Entry),
+		byTag:   make(map[string]map[string]bool),
+	}
+}
+
+// Publish registers a service under the given tags. The service definition
+// is validated first.
+func (r *Registry) Publish(svc model.Service, description string, tags ...string) error {
+	if err := svc.Validate(); err != nil {
+		return fmt.Errorf("registry: publish %s: %w", svc.Name(), err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := svc.Name()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrAlreadyPublished, name)
+	}
+	r.entries[name] = Entry{Service: svc, Tags: append([]string(nil), tags...), Description: description}
+	for _, tag := range tags {
+		if r.byTag[tag] == nil {
+			r.byTag[tag] = make(map[string]bool)
+		}
+		r.byTag[tag][name] = true
+	}
+	return nil
+}
+
+// Unpublish removes a service.
+func (r *Registry) Unpublish(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: service %q", ErrNotFound, name)
+	}
+	delete(r.entries, name)
+	for _, tag := range e.Tags {
+		delete(r.byTag[tag], name)
+	}
+	return nil
+}
+
+// Lookup returns the entry published under name.
+func (r *Registry) Lookup(name string) (Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: service %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Discover returns all entries published under the tag, sorted by name.
+func (r *Registry) Discover(tag string) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byTag[tag]))
+	for n := range r.byTag[tag] {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Entry, len(names))
+	for i, n := range names {
+		out[i] = r.entries[n]
+	}
+	return out
+}
+
+// Names returns all published service names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Candidate is one way of satisfying a required role: a provider reached
+// through a connector (empty = perfect connection).
+type Candidate struct {
+	Provider  string
+	Connector string
+}
+
+// Selection is the outcome of a reliability-driven choice.
+type Selection struct {
+	// Candidate is the winning binding.
+	Candidate Candidate
+	// Reliability is the predicted reliability of the target invocation
+	// under the winning binding.
+	Reliability float64
+	// Ranking lists every evaluated candidate with its predicted
+	// reliability, best first.
+	Ranking []RankedCandidate
+}
+
+// RankedCandidate pairs a candidate with its prediction.
+type RankedCandidate struct {
+	Candidate   Candidate
+	Reliability float64
+}
+
+// SelectBinding evaluates each candidate binding of (caller, role) within
+// the assembly and returns the candidate that maximizes the predicted
+// reliability of invoking target with the given parameters. The assembly
+// passed in is not modified; every candidate's provider and connector must
+// already be registered in it.
+func SelectBinding(asm *assembly.Assembly, caller, role string, candidates []Candidate, opts core.Options, target string, params ...float64) (Selection, error) {
+	if len(candidates) == 0 {
+		return Selection{}, ErrNoCandidates
+	}
+	ranking := make([]RankedCandidate, 0, len(candidates))
+	for _, cand := range candidates {
+		trial := asm.Clone(asm.Name() + "+" + cand.Provider)
+		trial.AddBinding(caller, role, cand.Provider, cand.Connector)
+		if err := trial.Validate(); err != nil {
+			return Selection{}, fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector, err)
+		}
+		rel, err := core.New(trial, opts).Reliability(target, params...)
+		if err != nil {
+			return Selection{}, fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector, err)
+		}
+		ranking = append(ranking, RankedCandidate{Candidate: cand, Reliability: rel})
+	}
+	sort.SliceStable(ranking, func(i, j int) bool {
+		return ranking[i].Reliability > ranking[j].Reliability
+	})
+	return Selection{
+		Candidate:   ranking[0].Candidate,
+		Reliability: ranking[0].Reliability,
+		Ranking:     ranking,
+	}, nil
+}

@@ -1,0 +1,192 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/model"
+)
+
+func TestPublishLookupDiscover(t *testing.T) {
+	r := New()
+	if err := r.Publish(model.NewCPU("cpu1", 1e9, 1e-10), "fast node", "cpu", "compute"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(model.NewCPU("cpu2", 1e8, 1e-9), "slow node", "cpu"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Lookup("cpu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Description != "fast node" || len(e.Tags) != 2 {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, err := r.Lookup("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("error = %v", err)
+	}
+	got := r.Discover("cpu")
+	if len(got) != 2 || got[0].Service.Name() != "cpu1" || got[1].Service.Name() != "cpu2" {
+		t.Errorf("Discover = %v", got)
+	}
+	if len(r.Discover("nope")) != 0 {
+		t.Error("Discover of unknown tag should be empty")
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "cpu1" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestPublishDuplicateAndInvalid(t *testing.T) {
+	r := New()
+	if err := r.Publish(model.NewPerfect("x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(model.NewPerfect("x"), ""); !errors.Is(err, ErrAlreadyPublished) {
+		t.Errorf("error = %v", err)
+	}
+	if err := r.Publish(model.NewSimple("bad", nil, nil, nil), ""); !errors.Is(err, model.ErrInvalidService) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	r := New()
+	if err := r.Publish(model.NewPerfect("x"), "", "tag"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unpublish("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("error = %v", err)
+	}
+	if len(r.Discover("tag")) != 0 {
+		t.Error("unpublished service still discoverable")
+	}
+	if err := r.Unpublish("x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			if err := r.Publish(model.NewPerfect(name), "", "tag"); err != nil {
+				t.Errorf("publish %s: %v", name, err)
+			}
+			r.Discover("tag")
+			if _, err := r.Lookup(name); err != nil {
+				t.Errorf("lookup %s: %v", name, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(r.Discover("tag")); got != 8 {
+		t.Errorf("Discover after concurrent publish = %d", got)
+	}
+}
+
+// selectionFixture builds an assembly containing both sort providers and
+// both connectors so SelectBinding can switch between them.
+func selectionFixture(t *testing.T, p assembly.PaperParams) *assembly.Assembly {
+	t.Helper()
+	// Start from the local assembly and add the remote alternative's
+	// services so both candidates are available.
+	local, err := assembly.LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := local.Clone("both")
+	for _, name := range []string{"sort2", "rpc", "cpu2", "net12"} {
+		svc, err := remote.ServiceByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := asm.AddService(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asm.AddBinding("sort2", "cpu", "cpu2", "")
+	asm.AddBinding("rpc", model.RoleClientCPU, "cpu1", "")
+	asm.AddBinding("rpc", model.RoleServerCPU, "cpu2", "")
+	asm.AddBinding("rpc", model.RoleNet, "net12", "")
+	return asm
+}
+
+// TestSelectionMatchesFigure6 is experiment T11: the reliability-driven
+// selection picks local or remote exactly as the closed forms rank them.
+func TestSelectionMatchesFigure6(t *testing.T) {
+	candidates := []Candidate{
+		{Provider: "sort1", Connector: "lpc"},
+		{Provider: "sort2", Connector: "rpc"},
+	}
+	for _, phi1 := range assembly.Figure6Phi1 {
+		for _, gamma := range assembly.Figure6Gamma {
+			p := assembly.DefaultPaperParams()
+			p.Phi1, p.Gamma = phi1, gamma
+			asm := selectionFixture(t, p)
+			for _, list := range []float64{64, 4096, 1 << 18} {
+				sel, err := SelectBinding(asm, "search", "sort", candidates, core.Options{}, "search", 1, list, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantRemote := assembly.ClosedFormSearch(p, true, 1, list, 1) <
+					assembly.ClosedFormSearch(p, false, 1, list, 1)
+				gotRemote := sel.Candidate.Provider == "sort2"
+				if gotRemote != wantRemote {
+					t.Errorf("phi1=%g gamma=%g list=%g: selected %s, want remote=%v",
+						phi1, gamma, list, sel.Candidate.Provider, wantRemote)
+				}
+				if len(sel.Ranking) != 2 || sel.Ranking[0].Reliability < sel.Ranking[1].Reliability {
+					t.Errorf("ranking not sorted: %+v", sel.Ranking)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectBindingErrors(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	asm := selectionFixture(t, p)
+	if _, err := SelectBinding(asm, "search", "sort", nil, core.Options{}, "search", 1, 64, 1); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("error = %v", err)
+	}
+	bad := []Candidate{{Provider: "ghost"}}
+	if _, err := SelectBinding(asm, "search", "sort", bad, core.Options{}, "search", 1, 64, 1); err == nil {
+		t.Error("expected error for unknown provider")
+	}
+}
+
+func TestSelectBindingDoesNotMutate(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	asm := selectionFixture(t, p)
+	before, _, err := asm.Bind("search", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SelectBinding(asm, "search", "sort",
+		[]Candidate{{Provider: "sort2", Connector: "rpc"}}, core.Options{}, "search", 1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := asm.Bind("search", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("SelectBinding mutated the assembly: %q -> %q", before, after)
+	}
+}

@@ -1,0 +1,53 @@
+package sensitivity_test
+
+import (
+	"fmt"
+	"math"
+
+	"socrel/internal/assembly"
+	"socrel/internal/sensitivity"
+)
+
+// ExampleCrossover locates the list size at which the paper's remote
+// assembly overtakes the local one (the Figure 6 crossover for
+// phi1 = 1e-6, gamma = 5e-3).
+func ExampleCrossover() {
+	p := assembly.DefaultPaperParams()
+	p.Phi1, p.Gamma = 1e-6, 5e-3
+	local := func(l float64) (float64, error) {
+		return assembly.ClosedFormSearch(p, false, 1, l, 1), nil
+	}
+	remote := func(l float64) (float64, error) {
+		return assembly.ClosedFormSearch(p, true, 1, l, 1), nil
+	}
+	x, err := sensitivity.Crossover(local, remote, 16, 1<<20, 1e-9)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("remote overtakes local near list = 2^%.0f\n", math.Round(math.Log2(x)))
+	// Output:
+	// remote overtakes local near list = 2^15
+}
+
+// ExampleUncertainty puts a band on a prediction whose input is only known
+// to an order of magnitude.
+func ExampleUncertainty() {
+	f := func(params map[string]float64) (float64, error) {
+		p := assembly.DefaultPaperParams()
+		p.Gamma = params["gamma"]
+		return assembly.ClosedFormSearch(p, true, 1, 256, 1), nil
+	}
+	res, err := sensitivity.Uncertainty(f, map[string]sensitivity.Dist{
+		"gamma": {Kind: sensitivity.DistLogUniform, A: 5e-3, B: 5e-2},
+	}, 4000, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// ClosedFormSearch returns Pfail, so the quantiles are unreliability
+	// quantiles directly.
+	fmt.Printf("unreliability spans about %.0fx across the 90%% band\n", res.Q95/res.Q05)
+	// Output:
+	// unreliability spans about 7x across the 90% band
+}

@@ -1,0 +1,218 @@
+// Package sensitivity provides the parameter-study toolkit used by the
+// experiment harness: grid generators, sweeps producing named series
+// (the raw material of Figure 6), finite-difference sensitivities and
+// one-at-a-time elasticities, and a bisection-based crossover finder that
+// locates where one assembly overtakes another.
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by this package.
+var (
+	// ErrBadRange is returned for malformed grid or bracket specifications.
+	ErrBadRange = errors.New("sensitivity: invalid range")
+	// ErrNoCrossover is returned when the bracket does not contain a sign
+	// change of f - g.
+	ErrNoCrossover = errors.New("sensitivity: no crossover in bracket")
+)
+
+// Func is a scalar study target (e.g. x = list size, result = Pfail).
+type Func func(x float64) (float64, error)
+
+// Point is one sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of samples, one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Sweep evaluates f over xs and returns the resulting series.
+func Sweep(name string, xs []float64, f Func) (Series, error) {
+	s := Series{Name: name, Points: make([]Point, 0, len(xs))}
+	for _, x := range xs {
+		y, err := f(x)
+		if err != nil {
+			return Series{}, fmt.Errorf("sensitivity: sweep %s at %g: %w", name, x, err)
+		}
+		s.Points = append(s.Points, Point{X: x, Y: y})
+	}
+	return s, nil
+}
+
+// LinSpace returns n evenly spaced values from lo to hi inclusive.
+func LinSpace(lo, hi float64, n int) ([]float64, error) {
+	if n < 2 || hi <= lo {
+		return nil, fmt.Errorf("%w: linspace(%g, %g, %d)", ErrBadRange, lo, hi, n)
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out, nil
+}
+
+// GeomSpace returns n geometrically spaced values from lo to hi inclusive.
+func GeomSpace(lo, hi float64, n int) ([]float64, error) {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("%w: geomspace(%g, %g, %d)", ErrBadRange, lo, hi, n)
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out, nil
+}
+
+// PowersOfTwo returns 2^loExp .. 2^hiExp inclusive.
+func PowersOfTwo(loExp, hiExp int) ([]float64, error) {
+	if hiExp < loExp {
+		return nil, fmt.Errorf("%w: powers of two %d..%d", ErrBadRange, loExp, hiExp)
+	}
+	out := make([]float64, 0, hiExp-loExp+1)
+	for e := loExp; e <= hiExp; e++ {
+		out = append(out, math.Ldexp(1, e))
+	}
+	return out, nil
+}
+
+// FiniteDiff returns the central finite-difference derivative of f at x.
+func FiniteDiff(f Func, x float64) (float64, error) {
+	h := 1e-6 * math.Max(math.Abs(x), 1)
+	up, err := f(x + h)
+	if err != nil {
+		return 0, err
+	}
+	dn, err := f(x - h)
+	if err != nil {
+		return 0, err
+	}
+	return (up - dn) / (2 * h), nil
+}
+
+// Crossover finds an x in [lo, hi] where f(x) - g(x) changes sign, by
+// bisection to the given relative tolerance on the bracket width. The
+// endpoints must bracket a sign change.
+func Crossover(f, g Func, lo, hi, tol float64) (float64, error) {
+	if hi <= lo {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrBadRange, lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	diff := func(x float64) (float64, error) {
+		fv, err := f(x)
+		if err != nil {
+			return 0, err
+		}
+		gv, err := g(x)
+		if err != nil {
+			return 0, err
+		}
+		return fv - gv, nil
+	}
+	dLo, err := diff(lo)
+	if err != nil {
+		return 0, err
+	}
+	dHi, err := diff(hi)
+	if err != nil {
+		return 0, err
+	}
+	if dLo == 0 {
+		return lo, nil
+	}
+	if dHi == 0 {
+		return hi, nil
+	}
+	if (dLo > 0) == (dHi > 0) {
+		return 0, fmt.Errorf("%w: f-g has the same sign at %g and %g", ErrNoCrossover, lo, hi)
+	}
+	for hi-lo > tol*math.Max(math.Abs(lo), math.Abs(hi)) {
+		mid := lo + (hi-lo)/2
+		dMid, err := diff(mid)
+		if err != nil {
+			return 0, err
+		}
+		if dMid == 0 {
+			return mid, nil
+		}
+		if (dMid > 0) == (dLo > 0) {
+			lo, dLo = mid, dMid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// ParamFunc is a study target over a named-parameter environment.
+type ParamFunc func(params map[string]float64) (float64, error)
+
+// Elasticity is a normalized one-at-a-time sensitivity:
+// (dY/Y) / (dX/X) around the base point.
+type Elasticity struct {
+	Param string
+	Value float64
+}
+
+// Elasticities perturbs each parameter of base by the relative step
+// (default 1e-3 when step <= 0) and returns the elasticity of f with
+// respect to each, in the iteration order of names.
+func Elasticities(f ParamFunc, base map[string]float64, names []string, step float64) ([]Elasticity, error) {
+	if step <= 0 {
+		step = 1e-3
+	}
+	y0, err := f(base)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Elasticity, 0, len(names))
+	for _, name := range names {
+		x0, ok := base[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown parameter %q", ErrBadRange, name)
+		}
+		h := step * math.Max(math.Abs(x0), 1e-300)
+		up := cloneParams(base)
+		up[name] = x0 + h
+		dn := cloneParams(base)
+		dn[name] = x0 - h
+		yu, err := f(up)
+		if err != nil {
+			return nil, err
+		}
+		yd, err := f(dn)
+		if err != nil {
+			return nil, err
+		}
+		deriv := (yu - yd) / (2 * h)
+		el := deriv * x0
+		if y0 != 0 {
+			el /= y0
+		}
+		out = append(out, Elasticity{Param: name, Value: el})
+	}
+	return out, nil
+}
+
+func cloneParams(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package sensitivity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socrel/internal/assembly"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLinSpace(t *testing.T) {
+	xs, err := LinSpace(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if !approxEq(xs[i], want[i], 1e-12) {
+			t.Errorf("xs = %v", xs)
+			break
+		}
+	}
+	if _, err := LinSpace(1, 1, 5); !errors.Is(err, ErrBadRange) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := LinSpace(0, 1, 1); !errors.Is(err, ErrBadRange) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestGeomSpace(t *testing.T) {
+	xs, err := GeomSpace(1, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if !approxEq(xs[i], want[i], 1e-9) {
+			t.Errorf("xs = %v", xs)
+			break
+		}
+	}
+	if _, err := GeomSpace(0, 10, 3); !errors.Is(err, ErrBadRange) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	xs, err := PowersOfTwo(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{16, 32, 64, 128}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("xs = %v", xs)
+		}
+	}
+	if _, err := PowersOfTwo(5, 4); !errors.Is(err, ErrBadRange) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s, err := Sweep("square", []float64{1, 2, 3}, func(x float64) (float64, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "square" || len(s.Points) != 3 || s.Points[2].Y != 9 {
+		t.Errorf("series = %+v", s)
+	}
+	_, err = Sweep("bad", []float64{1}, func(float64) (float64, error) { return 0, errors.New("boom") })
+	if err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFiniteDiff(t *testing.T) {
+	d, err := FiniteDiff(func(x float64) (float64, error) { return x * x * x, nil }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(d, 12, 1e-5) {
+		t.Errorf("d = %g, want 12", d)
+	}
+}
+
+func TestCrossoverKnownRoot(t *testing.T) {
+	f := func(x float64) (float64, error) { return x * x, nil }
+	g := func(x float64) (float64, error) { return x + 2, nil } // equal at x=2
+	x, err := Crossover(f, g, 0, 10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x, 2, 1e-8) {
+		t.Errorf("crossover = %g, want 2", x)
+	}
+}
+
+func TestCrossoverErrors(t *testing.T) {
+	f := func(x float64) (float64, error) { return 1, nil }
+	g := func(x float64) (float64, error) { return 0, nil }
+	if _, err := Crossover(f, g, 0, 10, 0); !errors.Is(err, ErrNoCrossover) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := Crossover(f, g, 5, 1, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("error = %v", err)
+	}
+	boom := func(x float64) (float64, error) { return 0, errors.New("boom") }
+	if _, err := Crossover(boom, g, 0, 1, 0); err == nil {
+		t.Error("expected propagated error")
+	}
+}
+
+func TestCrossoverEndpointRoot(t *testing.T) {
+	f := func(x float64) (float64, error) { return x, nil }
+	g := func(x float64) (float64, error) { return 0, nil }
+	x, err := Crossover(f, g, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0 {
+		t.Errorf("crossover = %g, want endpoint 0", x)
+	}
+}
+
+// TestFigure6CrossoverLocation verifies the analytical prediction from
+// DESIGN.md: with hardware failure negligible, the local and remote search
+// assemblies cross near log2(list) = gamma*(m/b)/(phi1-phi2).
+func TestFigure6CrossoverLocation(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	p.Phi1, p.Gamma = 1e-6, 5e-3
+	local := func(l float64) (float64, error) {
+		return assembly.ClosedFormSearch(p, false, 1, l, 1), nil
+	}
+	remote := func(l float64) (float64, error) {
+		return assembly.ClosedFormSearch(p, true, 1, l, 1), nil
+	}
+	x, err := Crossover(local, remote, 16, 1<<20, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := math.Exp2(p.Gamma * (p.M / p.B) / (p.Phi1 - p.Phi2))
+	// Within a factor of two of the back-of-envelope location (the
+	// neglected terms shift it slightly).
+	if x < predicted/2 || x > predicted*2 {
+		t.Errorf("crossover at list=%g, predicted ≈ %g", x, predicted)
+	}
+}
+
+func TestElasticities(t *testing.T) {
+	// f = a^2 * b: elasticity wrt a is 2, wrt b is 1.
+	f := func(p map[string]float64) (float64, error) {
+		return p["a"] * p["a"] * p["b"], nil
+	}
+	base := map[string]float64{"a": 3, "b": 5}
+	els, err := Elasticities(f, base, []string{"a", "b"}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 2 {
+		t.Fatalf("els = %+v", els)
+	}
+	if !approxEq(els[0].Value, 2, 1e-6) || els[0].Param != "a" {
+		t.Errorf("elasticity a = %+v", els[0])
+	}
+	if !approxEq(els[1].Value, 1, 1e-6) {
+		t.Errorf("elasticity b = %+v", els[1])
+	}
+	// Base must not be mutated.
+	if base["a"] != 3 || base["b"] != 5 {
+		t.Error("Elasticities mutated base")
+	}
+	if _, err := Elasticities(f, base, []string{"ghost"}, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestFigure6Elasticities sanity-checks the dominant failure drivers of the
+// remote assembly: gamma (network) should matter far more than lambda1
+// (hardware) under the default constants.
+func TestFigure6Elasticities(t *testing.T) {
+	f := func(params map[string]float64) (float64, error) {
+		p := assembly.DefaultPaperParams()
+		p.Gamma = params["gamma"]
+		p.Lambda1 = params["lambda1"]
+		return assembly.ClosedFormSearch(p, true, 1, 4096, 1), nil
+	}
+	base := map[string]float64{"gamma": 5e-3, "lambda1": 1e-10}
+	els, err := Elasticities(f, base, []string{"gamma", "lambda1"}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(els[0].Value) <= math.Abs(els[1].Value)*100 {
+		t.Errorf("gamma elasticity %g should dominate lambda1 elasticity %g",
+			els[0].Value, els[1].Value)
+	}
+}

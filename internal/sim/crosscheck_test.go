@@ -1,0 +1,203 @@
+package sim
+
+// Cross-validation property test: for randomly generated assemblies —
+// random flow shapes, completion/dependency models, connector usage and
+// parameter expressions — the analytic engine and the fault-injection
+// simulator must agree within binomial confidence bounds. This is the
+// strongest end-to-end check in the repository: any divergence between the
+// equations of section 3.2 and their operational meaning shows up here.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+)
+
+// randomAssembly builds a random two-level assembly: a set of leaf
+// services with random constant failure probabilities, optional connector
+// services, and a root composite with a random flow over them.
+func randomAssembly(rng *rand.Rand) (*assembly.Assembly, error) {
+	asm := assembly.New("random")
+
+	nLeaves := rng.Intn(3) + 1
+	leaves := make([]string, nLeaves)
+	for i := range leaves {
+		leaves[i] = fmt.Sprintf("leaf%d", i)
+		if err := asm.AddService(model.NewConstant(leaves[i], rng.Float64()*0.4, "x")); err != nil {
+			return nil, err
+		}
+	}
+	// One optional connector with a failure law over its (ip, op) params.
+	hasConn := rng.Float64() < 0.5
+	if hasConn {
+		conn := model.NewSimple("conn", []string{"ip", "op"}, model.Attrs{"r": rng.Float64() * 0.001},
+			expr.MustParse("1 - exp(-r * (ip + op))"))
+		if err := asm.AddService(conn); err != nil {
+			return nil, err
+		}
+	}
+
+	root := model.NewComposite("root", []string{"n"}, model.Attrs{"phi": rng.Float64() * 0.01})
+	nStates := rng.Intn(3) + 1
+	stateNames := make([]string, nStates)
+	for i := 0; i < nStates; i++ {
+		stateNames[i] = fmt.Sprintf("st%d", i)
+		completion := model.AND
+		dep := model.NoSharing
+		k := 0
+		nReqs := rng.Intn(3) + 1
+		switch rng.Intn(3) {
+		case 1:
+			completion = model.OR
+		case 2:
+			completion = model.KOfN
+			k = rng.Intn(nReqs) + 1
+		}
+		// Sharing requires all requests to target one role.
+		sharedRole := leaves[rng.Intn(nLeaves)]
+		if rng.Float64() < 0.4 {
+			dep = model.Sharing
+		}
+		st, err := root.Flow().AddState(stateNames[i], completion, dep)
+		if err != nil {
+			return nil, err
+		}
+		st.K = k
+		for r := 0; r < nReqs; r++ {
+			role := sharedRole
+			if dep == model.NoSharing {
+				role = leaves[rng.Intn(nLeaves)]
+			}
+			req := model.Request{
+				Role:   role,
+				Params: []expr.Expr{expr.MustParse("n * 2")},
+			}
+			if rng.Float64() < 0.5 {
+				req.Internal = model.SoftwareFailure(expr.Var("phi"), expr.Var("n"))
+			}
+			st.AddRequest(req)
+		}
+	}
+	// Connector usage is a property of the role binding, so pick the roles
+	// routed through the connector and mark every request of those roles.
+	connRoles := make(map[string]bool)
+	if hasConn {
+		for _, leaf := range leaves {
+			if rng.Float64() < 0.4 {
+				connRoles[leaf] = true
+			}
+		}
+		for _, st := range root.Flow().States() {
+			for i := range st.Requests {
+				if connRoles[st.Requests[i].Role] {
+					st.Requests[i].ConnParams = []expr.Expr{expr.Var("n"), expr.Num(1)}
+				}
+			}
+		}
+	}
+	// Flow shape: sequential chain with a chance of skipping forward and a
+	// self-loop on the first state. The loop mass is reserved up front so
+	// each state's outgoing probabilities stay stochastic.
+	loopP := 0.0
+	if rng.Float64() < 0.4 {
+		loopP = rng.Float64() * 0.4
+		if err := root.Flow().AddTransitionP(stateNames[0], stateNames[0], loopP); err != nil {
+			return nil, err
+		}
+	}
+	scale := func(from string) float64 {
+		if from == stateNames[0] {
+			return 1 - loopP
+		}
+		return 1
+	}
+	prev := model.StartState
+	for i, name := range stateNames {
+		if i < nStates-1 && rng.Float64() < 0.3 {
+			split := 0.3 + rng.Float64()*0.4
+			if err := root.Flow().AddTransitionP(prev, name, scale(prev)*split); err != nil {
+				return nil, err
+			}
+			if err := root.Flow().AddTransitionP(prev, stateNames[i+1], scale(prev)*(1-split)); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := root.Flow().AddTransitionP(prev, name, scale(prev)); err != nil {
+				return nil, err
+			}
+		}
+		prev = name
+	}
+	// Close every state to End with its residual mass.
+	outgoing := make(map[string]float64)
+	for _, tr := range root.Flow().Transitions() {
+		p, err := tr.Prob.Eval(nil)
+		if err != nil {
+			return nil, err
+		}
+		outgoing[tr.From] += p
+	}
+	for _, name := range stateNames {
+		if rest := 1 - outgoing[name]; rest > 1e-12 {
+			if err := root.Flow().AddTransitionP(name, model.EndState, rest); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := asm.AddService(root); err != nil {
+		return nil, err
+	}
+	// Bindings: each leaf role resolves to the same-named service, through
+	// the connector when the role was selected above.
+	for _, leaf := range leaves {
+		connector := ""
+		if connRoles[leaf] {
+			connector = "conn"
+		}
+		asm.AddBinding("root", leaf, leaf, connector)
+	}
+	if err := asm.Validate(); err != nil {
+		return nil, err
+	}
+	return asm, nil
+}
+
+func TestEngineMatchesSimulatorOnRandomAssemblies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo cross-check skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2025))
+	const trialsPerAssembly = 20000
+	misses := 0
+	const assemblies = 25
+	for i := 0; i < assemblies; i++ {
+		asm, err := randomAssembly(rng)
+		if err != nil {
+			t.Fatalf("assembly %d: %v", i, err)
+		}
+		n := float64(rng.Intn(50) + 1)
+		want, err := core.New(asm, core.Options{}).Reliability("root", n)
+		if err != nil {
+			t.Fatalf("assembly %d: engine: %v", i, err)
+		}
+		est, err := New(asm, Options{Seed: int64(i), Z: 3.29}).
+			Estimate("root", trialsPerAssembly, n)
+		if err != nil {
+			t.Fatalf("assembly %d: simulator: %v", i, err)
+		}
+		if !est.Contains(want) {
+			misses++
+			t.Logf("assembly %d: analytic %g outside CI [%g, %g]", i, want, est.Lo, est.Hi)
+		}
+	}
+	// With 99.9% intervals, even one miss in 25 assemblies is unusual;
+	// allow a single statistical straggler, fail on more.
+	if misses > 1 {
+		t.Errorf("%d of %d random assemblies disagree between engine and simulator", misses, assemblies)
+	}
+}

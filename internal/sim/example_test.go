@@ -1,0 +1,27 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"socrel/internal/assembly"
+	"socrel/internal/model"
+	"socrel/internal/sim"
+)
+
+// Example estimates a service's reliability by fault injection and prints
+// the confidence interval.
+func Example() {
+	asm := assembly.New("demo")
+	asm.MustAddService(model.NewConstant("flaky", 0.25))
+	s := sim.New(asm, sim.Options{Seed: 42})
+	est, err := s.Estimate("flaky", 100000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("true reliability 0.75 inside CI: %v\n", est.Contains(0.75))
+	fmt.Printf("interval width under 1%%: %v\n", est.Hi-est.Lo < 0.01)
+	// Output:
+	// true reliability 0.75 inside CI: true
+	// interval width under 1%: true
+}

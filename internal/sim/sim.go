@@ -1,0 +1,341 @@
+// Package sim is a Monte Carlo fault-injection simulator for service
+// assemblies. It executes the operational semantics that the analytic model
+// of the paper abstracts: a service invocation walks the usage-profile
+// flow, sampling internal and external failures per request, honoring the
+// completion model (AND / OR / k-of-n) and the dependency model (under
+// Sharing, the external outcome is sampled once per state and shared by all
+// requests). The resulting reliability estimate provides an independent
+// check of the analytic engine (experiment T4).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"socrel/internal/model"
+)
+
+// Errors returned by the simulator.
+var (
+	// ErrDepthExceeded is returned when invocation nesting exceeds the
+	// configured bound (e.g. a recursive assembly that rarely terminates).
+	ErrDepthExceeded = errors.New("sim: invocation depth exceeded")
+	// ErrBadFlow is returned when a flow's sampled transition probabilities
+	// are inconsistent.
+	ErrBadFlow = errors.New("sim: invalid flow")
+)
+
+// Options configures a Simulator.
+type Options struct {
+	// Seed seeds the deterministic random source.
+	Seed int64
+	// MaxDepth bounds invocation nesting (default 512).
+	MaxDepth int
+	// MaxSteps bounds the number of flow transitions per invocation
+	// (default 100000).
+	MaxSteps int
+	// Z is the normal quantile of the confidence interval reported by
+	// Estimate (default 1.96, a 95% interval; use 3.29 for 99.9%).
+	Z float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 512
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 100000
+	}
+	if o.Z <= 0 {
+		o.Z = 1.959963984540054 // 95%
+	}
+	return o
+}
+
+// Simulator samples service invocations against a resolver.
+type Simulator struct {
+	resolver model.Resolver
+	rng      *rand.Rand
+	opts     Options
+
+	// Timing state, active only inside EstimateTime.
+	coster  Coster
+	curTime float64
+}
+
+// New returns a Simulator over the given resolver.
+func New(resolver model.Resolver, opts Options) *Simulator {
+	opts = opts.withDefaults()
+	return &Simulator{
+		resolver: resolver,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		opts:     opts,
+	}
+}
+
+// Invoke performs one simulated invocation of the named service and reports
+// whether it completed successfully.
+func (s *Simulator) Invoke(service string, params ...float64) (bool, error) {
+	svc, err := s.resolver.ServiceByName(service)
+	if err != nil {
+		return false, err
+	}
+	return s.invoke(svc, params, 0)
+}
+
+func (s *Simulator) invoke(svc model.Service, params []float64, depth int) (bool, error) {
+	if depth > s.opts.MaxDepth {
+		return false, fmt.Errorf("%w: %d levels at %s", ErrDepthExceeded, depth, svc.Name())
+	}
+	switch v := svc.(type) {
+	case *model.Simple:
+		p, err := v.Pfail(params)
+		if err != nil {
+			return false, err
+		}
+		if s.coster != nil {
+			c, err := s.coster.SimpleCost(v.Name(), params)
+			if err != nil {
+				return false, err
+			}
+			s.curTime += c
+		}
+		return s.rng.Float64() >= p, nil
+	case *model.Composite:
+		return s.invokeComposite(v, params, depth)
+	default:
+		return false, fmt.Errorf("%w: unsupported service type %T", model.ErrInvalidService, svc)
+	}
+}
+
+func (s *Simulator) invokeComposite(svc *model.Composite, params []float64, depth int) (bool, error) {
+	env, err := model.Env(svc, params)
+	if err != nil {
+		return false, err
+	}
+	flow := svc.Flow()
+
+	// Group transitions by source with evaluated probabilities.
+	next := make(map[string][]sampledEdge)
+	for _, tr := range flow.Transitions() {
+		p, err := tr.Prob.Eval(env)
+		if err != nil {
+			return false, fmt.Errorf("sim: %s transition %s -> %s: %w", svc.Name(), tr.From, tr.To, err)
+		}
+		if p < 0 || p > 1+1e-12 {
+			return false, fmt.Errorf("%w: %s: P(%s -> %s) = %g", ErrBadFlow, svc.Name(), tr.From, tr.To, p)
+		}
+		next[tr.From] = append(next[tr.From], sampledEdge{to: tr.To, p: p})
+	}
+
+	current := model.StartState
+	for step := 0; step < s.opts.MaxSteps; step++ {
+		if current == model.EndState {
+			return true, nil
+		}
+		st := flow.State(current)
+		if st == nil {
+			return false, fmt.Errorf("%w: %s: missing state %q", ErrBadFlow, svc.Name(), current)
+		}
+		if current != model.StartState {
+			ok, err := s.executeState(svc, st, env, depth)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil // fail-stop: the whole invocation fails
+			}
+		}
+		edges := next[current]
+		if len(edges) == 0 {
+			return false, fmt.Errorf("%w: %s: state %q has no outgoing transition", ErrBadFlow, svc.Name(), current)
+		}
+		current = sampleEdge(s.rng, edges)
+	}
+	return false, fmt.Errorf("%w: %s: exceeded %d steps", ErrBadFlow, svc.Name(), s.opts.MaxSteps)
+}
+
+type sampledEdge struct {
+	to string
+	p  float64
+}
+
+func sampleEdge(rng *rand.Rand, edges []sampledEdge) string {
+	u := rng.Float64()
+	var acc float64
+	for _, e := range edges {
+		acc += e.p
+		if u < acc {
+			return e.to
+		}
+	}
+	return edges[len(edges)-1].to
+}
+
+// executeState simulates one flow state: sample every request's internal
+// and external outcome and apply the completion model.
+//
+// Under the Sharing dependency model each request still performs its own
+// invocation of the shared service (its own exposure window, possibly with
+// different parameters), but because the requests share one resource and no
+// repair occurs (section 3.2), an external failure during any invocation
+// fails every request of the state with probability one.
+func (s *Simulator) executeState(svc *model.Composite, st *model.State, env map[string]float64, depth int) (bool, error) {
+	if len(st.Requests) == 0 {
+		return true, nil
+	}
+	successes := 0
+	anyExtFail := false
+	for _, req := range st.Requests {
+		intOK := true
+		if req.Internal != nil {
+			p, err := req.Internal.Eval(env)
+			if err != nil {
+				return false, fmt.Errorf("sim: %s state %s internal: %w", svc.Name(), st.Name, err)
+			}
+			intOK = s.rng.Float64() >= clamp01(p)
+		}
+		extOK, err := s.executeRequest(svc, req, env, depth)
+		if err != nil {
+			return false, err
+		}
+		if !extOK {
+			anyExtFail = true
+		}
+		if intOK && extOK {
+			successes++
+		}
+	}
+	if st.Dependency == model.Sharing && anyExtFail {
+		// The shared resource is dead: every request of the state fails.
+		return false, nil
+	}
+	switch st.Completion {
+	case model.AND:
+		return successes == len(st.Requests), nil
+	case model.OR:
+		return successes >= 1, nil
+	case model.KOfN:
+		return successes >= st.K, nil
+	default:
+		return false, fmt.Errorf("%w: %s state %s: completion %v", ErrBadFlow, svc.Name(), st.Name, st.Completion)
+	}
+}
+
+// executeRequest samples the external part of a request: the connector
+// transport and the provider execution.
+func (s *Simulator) executeRequest(svc *model.Composite, req model.Request, env map[string]float64, depth int) (bool, error) {
+	providerName, connectorName, err := s.resolver.Bind(svc.Name(), req.Role)
+	if errors.Is(err, model.ErrNoBinding) {
+		providerName, connectorName = req.Role, ""
+	} else if err != nil {
+		return false, err
+	}
+	provider, err := s.resolver.ServiceByName(providerName)
+	if err != nil {
+		return false, fmt.Errorf("sim: %s request %q: %w", svc.Name(), req.Role, err)
+	}
+	apVals := make([]float64, len(req.Params))
+	for i, e := range req.Params {
+		v, err := e.Eval(env)
+		if err != nil {
+			return false, fmt.Errorf("sim: %s request %q params: %w", svc.Name(), req.Role, err)
+		}
+		apVals[i] = v
+	}
+	if connectorName != "" {
+		connector, err := s.resolver.ServiceByName(connectorName)
+		if err != nil {
+			return false, fmt.Errorf("sim: %s request %q connector: %w", svc.Name(), req.Role, err)
+		}
+		cpVals := make([]float64, len(req.ConnParams))
+		for i, e := range req.ConnParams {
+			v, err := e.Eval(env)
+			if err != nil {
+				return false, fmt.Errorf("sim: %s request %q connector params: %w", svc.Name(), req.Role, err)
+			}
+			cpVals[i] = v
+		}
+		ok, err := s.invoke(connector, cpVals, depth+1)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return s.invoke(provider, apVals, depth+1)
+}
+
+// Estimate is a reliability estimate from repeated simulated invocations,
+// with a Wilson score 95% confidence interval.
+type Estimate struct {
+	// Trials is the number of simulated invocations.
+	Trials int
+	// Successes is the number that completed.
+	Successes int
+	// Reliability is the point estimate Successes/Trials.
+	Reliability float64
+	// Lo and Hi bound the Wilson 95% confidence interval.
+	Lo, Hi float64
+}
+
+// Pfail returns the estimated failure probability.
+func (e Estimate) Pfail() float64 { return 1 - e.Reliability }
+
+// Contains reports whether the confidence interval contains the given
+// reliability value.
+func (e Estimate) Contains(reliability float64) bool {
+	return reliability >= e.Lo && reliability <= e.Hi
+}
+
+// Estimate simulates trials invocations of the named service and returns
+// the reliability estimate.
+func (s *Simulator) Estimate(service string, trials int, params ...float64) (Estimate, error) {
+	if trials <= 0 {
+		return Estimate{}, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	successes := 0
+	for i := 0; i < trials; i++ {
+		ok, err := s.Invoke(service, params...)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if ok {
+			successes++
+		}
+	}
+	return newEstimate(trials, successes, s.opts.Z), nil
+}
+
+func newEstimate(trials, successes int, z float64) Estimate {
+	p := float64(successes) / float64(trials)
+	lo, hi := wilson(p, float64(trials), z)
+	return Estimate{
+		Trials:      trials,
+		Successes:   successes,
+		Reliability: p,
+		Lo:          lo,
+		Hi:          hi,
+	}
+}
+
+// wilson computes the Wilson score interval for a binomial proportion.
+func wilson(p, n, z float64) (lo, hi float64) {
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	return math.Max(0, center-half), math.Min(1, center+half)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

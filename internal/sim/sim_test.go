@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+)
+
+func newAssembly(t *testing.T, services ...model.Service) *assembly.Assembly {
+	t.Helper()
+	a := assembly.New("test")
+	for _, s := range services {
+		if err := a.AddService(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestSimpleServiceEstimate(t *testing.T) {
+	a := newAssembly(t, model.NewConstant("flaky", 0.3))
+	s := New(a, Options{Seed: 1})
+	est, err := s.Estimate("flaky", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Contains(0.7) {
+		t.Errorf("CI [%g, %g] does not contain 0.7 (point %g)", est.Lo, est.Hi, est.Reliability)
+	}
+	if est.Trials != 20000 || est.Successes <= 0 {
+		t.Errorf("estimate = %+v", est)
+	}
+	if !approxEq(est.Pfail(), 1-est.Reliability, 1e-15) {
+		t.Errorf("Pfail = %g", est.Pfail())
+	}
+}
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEstimateErrors(t *testing.T) {
+	a := newAssembly(t)
+	s := New(a, Options{Seed: 1})
+	if _, err := s.Estimate("ghost", 10); !errors.Is(err, model.ErrUnknownService) {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := s.Estimate("x", 0); err == nil {
+		t.Error("expected error for zero trials")
+	}
+}
+
+func TestRecursionDepthGuard(t *testing.T) {
+	// A service that always re-invokes itself exceeds the depth bound.
+	c := model.NewComposite("loop", nil, nil)
+	st, err := c.Flow().AddState("s", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "loop"})
+	if err := c.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := newAssembly(t, c)
+	s := New(a, Options{Seed: 1, MaxDepth: 10})
+	if _, err := s.Invoke("loop"); !errors.Is(err, ErrDepthExceeded) {
+		t.Errorf("error = %v, want ErrDepthExceeded", err)
+	}
+}
+
+// TestAgreesWithAnalyticPaperAssemblies is experiment T4's core assertion:
+// on the paper's local and remote assemblies, the analytic reliability lies
+// within the Monte Carlo confidence interval.
+func TestAgreesWithAnalyticPaperAssemblies(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	// Stress the failure paths so the comparison is informative: a very
+	// unreliable network and software.
+	p.Gamma = 1e-1
+	p.Phi1 = 5e-6
+	elem, list, res := 1.0, 4096.0, 1.0
+
+	for _, tc := range []struct {
+		name  string
+		build func(assembly.PaperParams) (*assembly.Assembly, error)
+	}{
+		{"local", assembly.LocalAssembly},
+		{"remote", assembly.RemoteAssembly},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			asm, err := tc.build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.New(asm, core.Options{}).Reliability("search", elem, list, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := New(asm, Options{Seed: 42})
+			est, err := s.Estimate("search", 30000, elem, list, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !est.Contains(want) {
+				t.Errorf("analytic %g outside CI [%g, %g] (point %g)",
+					want, est.Lo, est.Hi, est.Reliability)
+			}
+		})
+	}
+}
+
+// TestSharingSemanticsMatchAnalytic verifies the simulator implements the
+// sharing dependency operationally: one external sample shared by all
+// requests of the state, matching equation (12).
+func TestSharingSemanticsMatchAnalytic(t *testing.T) {
+	backend := model.NewConstant("backend", 0.4)
+	mk := func(name string, dep model.Dependency) *model.Composite {
+		c := model.NewComposite(name, nil, nil)
+		st, err := c.Flow().AddState("s", model.OR, dep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			st.AddRequest(model.Request{Role: "backend", Internal: expr.Num(0.2)})
+		}
+		if err := c.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := newAssembly(t, backend, mk("shared", model.Sharing), mk("indep", model.NoSharing))
+	ev := core.New(a, core.Options{})
+	s := New(a, Options{Seed: 7})
+	for _, name := range []string{"shared", "indep"} {
+		want, err := ev.Reliability(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := s.Estimate(name, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !est.Contains(want) {
+			t.Errorf("%s: analytic %g outside CI [%g, %g]", name, want, est.Lo, est.Hi)
+		}
+	}
+}
+
+// TestKofNSemantics verifies the simulator and engine agree on the k-of-n
+// completion extension.
+func TestKofNSemantics(t *testing.T) {
+	backend := model.NewConstant("backend", 0.35)
+	c := model.NewComposite("app", nil, nil)
+	st, err := c.Flow().AddState("s", model.KOfN, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.K = 2
+	for i := 0; i < 4; i++ {
+		st.AddRequest(model.Request{Role: "backend"})
+	}
+	if err := c.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("s", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := newAssembly(t, backend, c)
+	want, err := core.New(a, core.Options{}).Reliability("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := New(a, Options{Seed: 3}).Estimate("app", 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Contains(want) {
+		t.Errorf("analytic %g outside CI [%g, %g]", want, est.Lo, est.Hi)
+	}
+}
+
+func TestLoopingFlowSimulation(t *testing.T) {
+	// Same looping flow as the engine test; verifies transition sampling.
+	f, r := 0.1, 0.4
+	leaf := model.NewConstant("leaf", f)
+	c := model.NewComposite("app", nil, nil)
+	st, err := c.Flow().AddState("s", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "leaf"})
+	if err := c.Flow().AddTransitionP(model.StartState, "s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("s", "s", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flow().AddTransitionP("s", model.EndState, 1-r); err != nil {
+		t.Fatal(err)
+	}
+	a := newAssembly(t, leaf, c)
+	want := (1 - f) * (1 - r) / (1 - r*(1-f))
+	est, err := New(a, Options{Seed: 11}).Estimate("app", 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Contains(want) {
+		t.Errorf("analytic %g outside CI [%g, %g]", want, est.Lo, est.Hi)
+	}
+}
+
+func TestWilsonIntervalProperties(t *testing.T) {
+	// Interval is within [0,1], contains the point estimate, and shrinks
+	// with more trials.
+	narrow := newEstimate(100000, 50000, 1.96)
+	wide := newEstimate(100, 50, 1.96)
+	if narrow.Lo < 0 || narrow.Hi > 1 || wide.Lo < 0 || wide.Hi > 1 {
+		t.Error("interval outside [0,1]")
+	}
+	if !narrow.Contains(narrow.Reliability) || !wide.Contains(wide.Reliability) {
+		t.Error("interval excludes point estimate")
+	}
+	if (narrow.Hi - narrow.Lo) >= (wide.Hi - wide.Lo) {
+		t.Error("interval does not shrink with trials")
+	}
+	// Degenerate cases do not produce NaN.
+	zero := newEstimate(100, 0, 1.96)
+	one := newEstimate(100, 100, 1.96)
+	if math.IsNaN(zero.Lo) || math.IsNaN(one.Hi) {
+		t.Error("NaN in degenerate Wilson interval")
+	}
+	if !approxEq(zero.Lo, 0, 1e-12) {
+		t.Errorf("zero-success Lo = %g", zero.Lo)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := New(asm, Options{Seed: 5}).Estimate("search", 500, 1, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(asm, Options{Seed: 5}).Estimate("search", 500, 1, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Successes != e2.Successes {
+		t.Errorf("same seed, different outcomes: %d vs %d", e1.Successes, e2.Successes)
+	}
+}

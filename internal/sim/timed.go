@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coster supplies the execution time of a simple-service invocation.
+// perf.Profile implements it via its registered cost laws.
+type Coster interface {
+	// SimpleCost returns the execution time of one invocation of the
+	// named simple service with the given actual parameters.
+	SimpleCost(service string, params []float64) (float64, error)
+}
+
+// TimedEstimate is a simulated response-time distribution, conditioned on
+// successful completion (fail-stop runs abort and report no time).
+type TimedEstimate struct {
+	// Trials and Successes count the simulated invocations.
+	Trials, Successes int
+	// Mean is the average response time of successful runs.
+	Mean float64
+	// P50, P95, P99 are response-time percentiles of successful runs.
+	P50, P95, P99 float64
+	// Min and Max observed successful response times.
+	Min, Max float64
+}
+
+// EstimateTime simulates trials invocations, accumulating the execution
+// time of every simple-service call along each run (connector and nested
+// composite flows included), and summarizes the response-time distribution
+// of the successful runs. It complements the analytic expectation of the
+// perf package with percentiles.
+func (s *Simulator) EstimateTime(coster Coster, service string, trials int, params ...float64) (TimedEstimate, error) {
+	if trials <= 0 {
+		return TimedEstimate{}, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	if coster == nil {
+		return TimedEstimate{}, fmt.Errorf("sim: nil coster")
+	}
+	s.coster = coster
+	defer func() { s.coster = nil }()
+
+	var times []float64
+	for i := 0; i < trials; i++ {
+		s.curTime = 0
+		ok, err := s.Invoke(service, params...)
+		if err != nil {
+			return TimedEstimate{}, err
+		}
+		if ok {
+			times = append(times, s.curTime)
+		}
+	}
+	est := TimedEstimate{Trials: trials, Successes: len(times)}
+	if len(times) == 0 {
+		return est, nil
+	}
+	sort.Float64s(times)
+	var sum float64
+	for _, t := range times {
+		sum += t
+	}
+	est.Mean = sum / float64(len(times))
+	est.P50 = timedQuantile(times, 0.50)
+	est.P95 = timedQuantile(times, 0.95)
+	est.P99 = timedQuantile(times, 0.99)
+	est.Min = times[0]
+	est.Max = times[len(times)-1]
+	return est, nil
+}
+
+func timedQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/model"
+	"socrel/internal/perf"
+)
+
+func paperCoster(t *testing.T, asm *assembly.Assembly) *perf.Profile {
+	t.Helper()
+	prof := perf.New(asm)
+	if err := prof.UseCanonicalCosts(asm.ServiceNames()); err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestEstimateTimeMatchesAnalyticMean(t *testing.T) {
+	// With negligible failures, the simulated mean response time must
+	// match perf.ExpectedTime; the only randomness is the q-branch.
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := paperCoster(t, asm)
+	list := 1024.0
+	want, err := prof.ExpectedTime("search", 1, list, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(asm, Options{Seed: 4})
+	est, err := s.EstimateTime(prof, "search", 20000, 1, list, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Successes == 0 {
+		t.Fatal("no successful runs")
+	}
+	if math.Abs(est.Mean-want)/want > 0.02 {
+		t.Errorf("simulated mean %g vs analytic %g", est.Mean, want)
+	}
+	// Percentile ordering and bounds.
+	if !(est.Min <= est.P50 && est.P50 <= est.P95 && est.P95 <= est.P99 && est.P99 <= est.Max) {
+		t.Errorf("percentiles out of order: %+v", est)
+	}
+	// The q-branch makes the distribution bimodal: the fast path (no
+	// sort) must appear as a min far below the median.
+	if est.Min > est.P50/10 {
+		t.Errorf("expected a fast no-sort mode: min %g vs p50 %g", est.Min, est.P50)
+	}
+}
+
+func TestEstimateTimeDeterministicFlow(t *testing.T) {
+	// A deterministic single-path flow has zero spread.
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := paperCoster(t, asm)
+	s := New(asm, Options{Seed: 5})
+	est, err := s.EstimateTime(prof, "sort1", 200, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Successes == 0 {
+		t.Fatal("no successes")
+	}
+	if est.Max-est.Min > 1e-15 {
+		t.Errorf("deterministic flow has spread: %+v", est)
+	}
+	want := 4096 * math.Log2(4096) / p.S1
+	if math.Abs(est.Mean-want) > 1e-12 {
+		t.Errorf("mean = %g, want %g", est.Mean, want)
+	}
+}
+
+func TestEstimateTimeErrors(t *testing.T) {
+	p := assembly.DefaultPaperParams()
+	asm, err := assembly.LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := paperCoster(t, asm)
+	s := New(asm, Options{Seed: 6})
+	if _, err := s.EstimateTime(prof, "search", 0, 1, 16, 1); err == nil {
+		t.Error("expected error for zero trials")
+	}
+	if _, err := s.EstimateTime(nil, "search", 10, 1, 16, 1); err == nil {
+		t.Error("expected error for nil coster")
+	}
+	if _, err := s.EstimateTime(prof, "ghost", 10); err == nil {
+		t.Error("expected error for unknown service")
+	}
+}
+
+func TestEstimateTimeAllFailures(t *testing.T) {
+	// A certainly-failing assembly yields zero successes and empty stats.
+	asm := newAssembly(t)
+	asm.MustAddService(mustCPU(t))
+	prof := perf.New(asm)
+	prof.SetCost("cpu", perf.CPUCost())
+	s := New(asm, Options{Seed: 7})
+	est, err := s.EstimateTime(prof, "cpu", 50, 1e18) // hopeless workload
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Successes != 0 || est.Mean != 0 {
+		t.Errorf("est = %+v", est)
+	}
+}
+
+func mustCPU(t *testing.T) *model.Simple {
+	t.Helper()
+	return model.NewCPU("cpu", 1, 1) // 1 op/s, 1 failure/s: doomed for big N
+}

@@ -1,0 +1,10 @@
+package socrel
+
+import "socrel/internal/markov"
+
+// markovChain aliases the internal chain type so trace-estimation results
+// are usable through the public API.
+type markovChain = markov.Chain
+
+// NewMarkovChain returns an empty discrete-time Markov chain.
+func NewMarkovChain() *MarkovChain { return markov.New() }
