@@ -10,11 +10,13 @@ package socrel
 // their output doubles as a wall-clock budget for cmd/experiments.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"socrel/internal/assembly"
 	"socrel/internal/core"
 	"socrel/internal/experiments"
+	"socrel/internal/expr"
 	"socrel/internal/model"
 	"socrel/internal/sim"
 )
@@ -210,3 +212,111 @@ func BenchmarkUncertainty(b *testing.B) { benchTable(b, "T15") }
 
 // BenchmarkResponseTimes regenerates T16 (response-time distribution).
 func BenchmarkResponseTimes(b *testing.B) { benchTable(b, "T16") }
+
+// --- Compiled-engine benchmarks (compile/execute split). ---
+
+// compiledPaperPair compiles the paper's two assemblies once.
+func compiledPaperPair(b *testing.B) [2]*core.CompiledAssembly {
+	b.Helper()
+	p := assembly.DefaultPaperParams()
+	local, err := assembly.LocalAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := core.Compile(local, core.Options{}, "search")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cr, err := core.Compile(remote, core.Options{}, "search")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return [2]*core.CompiledAssembly{cl, cr}
+}
+
+// BenchmarkCompiledSerial times one compiled evaluation per iteration with
+// a distinct parameter set each time (so the memo never short-circuits);
+// ns/op is directly comparable to the seed's per-point Figure 6 cost.
+func BenchmarkCompiledSerial(b *testing.B) {
+	cas := compiledPaperPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca := cas[i%2]
+		if _, err := ca.Pfail("search", 1, float64(16+i), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledParallel drives one immutable CompiledAssembly from all
+// GOMAXPROCS goroutines (distinct parameters per evaluation).
+func BenchmarkCompiledParallel(b *testing.B) {
+	cas := compiledPaperPair(b)
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			ca := cas[i%2]
+			if _, err := ca.Pfail("search", 1, float64(16+i), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompiledBatch times PfailBatch over the Figure 6 list sizes.
+func BenchmarkCompiledBatch(b *testing.B) {
+	cas := compiledPaperPair(b)
+	base := make([][]float64, 0, 17)
+	for e := 4; e <= 20; e++ {
+		base = append(base, []float64{1, float64(int(1) << e), 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := make([][]float64, len(base))
+		for j, s := range base {
+			// Perturb the list size so no point is ever memoized.
+			sets[j] = []float64{s[0], s[1] + float64(i)/1024, s[2]}
+		}
+		if _, err := cas[1].PfailBatch("search", sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExprProgram compares the compiled slot-program VM against AST
+// interpretation on the paper's retry failure law.
+func BenchmarkExprProgram(b *testing.B) {
+	e := expr.MustParse("1 - (1 - phi) ^ (n * log2(n))")
+	attrs := expr.Env{"phi": 1e-6}
+	b.Run("program", func(b *testing.B) {
+		prog := expr.MustCompileProgram(e, []string{"n"}, attrs)
+		slots := []float64{4096}
+		stack := make([]float64, prog.MaxStack())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slots[0] = float64(16 + i%4096)
+			if _, err := prog.Eval(slots, stack); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ast", func(b *testing.B) {
+		env := expr.Env{"phi": 1e-6, "n": 4096}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			env["n"] = float64(16 + i%4096)
+			if _, err := e.Eval(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,592 @@
+// Execute phase of the engine: an immutable CompiledAssembly evaluates
+// failure probabilities with per-goroutine session scratch (pooled) and a
+// sharded (service, params) memo, so any number of goroutines can issue
+// Pfail / PfailBatch calls concurrently against one compiled artifact.
+package core
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"socrel/internal/linalg"
+	"socrel/internal/markov"
+	"socrel/internal/model"
+)
+
+// memoShardCount is the number of memo shards; a power of two so the
+// shard pick is a mask. 64 shards keep lock contention negligible at
+// typical core counts.
+const memoShardCount = 64
+
+// memoShardCap bounds each shard's entry count. A full shard is reset
+// wholesale, which bounds total memo memory under workloads that stream
+// millions of distinct parameter points while keeping the warm working
+// set of a typical sweep fully cached.
+const memoShardCap = 1 << 13
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+// CompiledAssembly is the immutable product of Compile: every binding
+// resolved, every expression a slot program, every composite a reusable
+// chain skeleton. It is safe for concurrent use; per-evaluation scratch
+// lives in pooled sessions and results are shared through the memo.
+type CompiledAssembly struct {
+	opts     Options
+	services []*compiledService
+	byName   map[string]int
+	maxStack int
+	maxArity int
+
+	memoSeed maphash.Seed
+	memo     [memoShardCount]memoShard
+	pool     sync.Pool
+}
+
+func (ca *CompiledAssembly) init() {
+	ca.memoSeed = maphash.MakeSeed()
+	for i := range ca.memo {
+		ca.memo[i].m = make(map[string]float64)
+	}
+	ca.pool.New = func() any { return newSession(ca) }
+}
+
+// Services returns the compiled service names in compilation order.
+func (ca *CompiledAssembly) Services() []string {
+	out := make([]string, len(ca.services))
+	for i, s := range ca.services {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Options returns the options the assembly was compiled with.
+func (ca *CompiledAssembly) Options() Options { return ca.opts }
+
+// Pfail returns the failure probability of the named service invoked with
+// the given actual parameters. Safe for concurrent use.
+func (ca *CompiledAssembly) Pfail(service string, params ...float64) (float64, error) {
+	idx, ok := ca.byName[service]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", model.ErrUnknownService, service)
+	}
+	s := ca.pool.Get().(*session)
+	p, err := s.pfailTop(idx, params)
+	ca.pool.Put(s)
+	return p, err
+}
+
+// Reliability returns 1 - Pfail for the named service.
+func (ca *CompiledAssembly) Reliability(service string, params ...float64) (float64, error) {
+	p, err := ca.Pfail(service, params...)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
+// PfailBatch evaluates the named service at every parameter set, fanning
+// the points out over up to GOMAXPROCS goroutines. The result order
+// matches paramSets; on error the lowest-indexed failing point wins.
+func (ca *CompiledAssembly) PfailBatch(service string, paramSets [][]float64) ([]float64, error) {
+	idx, ok := ca.byName[service]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", model.ErrUnknownService, service)
+	}
+	out := make([]float64, len(paramSets))
+	workers := min(runtime.GOMAXPROCS(0), len(paramSets))
+	if workers <= 1 {
+		s := ca.pool.Get().(*session)
+		defer ca.pool.Put(s)
+		for i, ps := range paramSets {
+			p, err := s.pfailTop(idx, ps)
+			if err != nil {
+				return nil, fmt.Errorf("core: batch point %d: %w", i, err)
+			}
+			out[i] = p
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	errIdx := len(paramSets)
+	var errVal error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := ca.pool.Get().(*session)
+			defer ca.pool.Put(s)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(paramSets) {
+					return
+				}
+				p, err := s.pfailTop(idx, paramSets[i])
+				if err != nil {
+					errMu.Lock()
+					if i < errIdx {
+						errIdx, errVal = i, fmt.Errorf("core: batch point %d: %w", i, err)
+					}
+					errMu.Unlock()
+					continue
+				}
+				out[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if errVal != nil {
+		return nil, errVal
+	}
+	return out, nil
+}
+
+// ReliabilityBatch is PfailBatch mapped through 1 - p.
+func (ca *CompiledAssembly) ReliabilityBatch(service string, paramSets [][]float64) ([]float64, error) {
+	ps, err := ca.PfailBatch(service, paramSets)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ps {
+		ps[i] = 1 - ps[i]
+	}
+	return ps, nil
+}
+
+func (ca *CompiledAssembly) memoGet(key []byte) (float64, bool) {
+	sh := &ca.memo[maphash.Bytes(ca.memoSeed, key)&(memoShardCount-1)]
+	sh.mu.RLock()
+	v, ok := sh.m[string(key)]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+func (ca *CompiledAssembly) memoPut(key string, v float64) {
+	sh := &ca.memo[maphash.String(ca.memoSeed, key)&(memoShardCount-1)]
+	sh.mu.Lock()
+	if len(sh.m) >= memoShardCap {
+		sh.m = make(map[string]float64, memoShardCap)
+	}
+	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+// session is the per-goroutine scratch of one evaluation stream: the
+// parameter arena (a stack of actual-parameter frames for the invocation
+// chain), the expression stack, per-composite failure buffers, and the
+// shared linear-solve workspace. Composites cannot recurse (Compile
+// rejects cycles), so per-composite buffers are safe; the solve workspace
+// is shared because a composite only uses it after its recursion into
+// providers has fully completed.
+type session struct {
+	ca     *CompiledAssembly
+	arena  []float64
+	stack  []float64
+	keyBuf []byte
+
+	stateFail [][]float64              // per service: per-transient failure
+	reqFail   [][]model.RequestFailure // per service: per-request scratch
+
+	// Linear-solve workspace, sized to the largest skeleton.
+	m      []float64 // n*n dense I-Q, factorized in place
+	b      []float64
+	x      []float64
+	perm   []int
+	edgeP  []float64 // per-transition augmented probabilities
+	absorb []bool
+	reach  []bool
+}
+
+func newSession(ca *CompiledAssembly) *session {
+	s := &session{
+		ca:        ca,
+		arena:     make([]float64, 0, 64),
+		stack:     make([]float64, ca.maxStack),
+		keyBuf:    make([]byte, 0, 64),
+		stateFail: make([][]float64, len(ca.services)),
+		reqFail:   make([][]model.RequestFailure, len(ca.services)),
+	}
+	maxN, maxTrans := 1, 1
+	for i, svc := range ca.services {
+		if svc.comp == nil {
+			continue
+		}
+		s.stateFail[i] = make([]float64, svc.comp.n)
+		s.reqFail[i] = make([]model.RequestFailure, svc.comp.maxRequests)
+		if svc.comp.n > maxN {
+			maxN = svc.comp.n
+		}
+		if len(svc.comp.transitions) > maxTrans {
+			maxTrans = len(svc.comp.transitions)
+		}
+	}
+	s.m = make([]float64, maxN*maxN)
+	s.b = make([]float64, maxN)
+	s.x = make([]float64, maxN)
+	s.perm = make([]int, maxN)
+	s.edgeP = make([]float64, maxTrans)
+	s.absorb = make([]bool, maxN)
+	s.reach = make([]bool, maxN)
+	return s
+}
+
+// pfailTop evaluates a top-level invocation, seeding the arena with the
+// caller-supplied parameters.
+func (s *session) pfailTop(svcIdx int, params []float64) (float64, error) {
+	s.arena = append(s.arena[:0], params...)
+	return s.pfail(svcIdx, 0, len(params))
+}
+
+// pfail evaluates one invocation whose actual parameters live at
+// arena[off:off+np].
+func (s *session) pfail(svcIdx, off, np int) (float64, error) {
+	svc := s.ca.services[svcIdx]
+	if np != svc.arity {
+		return 0, fmt.Errorf("%w: %s expects %d, got %d", model.ErrArity, svc.name, svc.arity, np)
+	}
+	if svc.simple != nil {
+		if svc.simple.isConst {
+			return svc.simple.constVal, nil
+		}
+		v, err := svc.simple.prog.Eval(s.arena[off:off+np], s.stack)
+		if err != nil {
+			return 0, fmt.Errorf("model: Pfail(%s): %w", svc.name, err)
+		}
+		return clamp01(v), nil
+	}
+	key := s.memoKey(svcIdx, off, np)
+	if v, ok := s.ca.memoGet(key); ok {
+		return v, nil
+	}
+	// Materialize the key before recursing: the recursion reuses keyBuf.
+	keyStr := string(key)
+	v, err := s.evalComposite(svcIdx, off, np)
+	if err != nil {
+		return 0, err
+	}
+	s.ca.memoPut(keyStr, v)
+	return v, nil
+}
+
+// memoKey renders (service, params) into the reusable key buffer.
+func (s *session) memoKey(svcIdx, off, np int) []byte {
+	b := s.keyBuf[:0]
+	b = append(b, byte(svcIdx), byte(svcIdx>>8), byte(svcIdx>>16), byte(svcIdx>>24))
+	for _, p := range s.arena[off : off+np] {
+		bits := math.Float64bits(p)
+		b = append(b,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	s.keyBuf = b
+	return b
+}
+
+// evalComposite fills the composite's pre-built skeleton with numbers and
+// solves it: per-state failures first (recursing into providers and
+// connectors), then the augmented-chain linear system. The arithmetic
+// mirrors the interpreted evalComposite operation for operation so both
+// engines produce bit-identical results on the same invocation.
+func (s *session) evalComposite(svcIdx, off, np int) (float64, error) {
+	svc := s.ca.services[svcIdx]
+	comp := svc.comp
+	fail := s.stateFail[svcIdx]
+	for i := range fail {
+		fail[i] = 0
+	}
+	// Per-state failure probabilities (statements 4-7).
+	for si := range comp.states {
+		st := &comp.states[si]
+		f, err := s.stateFailure(svcIdx, st, off, np)
+		if err != nil {
+			return 0, fmt.Errorf("core: %s state %q: %w", svc.name, st.name, err)
+		}
+		fail[st.transient] = f
+	}
+
+	// Augmented transition probabilities (statements 8-12): weigh each
+	// flow transition by 1-f of its source. fail[Start] == 0.
+	for ti := range comp.transitions {
+		tr := &comp.transitions[ti]
+		p := tr.constVal
+		if !tr.isConst {
+			var err error
+			p, err = tr.prog.Eval(s.arena[off:off+np], s.stack)
+			if err != nil {
+				return 0, fmt.Errorf("core: %s transition %s -> %s: %w", svc.name, tr.fromName, tr.toName, err)
+			}
+		}
+		if p < -1e-12 || p > 1+1e-12 {
+			return 0, fmt.Errorf("%w: %s: P(%s -> %s) = %g", ErrBadTransition, svc.name, tr.fromName, tr.toName, p)
+		}
+		p *= 1 - fail[tr.from]
+		p = clamp01(p)
+		if math.IsNaN(p) {
+			return 0, fmt.Errorf("core: %s: %w: P(%s -> %s) is NaN", svc.name, markov.ErrInvalidProbability, tr.fromName, tr.toName)
+		}
+		s.edgeP[ti] = p
+	}
+
+	pEnd, err := s.solveSkeleton(svc, fail)
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(1 - pEnd), nil
+}
+
+// solveSkeleton solves the augmented absorbing chain for the probability
+// of reaching End from Start, reusing the session workspace. It presents
+// the exact matrix the interpreted path's markov/linalg pipeline would
+// factorize — same transient ordering, same entries — so the two paths
+// agree bitwise.
+func (s *session) solveSkeleton(svc *compiledService, fail []float64) (float64, error) {
+	comp := svc.comp
+	n := comp.n
+	m := s.m[:n*n]
+	b := s.b[:n]
+	absorb := s.absorb[:n]
+	reach := s.reach[:n]
+	for i := range m {
+		m[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		b[i] = 0
+		absorb[i] = false
+		reach[i] = false
+	}
+
+	const probTol = 1e-9
+	// Classify each slot the way markov.Chain does: a state with no
+	// positive outgoing mass, or a lone self-loop of probability one, is
+	// absorbing and leaves the transient set. Everyone else must have
+	// outgoing mass (edges + failure) summing to one.
+	for i := 0; i < n; i++ {
+		edges := 0
+		selfP := -1.0
+		sum := fail[i]
+		for ti := range comp.transitions {
+			tr := &comp.transitions[ti]
+			if tr.from != i || s.edgeP[ti] == 0 {
+				continue
+			}
+			edges++
+			sum += s.edgeP[ti]
+			if tr.to == i {
+				selfP = s.edgeP[ti]
+			}
+		}
+		if fail[i] > 0 {
+			edges++
+		}
+		if edges == 0 || (edges == 1 && fail[i] == 0 && selfP >= 0 && math.Abs(selfP-1) <= probTol) {
+			// Identity row with b = 0: x_i = 0, exactly the contribution of
+			// a state the interpreted chain drops from Q (absorption
+			// anywhere but End adds nothing to pEnd).
+			absorb[i] = true
+			reach[i] = true
+			m[i*n+i] = 1
+			continue
+		}
+		if math.Abs(sum-1) > probTol {
+			return 0, fmt.Errorf("core: %s: %w: outgoing probabilities of %q sum to %.12g",
+				svc.name, markov.ErrInvalidProbability, s.transientName(comp, i), sum)
+		}
+		m[i*n+i] = 1
+		if fail[i] > 0 {
+			reach[i] = true // the Fail edge reaches an absorbing state
+		}
+	}
+
+	// Fill I - Q and b. Edges out of absorbing slots are dropped (those
+	// states left the transient set); edges into them only mark
+	// reachability, matching the interpreted Q over transient states.
+	for ti := range comp.transitions {
+		tr := &comp.transitions[ti]
+		p := s.edgeP[ti]
+		if p == 0 || absorb[tr.from] {
+			continue
+		}
+		if tr.to < 0 { // End
+			b[tr.from] = p
+			reach[tr.from] = true
+		} else if absorb[tr.to] {
+			reach[tr.from] = true
+		} else {
+			m[tr.from*n+tr.to] -= p
+		}
+	}
+
+	// Propagate reachability backwards to a fixpoint (chains are tiny).
+	for changed := true; changed; {
+		changed = false
+		for ti := range comp.transitions {
+			tr := &comp.transitions[ti]
+			if s.edgeP[ti] == 0 || tr.to < 0 || absorb[tr.from] {
+				continue
+			}
+			if !reach[tr.from] && reach[tr.to] {
+				reach[tr.from] = true
+				changed = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			return 0, fmt.Errorf("core: %s: %w: state %q cannot reach an absorbing state",
+				svc.name, markov.ErrNotAbsorbing, s.transientName(comp, i))
+		}
+	}
+
+	if err := s.luSolveInPlace(n); err != nil {
+		return 0, fmt.Errorf("core: %s: %w", svc.name, err)
+	}
+	return clamp01(s.x[0]), nil
+}
+
+// transientName recovers the flow-state name of a transient slot for
+// error messages (never on the hot path).
+func (s *session) transientName(comp *compiledComposite, idx int) string {
+	if idx == 0 {
+		return model.StartState
+	}
+	for i := range comp.states {
+		if comp.states[i].transient == idx {
+			return comp.states[i].name
+		}
+	}
+	for i := range comp.transitions {
+		if comp.transitions[i].from == idx {
+			return comp.transitions[i].fromName
+		}
+		if comp.transitions[i].to == idx {
+			return comp.transitions[i].toName
+		}
+	}
+	return fmt.Sprintf("state#%d", idx)
+}
+
+// luSolveInPlace factorizes the workspace matrix with partial pivoting
+// and solves for s.x — the same elimination linalg.Factorize and LU.Solve
+// perform, run in preallocated scratch.
+func (s *session) luSolveInPlace(n int) error {
+	m := s.m[:n*n]
+	perm := s.perm[:n]
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		maxAbs := math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if ab := math.Abs(m[r*n+col]); ab > maxAbs {
+				maxAbs = ab
+				pivot = r
+			}
+		}
+		if maxAbs == 0 {
+			return fmt.Errorf("%w: zero pivot at column %d", linalg.ErrSingular, col)
+		}
+		if pivot != col {
+			ra, rb := m[pivot*n:(pivot+1)*n], m[col*n:(col+1)*n]
+			for i := range ra {
+				ra[i], rb[i] = rb[i], ra[i]
+			}
+			perm[pivot], perm[col] = perm[col], perm[pivot]
+		}
+		inv := 1 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] * inv
+			m[r*n+col] = f
+			if f == 0 {
+				continue
+			}
+			prow := m[col*n : (col+1)*n]
+			rrow := m[r*n : (r+1)*n]
+			for c := col + 1; c < n; c++ {
+				rrow[c] += -f * prow[c]
+			}
+		}
+	}
+	x := s.x[:n]
+	b := s.b[:n]
+	for i, p := range perm {
+		x[i] = b[p]
+	}
+	for i := 1; i < n; i++ {
+		acc := x[i]
+		for j, l := range m[i*n : i*n+i] {
+			acc -= l * x[j]
+		}
+		x[i] = acc
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := m[i*n : (i+1)*n]
+		acc := x[i]
+		for j := i + 1; j < n; j++ {
+			acc -= row[j] * x[j]
+		}
+		x[i] = acc / row[i]
+	}
+	return nil
+}
+
+// stateFailure mirrors the interpreted stateFailure: evaluate every
+// request's actual parameters, recurse into the (pre-resolved) provider
+// and connector, and combine under the completion/dependency model.
+func (s *session) stateFailure(svcIdx int, st *compiledState, off, np int) (float64, error) {
+	fails := s.reqFail[svcIdx][:len(st.requests)]
+	for i := range st.requests {
+		req := &st.requests[i]
+		childOff := len(s.arena)
+		for _, prog := range req.params {
+			v, err := prog.Eval(s.arena[off:off+np], s.stack)
+			if err != nil {
+				s.arena = s.arena[:childOff]
+				return 0, fmt.Errorf("request %q params: %w", req.role, err)
+			}
+			s.arena = append(s.arena, v)
+		}
+		pSvc, err := s.pfail(req.provider, childOff, len(req.params))
+		s.arena = s.arena[:childOff]
+		if err != nil {
+			return 0, err
+		}
+
+		var pConn float64
+		if req.connector >= 0 {
+			connOff := len(s.arena)
+			for _, prog := range req.connParams {
+				v, err := prog.Eval(s.arena[off:off+np], s.stack)
+				if err != nil {
+					s.arena = s.arena[:connOff]
+					return 0, fmt.Errorf("request %q connector params: %w", req.role, err)
+				}
+				s.arena = append(s.arena, v)
+			}
+			pConn, err = s.pfail(req.connector, connOff, len(req.connParams))
+			s.arena = s.arena[:connOff]
+			if err != nil {
+				return 0, err
+			}
+		}
+
+		var pInt float64
+		if req.internal != nil {
+			v, err := req.internal.Eval(s.arena[off:off+np], s.stack)
+			if err != nil {
+				return 0, fmt.Errorf("request %q internal failure: %w", req.role, err)
+			}
+			pInt = clamp01(v)
+		}
+		fails[i] = model.RequestFailure{Int: pInt, Ext: model.ExtFailure(pConn, pSvc)}
+	}
+	return model.CombineState(st.completion, st.dependency, st.k, fails)
+}

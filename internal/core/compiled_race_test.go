@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCompiledConcurrentBitIdentical hammers one CompiledAssembly from
+// many goroutines (run with -race to check the immutability contract) and
+// requires every concurrent result to be bit-identical to the serial
+// compiled path.
+func TestCompiledConcurrentBitIdentical(t *testing.T) {
+	const goroutines = 16
+	for name, asm := range paperAssemblies(t, 5e-6, 5e-2) {
+		ca, err := Compile(asm, Options{}, "search")
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", name, err)
+		}
+		lists := paperLists()
+
+		// Serial reference, computed first on a cold memo.
+		want := make([]float64, len(lists))
+		for i, list := range lists {
+			want[i], err = ca.Pfail("search", 1, list, 1)
+			if err != nil {
+				t.Fatalf("%s serial list=%g: %v", name, list, err)
+			}
+		}
+
+		var wg sync.WaitGroup
+		errs := make([]error, goroutines)
+		diffs := make([]int, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for rep := 0; rep < 50; rep++ {
+					for i, list := range lists {
+						got, err := ca.Pfail("search", 1, list, 1)
+						if err != nil {
+							errs[g] = err
+							return
+						}
+						if got != want[i] {
+							diffs[g]++
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g, err := range errs {
+			if err != nil {
+				t.Errorf("%s goroutine %d: %v", name, g, err)
+			}
+		}
+		for g, d := range diffs {
+			if d != 0 {
+				t.Errorf("%s goroutine %d: %d results differ from serial path", name, g, d)
+			}
+		}
+	}
+}
+
+// TestCompiledBatchConcurrent runs PfailBatch (itself parallel) from
+// several goroutines at once and checks agreement with serial Pfail.
+func TestCompiledBatchConcurrent(t *testing.T) {
+	const goroutines = 8
+	asm := paperAssemblies(t, 1e-6, 1e-1)["remote"]
+	ca, err := Compile(asm, Options{}, "search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sets [][]float64
+	for _, list := range paperLists() {
+		sets = append(sets, []float64{1, list, 1})
+	}
+	want, err := ca.PfailBatch("search", sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := ca.PfailBatch("search", sets)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("batch point %d: %.17g != %.17g", i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEvaluatorSweepStaysDeterministic pins the seed-compat contract: an
+// Evaluator that has switched to its compiled artifact keeps producing
+// the same sweep values as a purely interpreted evaluation.
+func TestEvaluatorSweepStaysDeterministic(t *testing.T) {
+	asm := paperAssemblies(t, 5e-6, 2.5e-2)["local"]
+	ev := New(asm, Options{})
+	for _, list := range paperLists() {
+		got, err := ev.Pfail("search", 1, list, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := New(asm, Options{}).Pfail("search", 1, list, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("list=%g: evaluator %.17g vs interpreted %.17g", list, got, want)
+		}
+	}
+}

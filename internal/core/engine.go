@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -97,6 +98,15 @@ type Evaluator struct {
 	memo       map[string]float64
 	inProgress map[string]bool
 
+	// Compile/execute delegation: after a root service has been evaluated
+	// once through the interpreted path, the evaluator compiles it and
+	// routes further calls through the CompiledAssembly. Assemblies that
+	// do not compile (recursion, dynamic resolvers, ...) are remembered
+	// and stay on the interpreted path.
+	rootCalls    map[string]int
+	compiled     map[string]*CompiledAssembly
+	uncompilable map[string]bool
+
 	// Fixed-point state.
 	estimates   map[string]float64
 	usedEst     bool
@@ -107,11 +117,14 @@ type Evaluator struct {
 // New returns an Evaluator over the given resolver.
 func New(resolver model.Resolver, opts Options) *Evaluator {
 	return &Evaluator{
-		resolver:   resolver,
-		opts:       opts.withDefaults(),
-		memo:       make(map[string]float64),
-		inProgress: make(map[string]bool),
-		estimates:  make(map[string]float64),
+		resolver:     resolver,
+		opts:         opts.withDefaults(),
+		memo:         make(map[string]float64),
+		inProgress:   make(map[string]bool),
+		rootCalls:    make(map[string]int),
+		compiled:     make(map[string]*CompiledAssembly),
+		uncompilable: make(map[string]bool),
+		estimates:    make(map[string]float64),
 	}
 }
 
@@ -139,6 +152,12 @@ func (ev *Evaluator) Reliability(service string, params ...float64) (float64, er
 // through it).
 func (ev *Evaluator) PfailService(svc model.Service, params ...float64) (float64, error) {
 	if ev.opts.Cycles != CycleFixedPoint {
+		if ca := ev.compiledFor(svc); ca != nil {
+			if p, hit := ev.memo[invocationKey(svc.Name(), params)]; hit {
+				return p, nil
+			}
+			return ca.Pfail(svc.Name(), params...)
+		}
 		p, _, err := ev.eval(svc, params, false)
 		return p, err
 	}
@@ -167,6 +186,41 @@ func (ev *Evaluator) PfailService(svc model.Service, params ...float64) (float64
 		}
 	}
 	return 0, fmt.Errorf("%w after %d sweeps (residual %g)", ErrNoConvergence, ev.opts.FixedPointMaxIter, ev.sweepDelta)
+}
+
+// compiledFor returns a CompiledAssembly to delegate an invocation of svc
+// to, or nil to stay on the interpreted path. The first call for a root
+// stays interpreted (one-shot queries never pay compilation); from the
+// second call on, the root is compiled once and served from the immutable
+// artifact. Delegation requires that the resolver still maps the root's
+// name to this exact service value, so resolvers with dynamic state keep
+// their interpreted per-call semantics.
+func (ev *Evaluator) compiledFor(svc model.Service) *CompiledAssembly {
+	if ev.opts.Cycles != CycleError || ev.opts.Method == markov.MethodIterative {
+		return nil
+	}
+	name := svc.Name()
+	if ev.uncompilable[name] {
+		return nil
+	}
+	if reg, err := ev.resolver.ServiceByName(name); err != nil || reg != svc {
+		return nil
+	}
+	ca, ok := ev.compiled[name]
+	if !ok {
+		ev.rootCalls[name]++
+		if ev.rootCalls[name] < 2 {
+			return nil
+		}
+		var err error
+		ca, err = Compile(ev.resolver, ev.opts, name)
+		if err != nil {
+			ev.uncompilable[name] = true
+			return nil
+		}
+		ev.compiled[name] = ca
+	}
+	return ca
 }
 
 // invocationKey identifies a memoized (service, parameters) invocation.
@@ -215,7 +269,7 @@ func (ev *Evaluator) eval(svc model.Service, params []float64, wantReport bool) 
 		}
 		ev.memo[key] = p
 		if ev.inFixedLoop {
-			delta := abs(p - ev.estimates[key])
+			delta := math.Abs(p - ev.estimates[key])
 			if delta > ev.sweepDelta {
 				ev.sweepDelta = delta
 			}
@@ -391,13 +445,6 @@ func clamp01(v float64) float64 {
 	}
 	if v > 1 {
 		return 1
-	}
-	return v
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
 	}
 	return v
 }

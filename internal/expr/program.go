@@ -1,0 +1,247 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Program is an expression compiled to a flat, allocation-free stack
+// program. Identifiers are resolved at compile time: formal parameters
+// become numbered slots filled per evaluation, attributes become embedded
+// constants, and anything else is rejected with ErrUnboundIdentifier —
+// moving the whole class of unbound-identifier failures from evaluation
+// time to compile time.
+//
+// A Program is immutable after compilation and safe for concurrent use;
+// per-evaluation state lives entirely in the caller-provided stack.
+type Program struct {
+	src      string
+	code     []instr
+	consts   []float64
+	calls    []compiledCall
+	numSlots int
+	maxStack int
+}
+
+type opcode uint8
+
+const (
+	opConst opcode = iota
+	opSlot
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opPow
+	opNeg
+	opCall
+)
+
+type instr struct {
+	op  opcode
+	idx uint32
+}
+
+type compiledCall struct {
+	name  string
+	arity int
+	fn    func(args []float64) (float64, error)
+}
+
+// CompileProgram compiles e against an evaluation contract: the ordered
+// slot names (typically a service's formal parameters) and a constant
+// environment (typically its attributes). Slot names shadow constants of
+// the same name, matching model.Env. Constant subexpressions are folded at
+// compile time with the same operation order the interpreter would use, so
+// compiled and interpreted evaluation agree bitwise.
+func CompileProgram(e Expr, slotNames []string, consts Env) (*Program, error) {
+	slots := make(map[string]int, len(slotNames))
+	for i, n := range slotNames {
+		slots[n] = i
+	}
+	// Fold attribute constants in, but never a name that a slot shadows.
+	folded := consts
+	if len(consts) > 0 {
+		for _, n := range slotNames {
+			if _, shadowed := consts[n]; shadowed {
+				folded = consts.Clone()
+				for _, sn := range slotNames {
+					delete(folded, sn)
+				}
+				break
+			}
+		}
+		e = Bind(e, folded)
+	} else {
+		e = Simplify(e)
+	}
+	p := &Program{src: e.String(), numSlots: len(slotNames)}
+	if err := p.emit(e, slots); err != nil {
+		return nil, err
+	}
+	p.maxStack = p.computeMaxStack()
+	return p, nil
+}
+
+// MustCompileProgram compiles a statically known-good expression,
+// panicking on error.
+func MustCompileProgram(e Expr, slotNames []string, consts Env) *Program {
+	p, err := CompileProgram(e, slotNames, consts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Program) emit(e Expr, slots map[string]int) error {
+	switch n := e.(type) {
+	case Num:
+		p.code = append(p.code, instr{op: opConst, idx: uint32(len(p.consts))})
+		p.consts = append(p.consts, float64(n))
+		return nil
+	case Var:
+		i, ok := slots[string(n)]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnboundIdentifier, string(n))
+		}
+		p.code = append(p.code, instr{op: opSlot, idx: uint32(i)})
+		return nil
+	case *Neg:
+		if err := p.emit(n.X, slots); err != nil {
+			return err
+		}
+		p.code = append(p.code, instr{op: opNeg})
+		return nil
+	case *Binary:
+		if err := p.emit(n.L, slots); err != nil {
+			return err
+		}
+		if err := p.emit(n.R, slots); err != nil {
+			return err
+		}
+		var op opcode
+		switch n.Op {
+		case OpAdd:
+			op = opAdd
+		case OpSub:
+			op = opSub
+		case OpMul:
+			op = opMul
+		case OpDiv:
+			op = opDiv
+		case OpPow:
+			op = opPow
+		default:
+			return fmt.Errorf("expr: compile: unknown operator %v", n.Op)
+		}
+		p.code = append(p.code, instr{op: op})
+		return nil
+	case *CallExpr:
+		b, ok := builtins[n.Name]
+		if !ok {
+			return fmt.Errorf("expr: compile: unknown function %q", n.Name)
+		}
+		if len(n.Args) != b.arity {
+			return fmt.Errorf("expr: compile: %s expects %d argument(s), got %d", n.Name, b.arity, len(n.Args))
+		}
+		for _, a := range n.Args {
+			if err := p.emit(a, slots); err != nil {
+				return err
+			}
+		}
+		p.code = append(p.code, instr{op: opCall, idx: uint32(len(p.calls))})
+		p.calls = append(p.calls, compiledCall{name: n.Name, arity: b.arity, fn: b.eval})
+		return nil
+	default:
+		return fmt.Errorf("expr: compile: unsupported node %T", e)
+	}
+}
+
+func (p *Program) computeMaxStack() int {
+	sp, best := 0, 0
+	for _, in := range p.code {
+		switch in.op {
+		case opConst, opSlot:
+			sp++
+		case opAdd, opSub, opMul, opDiv, opPow:
+			sp--
+		case opNeg:
+			// depth unchanged
+		case opCall:
+			sp -= p.calls[in.idx].arity - 1
+		}
+		if sp > best {
+			best = sp
+		}
+	}
+	return best
+}
+
+// NumSlots returns the number of parameter slots the program reads.
+func (p *Program) NumSlots() int { return p.numSlots }
+
+// MaxStack returns the evaluation-stack depth Eval requires.
+func (p *Program) MaxStack() int { return p.maxStack }
+
+// Const reports whether the program folded to a single constant, and its
+// value.
+func (p *Program) Const() (float64, bool) {
+	if len(p.code) == 1 && p.code[0].op == opConst {
+		return p.consts[0], true
+	}
+	return 0, false
+}
+
+// String returns the (folded) source form of the compiled expression.
+func (p *Program) String() string { return p.src }
+
+// Eval runs the program. slots must hold at least NumSlots values and
+// stack at least MaxStack entries; neither is retained, so callers can
+// reuse scratch buffers across evaluations for allocation-free operation.
+func (p *Program) Eval(slots, stack []float64) (float64, error) {
+	sp := 0
+	for _, in := range p.code {
+		switch in.op {
+		case opConst:
+			stack[sp] = p.consts[in.idx]
+			sp++
+		case opSlot:
+			stack[sp] = slots[in.idx]
+			sp++
+		case opAdd:
+			sp--
+			stack[sp-1] += stack[sp]
+		case opSub:
+			sp--
+			stack[sp-1] -= stack[sp]
+		case opMul:
+			sp--
+			stack[sp-1] *= stack[sp]
+		case opDiv:
+			sp--
+			if stack[sp] == 0 {
+				return 0, fmt.Errorf("%w: in %s", ErrDivisionByZero, p.src)
+			}
+			stack[sp-1] /= stack[sp]
+		case opPow:
+			sp--
+			v := math.Pow(stack[sp-1], stack[sp])
+			if math.IsNaN(v) {
+				return 0, fmt.Errorf("%w: pow(%g, %g)", ErrDomain, stack[sp-1], stack[sp])
+			}
+			stack[sp-1] = v
+		case opNeg:
+			stack[sp-1] = -stack[sp-1]
+		case opCall:
+			c := &p.calls[in.idx]
+			sp -= c.arity
+			v, err := c.fn(stack[sp : sp+c.arity])
+			if err != nil {
+				return 0, err
+			}
+			stack[sp] = v
+			sp++
+		}
+	}
+	return stack[0], nil
+}

@@ -1,0 +1,148 @@
+package expr
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestProgramMatchesInterpreter compiles a spread of expressions and
+// checks that the program produces bit-identical values to AST
+// evaluation under the same environment.
+func TestProgramMatchesInterpreter(t *testing.T) {
+	cases := []struct {
+		src   string
+		slots []string
+		attrs Env
+	}{
+		{"1 + 2 * 3", nil, nil},
+		{"x", []string{"x"}, nil},
+		{"x + y * x - y / (x + 3)", []string{"x", "y"}, nil},
+		{"-x ^ 2", []string{"x"}, nil},
+		{"1 - (1 - phi) ^ n", []string{"n"}, Env{"phi": 1e-6}},
+		{"n * log2(n)", []string{"n"}, nil},
+		{"exp(-gamma * n / speed)", []string{"n"}, Env{"gamma": 1e-10, "speed": 1e9}},
+		{"min(x, y) + max(x, y) + abs(x - y)", []string{"x", "y"}, nil},
+		{"sqrt(x) + floor(y) + ceil(y) + log(x) + log10(x)", []string{"x", "y"}, nil},
+		{"pow(x, 3) + x ^ 0.5", []string{"x"}, nil},
+		{"a * x + b", []string{"x"}, Env{"a": 0.25, "b": 0.75}},
+	}
+	grids := [][]float64{{0.5, 3.5}, {1, 0.25}, {2.25, 9}, {17, 2}, {4096, 1}}
+	for _, tc := range cases {
+		e := MustParse(tc.src)
+		prog, err := CompileProgram(e, tc.slots, tc.attrs)
+		if err != nil {
+			t.Fatalf("CompileProgram(%q): %v", tc.src, err)
+		}
+		stack := make([]float64, prog.MaxStack())
+		for _, grid := range grids {
+			slots := make([]float64, len(tc.slots))
+			for i := range slots {
+				slots[i] = grid[i%len(grid)]
+			}
+			env := tc.attrs.Clone()
+			if env == nil {
+				env = Env{}
+			}
+			for i, name := range tc.slots {
+				env[name] = slots[i]
+			}
+			want, err := e.Eval(env)
+			if err != nil {
+				t.Fatalf("Eval(%q, %v): %v", tc.src, env, err)
+			}
+			got, err := prog.Eval(slots, stack)
+			if err != nil {
+				t.Fatalf("Program.Eval(%q, %v): %v", tc.src, slots, err)
+			}
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Errorf("%q at %v: program = %.17g, interpreter = %.17g", tc.src, slots, got, want)
+			}
+		}
+	}
+}
+
+// TestProgramConstFold checks that fully constant expressions fold to a
+// single constant instruction at compile time.
+func TestProgramConstFold(t *testing.T) {
+	prog, err := CompileProgram(MustParse("1 - (1 - phi) ^ 8"), nil, Env{"phi": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := prog.Const()
+	if !ok {
+		t.Fatalf("expected constant program, got %s", prog)
+	}
+	want := 1 - math.Pow(0.5, 8)
+	if v != want {
+		t.Errorf("Const = %g, want %g", v, want)
+	}
+	if prog.MaxStack() != 1 {
+		t.Errorf("MaxStack = %d, want 1", prog.MaxStack())
+	}
+}
+
+// TestProgramUnboundIdentifier checks that unknown identifiers are
+// rejected at compile time, not evaluation time.
+func TestProgramUnboundIdentifier(t *testing.T) {
+	_, err := CompileProgram(MustParse("x + ghost"), []string{"x"}, nil)
+	if !errors.Is(err, ErrUnboundIdentifier) {
+		t.Fatalf("error = %v, want ErrUnboundIdentifier", err)
+	}
+}
+
+// TestProgramSlotShadowsAttr mirrors model.Env: a formal parameter takes
+// precedence over an attribute of the same name.
+func TestProgramSlotShadowsAttr(t *testing.T) {
+	prog, err := CompileProgram(MustParse("n * 2"), []string{"n"}, Env{"n": 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prog.Eval([]float64{3}, make([]float64, prog.MaxStack()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("Eval = %g, want 6 (slot must shadow attribute)", got)
+	}
+}
+
+// TestProgramRuntimeErrors checks that the compiled program reports the
+// same error classes as the interpreter.
+func TestProgramRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{"1 / x", ErrDivisionByZero},
+		{"x ^ 0.5", ErrDomain}, // x = -1 below: sqrt of a negative
+		{"log(x)", ErrDomain},  // log(0)
+	}
+	vals := []float64{0, -1, 0}
+	for i, tc := range cases {
+		prog, err := CompileProgram(MustParse(tc.src), []string{"x"}, nil)
+		if err != nil {
+			t.Fatalf("CompileProgram(%q): %v", tc.src, err)
+		}
+		_, err = prog.Eval([]float64{vals[i]}, make([]float64, prog.MaxStack()))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%q: error = %v, want %v", tc.src, err, tc.want)
+		}
+	}
+}
+
+// TestProgramAllocFree confirms the execute phase performs no heap
+// allocation once slot and stack buffers are provided.
+func TestProgramAllocFree(t *testing.T) {
+	prog := MustCompileProgram(MustParse("1 - (1 - phi) ^ (n * log2(n))"), []string{"n"}, Env{"phi": 1e-6})
+	slots := []float64{4096}
+	stack := make([]float64, prog.MaxStack())
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := prog.Eval(slots, stack); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Eval allocates %.1f objects per run, want 0", avg)
+	}
+}

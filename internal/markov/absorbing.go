@@ -285,10 +285,3 @@ func clampProb(p float64) float64 {
 	}
 	return p
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

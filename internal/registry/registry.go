@@ -157,23 +157,39 @@ type RankedCandidate struct {
 // the assembly and returns the candidate that maximizes the predicted
 // reliability of invoking target with the given parameters. The assembly
 // passed in is not modified; every candidate's provider and connector must
-// already be registered in it.
+// already be registered in it. Candidates are scored concurrently, each
+// against its own trial assembly; on error, the lowest-indexed failing
+// candidate's error is reported.
 func SelectBinding(asm *assembly.Assembly, caller, role string, candidates []Candidate, opts core.Options, target string, params ...float64) (Selection, error) {
 	if len(candidates) == 0 {
 		return Selection{}, ErrNoCandidates
 	}
-	ranking := make([]RankedCandidate, 0, len(candidates))
-	for _, cand := range candidates {
-		trial := asm.Clone(asm.Name() + "+" + cand.Provider)
-		trial.AddBinding(caller, role, cand.Provider, cand.Connector)
-		if err := trial.Validate(); err != nil {
-			return Selection{}, fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector, err)
-		}
-		rel, err := core.New(trial, opts).Reliability(target, params...)
+	ranking := make([]RankedCandidate, len(candidates))
+	errs := make([]error, len(candidates))
+	var wg sync.WaitGroup
+	for i, cand := range candidates {
+		wg.Add(1)
+		go func(i int, cand Candidate) {
+			defer wg.Done()
+			trial := asm.Clone(asm.Name() + "+" + cand.Provider)
+			trial.AddBinding(caller, role, cand.Provider, cand.Connector)
+			if err := trial.Validate(); err != nil {
+				errs[i] = fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector, err)
+				return
+			}
+			rel, err := core.New(trial, opts).Reliability(target, params...)
+			if err != nil {
+				errs[i] = fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector, err)
+				return
+			}
+			ranking[i] = RankedCandidate{Candidate: cand, Reliability: rel}
+		}(i, cand)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return Selection{}, fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector, err)
+			return Selection{}, err
 		}
-		ranking = append(ranking, RankedCandidate{Candidate: cand, Reliability: rel})
 	}
 	sort.SliceStable(ranking, func(i, j int) bool {
 		return ranking[i].Reliability > ranking[j].Reliability

@@ -1,0 +1,54 @@
+package sensitivity
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SweepParallel evaluates f over xs concurrently, fanning the points out
+// over up to GOMAXPROCS goroutines, and returns the same series Sweep
+// would: points in xs order. f must be safe for concurrent use (for
+// reliability studies, evaluate through a core.CompiledAssembly, which
+// is immutable; a *core.Evaluator is not concurrency-safe). If several
+// points fail, the error of the lowest-indexed one is returned.
+func SweepParallel(name string, xs []float64, f Func) (Series, error) {
+	workers := min(runtime.GOMAXPROCS(0), len(xs))
+	if workers <= 1 {
+		return Sweep(name, xs, f)
+	}
+	points := make([]Point, len(xs))
+	var next atomic.Int64
+	errIdx := len(xs)
+	var errVal error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				y, err := f(xs[i])
+				if err != nil {
+					errMu.Lock()
+					if i < errIdx {
+						errIdx, errVal = i, fmt.Errorf("sensitivity: sweep %s at %g: %w", name, xs[i], err)
+					}
+					errMu.Unlock()
+					continue
+				}
+				points[i] = Point{X: xs[i], Y: y}
+			}
+		}()
+	}
+	wg.Wait()
+	if errVal != nil {
+		return Series{}, errVal
+	}
+	return Series{Name: name, Points: points}, nil
+}

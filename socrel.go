@@ -224,6 +224,10 @@ type (
 	CyclePolicy = core.CyclePolicy
 	// EvalReport is the per-state, per-request breakdown of an evaluation.
 	EvalReport = core.Report
+	// CompiledAssembly is an immutable compiled evaluator: bindings
+	// resolved, expressions compiled to slot programs, chain skeletons
+	// pre-built. Safe for concurrent use from any number of goroutines.
+	CompiledAssembly = core.CompiledAssembly
 )
 
 // Cycle policies.
@@ -236,9 +240,30 @@ const (
 )
 
 // NewEvaluator returns an evaluator over the resolver (usually an
-// *Assembly).
+// *Assembly). The evaluator transparently compiles hot root services and
+// serves repeat queries from the compiled artifact; use Compile directly
+// for explicit compile-then-execute control and concurrent evaluation.
 func NewEvaluator(resolver model.Resolver, opts Options) *Evaluator {
 	return core.New(resolver, opts)
+}
+
+// Compile resolves, validates, and compiles every service of the assembly
+// up front, returning an immutable CompiledAssembly whose Pfail /
+// PfailBatch methods are safe for concurrent use:
+//
+//	ca, err := socrel.Compile(asm, socrel.Options{})
+//	pfs, err := ca.PfailBatch("search", [][]float64{{1, 4096, 1}, {1, 8192, 1}})
+//
+// Compile rejects recursive assemblies and the iterative Markov solver
+// with core.ErrNotCompilable; use NewEvaluator for those.
+func Compile(asm *Assembly, opts Options) (*CompiledAssembly, error) {
+	return core.Compile(asm, opts, asm.ServiceNames()...)
+}
+
+// CompileServices compiles only the given root services (and everything
+// they transitively request) against an arbitrary resolver.
+func CompileServices(resolver model.Resolver, opts Options, roots ...string) (*CompiledAssembly, error) {
+	return core.Compile(resolver, opts, roots...)
 }
 
 // Monte Carlo validation.
@@ -323,6 +348,13 @@ type (
 // Sweep evaluates f over xs into a named series.
 func Sweep(name string, xs []float64, f func(x float64) (float64, error)) (Series, error) {
 	return sensitivity.Sweep(name, xs, f)
+}
+
+// SweepParallel evaluates f over xs concurrently (points in xs order in
+// the result). f must be safe for concurrent use — evaluate through a
+// CompiledAssembly, not a shared *Evaluator.
+func SweepParallel(name string, xs []float64, f func(x float64) (float64, error)) (Series, error) {
+	return sensitivity.SweepParallel(name, xs, f)
 }
 
 // Crossover locates where f - g changes sign within [lo, hi] by bisection.
