@@ -1,0 +1,48 @@
+package adl
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseDSL drives the ADL parser (and, for accepted documents, the
+// assembly builder) with arbitrary source text. The property under test is
+// crash-resistance: no input may panic or hang; malformed input must fail
+// with an *adl.ParseError (or a lower-layer typed error), never a crash.
+func FuzzParseDSL(f *testing.F) {
+	f.Add(paperDSL)
+	for _, seed := range []string{
+		"",
+		"service c cpu {\n speed 1e9\n rate 1e-10\n}",
+		"service s composite(n) {\n state w and nosharing {\n  call c(n)\n }\n transition Start -> w prob 1\n transition w -> End prob 1\n}",
+		"assembly a {\n bind s.c -> c\n}",
+		"service x constant {\n pfail 0.5\n}",
+		"service broken",
+		"service s composite() {",
+		"transition Start -> End prob 1",
+		"# only a comment",
+		"service s cpu {\n speed -1\n rate nan\n}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		doc, err := ParseDSL(src)
+		if err != nil {
+			if doc != nil {
+				t.Fatalf("ParseDSL returned both a document and an error: %v", err)
+			}
+			return
+		}
+		// Accepted documents must survive assembly construction without
+		// panicking; semantic errors are fine.
+		for _, name := range doc.AssemblyNames() {
+			if asm, err := doc.BuildAssembly(name); err == nil && asm != nil {
+				_ = asm.Validate()
+			}
+		}
+		_ = errors.Is(err, ErrSyntax)
+	})
+}

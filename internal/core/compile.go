@@ -8,6 +8,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime/debug"
 
 	"socrel/internal/expr"
 	"socrel/internal/markov"
@@ -98,7 +100,15 @@ type compiler struct {
 // gets a reusable chain skeleton. Compile rejects recursive assemblies,
 // the CycleFixedPoint policy, and the iterative solver with
 // ErrNotCompilable; use the interpreted Evaluator for those.
-func Compile(resolver model.Resolver, opts Options, roots ...string) (*CompiledAssembly, error) {
+func Compile(resolver model.Resolver, opts Options, roots ...string) (ca *CompiledAssembly, err error) {
+	// Compilation const-folds expressions (including builtin calls), so a
+	// defective failure law can panic here instead of at evaluation time;
+	// isolate it the same way.
+	defer func() {
+		if r := recover(); r != nil {
+			ca, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	opts = opts.withDefaults()
 	if opts.Cycles != CycleError {
 		return nil, fmt.Errorf("%w: cycle policy %d (compiled engine is acyclic; use the interpreted Evaluator)", ErrNotCompilable, opts.Cycles)
@@ -147,6 +157,12 @@ func (c *compiler) compileService(svc model.Service) (int, error) {
 	defer func() { c.status[name] = 2 }()
 
 	if err := svc.Validate(); err != nil {
+		if _, isComposite := svc.(*model.Composite); isComposite {
+			// A composite fails validation for structural flow defects
+			// (bad constant probabilities or row sums, duplicate edges,
+			// reserved states); surface them under the taxonomy.
+			return 0, fmt.Errorf("%w: %w", ErrDefectiveFlow, err)
+		}
 		return 0, err
 	}
 	formals := svc.FormalParams()
@@ -163,6 +179,9 @@ func (c *compiler) compileService(svc model.Service) (int, error) {
 		}
 		simple := &compiledSimple{prog: prog}
 		if v, ok := prog.Const(); ok {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%w: %s failure law is constant %g", ErrNonFinite, name, v)
+			}
 			simple.constVal, simple.isConst = clamp01(v), true
 		}
 		cs.simple = simple
@@ -261,7 +280,7 @@ func (c *compiler) compileComposite(svc *model.Composite) (*compiledComposite, e
 			if errors.Is(err, model.ErrNoBinding) {
 				providerName, connectorName = req.Role, ""
 			} else if err != nil {
-				return nil, fmt.Errorf("core: compile %s state %q request %q: %w", name, st.Name, req.Role, err)
+				return nil, fmt.Errorf("%w: compile %s state %q request %q: %w", ErrUnresolvedBinding, name, st.Name, req.Role, err)
 			}
 			if st.Dependency == model.Sharing {
 				if i == 0 {
@@ -273,7 +292,7 @@ func (c *compiler) compileComposite(svc *model.Composite) (*compiledComposite, e
 			}
 			provider, err := c.resolver.ServiceByName(providerName)
 			if err != nil {
-				return nil, fmt.Errorf("core: compile %s state %q request %q: %w", name, st.Name, req.Role, err)
+				return nil, fmt.Errorf("%w: compile %s state %q request %q -> %s: %w", ErrUnresolvedBinding, name, st.Name, req.Role, providerName, err)
 			}
 			provIdx, err := c.compileService(provider)
 			if err != nil {
@@ -294,7 +313,7 @@ func (c *compiler) compileComposite(svc *model.Composite) (*compiledComposite, e
 			if connectorName != "" {
 				connector, err := c.resolver.ServiceByName(connectorName)
 				if err != nil {
-					return nil, fmt.Errorf("core: compile %s state %q request %q connector: %w", name, st.Name, req.Role, err)
+					return nil, fmt.Errorf("%w: compile %s state %q request %q connector -> %s: %w", ErrUnresolvedBinding, name, st.Name, req.Role, connectorName, err)
 				}
 				connIdx, err := c.compileService(connector)
 				if err != nil {

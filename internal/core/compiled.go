@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"math"
@@ -72,14 +73,32 @@ func (ca *CompiledAssembly) Options() Options { return ca.opts }
 // Pfail returns the failure probability of the named service invoked with
 // the given actual parameters. Safe for concurrent use.
 func (ca *CompiledAssembly) Pfail(service string, params ...float64) (float64, error) {
+	return ca.PfailCtx(context.Background(), service, params...)
+}
+
+// PfailCtx is Pfail honoring cancellation and isolating panics: a panic
+// during the evaluation surfaces as ErrPanic instead of unwinding into
+// the caller, and a canceled context as ErrCanceled.
+func (ca *CompiledAssembly) PfailCtx(ctx context.Context, service string, params ...float64) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	idx, ok := ca.byName[service]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", model.ErrUnknownService, service)
 	}
+	if err := ctx.Err(); err != nil {
+		return 0, classify(err)
+	}
 	s := ca.pool.Get().(*session)
-	p, err := s.pfailTop(idx, params)
+	// Sessions are safe to reuse after a failed or panicked evaluation:
+	// every scratch buffer is reset at the start of its next use.
+	p, err := guardPfail(func() (float64, error) { return s.pfailTop(idx, params) })
 	ca.pool.Put(s)
-	return p, err
+	if err != nil {
+		return 0, classify(err)
+	}
+	return p, nil
 }
 
 // Reliability returns 1 - Pfail for the named service.
@@ -91,32 +110,76 @@ func (ca *CompiledAssembly) Reliability(service string, params ...float64) (floa
 	return 1 - p, nil
 }
 
+// ReliabilityCtx is Reliability honoring cancellation.
+func (ca *CompiledAssembly) ReliabilityCtx(ctx context.Context, service string, params ...float64) (float64, error) {
+	p, err := ca.PfailCtx(ctx, service, params...)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
 // PfailBatch evaluates the named service at every parameter set, fanning
 // the points out over up to GOMAXPROCS goroutines. The result order
-// matches paramSets; on error the lowest-indexed failing point wins.
+// matches paramSets; on error the lowest-indexed failing point wins and
+// the result slice is nil.
 func (ca *CompiledAssembly) PfailBatch(service string, paramSets [][]float64) ([]float64, error) {
+	out, err := ca.PfailBatchCtx(context.Background(), service, paramSets)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PfailBatchCtx is PfailBatch honoring cancellation and isolating panics,
+// with a partial-results contract: the returned slice always has
+// len(paramSets) entries, NaN at points that failed or were never
+// evaluated. The error is the lowest-indexed point's failure (classified
+// into the taxonomy). Workers check ctx before every point, so a
+// cancellation stops the batch at the next point boundary — a panicking
+// or failing point never poisons its siblings, which complete normally.
+func (ca *CompiledAssembly) PfailBatchCtx(ctx context.Context, service string, paramSets [][]float64) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	idx, ok := ca.byName[service]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", model.ErrUnknownService, service)
 	}
 	out := make([]float64, len(paramSets))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	errIdx := len(paramSets)
+	var errVal error
+	var errMu sync.Mutex
+	record := func(i int, err error) {
+		err = fmt.Errorf("core: batch point %d: %w", i, classify(err))
+		errMu.Lock()
+		if i < errIdx {
+			errIdx, errVal = i, err
+		}
+		errMu.Unlock()
+	}
 	workers := min(runtime.GOMAXPROCS(0), len(paramSets))
 	if workers <= 1 {
 		s := ca.pool.Get().(*session)
 		defer ca.pool.Put(s)
 		for i, ps := range paramSets {
-			p, err := s.pfailTop(idx, ps)
+			if err := ctx.Err(); err != nil {
+				record(i, err)
+				break
+			}
+			p, err := guardPfail(func() (float64, error) { return s.pfailTop(idx, ps) })
 			if err != nil {
-				return nil, fmt.Errorf("core: batch point %d: %w", i, err)
+				record(i, err)
+				continue
 			}
 			out[i] = p
 		}
-		return out, nil
+		return out, errVal
 	}
 	var next atomic.Int64
-	errIdx := len(paramSets)
-	var errVal error
-	var errMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -129,13 +192,13 @@ func (ca *CompiledAssembly) PfailBatch(service string, paramSets [][]float64) ([
 				if i >= len(paramSets) {
 					return
 				}
-				p, err := s.pfailTop(idx, paramSets[i])
+				if err := ctx.Err(); err != nil {
+					record(i, err)
+					return
+				}
+				p, err := guardPfail(func() (float64, error) { return s.pfailTop(idx, paramSets[i]) })
 				if err != nil {
-					errMu.Lock()
-					if i < errIdx {
-						errIdx, errVal = i, fmt.Errorf("core: batch point %d: %w", i, err)
-					}
-					errMu.Unlock()
+					record(i, err)
 					continue
 				}
 				out[i] = p
@@ -143,10 +206,7 @@ func (ca *CompiledAssembly) PfailBatch(service string, paramSets [][]float64) ([
 		}()
 	}
 	wg.Wait()
-	if errVal != nil {
-		return nil, errVal
-	}
-	return out, nil
+	return out, errVal
 }
 
 // ReliabilityBatch is PfailBatch mapped through 1 - p.
@@ -159,6 +219,16 @@ func (ca *CompiledAssembly) ReliabilityBatch(service string, paramSets [][]float
 		ps[i] = 1 - ps[i]
 	}
 	return ps, nil
+}
+
+// ReliabilityBatchCtx is PfailBatchCtx mapped through 1 - p (failed points
+// stay NaN).
+func (ca *CompiledAssembly) ReliabilityBatchCtx(ctx context.Context, service string, paramSets [][]float64) ([]float64, error) {
+	ps, err := ca.PfailBatchCtx(ctx, service, paramSets)
+	for i := range ps {
+		ps[i] = 1 - ps[i]
+	}
+	return ps, err
 }
 
 func (ca *CompiledAssembly) memoGet(key []byte) (float64, bool) {
@@ -260,6 +330,9 @@ func (s *session) pfail(svcIdx, off, np int) (float64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("model: Pfail(%s): %w", svc.name, err)
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%w: Pfail(%s) = %g", ErrNonFinite, svc.name, v)
+		}
 		return clamp01(v), nil
 	}
 	key := s.memoKey(svcIdx, off, np)
@@ -307,7 +380,7 @@ func (s *session) evalComposite(svcIdx, off, np int) (float64, error) {
 		st := &comp.states[si]
 		f, err := s.stateFailure(svcIdx, st, off, np)
 		if err != nil {
-			return 0, fmt.Errorf("core: %s state %q: %w", svc.name, st.name, err)
+			return 0, atPath(err, svc.name, "state:"+st.name)
 		}
 		fail[st.transient] = f
 	}
@@ -324,15 +397,14 @@ func (s *session) evalComposite(svcIdx, off, np int) (float64, error) {
 				return 0, fmt.Errorf("core: %s transition %s -> %s: %w", svc.name, tr.fromName, tr.toName, err)
 			}
 		}
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return 0, fmt.Errorf("%w: %s: P(%s -> %s) = %g", ErrNonFinite, svc.name, tr.fromName, tr.toName, p)
+		}
 		if p < -1e-12 || p > 1+1e-12 {
 			return 0, fmt.Errorf("%w: %s: P(%s -> %s) = %g", ErrBadTransition, svc.name, tr.fromName, tr.toName, p)
 		}
 		p *= 1 - fail[tr.from]
-		p = clamp01(p)
-		if math.IsNaN(p) {
-			return 0, fmt.Errorf("core: %s: %w: P(%s -> %s) is NaN", svc.name, markov.ErrInvalidProbability, tr.fromName, tr.toName)
-		}
-		s.edgeP[ti] = p
+		s.edgeP[ti] = clamp01(p)
 	}
 
 	pEnd, err := s.solveSkeleton(svc, fail)
@@ -583,6 +655,9 @@ func (s *session) stateFailure(svcIdx int, st *compiledState, off, np int) (floa
 			v, err := req.internal.Eval(s.arena[off:off+np], s.stack)
 			if err != nil {
 				return 0, fmt.Errorf("request %q internal failure: %w", req.role, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%w: request %q internal failure = %g", ErrNonFinite, req.role, v)
 			}
 			pInt = clamp01(v)
 		}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"socrel/internal/expr"
+	"socrel/internal/linalg"
 	"socrel/internal/markov"
 	"socrel/internal/model"
 )
@@ -44,8 +46,9 @@ var (
 	// model restriction.
 	ErrInvalidSharing = errors.New("core: sharing state resolves to multiple providers")
 	// ErrBadTransition is returned when a transition probability expression
-	// evaluates outside [0, 1].
-	ErrBadTransition = errors.New("core: transition probability outside [0,1]")
+	// evaluates outside [0, 1]. It wraps ErrDefectiveFlow: a bad
+	// probability is one way a flow fails to form a valid chain.
+	ErrBadTransition = fmt.Errorf("%w: transition probability outside [0,1]", ErrDefectiveFlow)
 )
 
 // CyclePolicy selects how the engine treats recursive assemblies.
@@ -72,6 +75,20 @@ type Options struct {
 	FixedPointTol float64
 	// FixedPointMaxIter bounds fixed-point sweeps (default 10000).
 	FixedPointMaxIter int
+	// IterTol is the convergence threshold of the iterative Markov solver
+	// (MethodIterative, or MethodAuto above the dense threshold). Zero
+	// keeps the linalg default (1e-12).
+	IterTol float64
+	// IterMaxIter bounds the iterative Markov solver's sweeps. Zero keeps
+	// the linalg default (100000). Exhausting the budget surfaces
+	// ErrNoConvergence carrying the sweep count and final residual.
+	IterMaxIter int
+	// OnFallback, when set, is called the first time each root service
+	// degrades from the compiled to the interpreted path (the assembly
+	// failed to compile, or the resolver stopped mapping the root's name
+	// to the compiled service value) with the reason. Use Fallbacks for
+	// the running count of interpreted evaluations served since.
+	OnFallback func(service string, reason error)
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +112,11 @@ type Evaluator struct {
 	resolver model.Resolver
 	opts     Options
 
+	// ctx is the context of the entry point currently on the stack;
+	// context.Background outside the Ctx entry points. The interpreted
+	// engine is single-goroutine, so a plain field suffices.
+	ctx context.Context
+
 	memo       map[string]float64
 	inProgress map[string]bool
 
@@ -107,6 +129,11 @@ type Evaluator struct {
 	compiled     map[string]*CompiledAssembly
 	uncompilable map[string]bool
 
+	// Fallback telemetry: one record per root served interpreted after the
+	// compiled path was attempted (or would have been viable).
+	fallbacks     map[string]*FallbackRecord
+	fallbackOrder []string
+
 	// Fixed-point state.
 	estimates   map[string]float64
 	usedEst     bool
@@ -114,16 +141,31 @@ type Evaluator struct {
 	inFixedLoop bool
 }
 
+// FallbackRecord describes one root service that degraded from the
+// compiled to the interpreted path.
+type FallbackRecord struct {
+	// Service is the root service name.
+	Service string
+	// Reason is the error that forced the fallback (an ErrNotCompilable
+	// chain for compilation failures).
+	Reason error
+	// Count is the number of interpreted evaluations served for this root
+	// since the fallback was recorded.
+	Count int
+}
+
 // New returns an Evaluator over the given resolver.
 func New(resolver model.Resolver, opts Options) *Evaluator {
 	return &Evaluator{
 		resolver:     resolver,
 		opts:         opts.withDefaults(),
+		ctx:          context.Background(),
 		memo:         make(map[string]float64),
 		inProgress:   make(map[string]bool),
 		rootCalls:    make(map[string]int),
 		compiled:     make(map[string]*CompiledAssembly),
 		uncompilable: make(map[string]bool),
+		fallbacks:    make(map[string]*FallbackRecord),
 		estimates:    make(map[string]float64),
 	}
 }
@@ -131,11 +173,18 @@ func New(resolver model.Resolver, opts Options) *Evaluator {
 // Pfail returns the failure probability of the named service invoked with
 // the given actual parameters: Pfail(S, fp) of equation (3).
 func (ev *Evaluator) Pfail(service string, params ...float64) (float64, error) {
+	return ev.PfailCtx(context.Background(), service, params...)
+}
+
+// PfailCtx is Pfail honoring cancellation: the evaluation checks ctx
+// between invocations and inside iterative solves, and a canceled context
+// surfaces as ErrCanceled.
+func (ev *Evaluator) PfailCtx(ctx context.Context, service string, params ...float64) (float64, error) {
 	svc, err := ev.resolver.ServiceByName(service)
 	if err != nil {
 		return 0, err
 	}
-	return ev.PfailService(svc, params...)
+	return ev.PfailServiceCtx(ctx, svc, params...)
 }
 
 // Reliability returns 1 - Pfail for the named service.
@@ -147,16 +196,46 @@ func (ev *Evaluator) Reliability(service string, params ...float64) (float64, er
 	return 1 - p, nil
 }
 
+// ReliabilityCtx is Reliability honoring cancellation.
+func (ev *Evaluator) ReliabilityCtx(ctx context.Context, service string, params ...float64) (float64, error) {
+	p, err := ev.PfailCtx(ctx, service, params...)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
 // PfailService evaluates a service value directly (it does not need to be
 // registered with the resolver, but any roles it requests are resolved
 // through it).
 func (ev *Evaluator) PfailService(svc model.Service, params ...float64) (float64, error) {
+	return ev.PfailServiceCtx(context.Background(), svc, params...)
+}
+
+// PfailServiceCtx is PfailService honoring cancellation. It is also the
+// taxonomy boundary: failures from any layer are classified, panics are
+// isolated into ErrPanic, and a canceled context surfaces as ErrCanceled.
+func (ev *Evaluator) PfailServiceCtx(ctx context.Context, svc model.Service, params ...float64) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prev := ev.ctx
+	ev.ctx = ctx
+	defer func() { ev.ctx = prev }()
+	p, err := guardPfail(func() (float64, error) { return ev.pfailService(svc, params) })
+	if err != nil {
+		return 0, classify(err)
+	}
+	return p, nil
+}
+
+func (ev *Evaluator) pfailService(svc model.Service, params []float64) (float64, error) {
 	if ev.opts.Cycles != CycleFixedPoint {
 		if ca := ev.compiledFor(svc); ca != nil {
 			if p, hit := ev.memo[invocationKey(svc.Name(), params)]; hit {
 				return p, nil
 			}
-			return ca.Pfail(svc.Name(), params...)
+			return ca.PfailCtx(ev.ctx, svc.Name(), params...)
 		}
 		p, _, err := ev.eval(svc, params, false)
 		return p, err
@@ -169,6 +248,9 @@ func (ev *Evaluator) PfailService(svc model.Service, params ...float64) (float64
 	defer func() { ev.inFixedLoop = false }()
 	var p float64
 	for iter := 0; iter < ev.opts.FixedPointMaxIter; iter++ {
+		if err := ev.ctx.Err(); err != nil {
+			return 0, fmt.Errorf("core: fixed point canceled after %d sweeps: %w", iter, err)
+		}
 		ev.memo = make(map[string]float64)
 		ev.usedEst = false
 		ev.sweepDelta = 0
@@ -197,30 +279,64 @@ func (ev *Evaluator) PfailService(svc model.Service, params ...float64) (float64
 // their interpreted per-call semantics.
 func (ev *Evaluator) compiledFor(svc model.Service) *CompiledAssembly {
 	if ev.opts.Cycles != CycleError || ev.opts.Method == markov.MethodIterative {
+		// Explicit configuration outside the compiled engine's domain, not
+		// degradation: no fallback record.
 		return nil
 	}
 	name := svc.Name()
 	if ev.uncompilable[name] {
+		ev.noteFallback(name, ErrNotCompilable)
 		return nil
 	}
 	if reg, err := ev.resolver.ServiceByName(name); err != nil || reg != svc {
+		ev.noteFallback(name, fmt.Errorf("core: resolver no longer maps %q to the evaluated service value", name))
 		return nil
 	}
 	ca, ok := ev.compiled[name]
 	if !ok {
 		ev.rootCalls[name]++
 		if ev.rootCalls[name] < 2 {
+			// Warm-up call: one-shot queries never pay compilation. Not a
+			// fallback.
 			return nil
 		}
 		var err error
 		ca, err = Compile(ev.resolver, ev.opts, name)
 		if err != nil {
 			ev.uncompilable[name] = true
+			ev.noteFallback(name, err)
 			return nil
 		}
 		ev.compiled[name] = ca
 	}
 	return ca
+}
+
+// noteFallback records — once per root, firing the OnFallback hook — that
+// the named root is served by the interpreted path, and counts this
+// serving.
+func (ev *Evaluator) noteFallback(name string, reason error) {
+	rec, ok := ev.fallbacks[name]
+	if !ok {
+		rec = &FallbackRecord{Service: name, Reason: reason}
+		ev.fallbacks[name] = rec
+		ev.fallbackOrder = append(ev.fallbackOrder, name)
+		if ev.opts.OnFallback != nil {
+			ev.opts.OnFallback(name, reason)
+		}
+	}
+	rec.Count++
+}
+
+// Fallbacks returns one record per root service that degraded from the
+// compiled to the interpreted path, in first-fallback order. An empty
+// result means every evaluation ran where the configuration intended.
+func (ev *Evaluator) Fallbacks() []FallbackRecord {
+	out := make([]FallbackRecord, 0, len(ev.fallbackOrder))
+	for _, name := range ev.fallbackOrder {
+		out = append(out, *ev.fallbacks[name])
+	}
+	return out
 }
 
 // invocationKey identifies a memoized (service, parameters) invocation.
@@ -237,6 +353,9 @@ func invocationKey(name string, params []float64) string {
 // eval computes Pfail for one invocation. When wantReport is true it also
 // returns the per-state breakdown for the top-level service.
 func (ev *Evaluator) eval(svc model.Service, params []float64, wantReport bool) (float64, []StateReport, error) {
+	if err := ev.ctx.Err(); err != nil {
+		return 0, nil, fmt.Errorf("core: %s: %w", svc.Name(), err)
+	}
 	key := invocationKey(svc.Name(), params)
 	if !wantReport {
 		if p, ok := ev.memo[key]; ok {
@@ -300,7 +419,7 @@ func (ev *Evaluator) evalComposite(svc *model.Composite, params []float64, wantR
 		}
 		f, reqReports, err := ev.stateFailure(svc, st, env, wantReport)
 		if err != nil {
-			return 0, nil, fmt.Errorf("core: %s state %q: %w", svc.Name(), st.Name, err)
+			return 0, nil, atPath(err, svc.Name(), "state:"+st.Name)
 		}
 		stateFail[st.Name] = f
 		if wantReport {
@@ -319,6 +438,9 @@ func (ev *Evaluator) evalComposite(svc *model.Composite, params []float64, wantR
 		if err != nil {
 			return 0, nil, fmt.Errorf("core: %s transition %s -> %s: %w", svc.Name(), tr.From, tr.To, err)
 		}
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return 0, nil, fmt.Errorf("%w: %s: P(%s -> %s) = %g", ErrNonFinite, svc.Name(), tr.From, tr.To, p)
+		}
 		if p < -1e-12 || p > 1+1e-12 {
 			return 0, nil, fmt.Errorf("%w: %s: P(%s -> %s) = %g", ErrBadTransition, svc.Name(), tr.From, tr.To, p)
 		}
@@ -335,11 +457,11 @@ func (ev *Evaluator) evalComposite(svc *model.Composite, params []float64, wantR
 		}
 	}
 
-	abs, err := markov.NewAbsorbing(chain, ev.opts.Method)
+	abs, err := markov.NewAbsorbingOpts(chain, ev.opts.Method, linalg.IterOptions{Tol: ev.opts.IterTol, MaxIter: ev.opts.IterMaxIter})
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %s: %w", svc.Name(), err)
 	}
-	pEnd, err := abs.AbsorptionProbability(model.StartState, model.EndState)
+	pEnd, err := abs.AbsorptionProbabilityCtx(ev.ctx, model.StartState, model.EndState)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %s: %w", svc.Name(), err)
 	}
@@ -358,7 +480,7 @@ func (ev *Evaluator) stateFailure(svc *model.Composite, st *model.State, env exp
 		if errors.Is(err, model.ErrNoBinding) {
 			providerName, connectorName = req.Role, ""
 		} else if err != nil {
-			return 0, nil, fmt.Errorf("request %q: %w", req.Role, err)
+			return 0, nil, fmt.Errorf("%w: %s/%s: %w", ErrUnresolvedBinding, svc.Name(), req.Role, err)
 		}
 		if st.Dependency == model.Sharing {
 			if i == 0 {
@@ -371,7 +493,7 @@ func (ev *Evaluator) stateFailure(svc *model.Composite, st *model.State, env exp
 
 		provider, err := ev.resolver.ServiceByName(providerName)
 		if err != nil {
-			return 0, nil, fmt.Errorf("request %q: %w", req.Role, err)
+			return 0, nil, fmt.Errorf("%w: %s/%s -> %s: %w", ErrUnresolvedBinding, svc.Name(), req.Role, providerName, err)
 		}
 		apVals, err := evalExprs(req.Params, env)
 		if err != nil {
@@ -386,7 +508,7 @@ func (ev *Evaluator) stateFailure(svc *model.Composite, st *model.State, env exp
 		if connectorName != "" {
 			connector, err := ev.resolver.ServiceByName(connectorName)
 			if err != nil {
-				return 0, nil, fmt.Errorf("request %q connector: %w", req.Role, err)
+				return 0, nil, fmt.Errorf("%w: %s/%s connector -> %s: %w", ErrUnresolvedBinding, svc.Name(), req.Role, connectorName, err)
 			}
 			cpVals, err := evalExprs(req.ConnParams, env)
 			if err != nil {
@@ -403,6 +525,9 @@ func (ev *Evaluator) stateFailure(svc *model.Composite, st *model.State, env exp
 			v, err := req.Internal.Eval(env)
 			if err != nil {
 				return 0, nil, fmt.Errorf("request %q internal failure: %w", req.Role, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, nil, fmt.Errorf("%w: request %q internal failure = %g", ErrNonFinite, req.Role, v)
 			}
 			pInt = clamp01(v)
 		}

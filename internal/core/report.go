@@ -69,7 +69,7 @@ func (ev *Evaluator) Report(service string, params ...float64) (*Report, error) 
 	}
 	p, states, err := ev.eval(svc, params, true)
 	if err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
 	return &Report{Service: service, Params: params, Pfail: p, States: states}, nil
 }

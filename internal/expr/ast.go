@@ -341,6 +341,21 @@ func IsBuiltin(name string) (arity int, ok bool) {
 	return b.arity, ok
 }
 
+// RegisterBuiltin registers (or replaces) a builtin function, making it
+// callable from parsed expressions and compiled programs. The builtin
+// table is read without locking on the evaluation hot path, so
+// registration must happen before any concurrent parsing, compilation, or
+// evaluation — typically from an init function or test setup. The
+// fault-injection harness uses this to plant deliberately misbehaving
+// functions (panics, NaN producers) behind both engine paths.
+func RegisterBuiltin(name string, arity int, fn func(args []float64) (float64, error)) error {
+	if name == "" || arity < 0 || fn == nil {
+		return fmt.Errorf("expr: invalid builtin registration %q", name)
+	}
+	builtins[name] = builtin{arity: arity, eval: fn}
+	return nil
+}
+
 // CallExpr is a call to a builtin function.
 type CallExpr struct {
 	Name string

@@ -1,0 +1,46 @@
+package expr
+
+import "testing"
+
+// FuzzParse drives the expression parser (and, for accepted inputs, the
+// printer, the evaluator, and the program compiler) with arbitrary source
+// text. The property under test is crash-resistance: no input may panic or
+// exhaust the stack; malformed input must fail with an error.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1 - exp(-lambda * N / s)",
+		"n * log2(n)",
+		"1 - (1-phi)^(n*log2(n))",
+		"pow(x, 2) + min(a, b) / max(a, 1)",
+		"-x^2",
+		"((((((1))))))",
+		"1/0",
+		"log(-1)",
+		"sqrt(",
+		"foo(1, 2, 3)",
+		"1e999",
+		"..5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must survive printing, evaluation, and program
+		// compilation without panicking; evaluation errors are fine.
+		rendered := e.String()
+		env := Env{}
+		for _, v := range Vars(e) {
+			env[v] = 0.5
+		}
+		_, _ = e.Eval(env)
+		if _, err := CompileProgram(e, Vars(e), nil); err != nil {
+			t.Fatalf("parseable expression %q failed to compile: %v", rendered, err)
+		}
+	})
+}

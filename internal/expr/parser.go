@@ -31,10 +31,18 @@ func MustParse(source string) Expr {
 	return e
 }
 
+// maxParseDepth bounds expression nesting. Failure laws and transition
+// probabilities are shallow in practice; the cap exists so adversarial
+// input (deeply nested parentheses from fuzzing or untrusted ADL text)
+// fails with a syntax error instead of exhausting the goroutine stack —
+// parsing, evaluation, and printing all recurse to the same depth.
+const maxParseDepth = 512
+
 // parser is a Pratt (precedence climbing) parser over the lexer.
 type parser struct {
-	lex lexer
-	cur token
+	lex   lexer
+	cur   token
+	depth int
 }
 
 func (p *parser) errorf(format string, args ...any) error {
@@ -69,6 +77,11 @@ func binaryOp(k tokenKind) (op Op, leftBP, rightBP int, ok bool) {
 }
 
 func (p *parser) parseExpr(minBP int) (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, p.errorf("expression nested deeper than %d", maxParseDepth)
+	}
 	lhs, err := p.parsePrimary()
 	if err != nil {
 		return nil, err

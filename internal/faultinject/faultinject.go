@@ -1,0 +1,222 @@
+// Package faultinject provides controlled fault injection for robustness
+// testing of the evaluation engine: a model.Resolver wrapper that hides
+// services, fails lookups and bindings at configurable rates, and a set of
+// deliberately defective service constructions (non-finite attributes,
+// invalid constructor arguments, flows with bad row sums or no path to
+// absorption, panicking failure laws).
+//
+// Every failure introduced here matches ErrInjected via errors.Is, so a
+// chaos suite can tell injected faults from genuine engine defects. The
+// package is test infrastructure: importing it registers the fi_panic
+// expression builtin.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"socrel/internal/expr"
+	"socrel/internal/model"
+)
+
+// ErrInjected marks every failure introduced by this package.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+func init() {
+	// fi_panic(x) panics when x > 0 and returns a small constant
+	// otherwise, so a test controls the panic point through a service
+	// parameter (and a non-constant argument keeps the compiler from
+	// folding the call away at compile time).
+	_ = expr.RegisterBuiltin("fi_panic", 1, func(args []float64) (float64, error) {
+		if args[0] > 0 {
+			panic(fmt.Sprintf("faultinject: deliberate panic (arg %g)", args[0]))
+		}
+		return 0.05, nil
+	})
+}
+
+// Options configures a wrapped resolver.
+type Options struct {
+	// Seed seeds the per-call randomization. Wrapped resolvers are
+	// deterministic for a given seed and call sequence.
+	Seed int64
+	// MissingServices lists service names the wrapper hides: lookups fail
+	// with an injected model.ErrUnknownService regardless of the base.
+	MissingServices []string
+	// LookupFailureRate is the probability that any single ServiceByName
+	// call fails with an injected model.ErrUnknownService.
+	LookupFailureRate float64
+	// BindFailureRate is the probability that any single Bind call fails
+	// with an injected error that is NOT model.ErrNoBinding, so the
+	// engine cannot fall back to role-as-name resolution.
+	BindFailureRate float64
+	// ExemptServices are never hit by randomized lookup failures or
+	// hiding — typically the evaluation roots, so the fault lands inside
+	// the engine rather than on the entry lookup.
+	ExemptServices []string
+}
+
+// Resolver wraps a base model.Resolver with fault injection. It is safe
+// for concurrent use if the base is.
+type Resolver struct {
+	base    model.Resolver
+	opts    Options
+	missing map[string]bool
+	exempt  map[string]bool
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected int
+}
+
+var _ model.Resolver = (*Resolver)(nil)
+
+// Wrap returns a fault-injecting resolver over base.
+func Wrap(base model.Resolver, opts Options) *Resolver {
+	r := &Resolver{
+		base:    base,
+		opts:    opts,
+		missing: make(map[string]bool, len(opts.MissingServices)),
+		exempt:  make(map[string]bool, len(opts.ExemptServices)),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	for _, n := range opts.MissingServices {
+		r.missing[n] = true
+	}
+	for _, n := range opts.ExemptServices {
+		r.exempt[n] = true
+	}
+	return r
+}
+
+// Injected returns how many faults the wrapper has injected so far.
+func (r *Resolver) Injected() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.injected
+}
+
+// roll draws one fault decision and counts a hit.
+func (r *Resolver) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	r.mu.Lock()
+	hit := r.rng.Float64() < rate
+	if hit {
+		r.injected++
+	}
+	r.mu.Unlock()
+	return hit
+}
+
+// note counts one deterministic (non-randomized) injection.
+func (r *Resolver) note() {
+	r.mu.Lock()
+	r.injected++
+	r.mu.Unlock()
+}
+
+// ServiceByName implements model.Resolver with hiding and randomized
+// lookup failures.
+func (r *Resolver) ServiceByName(name string) (model.Service, error) {
+	if !r.exempt[name] {
+		if r.missing[name] {
+			r.note()
+			return nil, fmt.Errorf("%w: %w: %q is hidden", ErrInjected, model.ErrUnknownService, name)
+		}
+		if r.roll(r.opts.LookupFailureRate) {
+			return nil, fmt.Errorf("%w: %w: transient lookup failure for %q", ErrInjected, model.ErrUnknownService, name)
+		}
+	}
+	return r.base.ServiceByName(name)
+}
+
+// Bind implements model.Resolver with randomized binding failures.
+func (r *Resolver) Bind(caller, role string) (provider, connector string, err error) {
+	if r.roll(r.opts.BindFailureRate) {
+		return "", "", fmt.Errorf("%w: bind %s/%s refused", ErrInjected, caller, role)
+	}
+	return r.base.Bind(caller, role)
+}
+
+// Deliberately defective service constructions. Each returns a service
+// seeded with one defect class the engine must reject with its typed
+// taxonomy instead of panicking, hanging, or returning a silent NaN.
+
+// NaNAttribute returns a parameterless simple service whose failure law
+// reads a NaN attribute, so evaluation produces a non-finite probability.
+func NaNAttribute(name string) *model.Simple {
+	return model.NewSimple(name, nil, model.Attrs{"x": math.NaN()}, expr.Var("x"))
+}
+
+// InfLaw returns a simple service whose law evaluates to +Inf for any
+// parameter value.
+func InfLaw(name string) *model.Simple {
+	return model.NewSimple(name, []string{"N"}, model.Attrs{"huge": math.Inf(1)}, expr.MustParse("huge + N"))
+}
+
+// BadConstructor returns a CPU constructed with a non-positive speed; the
+// constructor defect surfaces at validation and evaluation time.
+func BadConstructor(name string) *model.Simple {
+	return model.NewCPU(name, -5, 0.001)
+}
+
+// PanicLaw returns a simple service whose failure law panics whenever its
+// parameter is positive (via the fi_panic builtin), for testing panic
+// isolation in evaluation pipelines and worker pools.
+func PanicLaw(name string) *model.Simple {
+	return model.NewSimple(name, []string{"N"}, nil, expr.MustParse("fi_panic(N)"))
+}
+
+// RowSumComposite returns a composite whose single working state's
+// outgoing constant probability mass sums to 0.6 instead of one — a
+// defective flow both engines must reject.
+func RowSumComposite(name string) *model.Composite {
+	c := model.NewComposite(name, nil, nil)
+	mustAddState(c, "Work")
+	mustAddTransition(c, model.StartState, "Work", 1)
+	mustAddTransition(c, "Work", model.EndState, 0.6)
+	return c
+}
+
+// UnreachableEndComposite returns a composite containing a two-state cycle
+// with no escape: its row sums are valid but the chain has transient
+// states that can never reach absorption.
+func UnreachableEndComposite(name string) *model.Composite {
+	c := model.NewComposite(name, nil, nil)
+	mustAddState(c, "A")
+	mustAddState(c, "B")
+	mustAddTransition(c, model.StartState, "A", 1)
+	mustAddTransition(c, "A", "B", 1)
+	mustAddTransition(c, "B", "A", 1)
+	return c
+}
+
+// MissingProviderComposite returns a composite requesting a role that has
+// no binding and no service definition of that name anywhere.
+func MissingProviderComposite(name string) *model.Composite {
+	c := model.NewComposite(name, nil, nil)
+	st := mustAddState(c, "Work")
+	st.AddRequest(model.Request{Role: "fi_ghost_role"})
+	mustAddTransition(c, model.StartState, "Work", 1)
+	mustAddTransition(c, "Work", model.EndState, 1)
+	return c
+}
+
+func mustAddState(c *model.Composite, name string) *model.State {
+	st, err := c.Flow().AddState(name, model.AND, model.NoSharing)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+func mustAddTransition(c *model.Composite, from, to string, p float64) {
+	if err := c.Flow().AddTransitionP(from, to, p); err != nil {
+		panic(err)
+	}
+}

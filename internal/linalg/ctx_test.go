@@ -1,0 +1,67 @@
+package linalg
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// randomWalkSystem returns the substochastic matrix of a symmetric random
+// walk on n states with a small absorption leak, and a constant right-hand
+// side. Its spectral radius is close to one, so iterative solves need many
+// sweeps — enough to guarantee the periodic cancellation check is reached.
+func randomWalkSystem(t *testing.T, n int) (*CSR, []float64) {
+	t.Helper()
+	var entries []Coord
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			entries = append(entries, Coord{Row: i, Col: i - 1, Val: 0.49})
+		}
+		if i < n-1 {
+			entries = append(entries, Coord{Row: i, Col: i + 1, Val: 0.49})
+		}
+	}
+	q, err := NewCSR(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 0.02
+	}
+	return q, b
+}
+
+func TestIterativeSolversCtxCanceled(t *testing.T) {
+	q, b := randomWalkSystem(t, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SolveGaussSeidelCtx(ctx, q, b, IterOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("gauss-seidel: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := SolveJacobiCtx(ctx, q, b, IterOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("jacobi: err = %v, want context.Canceled", err)
+	}
+	// The background context never interferes with a normal solve.
+	if _, _, err := SolveGaussSeidelCtx(context.Background(), q, b, IterOptions{}); err != nil {
+		t.Errorf("background solve failed: %v", err)
+	}
+}
+
+func TestNoConvergenceErrorDetails(t *testing.T) {
+	q, b := randomWalkSystem(t, 50)
+	_, iters, err := SolveGaussSeidel(q, b, IterOptions{MaxIter: 3})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	var nc *NoConvergenceError
+	if !errors.As(err, &nc) {
+		t.Fatalf("err = %v, want a *NoConvergenceError", err)
+	}
+	if nc.Iterations != 3 || !(nc.Residual > 0) {
+		t.Errorf("NoConvergenceError = %+v, want Iterations 3 and a positive residual", nc)
+	}
+	if iters != 3 {
+		t.Errorf("iters = %d, want 3", iters)
+	}
+}

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -109,9 +110,34 @@ type IterOptions struct {
 	// Tol is the convergence threshold on the infinity norm of successive
 	// iterate differences. Zero means 1e-12.
 	Tol float64
-	// MaxIter bounds the number of sweeps. Zero means 100000.
+	// MaxIter bounds the number of sweeps. Zero means 100000. Exhausting
+	// the budget returns a *NoConvergenceError carrying the final residual
+	// and the sweep count.
 	MaxIter int
 }
+
+// NoConvergenceError reports an iterative solve that exhausted its sweep
+// budget. It matches ErrNoConvergence via errors.Is and carries the
+// iteration count and the final residual (infinity norm of the last
+// iterate difference) for diagnosis.
+type NoConvergenceError struct {
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Residual is the infinity norm of the last iterate difference.
+	Residual float64
+}
+
+func (e *NoConvergenceError) Error() string {
+	return fmt.Sprintf("linalg: iteration did not converge after %d sweeps (residual %g)", e.Iterations, e.Residual)
+}
+
+// Is reports whether target is ErrNoConvergence.
+func (e *NoConvergenceError) Is(target error) bool { return target == ErrNoConvergence }
+
+// ctxCheckEvery is how many sweeps an iterative solve runs between
+// cancellation checks: rare enough to stay off the per-row hot path, tight
+// enough that a canceled solve returns within microseconds.
+const ctxCheckEvery = 16
 
 func (o IterOptions) withDefaults() IterOptions {
 	if o.Tol <= 0 {
@@ -128,6 +154,13 @@ func (o IterOptions) withDefaults() IterOptions {
 // of Q is below one, which holds for the transient part of an absorbing
 // chain. Returns the solution and the number of sweeps performed.
 func SolveJacobi(q *CSR, b []float64, opts IterOptions) ([]float64, int, error) {
+	return SolveJacobiCtx(context.Background(), q, b, opts)
+}
+
+// SolveJacobiCtx is SolveJacobi honoring cancellation: the sweep loop
+// checks ctx between sweeps and returns ctx.Err() (wrapped) when the
+// context is done.
+func SolveJacobiCtx(ctx context.Context, q *CSR, b []float64, opts IterOptions) ([]float64, int, error) {
 	if q.rows != q.cols || len(b) != q.rows {
 		return nil, 0, fmt.Errorf("%w: jacobi on %dx%d with vec(%d)", ErrDimensionMismatch, q.rows, q.cols, len(b))
 	}
@@ -135,13 +168,19 @@ func SolveJacobi(q *CSR, b []float64, opts IterOptions) ([]float64, int, error) 
 	n := q.rows
 	x := make([]float64, n)
 	next := make([]float64, n)
+	var delta float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, iter, fmt.Errorf("linalg: jacobi canceled after %d sweeps: %w", iter-1, err)
+			}
+		}
 		// x_{k+1} = b + Q x_k  (fixed point of x = b + Qx, i.e. (I-Q)x = b)
 		qx, err := q.MulVec(x)
 		if err != nil {
 			return nil, 0, err
 		}
-		var delta float64
+		delta = 0
 		for i := 0; i < n; i++ {
 			next[i] = b[i] + qx[i]
 			if d := math.Abs(next[i] - x[i]); d > delta {
@@ -153,21 +192,35 @@ func SolveJacobi(q *CSR, b []float64, opts IterOptions) ([]float64, int, error) 
 			return x, iter, nil
 		}
 	}
-	return nil, opts.MaxIter, fmt.Errorf("%w after %d sweeps", ErrNoConvergence, opts.MaxIter)
+	return nil, opts.MaxIter, &NoConvergenceError{Iterations: opts.MaxIter, Residual: delta}
 }
 
 // SolveGaussSeidel solves (I - Q) x = b by Gauss-Seidel iteration.
 // It typically converges in fewer sweeps than Jacobi on absorbing-chain
 // systems. Returns the solution and the number of sweeps performed.
 func SolveGaussSeidel(q *CSR, b []float64, opts IterOptions) ([]float64, int, error) {
+	return SolveGaussSeidelCtx(context.Background(), q, b, opts)
+}
+
+// SolveGaussSeidelCtx is SolveGaussSeidel honoring cancellation: the sweep
+// loop checks ctx periodically and returns ctx.Err() (wrapped) when the
+// context is done, so a non-converging solve can never outlive its caller's
+// deadline.
+func SolveGaussSeidelCtx(ctx context.Context, q *CSR, b []float64, opts IterOptions) ([]float64, int, error) {
 	if q.rows != q.cols || len(b) != q.rows {
 		return nil, 0, fmt.Errorf("%w: gauss-seidel on %dx%d with vec(%d)", ErrDimensionMismatch, q.rows, q.cols, len(b))
 	}
 	opts = opts.withDefaults()
 	n := q.rows
 	x := make([]float64, n)
+	var delta float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		var delta float64
+		if iter%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, iter, fmt.Errorf("linalg: gauss-seidel canceled after %d sweeps: %w", iter-1, err)
+			}
+		}
+		delta = 0
 		for i := 0; i < n; i++ {
 			// Row i of (I - Q) x = b  =>  x_i (1 - Q_ii) = b_i + sum_{j != i} Q_ij x_j
 			var s float64
@@ -194,5 +247,5 @@ func SolveGaussSeidel(q *CSR, b []float64, opts IterOptions) ([]float64, int, er
 			return x, iter, nil
 		}
 	}
-	return nil, opts.MaxIter, fmt.Errorf("%w after %d sweeps", ErrNoConvergence, opts.MaxIter)
+	return nil, opts.MaxIter, &NoConvergenceError{Iterations: opts.MaxIter, Residual: delta}
 }

@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -43,10 +44,18 @@ type Absorbing struct {
 // It fails with ErrNotAbsorbing if the chain has no absorbing state or some
 // transient state cannot reach one.
 func NewAbsorbing(c *Chain, method Method) (*Absorbing, error) {
+	return NewAbsorbingOpts(c, method, linalg.IterOptions{})
+}
+
+// NewAbsorbingOpts is NewAbsorbing with an explicit iterative-solver
+// configuration (tolerance and sweep budget) for MethodIterative and the
+// MethodAuto fallback above the dense threshold. The zero value keeps the
+// linalg defaults.
+func NewAbsorbingOpts(c *Chain, method Method, iterOpts linalg.IterOptions) (*Absorbing, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Absorbing{chain: c, method: method, tPos: make(map[int]int)}
+	a := &Absorbing{chain: c, method: method, iterOpts: iterOpts, tPos: make(map[int]int)}
 	for i := range c.names {
 		if c.isAbsorbing(i) {
 			a.absorbing = append(a.absorbing, i)
@@ -105,7 +114,7 @@ func NewAbsorbing(c *Chain, method Method) (*Absorbing, error) {
 func (a *Absorbing) NumTransient() int { return len(a.transient) }
 
 // solve solves (I - Q) x = b with the configured method.
-func (a *Absorbing) solve(b []float64) ([]float64, error) {
+func (a *Absorbing) solve(ctx context.Context, b []float64) ([]float64, error) {
 	switch a.method {
 	case MethodDense:
 		if a.luOnce == nil {
@@ -121,7 +130,7 @@ func (a *Absorbing) solve(b []float64) ([]float64, error) {
 		}
 		return a.luOnce.Solve(b)
 	case MethodIterative:
-		x, _, err := linalg.SolveGaussSeidel(a.q, b, a.iterOpts)
+		x, _, err := linalg.SolveGaussSeidelCtx(ctx, a.q, b, a.iterOpts)
 		return x, err
 	default:
 		return nil, fmt.Errorf("markov: unknown method %d", a.method)
@@ -133,6 +142,13 @@ func (a *Absorbing) solve(b []float64) ([]float64, error) {
 // state. Starting from an absorbing state returns 1 for itself and 0
 // otherwise.
 func (a *Absorbing) AbsorptionProbability(from, into string) (float64, error) {
+	return a.AbsorptionProbabilityCtx(context.Background(), from, into)
+}
+
+// AbsorptionProbabilityCtx is AbsorptionProbability honoring cancellation
+// inside the iterative solver, so a non-converging solve returns promptly
+// when the caller's context expires.
+func (a *Absorbing) AbsorptionProbabilityCtx(ctx context.Context, from, into string) (float64, error) {
 	fi, ok := a.chain.index[from]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownState, from)
@@ -160,7 +176,7 @@ func (a *Absorbing) AbsorptionProbability(from, into string) (float64, error) {
 			}
 		}
 	}
-	x, err := a.solve(b)
+	x, err := a.solve(ctx, b)
 	if err != nil {
 		return 0, err
 	}
@@ -203,7 +219,7 @@ func (a *Absorbing) ExpectedVisits(from string) (map[string]float64, error) {
 		for _, tj := range a.transient {
 			e := make([]float64, len(a.transient))
 			e[a.tPos[tj]] = 1
-			x, err := a.solve(e)
+			x, err := a.solve(context.Background(), e)
 			if err != nil {
 				return nil, err
 			}

@@ -27,9 +27,20 @@ const RoleTransport = "transport"
 // NewKOfNTransport(name, n, 1, NoSharing) is a retry/failover connector;
 // NewKOfNTransport(name, n, n, dep) degenerates to n sequential mandatory
 // deliveries.
+
+// MaxKOfNChannels bounds the redundancy degree a k-of-n transport (and
+// hence a retry connector) may request. The state carries one request per
+// channel and the completion model enumerates them, so an unbounded n
+// turns a single constructor call into an effectively unbounded amount of
+// work; real redundancy degrees are tiny by comparison.
+const MaxKOfNChannels = 1024
+
 func NewKOfNTransport(name string, n, k int, dep Dependency) (*Composite, error) {
 	if n < 1 || k < 1 || k > n {
 		return nil, fmt.Errorf("%w: k-of-n transport with n=%d k=%d", ErrInvalidService, n, k)
+	}
+	if n > MaxKOfNChannels {
+		return nil, fmt.Errorf("%w: k-of-n transport with n=%d exceeds %d channels", ErrInvalidService, n, MaxKOfNChannels)
 	}
 	c := NewComposite(name, []string{"ip", "op"}, nil)
 	completion := KOfN

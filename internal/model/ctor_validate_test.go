@@ -1,0 +1,70 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestConstructorRejectsBadArguments (satellite S2): the fluent
+// constructors carry out-of-range arguments as a construction defect that
+// both Validate and Pfail surface with an error naming the service.
+func TestConstructorRejectsBadArguments(t *testing.T) {
+	cases := []struct {
+		name   string
+		svc    *Simple
+		params []float64
+	}{
+		{"constant-above-one", NewConstant("C", 1.5), nil},
+		{"constant-negative", NewConstant("C", -0.1), nil},
+		{"constant-nan", NewConstant("C", math.NaN()), nil},
+		{"cpu-zero-speed", NewCPU("C", 0, 0.1), []float64{1}},
+		{"cpu-negative-speed", NewCPU("C", -5, 0.1), []float64{1}},
+		{"cpu-negative-rate", NewCPU("C", 10, -1), []float64{1}},
+		{"cpu-nan-speed", NewCPU("C", math.NaN(), 0.1), []float64{1}},
+		{"network-zero-bandwidth", NewNetwork("C", 0, 0.1), []float64{1}},
+		{"network-inf-rate", NewNetwork("C", 10, math.Inf(1)), []float64{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.svc.Validate()
+			if !errors.Is(err, ErrInvalidService) {
+				t.Fatalf("Validate() = %v, want ErrInvalidService", err)
+			}
+			if !strings.Contains(err.Error(), `"C"`) {
+				t.Errorf("Validate() = %v, want the service name in the message", err)
+			}
+			if _, err := tc.svc.Pfail(tc.params); !errors.Is(err, ErrInvalidService) {
+				t.Errorf("Pfail() err = %v, want ErrInvalidService", err)
+			}
+		})
+	}
+
+	// Boundary values stay accepted.
+	for _, svc := range []*Simple{
+		NewConstant("ok", 0),
+		NewConstant("ok", 1),
+		NewCPU("ok", 1e9, 0),
+		NewNetwork("ok", 1, 0),
+	} {
+		if err := svc.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", svc.Name(), err)
+		}
+	}
+}
+
+// TestKOfNChannelBound: the redundancy degree of a k-of-n transport (and
+// the retry connector built on it) is bounded, so a huge n cannot turn one
+// constructor call into an unbounded amount of work.
+func TestKOfNChannelBound(t *testing.T) {
+	if _, err := NewKOfNTransport("t", MaxKOfNChannels+1, 1, NoSharing); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("NewKOfNTransport(n=%d) err = %v, want ErrInvalidService", MaxKOfNChannels+1, err)
+	}
+	if _, err := NewRetry("t", MaxKOfNChannels+1); !errors.Is(err, ErrInvalidService) {
+		t.Errorf("NewRetry(attempts=%d) err = %v, want ErrInvalidService", MaxKOfNChannels+1, err)
+	}
+	if _, err := NewKOfNTransport("t", MaxKOfNChannels, 1, NoSharing); err != nil {
+		t.Errorf("NewKOfNTransport(n=%d) err = %v, want nil", MaxKOfNChannels, err)
+	}
+}

@@ -14,6 +14,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"socrel/internal/expr"
 )
@@ -44,6 +45,11 @@ var (
 	// ErrArity is returned when a service is invoked with the wrong number
 	// of actual parameters.
 	ErrArity = errors.New("model: wrong number of parameters")
+	// ErrNonFinite is returned when a failure law, parameter, or attribute
+	// evaluates to NaN or ±Inf. Probabilities must be finite; clamping a
+	// NaN would silently corrupt every downstream combination, so it is
+	// rejected instead.
+	ErrNonFinite = errors.New("model: non-finite value")
 )
 
 // Attrs holds the named numeric attributes published in an analytic
@@ -92,6 +98,12 @@ type Simple struct {
 	formals []string
 	attrs   Attrs
 	pfail   expr.Expr
+	// ctorErr records a defect detected at construction (out-of-range
+	// constant, non-positive resource capacity). The fluent constructors
+	// cannot return errors without breaking every model-building call
+	// site, so the defect is carried here and surfaced by Validate and
+	// Pfail — construction-time rejection with evaluation-time reporting.
+	ctorErr error
 }
 
 var _ Service = (*Simple)(nil)
@@ -104,20 +116,29 @@ func NewSimple(name string, formals []string, attrs Attrs, pfail expr.Expr) *Sim
 
 // NewCPU returns a processing resource per equation (1):
 // Pfail(cpu, N) = 1 - exp(-lambda*N/s), with speed s (operations per time
-// unit) and failure rate lambda (failures per time unit).
+// unit) and failure rate lambda (failures per time unit). A non-positive
+// or non-finite speed, or a negative or non-finite failure rate, is
+// rejected: the returned service fails validation and evaluation with an
+// error naming it.
 func NewCPU(name string, speed, failureRate float64) *Simple {
-	return NewSimple(name, []string{"N"},
+	s := NewSimple(name, []string{"N"},
 		Attrs{"s": speed, "lambda": failureRate},
 		expr.MustParse("1 - exp(-lambda * N / s)"))
+	s.ctorErr = checkRate(name, "speed", speed, "failure rate", failureRate)
+	return s
 }
 
 // NewNetwork returns a communication resource per equation (2):
 // Pfail(net, B) = 1 - exp(-beta*B/b), with bandwidth b (bytes per time
-// unit) and failure rate beta (failures per time unit).
+// unit) and failure rate beta (failures per time unit). A non-positive or
+// non-finite bandwidth, or a negative or non-finite failure rate, is
+// rejected the same way as in NewCPU.
 func NewNetwork(name string, bandwidth, failureRate float64) *Simple {
-	return NewSimple(name, []string{"B"},
+	s := NewSimple(name, []string{"B"},
 		Attrs{"b": bandwidth, "beta": failureRate},
 		expr.MustParse("1 - exp(-beta * B / b)"))
+	s.ctorErr = checkRate(name, "bandwidth", bandwidth, "failure rate", failureRate)
+	return s
 }
 
 // NewPerfect returns a perfectly reliable service with the given formal
@@ -128,8 +149,26 @@ func NewPerfect(name string, formals ...string) *Simple {
 }
 
 // NewConstant returns a service with a constant failure probability.
+// A pfail outside [0, 1] (or NaN) is rejected: the returned service fails
+// validation and evaluation with an error naming it.
 func NewConstant(name string, pfail float64, formals ...string) *Simple {
-	return NewSimple(name, formals, nil, expr.Num(pfail))
+	s := NewSimple(name, formals, nil, expr.Num(pfail))
+	if math.IsNaN(pfail) || pfail < 0 || pfail > 1 {
+		s.ctorErr = fmt.Errorf("%w: service %q: constant pfail %g outside [0,1]", ErrInvalidService, name, pfail)
+	}
+	return s
+}
+
+// checkRate validates a resource capacity (must be positive and finite)
+// and failure-rate (must be non-negative and finite) pair.
+func checkRate(name, capLabel string, capacity float64, rateLabel string, rate float64) error {
+	if capacity <= 0 || math.IsInf(capacity, 0) || math.IsNaN(capacity) {
+		return fmt.Errorf("%w: service %q: %s %g must be positive and finite", ErrInvalidService, name, capLabel, capacity)
+	}
+	if rate < 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return fmt.Errorf("%w: service %q: %s %g must be non-negative and finite", ErrInvalidService, name, rateLabel, rate)
+	}
+	return nil
 }
 
 // Name implements Service.
@@ -145,8 +184,12 @@ func (s *Simple) Attributes() Attrs { return s.attrs }
 func (s *Simple) PfailExpr() expr.Expr { return s.pfail }
 
 // Pfail evaluates the failure probability for the given actual parameters,
-// clamped to [0, 1].
+// clamped to [0, 1]. A non-finite law value is rejected with ErrNonFinite
+// rather than clamped (clamp01 would silently pass NaN through).
 func (s *Simple) Pfail(params []float64) (float64, error) {
+	if s.ctorErr != nil {
+		return 0, s.ctorErr
+	}
 	env, err := Env(s, params)
 	if err != nil {
 		return 0, err
@@ -155,11 +198,17 @@ func (s *Simple) Pfail(params []float64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("model: Pfail(%s): %w", s.name, err)
 	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%w: Pfail(%s) = %g", ErrNonFinite, s.name, v)
+	}
 	return clamp01(v), nil
 }
 
 // Validate implements Service.
 func (s *Simple) Validate() error {
+	if s.ctorErr != nil {
+		return s.ctorErr
+	}
 	if s.name == "" {
 		return fmt.Errorf("%w: empty name", ErrInvalidService)
 	}

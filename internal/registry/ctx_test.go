@@ -1,0 +1,70 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/expr"
+	"socrel/internal/faultinject"
+	"socrel/internal/model"
+)
+
+// selectionAssembly returns an assembly with one root whose single request
+// (role "dep") is unbound, plus one healthy and one panicking candidate
+// provider for that role.
+func selectionAssembly(t *testing.T) *assembly.Assembly {
+	t.Helper()
+	asm := assembly.New("sel")
+	asm.MustAddService(model.NewCPU("ok", 100, 0.001))
+	asm.MustAddService(faultinject.PanicLaw("boom"))
+	root := model.NewComposite("Root", []string{"N"}, nil)
+	st, err := root.Flow().AddState("Work", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "dep", Params: []expr.Expr{expr.Var("N")}})
+	if err := root.Flow().AddTransitionP(model.StartState, "Work", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Flow().AddTransitionP("Work", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(root)
+	return asm
+}
+
+func TestSelectBindingCtxCanceled(t *testing.T) {
+	asm := selectionAssembly(t)
+	cands := []Candidate{{Provider: "ok"}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SelectBindingCtx(ctx, asm, "Root", "dep", cands, core.Options{}, "Root", 5); !errors.Is(err, core.ErrCanceled) {
+		t.Errorf("err = %v, want core.ErrCanceled", err)
+	}
+}
+
+// TestSelectBindingPanicIsolated: a candidate whose trial evaluation panics
+// fails the selection with core.ErrPanic; the sibling candidates are still
+// scored rather than lost to a crashed goroutine.
+func TestSelectBindingPanicIsolated(t *testing.T) {
+	asm := selectionAssembly(t)
+
+	// Sanity: the healthy candidate alone wins.
+	sel, err := SelectBindingCtx(context.Background(), asm, "Root", "dep",
+		[]Candidate{{Provider: "ok"}}, core.Options{}, "Root", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Candidate.Provider != "ok" {
+		t.Fatalf("selected %q, want ok", sel.Candidate.Provider)
+	}
+
+	_, err = SelectBindingCtx(context.Background(), asm, "Root", "dep",
+		[]Candidate{{Provider: "ok"}, {Provider: "boom"}}, core.Options{}, "Root", 5)
+	if !errors.Is(err, core.ErrPanic) {
+		t.Errorf("err = %v, want core.ErrPanic", err)
+	}
+}

@@ -7,8 +7,10 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -161,6 +163,17 @@ type RankedCandidate struct {
 // against its own trial assembly; on error, the lowest-indexed failing
 // candidate's error is reported.
 func SelectBinding(asm *assembly.Assembly, caller, role string, candidates []Candidate, opts core.Options, target string, params ...float64) (Selection, error) {
+	return SelectBindingCtx(context.Background(), asm, caller, role, candidates, opts, target, params...)
+}
+
+// SelectBindingCtx is SelectBinding honoring cancellation and isolating
+// panics: each candidate's trial evaluation checks ctx (a cancellation
+// surfaces as core.ErrCanceled), and a panicking candidate fails with
+// core.ErrPanic while the other candidates are still scored.
+func SelectBindingCtx(ctx context.Context, asm *assembly.Assembly, caller, role string, candidates []Candidate, opts core.Options, target string, params ...float64) (Selection, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(candidates) == 0 {
 		return Selection{}, ErrNoCandidates
 	}
@@ -171,13 +184,23 @@ func SelectBinding(asm *assembly.Assembly, caller, role string, candidates []Can
 		wg.Add(1)
 		go func(i int, cand Candidate) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector,
+						&core.PanicError{Value: r, Stack: debug.Stack()})
+				}
+			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("%w: registry: candidate %s/%s: %w", core.ErrCanceled, cand.Provider, cand.Connector, err)
+				return
+			}
 			trial := asm.Clone(asm.Name() + "+" + cand.Provider)
 			trial.AddBinding(caller, role, cand.Provider, cand.Connector)
 			if err := trial.Validate(); err != nil {
 				errs[i] = fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector, err)
 				return
 			}
-			rel, err := core.New(trial, opts).Reliability(target, params...)
+			rel, err := core.New(trial, opts).ReliabilityCtx(ctx, target, params...)
 			if err != nil {
 				errs[i] = fmt.Errorf("registry: candidate %s/%s: %w", cand.Provider, cand.Connector, err)
 				return

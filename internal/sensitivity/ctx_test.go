@@ -1,0 +1,55 @@
+package sensitivity
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"socrel/internal/core"
+)
+
+// TestSweepParallelCtxCanceled cancels the sweep from inside the first
+// evaluated point and checks that the workers stop at the next point
+// boundary instead of evaluating all 128 points.
+func TestSweepParallelCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	f := func(x float64) (float64, error) {
+		if calls.Add(1) == 1 {
+			cancel()
+		}
+		return x, nil
+	}
+	xs := make([]float64, 128)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	_, err := SweepParallelCtx(ctx, "s", xs, f)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want core.ErrCanceled", err)
+	}
+	if n, limit := calls.Load(), int64(2*runtime.GOMAXPROCS(0)+2); n > limit {
+		t.Errorf("%d points evaluated after the cancel, want <= %d", n, limit)
+	}
+}
+
+// TestSweepParallelPanicIsolated: a panicking point fails the sweep with
+// core.ErrPanic instead of crashing the worker (and the process).
+func TestSweepParallelPanicIsolated(t *testing.T) {
+	_, err := SweepParallel("s", []float64{1, 2, 3, 4}, func(x float64) (float64, error) {
+		if x == 3 {
+			panic("boom")
+		}
+		return x, nil
+	})
+	if !errors.Is(err, core.ErrPanic) {
+		t.Fatalf("err = %v, want core.ErrPanic", err)
+	}
+	var pe *core.PanicError
+	if !errors.As(err, &pe) || pe.Value != any("boom") || len(pe.Stack) == 0 {
+		t.Errorf("err = %v, want a *core.PanicError carrying the panic value and stack", err)
+	}
+}

@@ -1,10 +1,14 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"socrel/internal/core"
 )
 
 // SweepParallel evaluates f over xs concurrently, fanning the points out
@@ -14,41 +18,85 @@ import (
 // is immutable; a *core.Evaluator is not concurrency-safe). If several
 // points fail, the error of the lowest-indexed one is returned.
 func SweepParallel(name string, xs []float64, f Func) (Series, error) {
-	workers := min(runtime.GOMAXPROCS(0), len(xs))
-	if workers <= 1 {
-		return Sweep(name, xs, f)
+	return SweepParallelCtx(context.Background(), name, xs, f)
+}
+
+// SweepParallelCtx is SweepParallel honoring cancellation and isolating
+// panics. Workers check ctx before every point, so a cancellation stops
+// the sweep at the next point boundary and surfaces core.ErrCanceled; a
+// panicking point surfaces core.ErrPanic without taking down the workers
+// evaluating its siblings.
+func SweepParallelCtx(ctx context.Context, name string, xs []float64, f Func) (Series, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	points := make([]Point, len(xs))
-	var next atomic.Int64
 	errIdx := len(xs)
 	var errVal error
 	var errMu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(xs) {
-					return
-				}
-				y, err := f(xs[i])
-				if err != nil {
-					errMu.Lock()
-					if i < errIdx {
-						errIdx, errVal = i, fmt.Errorf("sensitivity: sweep %s at %g: %w", name, xs[i], err)
-					}
-					errMu.Unlock()
-					continue
-				}
-				points[i] = Point{X: xs[i], Y: y}
-			}
-		}()
+	record := func(i int, err error) {
+		errMu.Lock()
+		if i < errIdx {
+			errIdx, errVal = i, err
+		}
+		errMu.Unlock()
 	}
-	wg.Wait()
+	canceled := func(i int, err error) error {
+		return fmt.Errorf("%w: sweep %s canceled at point %d: %w", core.ErrCanceled, name, i, err)
+	}
+	evalPoint := func(i int) {
+		y, err := guardFunc(f, xs[i])
+		if err != nil {
+			record(i, fmt.Errorf("sensitivity: sweep %s at %g: %w", name, xs[i], err))
+			return
+		}
+		points[i] = Point{X: xs[i], Y: y}
+	}
+	workers := min(runtime.GOMAXPROCS(0), len(xs))
+	if workers <= 1 {
+		for i := range xs {
+			if err := ctx.Err(); err != nil {
+				record(i, canceled(i, err))
+				break
+			}
+			evalPoint(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(xs) {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						record(i, canceled(i, err))
+						return
+					}
+					evalPoint(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	if errVal != nil {
 		return Series{}, errVal
 	}
 	return Series{Name: name, Points: points}, nil
+}
+
+// guardFunc evaluates one sweep point with panic isolation, so a defective
+// model function cannot kill a worker goroutine (which would crash the
+// whole process) and instead fails just its own point.
+func guardFunc(f Func, x float64) (y float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			y, err = 0, &core.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f(x)
 }

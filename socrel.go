@@ -44,6 +44,8 @@
 package socrel
 
 import (
+	"context"
+
 	"socrel/internal/adl"
 	"socrel/internal/assembly"
 	"socrel/internal/core"
@@ -266,6 +268,46 @@ func CompileServices(resolver model.Resolver, opts Options, roots ...string) (*C
 	return core.Compile(resolver, opts, roots...)
 }
 
+// Resilience & error taxonomy (DESIGN.md section 8). Every failure an
+// evaluation entry point returns matches one of these sentinels (or a
+// model-layer sentinel such as model.ErrInvalidService) via errors.Is.
+var (
+	// ErrCanceled marks evaluations stopped by context cancellation or
+	// deadline expiry.
+	ErrCanceled = core.ErrCanceled
+	// ErrNonFinite marks NaN or infinite probabilities produced by a
+	// failure law, attribute, or transition expression.
+	ErrNonFinite = core.ErrNonFinite
+	// ErrNoConvergence marks iterative solves that exhausted their sweep
+	// budget; errors.As extracts the *linalg.NoConvergenceError detail.
+	ErrNoConvergence = core.ErrNoConvergence
+	// ErrUnresolvedBinding marks requests whose role could not be resolved
+	// to a registered provider or connector.
+	ErrUnresolvedBinding = core.ErrUnresolvedBinding
+	// ErrDefectiveFlow marks structurally broken usage profiles (bad row
+	// sums, transition probabilities outside [0,1], no path to absorption).
+	ErrDefectiveFlow = core.ErrDefectiveFlow
+	// ErrNotCompilable marks assemblies the compiled engine rejects
+	// (recursion, iterative solver, dynamic resolvers).
+	ErrNotCompilable = core.ErrNotCompilable
+	// ErrPanic marks evaluations recovered from a panicking expression or
+	// model; errors.As extracts the *PanicError with value and stack.
+	ErrPanic = core.ErrPanic
+)
+
+type (
+	// PanicError carries the recovered value and stack of a panic isolated
+	// inside an evaluation; it matches ErrPanic via errors.Is.
+	PanicError = core.PanicError
+	// EvalError prefixes a failure with the service/state path from the
+	// evaluation root down to the defect.
+	EvalError = core.EvalError
+	// FallbackRecord describes one root service that degraded from the
+	// compiled to the interpreted path (see Evaluator.Fallbacks and
+	// Options.OnFallback).
+	FallbackRecord = core.FallbackRecord
+)
+
 // Monte Carlo validation.
 type (
 	// Simulator is the fault-injection simulator.
@@ -308,6 +350,12 @@ func NewRegistry() *Registry { return registry.New() }
 // reliability of the target invocation.
 func SelectBinding(asm *Assembly, caller, role string, candidates []Candidate, opts Options, target string, params ...float64) (Selection, error) {
 	return registry.SelectBinding(asm, caller, role, candidates, opts, target, params...)
+}
+
+// SelectBindingCtx is SelectBinding honoring cancellation and isolating
+// candidate panics.
+func SelectBindingCtx(ctx context.Context, asm *Assembly, caller, role string, candidates []Candidate, opts Options, target string, params ...float64) (Selection, error) {
+	return registry.SelectBindingCtx(ctx, asm, caller, role, candidates, opts, target, params...)
 }
 
 // ADL.
@@ -355,6 +403,13 @@ func Sweep(name string, xs []float64, f func(x float64) (float64, error)) (Serie
 // CompiledAssembly, not a shared *Evaluator.
 func SweepParallel(name string, xs []float64, f func(x float64) (float64, error)) (Series, error) {
 	return sensitivity.SweepParallel(name, xs, f)
+}
+
+// SweepParallelCtx is SweepParallel honoring cancellation (the sweep stops
+// at the next point boundary with ErrCanceled) and isolating panics (a
+// panicking point fails with ErrPanic without killing its siblings).
+func SweepParallelCtx(ctx context.Context, name string, xs []float64, f func(x float64) (float64, error)) (Series, error) {
+	return sensitivity.SweepParallelCtx(ctx, name, xs, f)
 }
 
 // Crossover locates where f - g changes sign within [lo, hi] by bisection.
