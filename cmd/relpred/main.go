@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,8 +49,16 @@ func run(args []string, out io.Writer) error {
 	paper := fs.String("paper", "", "use the built-in paper example: 'local' or 'remote'")
 	dotOut := fs.String("dot", "", "emit Graphviz DOT instead of a prediction: 'flow', 'failures', or 'assembly'")
 	sweep := fs.String("sweep", "", "sweep one formal parameter: 'name=lo:hi:n' (geometric grid); the -params value for that position is ignored")
+	timeout := fs.Duration("timeout", 0, "evaluation deadline (e.g. 500ms); expired runs fail with the typed error class (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	params, err := parseParams(*paramsArg)
@@ -109,30 +119,43 @@ func run(args []string, out io.Writer) error {
 		return emitDOT(out, asm, *dotOut, *service, params, opts)
 	}
 	if *sweep != "" {
-		return runSweep(out, asm, opts, *service, params, *sweep)
+		return runSweep(ctx, out, asm, opts, *service, params, *sweep)
 	}
 
 	ev := core.New(asm, opts)
 	if *report {
 		rep, err := ev.Report(*service, params...)
 		if err != nil {
-			return err
+			return withClass(err)
 		}
 		_, err = fmt.Fprint(out, rep.String())
 		return err
 	}
-	pfail, err := ev.Pfail(*service, params...)
+	pfail, err := ev.PfailCtx(ctx, *service, params...)
 	if err != nil {
-		return err
+		return withClass(err)
 	}
 	_, err = fmt.Fprintf(out, "service %s(%s): Pfail = %.9g, reliability = %.9g\n",
 		*service, *paramsArg, pfail, 1-pfail)
 	return err
 }
 
+// withClass annotates an evaluation failure with its typed error class, so
+// scripts driving the CLI can branch on the taxonomy ("class=canceled",
+// "class=defective-flow", ...) without parsing prose.
+func withClass(err error) error {
+	if class := core.ErrorClass(err); class != "" {
+		return fmt.Errorf("class=%s: %w", class, err)
+	}
+	return err
+}
+
 // runSweep evaluates the service over a geometric grid of one formal
-// parameter and prints a CSV series.
-func runSweep(out io.Writer, asm *assembly.Assembly, opts core.Options, service string, params []float64, spec string) error {
+// parameter and prints a CSV series. The grid is evaluated through the
+// compiled engine's batch entry point when the assembly compiles, falling
+// back to the interpreted evaluator otherwise (recursive assemblies,
+// fixed-point policies, dynamic flows); both paths honor ctx.
+func runSweep(ctx context.Context, out io.Writer, asm *assembly.Assembly, opts core.Options, service string, params []float64, spec string) error {
 	name, lo, hi, n, err := parseSweepSpec(spec)
 	if err != nil {
 		return err
@@ -158,18 +181,42 @@ func runSweep(out io.Writer, asm *assembly.Assembly, opts core.Options, service 
 	if err != nil {
 		return err
 	}
-	ev := core.New(asm, opts)
-	fmt.Fprintf(out, "%s,pfail,reliability\n", name)
-	for _, x := range grid {
+	paramSets := make([][]float64, len(grid))
+	for i, x := range grid {
 		p := append([]float64(nil), params...)
 		p[pos] = x
-		pfail, err := ev.Pfail(service, p...)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "%g,%.9g,%.9g\n", x, pfail, 1-pfail)
+		paramSets[i] = p
+	}
+	pfails, err := sweepPfails(ctx, asm, opts, service, paramSets)
+	if err != nil {
+		return withClass(err)
+	}
+	fmt.Fprintf(out, "%s,pfail,reliability\n", name)
+	for i, x := range grid {
+		fmt.Fprintf(out, "%g,%.9g,%.9g\n", x, pfails[i], 1-pfails[i])
 	}
 	return nil
+}
+
+// sweepPfails evaluates every parameter set, compiled when possible.
+func sweepPfails(ctx context.Context, asm *assembly.Assembly, opts core.Options, service string, paramSets [][]float64) ([]float64, error) {
+	ca, err := core.Compile(asm, opts, service)
+	switch {
+	case err == nil:
+		return ca.PfailBatchCtx(ctx, service, paramSets)
+	case !errors.Is(err, core.ErrNotCompilable):
+		return nil, err
+	}
+	ev := core.New(asm, opts)
+	pfails := make([]float64, len(paramSets))
+	for i, p := range paramSets {
+		pfail, err := ev.PfailCtx(ctx, service, p...)
+		if err != nil {
+			return nil, err
+		}
+		pfails[i] = pfail
+	}
+	return pfails, nil
 }
 
 // parseSweepSpec parses "name=lo:hi:n".

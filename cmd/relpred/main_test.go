@@ -165,6 +165,52 @@ func TestRunSweep(t *testing.T) {
 	}
 }
 
+func TestRunTimeoutExpiredPrintsErrorClass(t *testing.T) {
+	// A 1ns deadline has always expired by the time the evaluator checks
+	// the context, so the run fails deterministically with the typed class.
+	var out bytes.Buffer
+	err := run([]string{"-paper", "local", "-params", "1,4096,1", "-timeout", "1ns"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "class=canceled") {
+		t.Errorf("error = %v, want class=canceled", err)
+	}
+}
+
+func TestRunSweepTimeoutExpiredPrintsErrorClass(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "remote", "-params", "1,0,1", "-sweep", "list=16:1024:4", "-timeout", "1ns"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "class=canceled") {
+		t.Errorf("error = %v, want class=canceled", err)
+	}
+}
+
+func TestRunTimeoutGenerousSucceeds(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "local", "-params", "1,4096,1", "-timeout", "1m"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reliability = 0.9568") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunSweepInterpretedFallback(t *testing.T) {
+	// -fixedpoint forces the interpreted evaluator (the compiler rejects
+	// fixed-point cycle policies), exercising sweepPfails' fallback path.
+	var out bytes.Buffer
+	err := run([]string{"-paper", "remote", "-params", "1,0,1", "-fixedpoint", "-sweep", "list=16:1024:4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "list,pfail,reliability") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	if got := strings.Count(s, "\n"); got != 5 {
+		t.Errorf("lines = %d, want 5:\n%s", got, s)
+	}
+}
+
 func TestRunSweepErrors(t *testing.T) {
 	cases := [][]string{
 		{"-paper", "remote", "-params", "1,0,1", "-sweep", "bogus"},

@@ -2,14 +2,21 @@ package socrel
 
 // Re-exports of the extension subsystems: fault-tolerance connectors,
 // the error-propagation analysis (releasing the paper's fail-stop
-// assumption), runtime reliability monitoring, and Graphviz export.
+// assumption), runtime reliability monitoring, the self-healing runtime
+// (retries, circuit breakers, supervised rebinding), and Graphviz export.
 
 import (
+	"context"
+	"time"
+
+	"socrel/internal/assembly"
 	"socrel/internal/core"
 	"socrel/internal/dot"
 	"socrel/internal/model"
 	"socrel/internal/monitor"
 	"socrel/internal/propagation"
+	"socrel/internal/registry"
+	socruntime "socrel/internal/runtime"
 	"socrel/internal/sim"
 )
 
@@ -93,6 +100,126 @@ const (
 
 // NewMonitor returns a monitor for the given configuration.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
+
+// MonitorSnapshot is a serializable (JSON-tagged) monitor checkpoint; see
+// Monitor.Snapshot and RestoreMonitor.
+type MonitorSnapshot = monitor.Snapshot
+
+// RestoreMonitor rebuilds a monitor from a snapshot so observation history
+// and any SPRT decision survive a process restart.
+func RestoreMonitor(s MonitorSnapshot) (*Monitor, error) { return monitor.Restore(s) }
+
+// Self-healing runtime (DESIGN.md section 9).
+type (
+	// Clock abstracts time for the runtime layer; RealClock is the
+	// production implementation, FakeClock the deterministic test one.
+	Clock = socruntime.Clock
+	// RealClock is the wall-clock Clock.
+	RealClock = socruntime.RealClock
+	// FakeClock is a virtual clock for deterministic runtime tests.
+	FakeClock = socruntime.FakeClock
+	// RetryPolicy configures a RetryResolver (attempts, backoff, budget,
+	// per-attempt deadline, retryability classification).
+	RetryPolicy = socruntime.RetryPolicy
+	// RetryResolver decorates a Resolver with budgeted, jittered retries.
+	RetryResolver = socruntime.RetryResolver
+	// BreakerConfig configures a circuit Breaker.
+	BreakerConfig = socruntime.BreakerConfig
+	// Breaker is a closed/open/half-open circuit breaker.
+	Breaker = socruntime.Breaker
+	// BreakerState is a Breaker's lifecycle state.
+	BreakerState = socruntime.BreakerState
+	// HealthConfig configures a HealthTracker.
+	HealthConfig = socruntime.HealthConfig
+	// HealthTracker tracks per-provider health: a circuit breaker fed by a
+	// SPRT monitor and by typed evaluation errors.
+	HealthTracker = socruntime.HealthTracker
+	// SupervisorConfig configures a Supervisor.
+	SupervisorConfig = socruntime.SupervisorConfig
+	// Supervisor owns one role binding and heals it: it streams outcomes
+	// into the health layer, rebinds away from quarantined providers, and
+	// degrades answers instead of lying when no exact answer is available.
+	Supervisor = socruntime.Supervisor
+	// RebindEvent records one supervised failover.
+	RebindEvent = socruntime.RebindEvent
+	// Answer is a reliability answer tagged with its degradation kind.
+	Answer = socruntime.Answer
+	// AnswerKind labels an Answer: exact, stale, bounded, or unavailable.
+	AnswerKind = socruntime.AnswerKind
+)
+
+// Breaker states.
+const (
+	// BreakerClosed means traffic flows and failures are counted.
+	BreakerClosed = socruntime.Closed
+	// BreakerOpen means the provider is quarantined.
+	BreakerOpen = socruntime.Open
+	// BreakerHalfOpen means a probe budget decides recovery.
+	BreakerHalfOpen = socruntime.HalfOpen
+)
+
+// Degraded-answer kinds.
+const (
+	// AnswerExact is a fresh evaluation under the current binding.
+	AnswerExact = socruntime.Exact
+	// AnswerStale is the last known good value with staleness metadata.
+	AnswerStale = socruntime.Stale
+	// AnswerBounded is a conservative interval from an iterative solver's
+	// residual.
+	AnswerBounded = socruntime.Bounded
+	// AnswerUnavailable means no answer can be given; Err says why.
+	AnswerUnavailable = socruntime.Unavailable
+)
+
+// Self-healing runtime errors.
+var (
+	// ErrRetriesExhausted wraps the last attempt error after MaxAttempts.
+	ErrRetriesExhausted = socruntime.ErrRetriesExhausted
+	// ErrRetryBudgetExhausted marks calls failed by a drained retry budget.
+	ErrRetryBudgetExhausted = socruntime.ErrRetryBudgetExhausted
+	// ErrAttemptTimeout marks a single attempt exceeding its deadline.
+	ErrAttemptTimeout = socruntime.ErrAttemptTimeout
+	// ErrQuarantined marks calls rejected by an open circuit breaker.
+	ErrQuarantined = socruntime.ErrQuarantined
+	// ErrProviderDegraded is the breaker trip reason on an SPRT violation.
+	ErrProviderDegraded = socruntime.ErrProviderDegraded
+	// ErrAllQuarantined means every candidate provider is quarantined.
+	ErrAllQuarantined = socruntime.ErrAllQuarantined
+)
+
+// NewRetryResolver returns a retrying decorator over base.
+func NewRetryResolver(base model.Resolver, policy RetryPolicy) *RetryResolver {
+	return socruntime.NewRetryResolver(base, policy)
+}
+
+// DefaultRetryable is the taxonomy-driven retry classification (transient
+// faults retry; cancellations, semantic signals, and deterministic defects
+// fail fast).
+func DefaultRetryable(err error) bool { return socruntime.DefaultRetryable(err) }
+
+// NewBreaker returns a closed breaker for the configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker { return socruntime.NewBreaker(cfg) }
+
+// NewHealthTracker returns an empty tracker for the configuration.
+func NewHealthTracker(cfg HealthConfig) *HealthTracker {
+	return socruntime.NewHealthTracker(cfg)
+}
+
+// NewFakeClock returns a virtual clock starting at start.
+func NewFakeClock(start time.Time) *FakeClock { return socruntime.NewFakeClock(start) }
+
+// NewSupervisor builds a supervisor for one (caller, role) binding inside
+// asm, performs the initial reliability-driven selection among candidates,
+// and starts watching the winner.
+func NewSupervisor(ctx context.Context, cfg SupervisorConfig, asm *Assembly, caller, role string, candidates []Candidate, opts Options, target string, params ...float64) (*Supervisor, error) {
+	return socruntime.NewSupervisor(ctx, cfg, asm, caller, role, candidates, opts, target, params...)
+}
+
+// SelectHealthyBinding is SelectBindingCtx restricted to candidates the
+// tracker considers healthy (breaker not open).
+func SelectHealthyBinding(ctx context.Context, tracker *HealthTracker, asm *assembly.Assembly, caller, role string, candidates []registry.Candidate, opts core.Options, target string, params ...float64) (registry.Selection, error) {
+	return socruntime.SelectHealthyBinding(ctx, tracker, asm, caller, role, candidates, opts, target, params...)
+}
 
 // Graphviz export.
 

@@ -4,9 +4,12 @@ package socrel_test
 // callable and behave like its internal counterpart.
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"socrel"
 )
@@ -225,6 +228,73 @@ func TestFacadeSimpleConstructors(t *testing.T) {
 	}
 	if _, err := socrel.Sweep("s", []float64{1}, func(x float64) (float64, error) { return x, nil }); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFacadeSelfHealingRuntime(t *testing.T) {
+	clk := socrel.NewFakeClock(time.Unix(0, 0))
+
+	b := socrel.NewBreaker(socrel.BreakerConfig{FailureThreshold: 2, OpenFor: time.Minute, Clock: clk})
+	if b.State() != socrel.BreakerClosed {
+		t.Errorf("fresh breaker = %v", b.State())
+	}
+	b.Trip(socrel.ErrProviderDegraded)
+	if b.State() != socrel.BreakerOpen {
+		t.Errorf("tripped breaker = %v", b.State())
+	}
+
+	if socrel.DefaultRetryable(socrel.ErrAttemptTimeout) != true {
+		t.Error("attempt timeouts should retry")
+	}
+	if socrel.DefaultRetryable(socrel.ErrCanceled) {
+		t.Error("cancellations should fail fast")
+	}
+
+	p := socrel.DefaultPaperParams()
+	asm, err := socrel.LocalAssembly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk2 := socrel.NewFakeClock(time.Unix(0, 0))
+	clk2.AutoAdvance()
+	rr := socrel.NewRetryResolver(asm, socrel.RetryPolicy{Clock: clk2})
+	if _, err := rr.ServiceByName("search"); err != nil {
+		t.Fatal(err)
+	}
+
+	tracker := socrel.NewHealthTracker(socrel.HealthConfig{
+		Breaker: socrel.BreakerConfig{Clock: clk},
+	})
+	cands := []socrel.Candidate{{Provider: "sort1", Connector: "lpc"}}
+	sel, err := socrel.SelectHealthyBinding(context.Background(), tracker, asm,
+		"search", "sort", cands, socrel.Options{}, "search", 1, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Candidate.Provider != "sort1" {
+		t.Errorf("selected %q", sel.Candidate.Provider)
+	}
+	if err := tracker.Watch("sort1", sel.Reliability); err != nil {
+		t.Fatal(err)
+	}
+	tracker.Breaker("sort1").Trip(socrel.ErrProviderDegraded)
+	if _, err := socrel.SelectHealthyBinding(context.Background(), tracker, asm,
+		"search", "sort", cands, socrel.Options{}, "search", 1, 256, 1); !errors.Is(err, socrel.ErrAllQuarantined) {
+		t.Errorf("error = %v, want ErrAllQuarantined", err)
+	}
+
+	m, err := socrel.NewMonitor(socrel.MonitorConfig{Predicted: 0.9, Degraded: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record(true)
+	var snap socrel.MonitorSnapshot = m.Snapshot()
+	restored, err := socrel.RestoreMonitor(snap)
+	if err != nil {
+		t.Fatalf("RestoreMonitor: %v", err)
+	}
+	if restored.Total() != 1 {
+		t.Errorf("restored total = %d, want 1", restored.Total())
 	}
 }
 

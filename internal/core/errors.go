@@ -132,6 +132,56 @@ func classify(err error) error {
 	}
 }
 
+// ErrorClass names the taxonomy class of err with a short stable slug for
+// logs, CLIs, and metrics labels: "canceled", "panic", "non-finite",
+// "no-convergence", "unresolved-binding", "defective-flow",
+// "not-compilable", "recursive-assembly", "invalid-sharing",
+// "invalid-service", "unknown-service", "no-binding", "arity",
+// "transient", or "unclassified". A nil error returns "".
+//
+// The cases are ordered so that the most specific sentinel in a chain
+// wins: ErrNonFinite (which aliases model.ErrNonFinite) is checked before
+// the broader model construction errors, and ErrBadTransition reports as
+// "defective-flow" through its wrapped sentinel.
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrPanic):
+		return "panic"
+	case errors.Is(err, ErrNonFinite):
+		return "non-finite"
+	case errors.Is(err, ErrNoConvergence) || errors.Is(err, linalg.ErrNoConvergence):
+		return "no-convergence"
+	case errors.Is(err, ErrUnresolvedBinding):
+		return "unresolved-binding"
+	case errors.Is(err, ErrDefectiveFlow) || errors.Is(err, markov.ErrInvalidProbability) || errors.Is(err, markov.ErrNotAbsorbing):
+		return "defective-flow"
+	case errors.Is(err, ErrNotCompilable):
+		return "not-compilable"
+	case errors.Is(err, ErrRecursiveAssembly):
+		return "recursive-assembly"
+	case errors.Is(err, ErrInvalidSharing):
+		return "invalid-sharing"
+	case errors.Is(err, model.ErrInvalidService):
+		return "invalid-service"
+	case errors.Is(err, model.ErrUnknownService):
+		return "unknown-service"
+	case errors.Is(err, model.ErrNoBinding):
+		return "no-binding"
+	case errors.Is(err, model.ErrArity):
+		return "arity"
+	case errors.Is(err, model.ErrTransient):
+		return "transient"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "unclassified"
+	}
+}
+
 // guardPfail runs one evaluation with panic isolation: a panic in f is
 // recovered into a *PanicError instead of unwinding into the caller (or
 // killing a worker pool's goroutine).

@@ -1,9 +1,12 @@
 // Package faultinject provides controlled fault injection for robustness
 // testing of the evaluation engine: a model.Resolver wrapper that hides
-// services, fails lookups and bindings at configurable rates, and a set of
-// deliberately defective service constructions (non-finite attributes,
-// invalid constructor arguments, flows with bad row sums or no path to
-// absorption, panicking failure laws).
+// services, fails lookups and bindings at configurable rates, delays
+// lookups past configurable deadlines (exercising retry-budget and
+// timeout paths), and a set of deliberately defective service
+// constructions (non-finite attributes, invalid constructor arguments,
+// flows with bad row sums or no path to absorption, panicking failure
+// laws). Randomized (transient) failures are marked model.ErrTransient;
+// deterministic ones (hidden services) are not.
 //
 // Every failure introduced here matches ErrInjected via errors.Is, so a
 // chaos suite can tell injected faults from genuine engine defects. The
@@ -17,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"socrel/internal/expr"
 	"socrel/internal/model"
@@ -53,10 +57,21 @@ type Options struct {
 	// with an injected error that is NOT model.ErrNoBinding, so the
 	// engine cannot fall back to role-as-name resolution.
 	BindFailureRate float64
-	// ExemptServices are never hit by randomized lookup failures or
-	// hiding — typically the evaluation roots, so the fault lands inside
-	// the engine rather than on the entry lookup.
+	// ExemptServices are never hit by randomized lookup failures, hiding,
+	// or injected latency — typically the evaluation roots, so the fault
+	// lands inside the engine rather than on the entry lookup.
 	ExemptServices []string
+	// LookupDelay, when positive, delays ServiceByName calls by this
+	// duration before they proceed — past a retry layer's per-attempt
+	// deadline, this exercises timeout and retry-budget paths rather than
+	// error paths. Delays count as injected faults.
+	LookupDelay time.Duration
+	// LookupDelayRate is the probability that any single lookup is
+	// delayed; zero with a positive LookupDelay means every lookup.
+	LookupDelayRate float64
+	// Sleep performs injected delays (default time.Sleep). Tests inject a
+	// virtual-clock sleeper so delay paths stay deterministic and fast.
+	Sleep func(time.Duration)
 }
 
 // Resolver wraps a base model.Resolver with fault injection. It is safe
@@ -120,8 +135,10 @@ func (r *Resolver) note() {
 	r.mu.Unlock()
 }
 
-// ServiceByName implements model.Resolver with hiding and randomized
-// lookup failures.
+// ServiceByName implements model.Resolver with hiding, randomized lookup
+// failures, and injected latency. Hidden services are a permanent fault;
+// randomized failures are additionally marked model.ErrTransient so retry
+// layers classify them as worth retrying.
 func (r *Resolver) ServiceByName(name string) (model.Service, error) {
 	if !r.exempt[name] {
 		if r.missing[name] {
@@ -129,16 +146,32 @@ func (r *Resolver) ServiceByName(name string) (model.Service, error) {
 			return nil, fmt.Errorf("%w: %w: %q is hidden", ErrInjected, model.ErrUnknownService, name)
 		}
 		if r.roll(r.opts.LookupFailureRate) {
-			return nil, fmt.Errorf("%w: %w: transient lookup failure for %q", ErrInjected, model.ErrUnknownService, name)
+			return nil, fmt.Errorf("%w: %w: %w: transient lookup failure for %q", ErrInjected, model.ErrTransient, model.ErrUnknownService, name)
+		}
+		if r.opts.LookupDelay > 0 && (r.opts.LookupDelayRate <= 0 || r.roll(r.opts.LookupDelayRate)) {
+			if r.opts.LookupDelayRate <= 0 {
+				r.note()
+			}
+			r.sleep(r.opts.LookupDelay)
 		}
 	}
 	return r.base.ServiceByName(name)
 }
 
-// Bind implements model.Resolver with randomized binding failures.
+// sleep performs one injected delay through the configured hook.
+func (r *Resolver) sleep(d time.Duration) {
+	if r.opts.Sleep != nil {
+		r.opts.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Bind implements model.Resolver with randomized binding failures, marked
+// transient: a refused binding may succeed on re-resolution.
 func (r *Resolver) Bind(caller, role string) (provider, connector string, err error) {
 	if r.roll(r.opts.BindFailureRate) {
-		return "", "", fmt.Errorf("%w: bind %s/%s refused", ErrInjected, caller, role)
+		return "", "", fmt.Errorf("%w: %w: bind %s/%s refused", ErrInjected, model.ErrTransient, caller, role)
 	}
 	return r.base.Bind(caller, role)
 }

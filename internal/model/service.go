@@ -50,6 +50,12 @@ var (
 	// NaN would silently corrupt every downstream combination, so it is
 	// rejected instead.
 	ErrNonFinite = errors.New("model: non-finite value")
+	// ErrTransient marks a failure the producer believes is temporary —
+	// a flaky lookup, a refused binding that may succeed on re-resolution.
+	// Resolver decorators wrap such failures with this sentinel so retry
+	// layers (internal/runtime) can distinguish "try again" from
+	// "permanently broken" without parsing messages.
+	ErrTransient = errors.New("model: transient failure")
 )
 
 // Attrs holds the named numeric attributes published in an analytic

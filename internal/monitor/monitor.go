@@ -25,6 +25,8 @@ import (
 var (
 	// ErrBadConfig is returned for invalid probabilities or rates.
 	ErrBadConfig = errors.New("monitor: invalid configuration")
+	// ErrBadSnapshot is returned by Restore for inconsistent snapshots.
+	ErrBadSnapshot = errors.New("monitor: invalid snapshot")
 )
 
 // Verdict is the state of a reliability check.
@@ -202,6 +204,81 @@ func (m *Monitor) SPRT() Verdict { return m.decided }
 func (m *Monitor) ResetSPRT() {
 	m.llr = 0
 	m.decided = Undecided
+}
+
+// Snapshot is a self-contained checkpoint of a Monitor: configuration,
+// cumulative counts, the sliding window in chronological order, and the
+// SPRT state. Supervisors checkpoint monitors across rebinds (and process
+// restarts) so accumulated SPRT evidence is never lost; all fields are
+// exported so a Snapshot serializes with encoding/json as-is.
+type Snapshot struct {
+	// Config is the monitor's (defaulted) configuration.
+	Config Config
+	// Total and Successes are the cumulative outcome counts.
+	Total     int
+	Successes int
+	// Window holds the sliding-window outcomes, oldest first (at most
+	// Config.Window entries).
+	Window []bool
+	// LLR is the SPRT's cumulative log likelihood ratio.
+	LLR float64
+	// Decided is the SPRT's verdict.
+	Decided Verdict
+}
+
+// Snapshot captures the monitor's complete state.
+func (m *Monitor) Snapshot() Snapshot {
+	win := make([]bool, 0, m.ringLen)
+	start := 0
+	if m.ringLen == len(m.ring) {
+		start = m.ringPos
+	}
+	for i := 0; i < m.ringLen; i++ {
+		win = append(win, m.ring[(start+i)%len(m.ring)])
+	}
+	return Snapshot{
+		Config:    m.cfg,
+		Total:     m.total,
+		Successes: m.successes,
+		Window:    win,
+		LLR:       m.llr,
+		Decided:   m.decided,
+	}
+}
+
+// Restore rebuilds a Monitor from a snapshot. The restored monitor
+// continues exactly where the snapshot was taken: same estimates, same
+// SPRT evidence, same verdict — and ResetSPRT keeps its usual semantics
+// (re-arm the sequential test, keep the statistics).
+func Restore(s Snapshot) (*Monitor, error) {
+	m, err := New(s.Config)
+	if err != nil {
+		return nil, err
+	}
+	if s.Total < 0 || s.Successes < 0 || s.Successes > s.Total {
+		return nil, fmt.Errorf("%w: %d successes of %d outcomes", ErrBadSnapshot, s.Successes, s.Total)
+	}
+	if len(s.Window) > m.cfg.Window || len(s.Window) > s.Total {
+		return nil, fmt.Errorf("%w: window of %d entries (config window %d, total %d)", ErrBadSnapshot, len(s.Window), m.cfg.Window, s.Total)
+	}
+	switch s.Decided {
+	case Undecided, Meeting, Violating:
+	default:
+		return nil, fmt.Errorf("%w: verdict %d", ErrBadSnapshot, int(s.Decided))
+	}
+	for i, ok := range s.Window {
+		m.ring[i] = ok
+		if ok {
+			m.winSucc++
+		}
+	}
+	m.ringLen = len(s.Window)
+	m.ringPos = len(s.Window) % len(m.ring)
+	m.total = s.Total
+	m.successes = s.Successes
+	m.llr = s.LLR
+	m.decided = s.Decided
+	return m, nil
 }
 
 // IntervalCheck compares the prediction against the cumulative Wilson

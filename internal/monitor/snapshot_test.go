@@ -1,0 +1,151 @@
+package monitor
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// record feeds n outcomes from rng with the given success probability
+// into every monitor of ms, keeping their streams identical.
+func record(t *testing.T, rng *rand.Rand, p float64, n int, ms ...*Monitor) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ok := rng.Float64() < p
+		for _, m := range ms {
+			m.Record(ok)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m, err := New(Config{Predicted: 0.95, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	record(t, rng, 0.9, 20, m)
+
+	r, err := Restore(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != m.Total() || r.Cumulative() != m.Cumulative() || r.Windowed() != m.Windowed() || r.SPRT() != m.SPRT() {
+		t.Fatalf("restored state differs: total %d/%d cum %g/%g win %g/%g sprt %v/%v",
+			r.Total(), m.Total(), r.Cumulative(), m.Cumulative(), r.Windowed(), m.Windowed(), r.SPRT(), m.SPRT())
+	}
+
+	// The restored monitor must continue exactly like the original under
+	// an identical outcome stream — same estimates, same verdict at every
+	// step (this is what "SPRT evidence survives" means).
+	cont := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		ok := cont.Float64() < 0.7
+		m.Record(ok)
+		r.Record(ok)
+		if r.SPRT() != m.SPRT() || r.Windowed() != m.Windowed() || r.Cumulative() != m.Cumulative() {
+			t.Fatalf("step %d: restored diverged: sprt %v/%v win %g/%g", i, r.SPRT(), m.SPRT(), r.Windowed(), m.Windowed())
+		}
+	}
+	if m.SPRT() != Violating {
+		t.Fatalf("expected the degraded stream to end Violating, got %v", m.SPRT())
+	}
+}
+
+func TestSnapshotSerializesAsJSON(t *testing.T) {
+	m, err := New(Config{Predicted: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, rand.New(rand.NewSource(3)), 0.5, 50, m)
+	data, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != m.Total() || r.SPRT() != m.SPRT() {
+		t.Fatalf("JSON round trip lost state: total %d/%d sprt %v/%v", r.Total(), m.Total(), r.SPRT(), m.SPRT())
+	}
+}
+
+func TestRestoreKeepsResetSPRTSemantics(t *testing.T) {
+	m, err := New(Config{Predicted: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m.Record(false)
+	}
+	if m.SPRT() != Violating {
+		t.Fatalf("want Violating, got %v", m.SPRT())
+	}
+	r, err := Restore(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SPRT() != Violating {
+		t.Fatalf("restored verdict = %v, want Violating", r.SPRT())
+	}
+	total := r.Total()
+	r.ResetSPRT()
+	if r.SPRT() != Undecided {
+		t.Fatalf("ResetSPRT did not re-arm: %v", r.SPRT())
+	}
+	if r.Total() != total {
+		t.Fatalf("ResetSPRT changed statistics: total %d -> %d", total, r.Total())
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	good, err := New(Config{Predicted: 0.95, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Record(true)
+	base := good.Snapshot()
+
+	cases := map[string]func(s Snapshot) Snapshot{
+		"successes > total": func(s Snapshot) Snapshot { s.Successes = s.Total + 1; return s },
+		"negative total":    func(s Snapshot) Snapshot { s.Total = -1; return s },
+		"window > config":   func(s Snapshot) Snapshot { s.Window = make([]bool, 9); s.Total = 9; return s },
+		"window > total":    func(s Snapshot) Snapshot { s.Window = []bool{true, true}; return s },
+		"bad verdict":       func(s Snapshot) Snapshot { s.Decided = Verdict(42); return s },
+	}
+	for name, mutate := range cases {
+		if _, err := Restore(mutate(base)); err == nil {
+			t.Errorf("%s: Restore accepted an invalid snapshot", name)
+		}
+	}
+	if _, err := Restore(Snapshot{Config: Config{Predicted: 2}}); err == nil {
+		t.Error("Restore accepted an invalid config")
+	}
+}
+
+func TestSnapshotWindowChronology(t *testing.T) {
+	m, err := New(Config{Predicted: 0.9, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream longer than the window: the snapshot must hold the LAST 3
+	// outcomes, oldest first.
+	for _, ok := range []bool{true, true, false, true, false} {
+		m.Record(ok)
+	}
+	s := m.Snapshot()
+	want := []bool{false, true, false}
+	if len(s.Window) != len(want) {
+		t.Fatalf("window length %d, want %d", len(s.Window), len(want))
+	}
+	for i := range want {
+		if s.Window[i] != want[i] {
+			t.Fatalf("window = %v, want %v", s.Window, want)
+		}
+	}
+}

@@ -87,6 +87,9 @@ func (r *Registry) Unpublish(name string) error {
 	delete(r.entries, name)
 	for _, tag := range e.Tags {
 		delete(r.byTag[tag], name)
+		if len(r.byTag[tag]) == 0 {
+			delete(r.byTag, tag)
+		}
 	}
 	return nil
 }

@@ -72,6 +72,46 @@ func TestUnpublish(t *testing.T) {
 	}
 }
 
+// TestPublishLifecycle exercises the full publish -> unpublish ->
+// re-publish cycle: unpublishing must release both the name and every tag
+// slot (including the tag-index bucket itself), so the same provider can
+// come back under the same or different tags with no stale discovery hits.
+func TestPublishLifecycle(t *testing.T) {
+	r := New()
+	if err := r.Publish(model.NewCPU("cpu1", 1e9, 1e-10), "v1", "cpu", "compute"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unpublish("cpu1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"cpu", "compute"} {
+		if got := r.Discover(tag); len(got) != 0 {
+			t.Errorf("Discover(%q) after unpublish = %v, want empty", tag, got)
+		}
+	}
+	if len(r.byTag) != 0 {
+		t.Errorf("tag index retains %d empty buckets after unpublish: %v", len(r.byTag), r.byTag)
+	}
+	// Re-publishing the same name must not collide with the removed entry,
+	// and the new tag set fully replaces the old one.
+	if err := r.Publish(model.NewCPU("cpu1", 2e9, 1e-10), "v2", "cpu"); err != nil {
+		t.Fatalf("re-publish after unpublish: %v", err)
+	}
+	e, err := r.Lookup("cpu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Description != "v2" {
+		t.Errorf("re-published entry = %+v, want the v2 registration", e)
+	}
+	if got := r.Discover("cpu"); len(got) != 1 || got[0].Service.Name() != "cpu1" {
+		t.Errorf("Discover(cpu) = %v", got)
+	}
+	if got := r.Discover("compute"); len(got) != 0 {
+		t.Errorf("stale tag hit after re-publish under fewer tags: %v", got)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	r := New()
 	var wg sync.WaitGroup

@@ -1,0 +1,189 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQuarantined marks operations refused because a provider's circuit
+// breaker is open.
+var ErrQuarantined = errors.New("runtime: provider quarantined by circuit breaker")
+
+// BreakerState is the circuit breaker's state.
+type BreakerState int
+
+// Breaker states.
+const (
+	// Closed means the provider is trusted; every call flows through.
+	Closed BreakerState = iota + 1
+	// Open means the provider is quarantined; calls are refused until the
+	// quarantine window elapses.
+	Open
+	// HalfOpen means the quarantine window elapsed; a bounded probe budget
+	// decides between closing (recovered) and reopening (still broken).
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive recorded failures that
+	// trips a closed breaker (default 5).
+	FailureThreshold int
+	// OpenFor is how long an open breaker quarantines its provider before
+	// allowing half-open probes (default 30s).
+	OpenFor time.Duration
+	// ProbeSuccesses is the number of consecutive half-open successes
+	// required to close the breaker; any half-open failure reopens it and
+	// restarts the quarantine window (default 3).
+	ProbeSuccesses int
+	// Clock supplies the quarantine timing (default RealClock).
+	Clock Clock
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 30 * time.Second
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 3
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	return c
+}
+
+// Breaker is a per-provider circuit breaker: closed → open (threshold of
+// consecutive failures, or an external Trip from the SPRT monitor) →
+// half-open (quarantine elapsed, bounded probes) → closed or back to open.
+// It is safe for concurrent use.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state        BreakerState
+	consecFails  int
+	openedAt     time.Time
+	probeSuccs   int
+	trips        int
+	lastTripWhy  error
+	lastTripTime time.Time
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), state: Closed}
+}
+
+// sync applies the lazily evaluated open → half-open transition. Callers
+// hold b.mu.
+func (b *Breaker) sync() {
+	if b.state == Open && !b.cfg.Clock.Now().Before(b.openedAt.Add(b.cfg.OpenFor)) {
+		b.state = HalfOpen
+		b.probeSuccs = 0
+	}
+}
+
+// State returns the current state (applying the quarantine-elapsed
+// transition first).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sync()
+	return b.state
+}
+
+// Allow reports whether a call may flow to the provider: true when closed
+// or half-open (probing), false while the quarantine window is running.
+func (b *Breaker) Allow() bool {
+	return b.State() != Open
+}
+
+// RecordSuccess feeds one successful call. In half-open it counts toward
+// the probe budget and closes the breaker once ProbeSuccesses consecutive
+// probes succeeded; in closed it resets the consecutive-failure count.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sync()
+	switch b.state {
+	case Closed:
+		b.consecFails = 0
+	case HalfOpen:
+		b.probeSuccs++
+		if b.probeSuccs >= b.cfg.ProbeSuccesses {
+			b.state = Closed
+			b.consecFails = 0
+			b.probeSuccs = 0
+		}
+	}
+}
+
+// RecordFailure feeds one failed call. In closed it trips the breaker
+// after FailureThreshold consecutive failures; in half-open any failure
+// reopens it and restarts the quarantine window.
+func (b *Breaker) RecordFailure(reason error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sync()
+	switch b.state {
+	case Closed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.FailureThreshold {
+			b.tripLocked(fmt.Errorf("runtime: %d consecutive failures, last: %w", b.consecFails, reason))
+		}
+	case HalfOpen:
+		b.tripLocked(fmt.Errorf("runtime: half-open probe failed: %w", reason))
+	}
+}
+
+// Trip forces the breaker open regardless of state — the SPRT monitor's
+// Violating verdict uses this path.
+func (b *Breaker) Trip(reason error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tripLocked(reason)
+}
+
+func (b *Breaker) tripLocked(reason error) {
+	b.state = Open
+	b.openedAt = b.cfg.Clock.Now()
+	b.consecFails = 0
+	b.probeSuccs = 0
+	b.trips++
+	b.lastTripWhy = reason
+	b.lastTripTime = b.openedAt
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// LastTrip returns the reason and time of the most recent trip (nil and
+// zero time if the breaker never opened).
+func (b *Breaker) LastTrip() (error, time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastTripWhy, b.lastTripTime
+}

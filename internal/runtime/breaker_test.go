@@ -1,0 +1,129 @@
+package runtime_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	rt "socrel/internal/runtime"
+)
+
+func newTestBreaker(clk rt.Clock) *rt.Breaker {
+	return rt.NewBreaker(rt.BreakerConfig{
+		FailureThreshold: 2,
+		OpenFor:          10 * time.Second,
+		ProbeSuccesses:   2,
+		Clock:            clk,
+	})
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	b := newTestBreaker(clk)
+
+	if got := b.State(); got != rt.Closed {
+		t.Fatalf("initial state %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+
+	cause := errors.New("boom")
+	b.RecordFailure(cause)
+	if got := b.State(); got != rt.Closed {
+		t.Fatalf("state after 1/2 failures = %v, want closed", got)
+	}
+	b.RecordFailure(cause)
+	if got := b.State(); got != rt.Open {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call")
+	}
+	why, at := b.LastTrip()
+	if !errors.Is(why, cause) {
+		t.Fatalf("LastTrip reason %v does not wrap the failure cause", why)
+	}
+	if !at.Equal(t0) {
+		t.Fatalf("trip time %v, want %v", at, t0)
+	}
+
+	// Quarantine elapses -> half-open, probes allowed.
+	clk.Advance(10 * time.Second)
+	if got := b.State(); got != rt.HalfOpen {
+		t.Fatalf("state after quarantine = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused a probe")
+	}
+
+	// A half-open failure reopens immediately and restarts the window.
+	b.RecordFailure(cause)
+	if got := b.State(); got != rt.Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	clk.Advance(9 * time.Second)
+	if got := b.State(); got != rt.Open {
+		t.Fatalf("restarted quarantine ended early: %v", got)
+	}
+	clk.Advance(time.Second)
+
+	// Enough consecutive probe successes close it again.
+	b.RecordSuccess()
+	if got := b.State(); got != rt.HalfOpen {
+		t.Fatalf("state after 1/2 probes = %v, want half-open", got)
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != rt.Closed {
+		t.Fatalf("state after probe budget = %v, want closed", got)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("Trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	b := newTestBreaker(clk)
+	cause := errors.New("boom")
+	b.RecordFailure(cause)
+	b.RecordSuccess() // resets the consecutive count
+	b.RecordFailure(cause)
+	if got := b.State(); got != rt.Closed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", got)
+	}
+}
+
+func TestBreakerExternalTrip(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	b := newTestBreaker(clk)
+	reason := errors.New("SPRT violating")
+	b.Trip(reason)
+	if got := b.State(); got != rt.Open {
+		t.Fatalf("state after Trip = %v, want open", got)
+	}
+	why, _ := b.LastTrip()
+	if !errors.Is(why, reason) {
+		t.Fatalf("LastTrip = %v, want the Trip reason", why)
+	}
+	// Half-open after the window, then recovery via probes.
+	clk.Advance(10 * time.Second)
+	b.RecordSuccess()
+	b.RecordSuccess()
+	if got := b.State(); got != rt.Closed {
+		t.Fatalf("breaker did not recover: %v", got)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[rt.BreakerState]string{
+		rt.Closed:           "closed",
+		rt.Open:             "open",
+		rt.HalfOpen:         "half-open",
+		rt.BreakerState(99): "BreakerState(99)",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(state), got, want)
+		}
+	}
+}

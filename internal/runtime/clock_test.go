@@ -1,0 +1,78 @@
+package runtime_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	rt "socrel/internal/runtime"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+func TestFakeClockAutoAdvance(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	clk.AutoAdvance()
+	if err := clk.Sleep(context.Background(), 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := clk.Sleep(context.Background(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now(); !got.Equal(t0.Add(5 * time.Second)) {
+		t.Fatalf("Now = %v, want %v", got, t0.Add(5*time.Second))
+	}
+	want := []time.Duration{3 * time.Second, 2 * time.Second}
+	got := clk.Slept()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Slept = %v, want %v", got, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := clk.Sleep(ctx, time.Second); err == nil {
+		t.Fatal("auto-advance Sleep ignored a canceled context")
+	}
+}
+
+func TestFakeClockManualAdvance(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	ch := clk.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	clk.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	clk.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(t0.Add(10 * time.Second)) {
+			t.Fatalf("fired at %v, want %v", at, t0.Add(10*time.Second))
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	// Non-positive durations fire immediately.
+	select {
+	case <-clk.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeClockSleepCancel(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- clk.Sleep(ctx, time.Minute) }()
+	clk.WaitForTimers(1)
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+}

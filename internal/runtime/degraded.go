@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"socrel/internal/linalg"
+)
+
+// AnswerKind tags how an Answer was produced, so callers can always
+// distinguish an exact prediction from a degraded one. The zero value is
+// invalid: every Answer produced by this package carries an explicit tag.
+type AnswerKind int
+
+// Answer kinds.
+const (
+	// Exact means the value was freshly computed by the engine.
+	Exact AnswerKind = iota + 1
+	// Stale means the exact computation was unavailable and the value is
+	// the last known good one; AsOf and Age carry the staleness.
+	Stale
+	// Bounded means no exact value was available but a conservative
+	// interval was derived from the iterative solver's residual; Lo and Hi
+	// bound the true value and Pfail holds the conservative (upper) end.
+	Bounded
+	// Unavailable means no answer could be produced at all: no exact
+	// value, no last known good, no residual bound. Err carries the cause.
+	Unavailable
+)
+
+func (k AnswerKind) String() string {
+	switch k {
+	case Exact:
+		return "exact"
+	case Stale:
+		return "stale"
+	case Bounded:
+		return "bounded"
+	case Unavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("AnswerKind(%d)", int(k))
+	}
+}
+
+// Answer is a possibly degraded Pfail prediction. Exact answers have
+// Err == nil; every degraded answer carries the error that forced the
+// degradation, so a degraded value can never silently masquerade as
+// exact.
+type Answer struct {
+	// Kind tags the answer (exact / stale / bounded / unavailable).
+	Kind AnswerKind
+	// Pfail is the failure probability: the exact value (Exact), the last
+	// known good value (Stale), or the conservative upper bound (Bounded).
+	// Zero and meaningless for Unavailable.
+	Pfail float64
+	// Lo and Hi bound the true Pfail for Bounded answers.
+	Lo, Hi float64
+	// Provider is the bound provider the value was computed under.
+	Provider string
+	// AsOf is when the underlying exact value was computed (Exact and
+	// Stale answers).
+	AsOf time.Time
+	// Age is the staleness at answer time (Stale answers).
+	Age time.Duration
+	// Err is the failure that forced the degradation (nil iff Exact).
+	Err error
+}
+
+// Reliability returns 1 - Pfail (for Bounded answers: the conservative
+// lower bound on reliability).
+func (a Answer) Reliability() float64 { return 1 - a.Pfail }
+
+// IsExact reports whether the answer is a fresh, exact computation.
+func (a Answer) IsExact() bool { return a.Kind == Exact && a.Err == nil }
+
+// lastKnown is the supervisor's last exact evaluation.
+type lastKnown struct {
+	pfail    float64
+	provider string
+	at       time.Time
+}
+
+// degrade builds the best degraded answer available for cause: a residual
+// bound when the cause carries a *linalg.NoConvergenceError, otherwise the
+// last known good value with staleness metadata, otherwise Unavailable.
+//
+// The residual bound is conservative by construction: the iterative
+// solvers ascend to the absorption probability and stop with an infinity-
+// norm iterate difference of Residual, so the last known good value
+// widened by the residual (clamped to [0,1]) brackets where the exact
+// solve was heading. Without any last known good value the bound
+// degenerates to the vacuous [0,1].
+func degrade(cause error, last *lastKnown, now time.Time) Answer {
+	var nce *linalg.NoConvergenceError
+	if errors.As(cause, &nce) {
+		lo, hi := 0.0, 1.0
+		center := 0.0
+		if last != nil {
+			center = last.pfail
+			lo = clamp01(center - nce.Residual)
+			hi = clamp01(center + nce.Residual)
+		}
+		a := Answer{Kind: Bounded, Pfail: hi, Lo: lo, Hi: hi, Err: cause}
+		if last != nil {
+			a.Provider = last.provider
+			a.AsOf = last.at
+			a.Age = now.Sub(last.at)
+		}
+		return a
+	}
+	if last != nil {
+		return Answer{
+			Kind:     Stale,
+			Pfail:    last.pfail,
+			Provider: last.provider,
+			AsOf:     last.at,
+			Age:      now.Sub(last.at),
+			Err:      cause,
+		}
+	}
+	return Answer{Kind: Unavailable, Err: cause}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

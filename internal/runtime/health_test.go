@@ -1,0 +1,270 @@
+package runtime_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"socrel/internal/core"
+	"socrel/internal/monitor"
+	"socrel/internal/registry"
+	rt "socrel/internal/runtime"
+)
+
+func newTestTracker(clk rt.Clock, onTrip func(string, error)) *rt.HealthTracker {
+	return rt.NewHealthTracker(rt.HealthConfig{
+		Breaker: rt.BreakerConfig{FailureThreshold: 2, OpenFor: 10 * time.Second, Clock: clk},
+		OnTrip:  onTrip,
+	})
+}
+
+func TestHealthSPRTTripQuarantines(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	var tripped []string
+	var reason error
+	h := newTestTracker(clk, func(p string, why error) { tripped = append(tripped, p); reason = why })
+	if err := h.Watch("p", 0.99); err != nil {
+		t.Fatal(err)
+	}
+
+	samples := 0
+	for !h.Quarantined("p") {
+		if samples++; samples > 50 {
+			t.Fatal("SPRT did not trip within 50 all-failure samples")
+		}
+		h.Observe("p", false)
+	}
+	// Predicted 0.99 vs degraded 0.891 gives ~2.39 LLR per failure against
+	// a ~4.6 threshold: an all-failure stream must trip within a handful.
+	if samples > 5 {
+		t.Fatalf("SPRT needed %d failures to trip, want <= 5", samples)
+	}
+	if h.Verdict("p") != monitor.Violating {
+		t.Fatalf("verdict = %v, want Violating", h.Verdict("p"))
+	}
+	if h.BreakerState("p") != rt.Open {
+		t.Fatalf("breaker = %v, want open", h.BreakerState("p"))
+	}
+	if len(tripped) != 1 || tripped[0] != "p" {
+		t.Fatalf("OnTrip calls = %v, want exactly [p]", tripped)
+	}
+	if !errors.Is(reason, rt.ErrProviderDegraded) {
+		t.Fatalf("trip reason = %v, want ErrProviderDegraded", reason)
+	}
+
+	// Further outcomes on a decided-Violating monitor must not re-trip.
+	h.Observe("p", false)
+	if b := h.Breaker("p"); b.Trips() != 1 {
+		t.Fatalf("breaker tripped %d times, want 1", b.Trips())
+	}
+}
+
+func TestHealthMeetingReArmsSPRT(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	h := rt.NewHealthTracker(rt.HealthConfig{
+		Breaker:       rt.BreakerConfig{Clock: clk},
+		DegradedRatio: 0.5, // H1 far from H0: Meeting decisions come quickly
+	})
+	if err := h.Watch("p", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	meetings := 0
+	for i := 0; i < 60; i++ {
+		if h.Observe("p", true) == monitor.Meeting {
+			meetings++
+		}
+	}
+	if meetings < 2 {
+		t.Fatalf("got %d Meeting decisions in 60 successes, want >= 2 (re-arm broken?)", meetings)
+	}
+	if v := h.Verdict("p"); v != monitor.Undecided {
+		t.Fatalf("verdict after re-arm = %v, want Undecided", v)
+	}
+	// The re-armed test still detects a later degradation.
+	for i := 0; i < 100 && !h.Quarantined("p"); i++ {
+		h.Observe("p", false)
+	}
+	if !h.Quarantined("p") {
+		t.Fatal("re-armed SPRT never detected the degradation")
+	}
+}
+
+func TestHealthEvalErrorsTripBreaker(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	trips := 0
+	h := newTestTracker(clk, func(string, error) { trips++ })
+	if err := h.Watch("p", 0.9); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancellation is never held against the provider.
+	for i := 0; i < 10; i++ {
+		h.ObserveEvalError("p", fmt.Errorf("%w: caller gave up", core.ErrCanceled))
+		h.ObserveEvalError("p", nil)
+	}
+	if h.Quarantined("p") {
+		t.Fatal("cancellations opened the breaker")
+	}
+
+	evalErr := fmt.Errorf("%w: role worker", core.ErrUnresolvedBinding)
+	h.ObserveEvalError("p", evalErr)
+	h.ObserveEvalSuccess("p") // resets the consecutive count
+	h.ObserveEvalError("p", evalErr)
+	if h.Quarantined("p") {
+		t.Fatal("non-consecutive errors opened the breaker")
+	}
+	h.ObserveEvalError("p", evalErr)
+	if !h.Quarantined("p") {
+		t.Fatal("2 consecutive eval errors did not open the breaker (threshold 2)")
+	}
+	if trips != 1 {
+		t.Fatalf("OnTrip fired %d times, want 1", trips)
+	}
+	why, _ := h.Breaker("p").LastTrip()
+	if !errors.Is(why, core.ErrUnresolvedBinding) {
+		t.Fatalf("trip reason %v does not carry the eval error", why)
+	}
+}
+
+func TestHealthUnwatchedProvidersAreInert(t *testing.T) {
+	h := newTestTracker(rt.NewFakeClock(t0), nil)
+	if v := h.Observe("ghost", false); v != monitor.Undecided {
+		t.Fatalf("Observe on unwatched = %v, want Undecided", v)
+	}
+	h.ObserveEvalError("ghost", errors.New("x"))
+	h.ObserveEvalSuccess("ghost")
+	if h.Quarantined("ghost") {
+		t.Fatal("unwatched provider quarantined")
+	}
+	if h.BreakerState("ghost") != rt.Closed {
+		t.Fatalf("unwatched breaker state = %v, want closed", h.BreakerState("ghost"))
+	}
+	if h.Breaker("ghost") != nil {
+		t.Fatal("Breaker returned a breaker for an unwatched provider")
+	}
+}
+
+func TestHealthWatchReArmOnNewPrediction(t *testing.T) {
+	h := newTestTracker(rt.NewFakeClock(t0), nil)
+	if err := h.Watch("p", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe("p", false)
+	}
+	if h.Verdict("p") != monitor.Violating {
+		t.Fatalf("verdict = %v, want Violating", h.Verdict("p"))
+	}
+	total := h.Checkpoint()["p"].Total
+
+	// Same prediction: monitor untouched.
+	if err := h.Watch("p", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if h.Verdict("p") != monitor.Violating {
+		t.Fatal("re-watch with the same prediction reset the verdict")
+	}
+
+	// New prediction: SPRT re-armed, statistics preserved.
+	if err := h.Watch("p", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if v := h.Verdict("p"); v != monitor.Undecided {
+		t.Fatalf("verdict after re-watch = %v, want Undecided", v)
+	}
+	if got := h.Checkpoint()["p"].Total; got != total {
+		t.Fatalf("re-watch lost statistics: total %d -> %d", total, got)
+	}
+
+	// Degenerate predictions are clamped into the SPRT's open interval.
+	if err := h.Watch("perfect", 1); err != nil {
+		t.Fatalf("Watch(1) = %v", err)
+	}
+	if err := h.Watch("hopeless", 0); err != nil {
+		t.Fatalf("Watch(0) = %v", err)
+	}
+}
+
+func TestHealthCheckpointRestore(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	h := newTestTracker(clk, nil)
+	if err := h.Watch("p", 0.99); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe("p", false)
+	}
+	if !h.Quarantined("p") {
+		t.Fatal("setup: p not quarantined")
+	}
+	snap := h.Checkpoint()
+
+	// The restored tracker keeps the SPRT evidence but starts with fresh
+	// breakers: monitors carry the statistics worth persisting, breakers
+	// protect the new process.
+	h2 := newTestTracker(clk, nil)
+	if err := h2.RestoreCheckpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v := h2.Verdict("p"); v != monitor.Violating {
+		t.Fatalf("restored verdict = %v, want Violating", v)
+	}
+	if h2.Checkpoint()["p"].Total != snap["p"].Total {
+		t.Fatal("restore lost outcome counts")
+	}
+	if h2.Quarantined("p") {
+		t.Fatal("restore resurrected breaker state")
+	}
+
+	// Restoring a corrupt snapshot fails loudly.
+	bad := snap["p"]
+	bad.Successes = bad.Total + 1
+	if err := h2.RestoreCheckpoint(map[string]monitor.Snapshot{"p": bad}); err == nil {
+		t.Fatal("RestoreCheckpoint accepted a corrupt snapshot")
+	}
+}
+
+func TestSelectHealthyBindingExcludesQuarantined(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	asm, cands := buildWorkerAssembly(t, 0.01, 0.03)
+	h := newTestTracker(clk, nil)
+	for _, c := range cands {
+		if err := h.Watch(c.Provider, 0.95); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+
+	// All healthy: the more reliable providerA wins.
+	sel, err := rt.SelectHealthyBinding(ctx, h, asm, "app", "worker", cands, core.Options{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Candidate.Provider != "providerA" {
+		t.Fatalf("winner = %q, want providerA", sel.Candidate.Provider)
+	}
+
+	// Quarantining the best candidate reroutes to the runner-up.
+	h.Breaker("providerA").Trip(errors.New("degraded"))
+	sel, err = rt.SelectHealthyBinding(ctx, h, asm, "app", "worker", cands, core.Options{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Candidate.Provider != "providerB" {
+		t.Fatalf("winner = %q, want providerB", sel.Candidate.Provider)
+	}
+
+	// All quarantined: fail fast with the typed sentinel.
+	h.Breaker("providerB").Trip(errors.New("degraded"))
+	_, err = rt.SelectHealthyBinding(ctx, h, asm, "app", "worker", cands, core.Options{}, "app")
+	if !errors.Is(err, rt.ErrAllQuarantined) || !errors.Is(err, rt.ErrQuarantined) {
+		t.Fatalf("err = %v, want ErrAllQuarantined wrapping ErrQuarantined", err)
+	}
+
+	// No candidates at all keeps the registry's sentinel.
+	if _, err := rt.SelectHealthyBinding(ctx, h, asm, "app", "worker", nil, core.Options{}, "app"); !errors.Is(err, registry.ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}

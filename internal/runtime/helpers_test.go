@@ -1,0 +1,35 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/model"
+	"socrel/internal/registry"
+)
+
+// buildWorkerAssembly builds the canonical self-healing fixture: an "app"
+// composite with one open role "worker" and two candidate providers with
+// the given constant failure probabilities. The role is left unbound; the
+// supervisor (or the test) binds it.
+func buildWorkerAssembly(t *testing.T, pfailA, pfailB float64) (*assembly.Assembly, []registry.Candidate) {
+	t.Helper()
+	asm := assembly.New("selfheal")
+	asm.MustAddService(model.NewConstant("providerA", pfailA))
+	asm.MustAddService(model.NewConstant("providerB", pfailB))
+	app := model.NewComposite("app", nil, nil)
+	st, err := app.Flow().AddState("work", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "worker"})
+	if err := app.Flow().AddTransitionP(model.StartState, "work", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Flow().AddTransitionP("work", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(app)
+	cands := []registry.Candidate{{Provider: "providerA"}, {Provider: "providerB"}}
+	return asm, cands
+}

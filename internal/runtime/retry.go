@@ -1,0 +1,326 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"socrel/internal/core"
+	"socrel/internal/model"
+)
+
+// Errors returned by the retry layer.
+var (
+	// ErrRetriesExhausted is returned when every attempt of a resolver
+	// call failed with a retryable error; it wraps the last attempt's
+	// error, so the underlying taxonomy sentinel stays matchable.
+	ErrRetriesExhausted = errors.New("runtime: retries exhausted")
+	// ErrRetryBudgetExhausted is returned when the resolver's global retry
+	// budget ran out before the call's own attempts did.
+	ErrRetryBudgetExhausted = errors.New("runtime: retry budget exhausted")
+	// ErrAttemptTimeout marks a single attempt that exceeded the
+	// per-attempt deadline. It is retryable and deliberately does NOT
+	// match context.DeadlineExceeded: a slow attempt is the decorator's
+	// business, a caller's expired deadline is not.
+	ErrAttemptTimeout = errors.New("runtime: attempt deadline exceeded")
+)
+
+// RetryPolicy configures a RetryResolver.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call, including the
+	// first (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff cap before the first retry (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 1s).
+	MaxDelay time.Duration
+	// Multiplier is the exponential backoff growth factor (default 2).
+	Multiplier float64
+	// AttemptTimeout is the per-attempt deadline; an attempt still running
+	// when it expires is abandoned and counted as a retryable
+	// ErrAttemptTimeout failure (0 = no per-attempt deadline).
+	AttemptTimeout time.Duration
+	// Budget is the global retry budget: the maximum number of retries
+	// (attempts beyond each call's first) the resolver will perform over
+	// its lifetime, shared across calls and goroutines (0 = unlimited).
+	// An exhausted budget fails the call with ErrRetryBudgetExhausted
+	// instead of sleeping — a persistent fault then degrades quickly
+	// instead of multiplying load with retry storms.
+	Budget int
+	// Retryable classifies an attempt error; nil means DefaultRetryable.
+	Retryable func(error) bool
+	// Rand is the jitter source in [0,1) (default a private seeded
+	// source). Inject a seeded source for deterministic backoff in tests.
+	Rand func() float64
+	// Clock supplies timers and sleeps (default RealClock).
+	Clock Clock
+	// OnRetry, when set, is called before each backoff sleep with the
+	// operation label, the attempt number that just failed (1-based), the
+	// chosen delay, and the attempt's error.
+	OnRetry func(op string, attempt int, delay time.Duration, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Retryable == nil {
+		p.Retryable = DefaultRetryable
+	}
+	if p.Clock == nil {
+		p.Clock = RealClock{}
+	}
+	return p
+}
+
+// DefaultRetryable is the taxonomy-driven retry classification:
+//
+//	retry      ErrTransient (marked-transient failures), ErrAttemptTimeout,
+//	           ErrUnresolvedBinding, ErrUnknownService (transient lookup
+//	           flakes are indistinguishable from them at the resolver)
+//	fail fast  ErrCanceled and context expiry (the caller gave up),
+//	           ErrNoBinding (a semantic fallback signal, not a failure),
+//	           ErrDefectiveFlow, ErrNotCompilable, ErrInvalidService,
+//	           ErrNonFinite, ErrPanic (deterministic defects), and
+//	           anything unclassified
+func DefaultRetryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, core.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, model.ErrNoBinding):
+		return false
+	case errors.Is(err, core.ErrDefectiveFlow),
+		errors.Is(err, core.ErrNotCompilable),
+		errors.Is(err, core.ErrPanic),
+		errors.Is(err, core.ErrNonFinite),
+		errors.Is(err, model.ErrInvalidService):
+		return false
+	case errors.Is(err, model.ErrTransient),
+		errors.Is(err, ErrAttemptTimeout),
+		errors.Is(err, core.ErrUnresolvedBinding),
+		errors.Is(err, model.ErrUnknownService):
+		return true
+	default:
+		return false
+	}
+}
+
+// RetryResolver decorates a model.Resolver with retries. It is safe for
+// concurrent use if the base resolver is; the retry budget and telemetry
+// are shared across goroutines.
+type RetryResolver struct {
+	base   model.Resolver
+	policy RetryPolicy
+	ctx    context.Context
+	shared *retryShared
+}
+
+// retryShared is the state WithContext views share with their parent.
+type retryShared struct {
+	mu        sync.Mutex
+	rng       func() float64
+	budget    int
+	unlimited bool
+	retries   int
+}
+
+var _ model.Resolver = (*RetryResolver)(nil)
+
+// NewRetryResolver returns a retrying decorator over base.
+func NewRetryResolver(base model.Resolver, policy RetryPolicy) *RetryResolver {
+	policy = policy.withDefaults()
+	r := &RetryResolver{
+		base:   base,
+		policy: policy,
+		ctx:    context.Background(),
+		shared: &retryShared{
+			rng:       policy.Rand,
+			budget:    policy.Budget,
+			unlimited: policy.Budget <= 0,
+		},
+	}
+	if r.shared.rng == nil {
+		src := rand.New(rand.NewSource(rand.Int63()))
+		var mu sync.Mutex
+		r.shared.rng = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return src.Float64()
+		}
+	}
+	return r
+}
+
+// WithContext returns a view of the resolver whose backoff sleeps and
+// attempt waits are canceled when ctx is done. The view shares the base,
+// budget, and telemetry with the receiver.
+func (r *RetryResolver) WithContext(ctx context.Context) *RetryResolver {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	view := *r
+	view.ctx = ctx
+	return &view
+}
+
+// Retries returns how many retries (attempts beyond a call's first) the
+// resolver has performed so far.
+func (r *RetryResolver) Retries() int {
+	r.shared.mu.Lock()
+	defer r.shared.mu.Unlock()
+	return r.shared.retries
+}
+
+// BudgetRemaining returns the remaining global retry budget, or -1 when
+// the budget is unlimited.
+func (r *RetryResolver) BudgetRemaining() int {
+	r.shared.mu.Lock()
+	defer r.shared.mu.Unlock()
+	if r.shared.unlimited {
+		return -1
+	}
+	return r.shared.budget
+}
+
+// ServiceByName implements model.Resolver with retries.
+func (r *RetryResolver) ServiceByName(name string) (model.Service, error) {
+	return doRetry(r, "lookup "+name, func() (model.Service, error) {
+		return r.base.ServiceByName(name)
+	})
+}
+
+// bindResult carries Bind's pair through the generic retry loop.
+type bindResult struct {
+	provider, connector string
+}
+
+// Bind implements model.Resolver with retries. model.ErrNoBinding passes
+// through unretried and unwrapped: it is the engine's signal to fall back
+// to role-as-name resolution, not a failure.
+func (r *RetryResolver) Bind(caller, role string) (provider, connector string, err error) {
+	res, err := doRetry(r, "bind "+caller+"/"+role, func() (bindResult, error) {
+		p, c, err := r.base.Bind(caller, role)
+		return bindResult{p, c}, err
+	})
+	if err != nil {
+		return "", "", err
+	}
+	return res.provider, res.connector, nil
+}
+
+// doRetry runs one resolver call under the retry policy. Permanent errors
+// are returned unwrapped so semantic sentinels (model.ErrNoBinding) keep
+// their exact meaning; exhausted attempts wrap the last error under
+// ErrRetriesExhausted. Each attempt captures its result in its own slot —
+// an abandoned (timed-out) attempt can never clobber a later attempt's
+// result.
+func doRetry[T any](r *RetryResolver, op string, f func() (T, error)) (T, error) {
+	var zero T
+	for attempt := 1; ; attempt++ {
+		res, err := attemptOnce(r, f)
+		if err == nil {
+			return res, nil
+		}
+		if !r.policy.Retryable(err) {
+			return zero, err
+		}
+		if attempt >= r.policy.MaxAttempts {
+			return zero, fmt.Errorf("%w: %s failed after %d attempts: %w", ErrRetriesExhausted, op, attempt, err)
+		}
+		if !r.takeBudget() {
+			return zero, fmt.Errorf("%w: %s: %w", ErrRetryBudgetExhausted, op, err)
+		}
+		delay := r.backoff(attempt)
+		if r.policy.OnRetry != nil {
+			r.policy.OnRetry(op, attempt, delay, err)
+		}
+		if serr := r.policy.Clock.Sleep(r.ctx, delay); serr != nil {
+			return zero, fmt.Errorf("%w: %s canceled during backoff: %w", core.ErrCanceled, op, serr)
+		}
+	}
+}
+
+// attemptOnce runs f once, bounded by the per-attempt deadline. A
+// timed-out attempt is abandoned (its goroutine finishes into a buffered
+// channel) and reported as ErrAttemptTimeout; a panicking attempt is
+// isolated into a *core.PanicError.
+func attemptOnce[T any](r *RetryResolver, f func() (T, error)) (T, error) {
+	var zero T
+	if r.policy.AttemptTimeout <= 0 {
+		if err := r.ctx.Err(); err != nil {
+			return zero, fmt.Errorf("%w: %w", core.ErrCanceled, err)
+		}
+		return f()
+	}
+	type outcome struct {
+		res T
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- outcome{err: &core.PanicError{Value: p, Stack: debug.Stack()}}
+			}
+		}()
+		res, err := f()
+		done <- outcome{res: res, err: err}
+	}()
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-r.policy.Clock.After(r.policy.AttemptTimeout):
+		return zero, fmt.Errorf("%w: exceeded %v", ErrAttemptTimeout, r.policy.AttemptTimeout)
+	case <-r.ctx.Done():
+		return zero, fmt.Errorf("%w: %w", core.ErrCanceled, r.ctx.Err())
+	}
+}
+
+// takeBudget consumes one unit of the global retry budget.
+func (r *RetryResolver) takeBudget() bool {
+	s := r.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.unlimited {
+		if s.budget <= 0 {
+			return false
+		}
+		s.budget--
+	}
+	s.retries++
+	return true
+}
+
+// backoff computes the delay before retry number attempt (1-based) with
+// full jitter: uniform in [0, min(MaxDelay, BaseDelay*Multiplier^(a-1))).
+func (r *RetryResolver) backoff(attempt int) time.Duration {
+	cap := float64(r.policy.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		cap *= r.policy.Multiplier
+		if cap >= float64(r.policy.MaxDelay) {
+			cap = float64(r.policy.MaxDelay)
+			break
+		}
+	}
+	r.shared.mu.Lock()
+	u := r.shared.rng()
+	r.shared.mu.Unlock()
+	return time.Duration(u * cap)
+}

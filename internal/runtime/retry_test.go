@@ -1,0 +1,411 @@
+package runtime_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/faultinject"
+	"socrel/internal/model"
+	rt "socrel/internal/runtime"
+)
+
+// scriptedResolver fails lookups/binds with the scripted errors in call
+// order; past the end of a script every call succeeds.
+type scriptedResolver struct {
+	mu      sync.Mutex
+	svc     model.Service
+	lookup  []error
+	bind    []error
+	lookups int
+	binds   int
+}
+
+func (r *scriptedResolver) ServiceByName(name string) (model.Service, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.lookups
+	r.lookups++
+	if i < len(r.lookup) && r.lookup[i] != nil {
+		return nil, r.lookup[i]
+	}
+	return r.svc, nil
+}
+
+func (r *scriptedResolver) Bind(caller, role string) (string, string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.binds
+	r.binds++
+	if i < len(r.bind) && r.bind[i] != nil {
+		return "", "", r.bind[i]
+	}
+	return "prov", "", nil
+}
+
+func (r *scriptedResolver) counts() (lookups, binds int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lookups, r.binds
+}
+
+func transientErr() error {
+	return fmt.Errorf("%w: blip", model.ErrTransient)
+}
+
+func TestRetryBackoffIsDeterministic(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	clk.AutoAdvance()
+	base := &scriptedResolver{
+		svc:    model.NewConstant("svc", 0.1),
+		lookup: []error{transientErr(), transientErr(), transientErr()},
+	}
+	policy := rt.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Multiplier:  2,
+		Clock:       clk,
+		Rand:        rand.New(rand.NewSource(5)).Float64,
+	}
+	r := rt.NewRetryResolver(base, policy)
+
+	svc, err := r.ServiceByName("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Name() != "svc" {
+		t.Fatalf("resolved %q, want svc", svc.Name())
+	}
+	if lookups, _ := base.counts(); lookups != 4 {
+		t.Fatalf("base lookups = %d, want 4", lookups)
+	}
+	if r.Retries() != 3 {
+		t.Fatalf("Retries = %d, want 3", r.Retries())
+	}
+
+	// Full jitter over caps 10ms, 20ms, 40ms with the same seeded source.
+	ref := rand.New(rand.NewSource(5))
+	var want []time.Duration
+	for _, capDelay := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond} {
+		want = append(want, time.Duration(ref.Float64()*float64(capDelay)))
+	}
+	got := clk.Slept()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v (full sequence %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRetryBackoffRespectsMaxDelay(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	clk.AutoAdvance()
+	base := &scriptedResolver{
+		svc:    model.NewConstant("svc", 0.1),
+		lookup: []error{transientErr(), transientErr(), transientErr(), transientErr()},
+	}
+	var onRetry []time.Duration
+	policy := rt.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    25 * time.Millisecond,
+		Multiplier:  2,
+		Clock:       clk,
+		Rand:        func() float64 { return 1 }, // jitter pinned to the cap
+		OnRetry: func(op string, attempt int, delay time.Duration, err error) {
+			if op != "lookup svc" {
+				t.Errorf("OnRetry op = %q, want %q", op, "lookup svc")
+			}
+			onRetry = append(onRetry, delay)
+		},
+	}
+	r := rt.NewRetryResolver(base, policy)
+	if _, err := r.ServiceByName("svc"); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond, 25 * time.Millisecond}
+	got := clk.Slept()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] || onRetry[i] != want[i] {
+			t.Fatalf("backoff %d: slept %v, OnRetry %v, want %v", i, got[i], onRetry[i], want[i])
+		}
+	}
+}
+
+func TestRetryPermanentErrorFailsFast(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	clk.AutoAdvance()
+	permanent := []error{
+		fmt.Errorf("%w: bad row sum", core.ErrDefectiveFlow),
+		fmt.Errorf("%w: dynamic flow", core.ErrNotCompilable),
+		fmt.Errorf("%w: negative speed", model.ErrInvalidService),
+		fmt.Errorf("%w: NaN attribute", core.ErrNonFinite),
+	}
+	for _, perr := range permanent {
+		base := &scriptedResolver{lookup: []error{perr, perr, perr, perr}}
+		r := rt.NewRetryResolver(base, rt.RetryPolicy{Clock: clk, Rand: func() float64 { return 0 }})
+		_, err := r.ServiceByName("svc")
+		if err != perr {
+			t.Fatalf("permanent error was wrapped or retried: got %v, want %v", err, perr)
+		}
+		if lookups, _ := base.counts(); lookups != 1 {
+			t.Fatalf("%v: base called %d times, want 1", perr, lookups)
+		}
+	}
+	if len(clk.Slept()) != 0 {
+		t.Fatalf("permanent errors slept: %v", clk.Slept())
+	}
+}
+
+func TestRetryNoBindingPassesThrough(t *testing.T) {
+	base := &scriptedResolver{bind: []error{model.ErrNoBinding}}
+	r := rt.NewRetryResolver(base, rt.RetryPolicy{Clock: rt.NewFakeClock(t0)})
+	_, _, err := r.Bind("app", "worker")
+	if err != model.ErrNoBinding {
+		t.Fatalf("ErrNoBinding did not pass through verbatim: %v", err)
+	}
+	if errors.Is(err, rt.ErrRetriesExhausted) {
+		t.Fatal("ErrNoBinding was wrapped in ErrRetriesExhausted")
+	}
+	if _, binds := base.counts(); binds != 1 {
+		t.Fatalf("base binds = %d, want 1 (no retries on a semantic signal)", binds)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	clk.AutoAdvance()
+	base := &scriptedResolver{lookup: []error{transientErr(), transientErr()}}
+	// MaxAttempts 2 < script length, so the call never succeeds.
+	r := rt.NewRetryResolver(base, rt.RetryPolicy{MaxAttempts: 2, Clock: clk, Rand: func() float64 { return 0.5 }})
+	_, err := r.ServiceByName("svc")
+	if !errors.Is(err, rt.ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if !errors.Is(err, model.ErrTransient) {
+		t.Fatalf("exhaustion hides the last attempt error: %v", err)
+	}
+	if lookups, _ := base.counts(); lookups != 2 {
+		t.Fatalf("base lookups = %d, want 2", lookups)
+	}
+	if r.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", r.Retries())
+	}
+}
+
+func TestRetryBudgetIsSharedAcrossCalls(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	clk.AutoAdvance()
+	base := &scriptedResolver{lookup: []error{
+		transientErr(), transientErr(), transientErr(), transientErr(), transientErr(),
+	}}
+	r := rt.NewRetryResolver(base, rt.RetryPolicy{
+		MaxAttempts: 10,
+		Budget:      3,
+		Clock:       clk,
+		Rand:        func() float64 { return 0.5 },
+	})
+
+	_, err := r.ServiceByName("svc")
+	if !errors.Is(err, rt.ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
+	}
+	if !errors.Is(err, model.ErrTransient) {
+		t.Fatalf("budget exhaustion hides the last attempt error: %v", err)
+	}
+	if lookups, _ := base.counts(); lookups != 4 {
+		t.Fatalf("base lookups = %d, want 4 (1 first + 3 budgeted retries)", lookups)
+	}
+	if got := r.BudgetRemaining(); got != 0 {
+		t.Fatalf("BudgetRemaining = %d, want 0", got)
+	}
+
+	// A second call — through a context view — shares the drained budget:
+	// it fails after its first attempt without sleeping again.
+	before := len(clk.Slept())
+	_, err = r.WithContext(context.Background()).ServiceByName("svc")
+	if !errors.Is(err, rt.ErrRetryBudgetExhausted) {
+		t.Fatalf("second call err = %v, want ErrRetryBudgetExhausted", err)
+	}
+	if lookups, _ := base.counts(); lookups != 5 {
+		t.Fatalf("base lookups = %d, want 5", lookups)
+	}
+	if len(clk.Slept()) != before {
+		t.Fatal("a call with no budget slept before failing")
+	}
+	if r.Retries() != 3 {
+		t.Fatalf("Retries = %d, want 3", r.Retries())
+	}
+}
+
+func TestRetryCanceledContextFailsFast(t *testing.T) {
+	base := &scriptedResolver{svc: model.NewConstant("svc", 0.1)}
+	r := rt.NewRetryResolver(base, rt.RetryPolicy{Clock: rt.NewFakeClock(t0)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.WithContext(ctx).ServiceByName("svc")
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if lookups, _ := base.counts(); lookups != 0 {
+		t.Fatalf("base called %d times under a canceled context, want 0", lookups)
+	}
+}
+
+func TestRetryCancelDuringBackoff(t *testing.T) {
+	clk := rt.NewFakeClock(t0) // manual: backoff sleeps block until Advance
+	base := &scriptedResolver{lookup: []error{transientErr(), transientErr(), transientErr()}}
+	r := rt.NewRetryResolver(base, rt.RetryPolicy{
+		BaseDelay: 10 * time.Millisecond,
+		Clock:     clk,
+		Rand:      func() float64 { return 1 },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.WithContext(ctx).ServiceByName("svc")
+		done <- err
+	}()
+	clk.WaitForTimers(1) // first backoff sleep registered
+	cancel()
+	err := <-done
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if lookups, _ := base.counts(); lookups != 1 {
+		t.Fatalf("base lookups = %d, want 1 (canceled during the first backoff)", lookups)
+	}
+}
+
+// blockingResolver signals each lookup's entry on entered, then blocks it
+// until release is closed.
+type blockingResolver struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingResolver) ServiceByName(name string) (model.Service, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return model.NewConstant(name, 0.1), nil
+}
+
+func (b *blockingResolver) Bind(caller, role string) (string, string, error) {
+	return "", "", model.ErrNoBinding
+}
+
+func TestRetryPerAttemptDeadline(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	base := &blockingResolver{entered: make(chan struct{}, 2), release: make(chan struct{})}
+	r := rt.NewRetryResolver(base, rt.RetryPolicy{
+		MaxAttempts:    2,
+		AttemptTimeout: 50 * time.Millisecond,
+		BaseDelay:      10 * time.Millisecond,
+		Clock:          clk,
+		Rand:           func() float64 { return 1 },
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.ServiceByName("slow")
+		done <- err
+	}()
+
+	<-base.entered       // attempt 1 is inside the blocked lookup
+	clk.WaitForTimers(1) // attempt 1 deadline armed
+	clk.Advance(50 * time.Millisecond)
+	clk.WaitForTimers(1) // backoff sleep armed
+	clk.Advance(10 * time.Millisecond)
+	<-base.entered       // attempt 2 is inside the blocked lookup
+	clk.WaitForTimers(1) // attempt 2 deadline armed
+	clk.Advance(50 * time.Millisecond)
+
+	err := <-done
+	if !errors.Is(err, rt.ErrRetriesExhausted) || !errors.Is(err, rt.ErrAttemptTimeout) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted wrapping ErrAttemptTimeout", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("ErrAttemptTimeout must not match context.DeadlineExceeded")
+	}
+	if r.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", r.Retries())
+	}
+	close(base.release) // let the two abandoned attempts drain
+}
+
+func TestRetryIsolatesPanickingAttempt(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	r := rt.NewRetryResolver(panickingResolver{}, rt.RetryPolicy{
+		AttemptTimeout: time.Hour, // forces the goroutine+recover path
+		Clock:          clk,
+	})
+	_, err := r.ServiceByName("svc")
+	if !errors.Is(err, core.ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *core.PanicError", err)
+	}
+}
+
+type panickingResolver struct{}
+
+func (panickingResolver) ServiceByName(string) (model.Service, error) { panic("kaboom") }
+func (panickingResolver) Bind(string, string) (string, string, error) {
+	return "", "", model.ErrNoBinding
+}
+
+// TestRetryDeadlineAgainstLatencyInjector drives the per-attempt deadline
+// with faultinject's latency injector instead of a hand-rolled blocking
+// resolver: every lookup is delayed 100ms on the virtual clock, past the
+// 50ms attempt deadline, so both attempts time out deterministically.
+func TestRetryDeadlineAgainstLatencyInjector(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	asm := assembly.New("latency")
+	asm.MustAddService(model.NewConstant("svc", 0.1))
+	inj := faultinject.Wrap(asm, faultinject.Options{
+		LookupDelay: 100 * time.Millisecond,
+		Sleep:       func(d time.Duration) { _ = clk.Sleep(context.Background(), d) },
+	})
+	r := rt.NewRetryResolver(inj, rt.RetryPolicy{
+		MaxAttempts:    2,
+		AttemptTimeout: 50 * time.Millisecond,
+		BaseDelay:      10 * time.Millisecond,
+		Clock:          clk,
+		Rand:           func() float64 { return 1 },
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.ServiceByName("svc")
+		done <- err
+	}()
+
+	clk.WaitForTimers(2) // attempt 1: injected delay (t+100ms) + deadline (t+50ms)
+	clk.Advance(50 * time.Millisecond)
+	clk.WaitForTimers(2) // surviving delay timer + backoff sleep
+	clk.Advance(10 * time.Millisecond)
+	clk.WaitForTimers(3) // attempt 2's delay + deadline join attempt 1's delay
+	clk.Advance(50 * time.Millisecond)
+
+	err := <-done
+	if !errors.Is(err, rt.ErrRetriesExhausted) || !errors.Is(err, rt.ErrAttemptTimeout) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted wrapping ErrAttemptTimeout", err)
+	}
+	if got := inj.Injected(); got != 2 {
+		t.Fatalf("injected delays = %d, want 2", got)
+	}
+	clk.Advance(100 * time.Millisecond) // drain the abandoned attempts
+}

@@ -1,0 +1,256 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/model"
+	"socrel/internal/monitor"
+	"socrel/internal/registry"
+)
+
+// SupervisorConfig parameterizes a Supervisor.
+type SupervisorConfig struct {
+	// Health configures the per-provider breakers and SPRT monitors.
+	Health HealthConfig
+	// Clock stamps last-known-good values and staleness (default
+	// RealClock).
+	Clock Clock
+	// EvalTimeout bounds each exact evaluation; an expired deadline
+	// degrades the answer instead of blocking the caller (0 = none).
+	EvalTimeout time.Duration
+	// WrapResolver, when set, decorates the assembly before the evaluator
+	// sees it — typically a RetryResolver (optionally over a
+	// fault-injecting resolver in chaos tests). Selection scoring always
+	// runs against the undecorated assembly.
+	WrapResolver func(model.Resolver) model.Resolver
+	// OnRebind, when set, is called after every successful automatic
+	// rebind.
+	OnRebind func(RebindEvent)
+}
+
+// RebindEvent records one automatic rebind.
+type RebindEvent struct {
+	// From and To are the previous and new winning candidates.
+	From, To registry.Candidate
+	// Reason is why the previous binding was abandoned.
+	Reason error
+	// Predicted is the new binding's predicted reliability.
+	Predicted float64
+	// At is when the rebind happened.
+	At time.Time
+}
+
+// Supervisor makes one open role of an assembly self-healing: it performs
+// the initial reliability-driven binding among the candidates, streams
+// observed invocation outcomes into the health layer, rebinds
+// automatically when the current binding's breaker opens (SPRT violation
+// or repeated evaluation errors), and serves tagged degraded answers when
+// an exact prediction is unavailable. Methods are safe for concurrent
+// use; evaluations are serialized internally.
+type Supervisor struct {
+	cfg     SupervisorConfig
+	clock   Clock
+	tracker *HealthTracker
+
+	asm        *assembly.Assembly
+	caller     string
+	role       string
+	candidates []registry.Candidate
+	opts       core.Options
+	target     string
+	params     []float64
+
+	mu        chan struct{} // semaphore: also serializes the interpreted evaluator
+	current   registry.Candidate
+	predicted float64
+	ev        *core.Evaluator
+	last      *lastKnown
+	rebinds   []RebindEvent
+}
+
+// NewSupervisor binds the (caller, role) requirement to the most reliable
+// healthy candidate (exactly like registry.SelectBinding), starts SPRT
+// monitoring of the winner against its predicted reliability, and returns
+// the supervisor. The assembly is taken over by the supervisor: it
+// rebinds (caller, role) in place on failover.
+func NewSupervisor(ctx context.Context, cfg SupervisorConfig, asm *assembly.Assembly, caller, role string, candidates []registry.Candidate, opts core.Options, target string, params ...float64) (*Supervisor, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	if cfg.Health.Breaker.Clock == nil {
+		cfg.Health.Breaker.Clock = cfg.Clock
+	}
+	s := &Supervisor{
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		tracker:    NewHealthTracker(cfg.Health),
+		asm:        asm,
+		caller:     caller,
+		role:       role,
+		candidates: append([]registry.Candidate(nil), candidates...),
+		opts:       opts,
+		target:     target,
+		params:     append([]float64(nil), params...),
+		mu:         make(chan struct{}, 1),
+	}
+	s.mu <- struct{}{}
+	s.lock()
+	defer s.unlock()
+	if err := s.rebindLocked(ctx, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Supervisor) lock()   { <-s.mu }
+func (s *Supervisor) unlock() { s.mu <- struct{}{} }
+
+// rebindLocked selects the best healthy candidate, rebinds the assembly,
+// and rebuilds the evaluator. reason == nil means the initial binding.
+func (s *Supervisor) rebindLocked(ctx context.Context, reason error) error {
+	sel, err := SelectHealthyBinding(ctx, s.tracker, s.asm, s.caller, s.role, s.candidates, s.opts, s.target, s.params...)
+	if err != nil {
+		return err
+	}
+	old := s.current
+	s.asm.AddBinding(s.caller, s.role, sel.Candidate.Provider, sel.Candidate.Connector)
+	s.ev = core.New(s.wrapped(), s.opts)
+	s.current = sel.Candidate
+	s.predicted = sel.Reliability
+	if err := s.tracker.Watch(sel.Candidate.Provider, sel.Reliability); err != nil {
+		return err
+	}
+	if reason != nil {
+		ev := RebindEvent{From: old, To: sel.Candidate, Reason: reason, Predicted: sel.Reliability, At: s.clock.Now()}
+		s.rebinds = append(s.rebinds, ev)
+		if s.cfg.OnRebind != nil {
+			s.cfg.OnRebind(ev)
+		}
+	}
+	return nil
+}
+
+func (s *Supervisor) wrapped() model.Resolver {
+	if s.cfg.WrapResolver != nil {
+		return s.cfg.WrapResolver(s.asm)
+	}
+	return s.asm
+}
+
+// Current returns the currently bound candidate.
+func (s *Supervisor) Current() registry.Candidate {
+	s.lock()
+	defer s.unlock()
+	return s.current
+}
+
+// Predicted returns the predicted reliability of the current binding.
+func (s *Supervisor) Predicted() float64 {
+	s.lock()
+	defer s.unlock()
+	return s.predicted
+}
+
+// Rebinds returns every automatic rebind so far, oldest first.
+func (s *Supervisor) Rebinds() []RebindEvent {
+	s.lock()
+	defer s.unlock()
+	return append([]RebindEvent(nil), s.rebinds...)
+}
+
+// Tracker exposes the health layer for inspection and checkpointing.
+func (s *Supervisor) Tracker() *HealthTracker { return s.tracker }
+
+// Checkpoint snapshots all SPRT monitors (see HealthTracker.Checkpoint);
+// feed the result to RestoreCheckpoint after a restart so accumulated
+// evidence survives.
+func (s *Supervisor) Checkpoint() map[string]monitor.Snapshot {
+	return s.tracker.Checkpoint()
+}
+
+// RestoreCheckpoint restores SPRT monitors from a Checkpoint.
+func (s *Supervisor) RestoreCheckpoint(snap map[string]monitor.Snapshot) error {
+	return s.tracker.RestoreCheckpoint(snap)
+}
+
+// ReportOutcome streams one observed invocation outcome of the currently
+// bound provider. If the accumulated evidence trips the provider's
+// breaker (SPRT Violating), the supervisor immediately rebinds to the
+// best healthy alternative. It returns the SPRT verdict after the
+// outcome and whether a rebind happened (rebindErr reports a rebind that
+// was needed but found no healthy candidate — the binding then stays and
+// answers degrade).
+func (s *Supervisor) ReportOutcome(ctx context.Context, success bool) (v monitor.Verdict, rebound bool, rebindErr error) {
+	s.lock()
+	defer s.unlock()
+	prov := s.current.Provider
+	v = s.tracker.Observe(prov, success)
+	if !s.tracker.Quarantined(prov) {
+		return v, false, nil
+	}
+	why, _ := s.tracker.Breaker(prov).LastTrip()
+	if why == nil {
+		why = fmt.Errorf("%w: %q", ErrQuarantined, prov)
+	}
+	if err := s.rebindLocked(ctx, why); err != nil {
+		return v, false, err
+	}
+	return v, true, nil
+}
+
+// Pfail returns the current prediction for the supervised target
+// invocation, degrading instead of failing: an open breaker on the
+// current binding (with no healthy alternative), a solver that did not
+// converge, or an expired deadline each produce a tagged non-exact
+// answer. Exact answers refresh the last-known-good value.
+func (s *Supervisor) Pfail(ctx context.Context) Answer {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.lock()
+	defer s.unlock()
+	prov := s.current.Provider
+	if s.tracker.Quarantined(prov) {
+		// The binding is quarantined and no rebind target was available
+		// when it tripped; try once more now (a sibling breaker may have
+		// closed since), then degrade.
+		why, _ := s.tracker.Breaker(prov).LastTrip()
+		if err := s.rebindLocked(ctx, why); err != nil {
+			return s.degradeLocked(fmt.Errorf("%w: %q: %w", ErrQuarantined, prov, why))
+		}
+		prov = s.current.Provider
+	}
+	evalCtx := ctx
+	if s.cfg.EvalTimeout > 0 {
+		var cancel context.CancelFunc
+		evalCtx, cancel = context.WithTimeout(ctx, s.cfg.EvalTimeout)
+		defer cancel()
+	}
+	p, err := s.ev.PfailCtx(evalCtx, s.target, s.params...)
+	if err == nil {
+		s.last = &lastKnown{pfail: p, provider: prov, at: s.clock.Now()}
+		s.tracker.ObserveEvalSuccess(prov)
+		return Answer{Kind: Exact, Pfail: p, Provider: prov, AsOf: s.last.at}
+	}
+	s.tracker.ObserveEvalError(prov, err)
+	if s.tracker.Quarantined(prov) {
+		// Repeated typed evaluation errors opened the breaker: rebind and
+		// retry once against the new binding before degrading.
+		why, _ := s.tracker.Breaker(prov).LastTrip()
+		if rerr := s.rebindLocked(ctx, why); rerr == nil {
+			if p, rerr := s.ev.PfailCtx(evalCtx, s.target, s.params...); rerr == nil {
+				s.last = &lastKnown{pfail: p, provider: s.current.Provider, at: s.clock.Now()}
+				return Answer{Kind: Exact, Pfail: p, Provider: s.current.Provider, AsOf: s.last.at}
+			}
+		}
+	}
+	return s.degradeLocked(err)
+}
+
+func (s *Supervisor) degradeLocked(cause error) Answer {
+	return degrade(cause, s.last, s.clock.Now())
+}

@@ -40,7 +40,10 @@
 // Carlo validator (internal/sim), the performance extension
 // (internal/perf), the service registry with reliability-driven selection
 // (internal/registry), the ADL (internal/adl), usage-profile estimation
-// (internal/hmm), and parameter studies (internal/sensitivity).
+// (internal/hmm), parameter studies (internal/sensitivity), and the
+// self-healing runtime — retrying resolution, circuit-breaking health
+// tracking, supervised rebinding, degraded-mode answers
+// (internal/runtime; see extensions.go).
 package socrel
 
 import (
@@ -84,6 +87,10 @@ func Var(name string) Expr { return expr.Var(name) }
 type (
 	// Service is an analytic interface (simple or composite).
 	Service = model.Service
+	// Resolver resolves service names and role bindings; *Assembly is the
+	// canonical implementation, and decorators (RetryResolver, fault
+	// injectors) wrap one.
+	Resolver = model.Resolver
 	// Simple is a service with a closed-form failure law.
 	Simple = model.Simple
 	// Composite is a service realized by a flow of cascading requests.
