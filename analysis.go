@@ -4,6 +4,8 @@ package socrel
 // tooling.
 
 import (
+	"context"
+
 	"socrel/internal/registry"
 	"socrel/internal/sensitivity"
 )
@@ -53,6 +55,29 @@ const (
 // Carlo sampling and summarizes the output distribution.
 func Uncertainty(f func(params map[string]float64) (float64, error), dists map[string]Dist, samples int, seed int64) (UncertaintyResult, error) {
 	return sensitivity.Uncertainty(f, dists, samples, seed)
+}
+
+// BatchParamFunc evaluates many sampled parameter environments in one
+// call; CompiledParamBatch builds one from a compiled service so Monte
+// Carlo studies run through the batch kernel.
+type BatchParamFunc = sensitivity.BatchParamFunc
+
+// UncertaintyBatch is Uncertainty evaluating all draws through one
+// BatchParamFunc call (same draw sequence per seed), honoring ctx.
+func UncertaintyBatch(ctx context.Context, f BatchParamFunc, dists map[string]Dist, samples int, seed int64) (UncertaintyResult, error) {
+	return sensitivity.UncertaintyBatch(ctx, f, dists, samples, seed)
+}
+
+// CompiledParamBatch adapts a compiled service to a BatchParamFunc: frame
+// maps one sampled environment to the service's actual parameters. Use it
+// when the uncertain inputs are formal parameters of the study service.
+func CompiledParamBatch(ca *CompiledAssembly, service string, frame func(params map[string]float64) []float64) BatchParamFunc {
+	return sensitivity.CompiledParamBatch(ca, service, frame)
+}
+
+// CompiledReliabilityParamBatch is CompiledParamBatch over reliability.
+func CompiledReliabilityParamBatch(ca *CompiledAssembly, service string, frame func(params map[string]float64) []float64) BatchParamFunc {
+	return sensitivity.CompiledReliabilityParamBatch(ca, service, frame)
 }
 
 // Elasticities returns one-at-a-time normalized sensitivities of f around

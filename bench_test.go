@@ -10,6 +10,7 @@ package socrel
 // their output doubles as a wall-clock budget for cmd/experiments.
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -289,6 +290,99 @@ func BenchmarkCompiledBatch(b *testing.B) {
 		if _, err := cas[1].PfailBatch("search", sets); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompiledLane times the Figure 6 batch workload at several lane
+// widths (1 = scalar batching), over a larger grid so every width gets
+// full lanes. The spread justifies core.DefaultLaneWidth.
+func BenchmarkCompiledLane(b *testing.B) {
+	p := assembly.DefaultPaperParams()
+	remote, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, width := range []int{1, 4, 8, 16, 32} {
+		ca, err := core.Compile(remote, core.Options{LaneWidth: width}, "search")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("w%d", width), func(b *testing.B) {
+			sets := make([][]float64, 64)
+			for j := range sets {
+				sets[j] = []float64{1, 0, 1}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range sets {
+					// Distinct, never-repeating list sizes defeat the memo.
+					sets[j][1] = float64(16+j) + float64(i)/1024
+				}
+				if _, err := ca.PfailBatch("search", sets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDAGFastPath pits the structure-aware solver (DAG forward
+// substitution) against the dense-LU reference on the same serial
+// workload; the gap is the pure solve saving on acyclic flows.
+func BenchmarkDAGFastPath(b *testing.B) {
+	p := assembly.DefaultPaperParams()
+	remote, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"structured", core.Options{}},
+		{"forced-LU", core.Options{ForceDenseSolve: true}},
+	} {
+		ca, err := core.Compile(remote, tc.opts, "search")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ca.Pfail("search", 1, float64(16+i), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// The asymptotic gap: on a 192-state acyclic flow the structured
+	// solver runs forward substitution in O(E) while the dense path
+	// factors a 193x193 matrix per evaluation.
+	asm, root, err := experiments.SyntheticAssembly(1, 1, 192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"chain192-structured", core.Options{}},
+		{"chain192-forced-LU", core.Options{ForceDenseSolve: true}},
+	} {
+		ca, err := core.Compile(asm, tc.opts, root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ca.Pfail(root, float64(16+i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	dotOut := fs.String("dot", "", "emit Graphviz DOT instead of a prediction: 'flow', 'failures', or 'assembly'")
 	sweep := fs.String("sweep", "", "sweep one formal parameter: 'name=lo:hi:n' (geometric grid); the -params value for that position is ignored")
 	timeout := fs.Duration("timeout", 0, "evaluation deadline (e.g. 500ms); expired runs fail with the typed error class (0 = none)")
+	stats := fs.Bool("stats", false, "print compiled-engine memo statistics (hits/misses/resets/entries) after the evaluation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,25 +120,46 @@ func run(args []string, out io.Writer) error {
 		return emitDOT(out, asm, *dotOut, *service, params, opts)
 	}
 	if *sweep != "" {
-		return runSweep(ctx, out, asm, opts, *service, params, *sweep)
+		return runSweep(ctx, out, asm, opts, *service, params, *sweep, *stats)
 	}
 
-	ev := core.New(asm, opts)
 	if *report {
-		rep, err := ev.Report(*service, params...)
+		rep, err := core.New(asm, opts).Report(*service, params...)
 		if err != nil {
 			return withClass(err)
 		}
 		_, err = fmt.Fprint(out, rep.String())
 		return err
 	}
-	pfail, err := ev.PfailCtx(ctx, *service, params...)
+	var pfail float64
+	if ca, cerr := core.Compile(asm, opts, *service); cerr == nil {
+		pfail, err = ca.PfailCtx(ctx, *service, params...)
+		printMemoStats(out, ca, *stats)
+	} else if errors.Is(cerr, core.ErrNotCompilable) {
+		if *stats {
+			fmt.Fprintln(out, "memo: unavailable (interpreted path)")
+		}
+		pfail, err = core.New(asm, opts).PfailCtx(ctx, *service, params...)
+	} else {
+		return withClass(cerr)
+	}
 	if err != nil {
 		return withClass(err)
 	}
 	_, err = fmt.Fprintf(out, "service %s(%s): Pfail = %.9g, reliability = %.9g\n",
 		*service, *paramsArg, pfail, 1-pfail)
 	return err
+}
+
+// printMemoStats renders the compiled engine's memo counters, letting
+// scripts confirm a sweep was served from cache (or not).
+func printMemoStats(out io.Writer, ca *core.CompiledAssembly, enabled bool) {
+	if !enabled || ca == nil {
+		return
+	}
+	ms := ca.MemoStats()
+	fmt.Fprintf(out, "memo: hits=%d misses=%d resets=%d entries=%d\n",
+		ms.Hits, ms.Misses, ms.Resets, ms.Entries)
 }
 
 // withClass annotates an evaluation failure with its typed error class, so
@@ -155,7 +177,7 @@ func withClass(err error) error {
 // compiled engine's batch entry point when the assembly compiles, falling
 // back to the interpreted evaluator otherwise (recursive assemblies,
 // fixed-point policies, dynamic flows); both paths honor ctx.
-func runSweep(ctx context.Context, out io.Writer, asm *assembly.Assembly, opts core.Options, service string, params []float64, spec string) error {
+func runSweep(ctx context.Context, out io.Writer, asm *assembly.Assembly, opts core.Options, service string, params []float64, spec string, stats bool) error {
 	name, lo, hi, n, err := parseSweepSpec(spec)
 	if err != nil {
 		return err
@@ -187,7 +209,7 @@ func runSweep(ctx context.Context, out io.Writer, asm *assembly.Assembly, opts c
 		p[pos] = x
 		paramSets[i] = p
 	}
-	pfails, err := sweepPfails(ctx, asm, opts, service, paramSets)
+	pfails, ca, err := sweepPfails(ctx, asm, opts, service, paramSets)
 	if err != nil {
 		return withClass(err)
 	}
@@ -195,28 +217,34 @@ func runSweep(ctx context.Context, out io.Writer, asm *assembly.Assembly, opts c
 	for i, x := range grid {
 		fmt.Fprintf(out, "%g,%.9g,%.9g\n", x, pfails[i], 1-pfails[i])
 	}
+	if stats && ca == nil {
+		fmt.Fprintln(out, "memo: unavailable (interpreted path)")
+	}
+	printMemoStats(out, ca, stats)
 	return nil
 }
 
-// sweepPfails evaluates every parameter set, compiled when possible.
-func sweepPfails(ctx context.Context, asm *assembly.Assembly, opts core.Options, service string, paramSets [][]float64) ([]float64, error) {
+// sweepPfails evaluates every parameter set, compiled when possible; the
+// returned CompiledAssembly is nil on the interpreted fallback.
+func sweepPfails(ctx context.Context, asm *assembly.Assembly, opts core.Options, service string, paramSets [][]float64) ([]float64, *core.CompiledAssembly, error) {
 	ca, err := core.Compile(asm, opts, service)
 	switch {
 	case err == nil:
-		return ca.PfailBatchCtx(ctx, service, paramSets)
+		pfails, err := ca.PfailBatchCtx(ctx, service, paramSets)
+		return pfails, ca, err
 	case !errors.Is(err, core.ErrNotCompilable):
-		return nil, err
+		return nil, nil, err
 	}
 	ev := core.New(asm, opts)
 	pfails := make([]float64, len(paramSets))
 	for i, p := range paramSets {
 		pfail, err := ev.PfailCtx(ctx, service, p...)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pfails[i] = pfail
 	}
-	return pfails, nil
+	return pfails, nil, nil
 }
 
 // parseSweepSpec parses "name=lo:hi:n".

@@ -79,6 +79,7 @@ type compiledComposite struct {
 	transitions []compiledTransition
 	n           int // number of transient states (Start + working states)
 	maxRequests int
+	structure   *flowStructure // one-time SCC/topology analysis (see structure.go)
 }
 
 func isEndName(name string) bool { return name == model.EndState }
@@ -351,6 +352,7 @@ func (c *compiler) compileComposite(svc *model.Composite) (*compiledComposite, e
 		return nil, fmt.Errorf("%w: %s has %d transient states (> %d; MethodAuto would use the iterative solver)",
 			ErrNotCompilable, name, n, denseAutoThreshold)
 	}
+	comp.structure = analyzeStructure(comp)
 	return comp, nil
 }
 

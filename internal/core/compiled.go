@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"socrel/internal/expr"
 	"socrel/internal/linalg"
 	"socrel/internal/markov"
 	"socrel/internal/model"
@@ -29,9 +30,37 @@ const memoShardCount = 64
 // set of a typical sweep fully cached.
 const memoShardCap = 1 << 13
 
+// DefaultLaneWidth is the batch lane width used when Options.LaneWidth is
+// zero: eight points per lane amortizes instruction dispatch well while
+// keeping the structure-of-arrays scratch comfortably inside L1.
+const DefaultLaneWidth = 8
+
+// MaxLaneWidth caps Options.LaneWidth; the lane scheduler tracks memo
+// hits per lane in a 64-bit mask, and wider lanes stop paying anyway.
+const MaxLaneWidth = 64
+
+// doorkeeperSlots sizes each shard's admission filter (1 KiB per shard).
+const doorkeeperSlots = 1 << 10
+
 type memoShard struct {
 	mu sync.RWMutex
 	m  map[string]float64
+	// seen is a fingerprint doorkeeper (TinyLFU-style admission): a key
+	// is cached only on its second put, so a sweep streaming distinct
+	// parameter points never grows a cache nothing will hit again, while
+	// any point evaluated repeatedly is cached from its second visit on.
+	seen [doorkeeperSlots]uint8
+}
+
+// MemoStats is a point-in-time snapshot of the (service, params) memo's
+// effectiveness: how often evaluations were served from cache, how often
+// they fell through to a solve, and how many wholesale shard resets the
+// capacity bound forced (each reset silently discards a hot shard).
+type MemoStats struct {
+	Hits    uint64 // lookups served from the memo
+	Misses  uint64 // lookups that fell through to evaluation
+	Resets  uint64 // wholesale shard resets forced by the capacity bound
+	Entries int    // entries currently cached across all shards
 }
 
 // CompiledAssembly is the immutable product of Compile: every binding
@@ -45,17 +74,56 @@ type CompiledAssembly struct {
 	maxStack int
 	maxArity int
 
-	memoSeed maphash.Seed
-	memo     [memoShardCount]memoShard
-	pool     sync.Pool
+	// laneWidth is the resolved batch lane width (1 = scalar batches);
+	// forceDense pins every solve to the dense-LU reference path.
+	laneWidth  int
+	forceDense bool
+
+	memoSeed   maphash.Seed
+	memo       [memoShardCount]memoShard
+	memoHits   atomic.Uint64
+	memoMisses atomic.Uint64
+	memoResets atomic.Uint64
+	pool       sync.Pool
 }
 
 func (ca *CompiledAssembly) init() {
+	ca.laneWidth = ca.opts.LaneWidth
+	switch {
+	case ca.laneWidth <= 0:
+		ca.laneWidth = DefaultLaneWidth
+	case ca.laneWidth > MaxLaneWidth:
+		ca.laneWidth = MaxLaneWidth
+	}
+	if ca.opts.ForceDenseSolve {
+		// The dense reference path is scalar-only; lanes would route
+		// around it.
+		ca.forceDense = true
+		ca.laneWidth = 1
+	}
 	ca.memoSeed = maphash.MakeSeed()
 	for i := range ca.memo {
 		ca.memo[i].m = make(map[string]float64)
 	}
 	ca.pool.New = func() any { return newSession(ca) }
+}
+
+// MemoStats returns a snapshot of the memo's hit/miss/reset counters and
+// current entry count. Safe for concurrent use; the counters are
+// monotonic over the assembly's lifetime.
+func (ca *CompiledAssembly) MemoStats() MemoStats {
+	st := MemoStats{
+		Hits:   ca.memoHits.Load(),
+		Misses: ca.memoMisses.Load(),
+		Resets: ca.memoResets.Load(),
+	}
+	for i := range ca.memo {
+		sh := &ca.memo[i]
+		sh.mu.RLock()
+		st.Entries += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return st
 }
 
 // Services returns the compiled service names in compilation order.
@@ -135,9 +203,17 @@ func (ca *CompiledAssembly) PfailBatch(service string, paramSets [][]float64) ([
 // with a partial-results contract: the returned slice always has
 // len(paramSets) entries, NaN at points that failed or were never
 // evaluated. The error is the lowest-indexed point's failure (classified
-// into the taxonomy). Workers check ctx before every point, so a
-// cancellation stops the batch at the next point boundary — a panicking
-// or failing point never poisons its siblings, which complete normally.
+// into the taxonomy).
+//
+// Points are evaluated in lanes of Options.LaneWidth (structure-of-arrays,
+// one instruction pass per expression for the whole lane); lanes are
+// chunked over up to GOMAXPROCS workers. Each lane result is bit-identical
+// to the corresponding single-point Pfail. A failing or panicking lane is
+// transparently re-run point by point, so a bad point never poisons its
+// siblings and the reported error names the lowest failing point exactly
+// as the scalar path would. Workers check ctx at every lane boundary, and
+// a lane whose evaluation straddled the cancellation discards its results,
+// so a cancellation still stops the batch at a point boundary.
 func (ca *CompiledAssembly) PfailBatchCtx(ctx context.Context, service string, paramSets [][]float64) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -161,21 +237,54 @@ func (ca *CompiledAssembly) PfailBatchCtx(ctx context.Context, service string, p
 		}
 		errMu.Unlock()
 	}
-	workers := min(runtime.GOMAXPROCS(0), len(paramSets))
-	if workers <= 1 {
-		s := ca.pool.Get().(*session)
-		defer ca.pool.Put(s)
-		for i, ps := range paramSets {
+	lw := ca.laneWidth
+	numChunks := (len(paramSets) + lw - 1) / lw
+	evalChunk := func(s *session, lo int) {
+		hi := min(lo+lw, len(paramSets))
+		if k := hi - lo; k > 1 {
+			err := guardLane(func() error { return s.pfailLaneTop(idx, paramSets[lo:hi], out[lo:hi]) })
+			if err == nil {
+				if cerr := ctx.Err(); cerr != nil {
+					// The cancellation fired while the lane was in
+					// flight; discard its results to keep the
+					// stop-at-a-point-boundary contract.
+					for i := lo; i < hi; i++ {
+						out[i] = math.NaN()
+					}
+					record(lo, cerr)
+				}
+				return
+			}
+			// The lane cannot attribute a failure to a point: fall back
+			// to scalar evaluation so the error names the exact point and
+			// its siblings still complete.
+			for i := lo; i < hi; i++ {
+				out[i] = math.NaN()
+			}
+		}
+		for i := lo; i < hi; i++ {
 			if err := ctx.Err(); err != nil {
 				record(i, err)
-				break
+				return
 			}
-			p, err := guardPfail(func() (float64, error) { return s.pfailTop(idx, ps) })
+			p, err := guardPfail(func() (float64, error) { return s.pfailTop(idx, paramSets[i]) })
 			if err != nil {
 				record(i, err)
 				continue
 			}
 			out[i] = p
+		}
+	}
+	workers := min(runtime.GOMAXPROCS(0), numChunks)
+	if workers <= 1 {
+		s := ca.pool.Get().(*session)
+		defer ca.pool.Put(s)
+		for lo := 0; lo < len(paramSets); lo += lw {
+			if err := ctx.Err(); err != nil {
+				record(lo, err)
+				break
+			}
+			evalChunk(s, lo)
 		}
 		return out, errVal
 	}
@@ -188,20 +297,15 @@ func (ca *CompiledAssembly) PfailBatchCtx(ctx context.Context, service string, p
 			s := ca.pool.Get().(*session)
 			defer ca.pool.Put(s)
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(paramSets) {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
 					return
 				}
 				if err := ctx.Err(); err != nil {
-					record(i, err)
+					record(c*lw, err)
 					return
 				}
-				p, err := guardPfail(func() (float64, error) { return s.pfailTop(idx, paramSets[i]) })
-				if err != nil {
-					record(i, err)
-					continue
-				}
-				out[i] = p
+				evalChunk(s, c*lw)
 			}
 		}()
 	}
@@ -236,16 +340,37 @@ func (ca *CompiledAssembly) memoGet(key []byte) (float64, bool) {
 	sh.mu.RLock()
 	v, ok := sh.m[string(key)]
 	sh.mu.RUnlock()
+	if ok {
+		ca.memoHits.Add(1)
+	} else {
+		ca.memoMisses.Add(1)
+	}
 	return v, ok
 }
 
-func (ca *CompiledAssembly) memoPut(key string, v float64) {
-	sh := &ca.memo[maphash.String(ca.memoSeed, key)&(memoShardCount-1)]
+// memoPut records an evaluation result. The doorkeeper admits a key only
+// when an earlier put already left its fingerprint, so single-visit keys
+// cost one byte instead of a map entry; a fingerprint collision merely
+// admits a key one visit early. Callers may pass a reusable key buffer —
+// the bytes are only materialized into a string on actual insertion.
+func (ca *CompiledAssembly) memoPut(key []byte, v float64) {
+	h := maphash.Bytes(ca.memoSeed, key)
+	sh := &ca.memo[h&(memoShardCount-1)]
+	fp := uint8(h>>24) | 1
+	slot := (h >> 32) & (doorkeeperSlots - 1)
 	sh.mu.Lock()
-	if len(sh.m) >= memoShardCap {
-		sh.m = make(map[string]float64, memoShardCap)
+	if sh.seen[slot] != fp {
+		sh.seen[slot] = fp
+		sh.mu.Unlock()
+		return
 	}
-	sh.m[key] = v
+	if len(sh.m) >= memoShardCap {
+		// Reset wholesale, and small: refill is gated by the doorkeeper,
+		// and a pre-sized empty table would keep probes expensive.
+		sh.m = make(map[string]float64)
+		ca.memoResets.Add(1)
+	}
+	sh.m[string(key)] = v
 	sh.mu.Unlock()
 }
 
@@ -265,32 +390,66 @@ type session struct {
 	stateFail [][]float64              // per service: per-transient failure
 	reqFail   [][]model.RequestFailure // per service: per-request scratch
 
-	// Linear-solve workspace, sized to the largest skeleton.
-	m      []float64 // n*n dense I-Q, factorized in place
+	// Linear-solve workspace, sized to the largest skeleton. The
+	// lane-strided buffers (stateFail, edgeP, x, absorb, reach) hold
+	// laneCap values per slot — scalar evaluation is simply the K=1
+	// stride of the same layout, so both paths share one solver.
+	m      []float64 // n*n dense I-Q (or SCC block), factorized in place
 	b      []float64
 	x      []float64
 	perm   []int
 	edgeP  []float64 // per-transition augmented probabilities
 	absorb []bool
 	reach  []bool
+
+	// Lane scratch (see lane.go): the lane parameter arena, per-point
+	// memo keys, per-state classification rows, SCC block solve scratch,
+	// and per-service request/recursion rows.
+	laneCap   int
+	laneArena []float64
+	laneKeys  [][]byte
+	laneSum   []float64
+	laneSelf  []float64
+	laneEdges []int
+	sccLocal  []int32
+	blockX    []float64
+	reqInt    [][]float64 // per service: per-request internal failures
+	reqExt    [][]float64 // per service: per-request external failures
+	childP    [][]float64 // per service: provider/connector/internal rows
 }
 
 func newSession(ca *CompiledAssembly) *session {
+	lc := ca.laneWidth
 	s := &session{
 		ca:        ca,
 		arena:     make([]float64, 0, 64),
-		stack:     make([]float64, ca.maxStack),
+		stack:     make([]float64, ca.maxStack*lc+expr.LaneCallScratch),
 		keyBuf:    make([]byte, 0, 64),
 		stateFail: make([][]float64, len(ca.services)),
 		reqFail:   make([][]model.RequestFailure, len(ca.services)),
+		laneCap:   lc,
+		laneArena: make([]float64, 0, 64*lc),
+		laneKeys:  make([][]byte, lc),
+		laneSum:   make([]float64, lc),
+		laneSelf:  make([]float64, lc),
+		laneEdges: make([]int, lc),
+		reqInt:    make([][]float64, len(ca.services)),
+		reqExt:    make([][]float64, len(ca.services)),
+		childP:    make([][]float64, len(ca.services)),
+	}
+	for k := range s.laneKeys {
+		s.laneKeys[k] = make([]byte, 0, 64)
 	}
 	maxN, maxTrans := 1, 1
 	for i, svc := range ca.services {
 		if svc.comp == nil {
 			continue
 		}
-		s.stateFail[i] = make([]float64, svc.comp.n)
+		s.stateFail[i] = make([]float64, svc.comp.n*lc)
 		s.reqFail[i] = make([]model.RequestFailure, svc.comp.maxRequests)
+		s.reqInt[i] = make([]float64, svc.comp.maxRequests*lc)
+		s.reqExt[i] = make([]float64, svc.comp.maxRequests*lc)
+		s.childP[i] = make([]float64, 3*lc)
 		if svc.comp.n > maxN {
 			maxN = svc.comp.n
 		}
@@ -300,11 +459,13 @@ func newSession(ca *CompiledAssembly) *session {
 	}
 	s.m = make([]float64, maxN*maxN)
 	s.b = make([]float64, maxN)
-	s.x = make([]float64, maxN)
+	s.x = make([]float64, maxN*lc)
 	s.perm = make([]int, maxN)
-	s.edgeP = make([]float64, maxTrans)
-	s.absorb = make([]bool, maxN)
-	s.reach = make([]bool, maxN)
+	s.edgeP = make([]float64, maxTrans*lc)
+	s.absorb = make([]bool, maxN*lc)
+	s.reach = make([]bool, maxN*lc)
+	s.sccLocal = make([]int32, maxN)
+	s.blockX = make([]float64, maxN)
 	return s
 }
 
@@ -335,17 +496,16 @@ func (s *session) pfail(svcIdx, off, np int) (float64, error) {
 		}
 		return clamp01(v), nil
 	}
-	key := s.memoKey(svcIdx, off, np)
-	if v, ok := s.ca.memoGet(key); ok {
+	if v, ok := s.ca.memoGet(s.memoKey(svcIdx, off, np)); ok {
 		return v, nil
 	}
-	// Materialize the key before recursing: the recursion reuses keyBuf.
-	keyStr := string(key)
 	v, err := s.evalComposite(svcIdx, off, np)
 	if err != nil {
 		return 0, err
 	}
-	s.ca.memoPut(keyStr, v)
+	// Rebuild the key: the recursion above reused keyBuf, but the
+	// parameter frame at arena[off:off+np] is intact.
+	s.ca.memoPut(s.memoKey(svcIdx, off, np), v)
 	return v, nil
 }
 
@@ -407,18 +567,246 @@ func (s *session) evalComposite(svcIdx, off, np int) (float64, error) {
 		s.edgeP[ti] = clamp01(p)
 	}
 
-	pEnd, err := s.solveSkeleton(svc, fail)
-	if err != nil {
+	if s.ca.forceDense {
+		pEnd, err := s.solveSkeleton(svc, fail)
+		if err != nil {
+			return 0, err
+		}
+		return clamp01(1 - pEnd), nil
+	}
+	if err := s.solveStructured(svc, 1, fail, s.edgeP, s.x); err != nil {
 		return 0, err
 	}
-	return clamp01(1 - pEnd), nil
+	return clamp01(1 - clamp01(s.x[0])), nil
+}
+
+// solveStructured computes the absorption probabilities of the augmented
+// chain using the compile-time structure analysis (see structure.go), for
+// a lane of K parameter points at once: fail, edgeP and x hold K values
+// per slot (slot i's lane at [i*K : (i+1)*K]), and scalar evaluation is
+// the K=1 stride of the same code, so lane and single-point results are
+// bit-identical by construction.
+//
+// States are classified exactly like solveSkeleton (and markov.Chain):
+// runtime-absorbing states leave the transient set with x = 0, everyone
+// else must have outgoing mass summing to one. The solve then walks the
+// successors-first SCC order: singleton SCCs are pure forward
+// substitution (with the geometric-series division for a self-loop), and
+// larger SCCs factorize a dense block of their own size — never the full
+// n×n system. On an acyclic flow (maxSCC == 1, the common case) the whole
+// solve is a single O(E) pass with no matrix build, and the
+// cannot-reach-absorption error is statically impossible: every
+// non-absorbing state has validated unit outgoing mass, some of it off
+// itself, so by induction along the topological order it reaches End, a
+// failure edge, or an absorbing state. The reachability fixpoint
+// therefore only runs when a real cycle exists.
+func (s *session) solveStructured(svc *compiledService, K int, fail, edgeP, x []float64) error {
+	comp := svc.comp
+	fs := comp.structure
+	n := comp.n
+	absorb := s.absorb[:n*K]
+	sum := s.laneSum[:K]
+	self := s.laneSelf[:K]
+	edges := s.laneEdges[:K]
+	const probTol = 1e-9
+
+	// Classify each slot per lane point the way markov.Chain does: a
+	// state with no positive outgoing mass, or a lone self-loop of
+	// probability one, is absorbing; everyone else must have outgoing
+	// mass (edges + failure) summing to one.
+	for i := 0; i < n; i++ {
+		fi := fail[i*K : i*K+K]
+		for k := 0; k < K; k++ {
+			sum[k] = fi[k]
+			self[k] = -1
+			if fi[k] > 0 {
+				edges[k] = 1
+			} else {
+				edges[k] = 0
+			}
+		}
+		for _, ti := range fs.outEdges[i] {
+			to := comp.transitions[ti].to
+			row := edgeP[int(ti)*K : int(ti)*K+K]
+			for k := 0; k < K; k++ {
+				p := row[k]
+				if p == 0 {
+					continue
+				}
+				edges[k]++
+				sum[k] += p
+				if to == i {
+					self[k] = p
+				}
+			}
+		}
+		ab := absorb[i*K : i*K+K]
+		for k := 0; k < K; k++ {
+			if edges[k] == 0 || (edges[k] == 1 && fi[k] == 0 && self[k] >= 0 && math.Abs(self[k]-1) <= probTol) {
+				ab[k] = true
+				continue
+			}
+			ab[k] = false
+			if math.Abs(sum[k]-1) > probTol {
+				return fmt.Errorf("core: %s: %w: outgoing probabilities of %q sum to %.12g",
+					svc.name, markov.ErrInvalidProbability, s.transientName(comp, i), sum[k])
+			}
+		}
+	}
+
+	if fs.maxSCC > 1 {
+		// A real cycle can trap probability mass: check that every
+		// transient state reaches absorption, per lane point, exactly
+		// like the dense path.
+		reach := s.reach[:n*K]
+		for i := 0; i < n; i++ {
+			for k := 0; k < K; k++ {
+				reach[i*K+k] = absorb[i*K+k] || fail[i*K+k] > 0
+			}
+		}
+		for ti := range comp.transitions {
+			tr := &comp.transitions[ti]
+			if tr.to >= 0 {
+				continue
+			}
+			row := edgeP[ti*K : ti*K+K]
+			for k := 0; k < K; k++ {
+				if row[k] != 0 && !absorb[tr.from*K+k] {
+					reach[tr.from*K+k] = true
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for ti := range comp.transitions {
+				tr := &comp.transitions[ti]
+				if tr.to < 0 {
+					continue
+				}
+				row := edgeP[ti*K : ti*K+K]
+				for k := 0; k < K; k++ {
+					if row[k] == 0 || absorb[tr.from*K+k] {
+						continue
+					}
+					if !reach[tr.from*K+k] && reach[tr.to*K+k] {
+						reach[tr.from*K+k] = true
+						changed = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < K; k++ {
+				if !reach[i*K+k] {
+					return fmt.Errorf("core: %s: %w: state %q cannot reach an absorbing state",
+						svc.name, markov.ErrNotAbsorbing, s.transientName(comp, i))
+				}
+			}
+		}
+	}
+
+	// Solve successors-first: when an SCC is reached, every state it can
+	// step into outside itself is already solved.
+	for c := 0; c < fs.sccCount(); c++ {
+		members := fs.scc(c)
+		if len(members) == 1 {
+			i := int(members[0])
+			xi := x[i*K : i*K+K]
+			ab := absorb[i*K : i*K+K]
+			for k := 0; k < K; k++ {
+				xi[k] = 0
+				self[k] = 0
+			}
+			for _, ti := range fs.outEdges[i] {
+				tr := &comp.transitions[ti]
+				row := edgeP[int(ti)*K : int(ti)*K+K]
+				switch {
+				case tr.to == i:
+					copy(self, row)
+				case tr.to < 0:
+					for k := 0; k < K; k++ {
+						xi[k] += row[k]
+					}
+				default:
+					xt := x[tr.to*K : tr.to*K+K]
+					for k := 0; k < K; k++ {
+						xi[k] += row[k] * xt[k]
+					}
+				}
+			}
+			if fs.hasSelf[i] {
+				for k := 0; k < K; k++ {
+					if self[k] != 0 && !ab[k] {
+						xi[k] /= 1 - self[k]
+					}
+				}
+			}
+			for k := 0; k < K; k++ {
+				if ab[k] {
+					xi[k] = 0
+				}
+			}
+			continue
+		}
+		// Cyclic SCC: factorize a dense block of the SCC's own size per
+		// lane point, folding already-solved external contributions into
+		// the right-hand side. Runtime-absorbing members keep an
+		// identity row (x = 0), mirroring the dense path's dropped rows.
+		m := len(members)
+		for l, gi := range members {
+			s.sccLocal[gi] = int32(l)
+		}
+		mat := s.m[:m*m]
+		rhs := s.b[:m]
+		bx := s.blockX[:m]
+		perm := s.perm[:m]
+		for k := 0; k < K; k++ {
+			for j := range mat {
+				mat[j] = 0
+			}
+			for l, gi := range members {
+				i := int(gi)
+				mat[l*m+l] = 1
+				rhs[l] = 0
+				if absorb[i*K+k] {
+					continue
+				}
+				for _, ti := range fs.outEdges[i] {
+					tr := &comp.transitions[ti]
+					p := edgeP[int(ti)*K+k]
+					if p == 0 {
+						continue
+					}
+					switch {
+					case tr.to < 0:
+						rhs[l] += p
+					case absorb[tr.to*K+k]:
+						// x_to = 0: contributes nothing.
+					case fs.sccOf[tr.to] == int32(c):
+						mat[l*m+int(s.sccLocal[tr.to])] -= p
+					default:
+						rhs[l] += p * x[tr.to*K+k]
+					}
+				}
+			}
+			if err := luSolve(mat, rhs, bx, perm, m); err != nil {
+				return fmt.Errorf("core: %s: %w", svc.name, err)
+			}
+			for l, gi := range members {
+				x[int(gi)*K+k] = bx[l]
+			}
+		}
+	}
+	return nil
 }
 
 // solveSkeleton solves the augmented absorbing chain for the probability
-// of reaching End from Start, reusing the session workspace. It presents
-// the exact matrix the interpreted path's markov/linalg pipeline would
-// factorize — same transient ordering, same entries — so the two paths
-// agree bitwise.
+// of reaching End from Start with a full dense LU over all transient
+// states, reusing the session workspace. It presents the exact matrix the
+// interpreted path's markov/linalg pipeline would factorize — same
+// transient ordering, same entries — so the two paths agree bitwise. It
+// is the Options.ForceDenseSolve reference path; normal evaluation goes
+// through solveStructured.
 func (s *session) solveSkeleton(svc *compiledService, fail []float64) (float64, error) {
 	comp := svc.comp
 	n := comp.n
@@ -549,8 +937,14 @@ func (s *session) transientName(comp *compiledComposite, idx int) string {
 // and solves for s.x — the same elimination linalg.Factorize and LU.Solve
 // perform, run in preallocated scratch.
 func (s *session) luSolveInPlace(n int) error {
-	m := s.m[:n*n]
-	perm := s.perm[:n]
+	return luSolve(s.m[:n*n], s.b[:n], s.x[:n], s.perm[:n], n)
+}
+
+// luSolve factorizes the n×n matrix m (row-major, destroyed) with partial
+// pivoting and solves m·x = b into x. perm must hold n entries; b is left
+// untouched. Shared by the dense reference path (whole transient set) and
+// the structured solver's per-SCC blocks.
+func luSolve(m, b, x []float64, perm []int, n int) error {
 	for i := range perm {
 		perm[i] = i
 	}
@@ -587,8 +981,6 @@ func (s *session) luSolveInPlace(n int) error {
 			}
 		}
 	}
-	x := s.x[:n]
-	b := s.b[:n]
 	for i, p := range perm {
 		x[i] = b[p]
 	}

@@ -1,0 +1,301 @@
+// Lane-vectorized execute path: a batch chunk of K parameter points is
+// evaluated in one pass as a structure-of-arrays lane — every expression
+// program runs once per lane (expr.Program.EvalLane), every composite
+// skeleton is filled and solved once for all K points (solveStructured),
+// and the per-point operation order is exactly the scalar path's, so lane
+// results are bit-identical to single-point Pfail calls. Per-point
+// control flow that cannot be vectorized (memo lookups, CombineState,
+// finiteness checks) runs in short per-point loops over the lane.
+//
+// Error handling is deliberately coarse: a lane cannot attribute a
+// failure to one of its points, so any error (or panic) aborts the whole
+// lane and PfailBatchCtx re-runs the chunk through the scalar path for
+// exact per-point attribution. The lane path is therefore pure fast path:
+// it either produces the same K values the scalar path would, or steps
+// aside entirely.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"socrel/internal/model"
+)
+
+// laneGrow extends a by n entries (contents unspecified; callers fully
+// overwrite every frame they push) and returns the extended slice.
+func laneGrow(a []float64, n int) []float64 {
+	if cap(a)-len(a) >= n {
+		return a[:len(a)+n]
+	}
+	return append(a, make([]float64, n)...)
+}
+
+// pfailLaneTop evaluates a top-level lane of K parameter sets, seeding
+// the lane arena with the transposed (structure-of-arrays) parameters.
+// out receives the K failure probabilities.
+//
+// The memo is consulted in bulk at this level only: batch results enter
+// the cache (so a repeated grid, or a later scalar Pfail at a swept
+// point, is served without a solve), but interior lane recursion skips
+// the shared memo — under a sweep the interior frames either vary with
+// the swept formal (a guaranteed miss that would only pollute the cache)
+// or are lane-invariant, in which case the uniform-frame collapse in
+// pfailLane routes them through the scalar path's memo exactly once per
+// lane.
+func (s *session) pfailLaneTop(svcIdx int, sets [][]float64, out []float64) error {
+	svc := s.ca.services[svcIdx]
+	K := len(sets)
+	for _, ps := range sets {
+		if len(ps) != svc.arity {
+			return fmt.Errorf("%w: %s expects %d, got %d", model.ErrArity, svc.name, svc.arity, len(ps))
+		}
+	}
+	s.laneArena = laneGrow(s.laneArena[:0], svc.arity*K)
+	for p := 0; p < svc.arity; p++ {
+		row := s.laneArena[p*K : p*K+K]
+		for k, ps := range sets {
+			row[k] = ps[p]
+		}
+	}
+	if svc.comp == nil {
+		return s.pfailLane(svcIdx, 0, K, out)
+	}
+	var miss uint64
+	for k := 0; k < K; k++ {
+		if v, ok := s.ca.memoGet(s.laneMemoKey(svcIdx, 0, K, k)); ok {
+			out[k] = v
+		} else {
+			miss |= 1 << k
+		}
+	}
+	if miss == 0 {
+		return nil
+	}
+	if err := s.pfailLane(svcIdx, 0, K, out); err != nil {
+		return err
+	}
+	for k := 0; k < K; k++ {
+		if miss&(1<<k) != 0 {
+			s.ca.memoPut(s.laneMemoKey(svcIdx, 0, K, k), out[k])
+		}
+	}
+	return nil
+}
+
+// pfailLane evaluates one invocation for a whole lane: the K actual
+// parameter frames live transposed at laneArena[off : off+arity*K].
+//
+// When every point in the lane carries the same (bit-identical) frame —
+// the normal case for any subtree that does not depend on the swept
+// formal, e.g. a connector or network stack under a parameter sweep —
+// the whole lane collapses to one scalar evaluation plus a broadcast,
+// which also collapses K memo probes into one.
+func (s *session) pfailLane(svcIdx, off, K int, out []float64) error {
+	svc := s.ca.services[svcIdx]
+	uniform := true
+	for p := 0; p < svc.arity && uniform; p++ {
+		row := s.laneArena[off+p*K : off+p*K+K]
+		bits := math.Float64bits(row[0])
+		for k := 1; k < K; k++ {
+			if math.Float64bits(row[k]) != bits {
+				uniform = false
+				break
+			}
+		}
+	}
+	if uniform {
+		base := len(s.arena)
+		for p := 0; p < svc.arity; p++ {
+			s.arena = append(s.arena, s.laneArena[off+p*K])
+		}
+		v, err := s.pfail(svcIdx, base, svc.arity)
+		s.arena = s.arena[:base]
+		if err != nil {
+			return err
+		}
+		for k := 0; k < K; k++ {
+			out[k] = v
+		}
+		return nil
+	}
+	if svc.simple != nil {
+		if svc.simple.isConst {
+			for k := 0; k < K; k++ {
+				out[k] = svc.simple.constVal
+			}
+			return nil
+		}
+		if err := svc.simple.prog.EvalLane(s.laneArena[off:off+svc.arity*K], K, out, s.stack); err != nil {
+			return fmt.Errorf("model: Pfail(%s): %w", svc.name, err)
+		}
+		for k := 0; k < K; k++ {
+			if v := out[k]; math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: Pfail(%s) = %g", ErrNonFinite, svc.name, v)
+			}
+			out[k] = clamp01(out[k])
+		}
+		return nil
+	}
+	// Composite with a frame that varies across the lane: evaluate
+	// directly. No memo probe — the frame differs in a swept formal, so
+	// a lookup is a guaranteed miss against a cache these K results
+	// would then only pollute (lane results are bit-identical to scalar
+	// evaluation, so skipping the cache is invisible to callers).
+	return s.evalCompositeLane(svcIdx, off, K, out)
+}
+
+// laneMemoKey renders (service, point k's params) into point k's reusable
+// key buffer, producing the same bytes memoKey would for the same point.
+func (s *session) laneMemoKey(svcIdx, off, K, k int) []byte {
+	svc := s.ca.services[svcIdx]
+	b := s.laneKeys[k][:0]
+	b = append(b, byte(svcIdx), byte(svcIdx>>8), byte(svcIdx>>16), byte(svcIdx>>24))
+	for p := 0; p < svc.arity; p++ {
+		bits := math.Float64bits(s.laneArena[off+p*K+k])
+		b = append(b,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	s.laneKeys[k] = b
+	return b
+}
+
+// evalCompositeLane is evalComposite over a lane: per-state failures
+// (recursing lane-wide into providers and connectors), then the augmented
+// transition probabilities, then one structured solve for all K points.
+func (s *session) evalCompositeLane(svcIdx, off, K int, out []float64) error {
+	svc := s.ca.services[svcIdx]
+	comp := svc.comp
+	fail := s.stateFail[svcIdx][:comp.n*K]
+	for i := range fail {
+		fail[i] = 0
+	}
+	for si := range comp.states {
+		st := &comp.states[si]
+		if err := s.stateFailureLane(svcIdx, st, off, K, fail); err != nil {
+			return atPath(err, svc.name, "state:"+st.name)
+		}
+	}
+
+	for ti := range comp.transitions {
+		tr := &comp.transitions[ti]
+		row := s.edgeP[ti*K : ti*K+K]
+		if tr.isConst {
+			for k := 0; k < K; k++ {
+				row[k] = tr.constVal
+			}
+		} else if err := tr.prog.EvalLane(s.laneArena[off:off+svc.arity*K], K, row, s.stack); err != nil {
+			return fmt.Errorf("core: %s transition %s -> %s: %w", svc.name, tr.fromName, tr.toName, err)
+		}
+		fr := fail[tr.from*K : tr.from*K+K]
+		for k := 0; k < K; k++ {
+			p := row[k]
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				return fmt.Errorf("%w: %s: P(%s -> %s) = %g", ErrNonFinite, svc.name, tr.fromName, tr.toName, p)
+			}
+			if p < -1e-12 || p > 1+1e-12 {
+				return fmt.Errorf("%w: %s: P(%s -> %s) = %g", ErrBadTransition, svc.name, tr.fromName, tr.toName, p)
+			}
+			row[k] = clamp01(p * (1 - fr[k]))
+		}
+	}
+
+	if err := s.solveStructured(svc, K, fail, s.edgeP, s.x); err != nil {
+		return err
+	}
+	for k := 0; k < K; k++ {
+		pEnd := clamp01(s.x[k]) // x[0*K+k]: absorption from Start
+		out[k] = clamp01(1 - pEnd)
+	}
+	return nil
+}
+
+// stateFailureLane mirrors stateFailure over a lane: evaluate every
+// request's actual parameters lane-wide, recurse into the provider and
+// connector, and combine per lane point under the completion/dependency
+// model, writing into fail's state row.
+func (s *session) stateFailureLane(svcIdx int, st *compiledState, off, K int, fail []float64) error {
+	svc := s.ca.services[svcIdx]
+	lc := s.laneCap
+	reqInt := s.reqInt[svcIdx]
+	reqExt := s.reqExt[svcIdx]
+	for i := range st.requests {
+		req := &st.requests[i]
+		childOff := len(s.laneArena)
+		s.laneArena = laneGrow(s.laneArena, len(req.params)*K)
+		for pi, prog := range req.params {
+			// Re-slice the parent frame after every grow: the arena may
+			// have been reallocated.
+			parent := s.laneArena[off : off+svc.arity*K]
+			dst := s.laneArena[childOff+pi*K : childOff+(pi+1)*K]
+			if err := prog.EvalLane(parent, K, dst, s.stack); err != nil {
+				s.laneArena = s.laneArena[:childOff]
+				return fmt.Errorf("request %q params: %w", req.role, err)
+			}
+		}
+		// The childP rows survive the recursion below because they are
+		// per-service and assemblies cannot recurse.
+		pSvc := s.childP[svcIdx][0:K]
+		err := s.pfailLane(req.provider, childOff, K, pSvc)
+		s.laneArena = s.laneArena[:childOff]
+		if err != nil {
+			return err
+		}
+
+		pConn := s.childP[svcIdx][lc : lc+K]
+		for k := 0; k < K; k++ {
+			pConn[k] = 0
+		}
+		if req.connector >= 0 {
+			connOff := len(s.laneArena)
+			s.laneArena = laneGrow(s.laneArena, len(req.connParams)*K)
+			for pi, prog := range req.connParams {
+				parent := s.laneArena[off : off+svc.arity*K]
+				dst := s.laneArena[connOff+pi*K : connOff+(pi+1)*K]
+				if err := prog.EvalLane(parent, K, dst, s.stack); err != nil {
+					s.laneArena = s.laneArena[:connOff]
+					return fmt.Errorf("request %q connector params: %w", req.role, err)
+				}
+			}
+			err = s.pfailLane(req.connector, connOff, K, pConn)
+			s.laneArena = s.laneArena[:connOff]
+			if err != nil {
+				return err
+			}
+		}
+
+		pInt := s.childP[svcIdx][2*lc : 2*lc+K]
+		for k := 0; k < K; k++ {
+			pInt[k] = 0
+		}
+		if req.internal != nil {
+			if err := req.internal.EvalLane(s.laneArena[off:off+svc.arity*K], K, pInt, s.stack); err != nil {
+				return fmt.Errorf("request %q internal failure: %w", req.role, err)
+			}
+			for k := 0; k < K; k++ {
+				if v := pInt[k]; math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("%w: request %q internal failure = %g", ErrNonFinite, req.role, v)
+				}
+				pInt[k] = clamp01(pInt[k])
+			}
+		}
+		for k := 0; k < K; k++ {
+			reqInt[i*K+k] = pInt[k]
+			reqExt[i*K+k] = model.ExtFailure(pConn[k], pSvc[k])
+		}
+	}
+
+	fails := s.reqFail[svcIdx][:len(st.requests)]
+	for k := 0; k < K; k++ {
+		for i := range fails {
+			fails[i] = model.RequestFailure{Int: reqInt[i*K+k], Ext: reqExt[i*K+k]}
+		}
+		f, err := model.CombineState(st.completion, st.dependency, st.k, fails)
+		if err != nil {
+			return err
+		}
+		fail[st.transient*K+k] = f
+	}
+	return nil
+}

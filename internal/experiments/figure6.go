@@ -19,13 +19,16 @@ func figure6Lists() []float64 {
 	return xs
 }
 
-// Figure6Series computes the curves of Figure 6 with the generic engine:
-// one local series per phi1 value and one remote series per gamma value
-// (the local assembly does not depend on gamma, nor the remote one on
-// phi1, matching the paper's figure layout).
+// Figure6Series computes the curves of Figure 6 with the compiled engine's
+// batch kernel: one local series per phi1 value and one remote series per
+// gamma value (the local assembly does not depend on gamma, nor the remote
+// one on phi1, matching the paper's figure layout). Each curve is one
+// core.PfailBatchCtx call — the full list-size grid goes through the
+// lane-vectorized solver at once.
 func Figure6Series() ([]sensitivity.Series, error) {
 	lists := figure6Lists()
 	var out []sensitivity.Series
+	frame := func(list float64) []float64 { return []float64{1, list, 1} }
 
 	for _, phi1 := range assembly.Figure6Phi1 {
 		p := assembly.DefaultPaperParams()
@@ -34,12 +37,13 @@ func Figure6Series() ([]sensitivity.Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		ev := core.New(asm, core.Options{})
-		s, err := sensitivity.Sweep(
+		ca, err := core.Compile(asm, core.Options{}, "search")
+		if err != nil {
+			return nil, err
+		}
+		s, err := sensitivity.SweepBatch(
 			fmt.Sprintf("local phi1=%.0e", phi1), lists,
-			func(list float64) (float64, error) {
-				return ev.Reliability("search", 1, list, 1)
-			})
+			sensitivity.CompiledReliabilityBatch(ca, "search", frame))
 		if err != nil {
 			return nil, err
 		}
@@ -53,12 +57,13 @@ func Figure6Series() ([]sensitivity.Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		ev := core.New(asm, core.Options{})
-		s, err := sensitivity.Sweep(
+		ca, err := core.Compile(asm, core.Options{}, "search")
+		if err != nil {
+			return nil, err
+		}
+		s, err := sensitivity.SweepBatch(
 			fmt.Sprintf("remote gamma=%.1e", gamma), lists,
-			func(list float64) (float64, error) {
-				return ev.Reliability("search", 1, list, 1)
-			})
+			sensitivity.CompiledReliabilityBatch(ca, "search", frame))
 		if err != nil {
 			return nil, err
 		}

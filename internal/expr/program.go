@@ -195,6 +195,115 @@ func (p *Program) Const() (float64, bool) {
 // String returns the (folded) source form of the compiled expression.
 func (p *Program) String() string { return p.src }
 
+// LaneCallScratch is the number of extra entries EvalLane requires at the
+// tail of its stack, used as gather scratch for builtin-call arguments.
+// No builtin today exceeds this arity; one that did would fall back to an
+// allocation rather than fail.
+const LaneCallScratch = 8
+
+// EvalLane runs the program over a structure-of-arrays lane of `lanes`
+// parameter points in one instruction pass: slot s of point k lives at
+// slots[s*lanes+k], and the result of point k is written to out[k]. The
+// per-point operation sequence is exactly Eval's, so every lane result is
+// bit-identical to a scalar evaluation of the same point; only the
+// instruction-dispatch overhead is amortized across the lane.
+//
+// stack must hold at least MaxStack()*lanes+LaneCallScratch entries (the
+// tail is scratch for builtin-call arguments, kept out of the lane rows
+// so no per-call buffer escapes to the heap) and out at least lanes
+// entries; neither is retained. A point-level failure (division by zero,
+// domain error) fails the whole lane — callers that need per-point error
+// attribution re-run the lane's points through Eval.
+func (p *Program) EvalLane(slots []float64, lanes int, out, stack []float64) error {
+	sp := 0
+	for _, in := range p.code {
+		switch in.op {
+		case opConst:
+			c := p.consts[in.idx]
+			row := stack[sp*lanes : sp*lanes+lanes]
+			for k := range row {
+				row[k] = c
+			}
+			sp++
+		case opSlot:
+			copy(stack[sp*lanes:sp*lanes+lanes], slots[int(in.idx)*lanes:int(in.idx)*lanes+lanes])
+			sp++
+		case opAdd:
+			sp--
+			dst := stack[(sp-1)*lanes : sp*lanes]
+			src := stack[sp*lanes : (sp+1)*lanes]
+			for k := range dst {
+				dst[k] += src[k]
+			}
+		case opSub:
+			sp--
+			dst := stack[(sp-1)*lanes : sp*lanes]
+			src := stack[sp*lanes : (sp+1)*lanes]
+			for k := range dst {
+				dst[k] -= src[k]
+			}
+		case opMul:
+			sp--
+			dst := stack[(sp-1)*lanes : sp*lanes]
+			src := stack[sp*lanes : (sp+1)*lanes]
+			for k := range dst {
+				dst[k] *= src[k]
+			}
+		case opDiv:
+			sp--
+			dst := stack[(sp-1)*lanes : sp*lanes]
+			src := stack[sp*lanes : (sp+1)*lanes]
+			for k := range dst {
+				if src[k] == 0 {
+					return fmt.Errorf("%w: in %s", ErrDivisionByZero, p.src)
+				}
+				dst[k] /= src[k]
+			}
+		case opPow:
+			sp--
+			dst := stack[(sp-1)*lanes : sp*lanes]
+			src := stack[sp*lanes : (sp+1)*lanes]
+			for k := range dst {
+				v := math.Pow(dst[k], src[k])
+				if math.IsNaN(v) {
+					return fmt.Errorf("%w: pow(%g, %g)", ErrDomain, dst[k], src[k])
+				}
+				dst[k] = v
+			}
+		case opNeg:
+			row := stack[(sp-1)*lanes : sp*lanes]
+			for k := range row {
+				row[k] = -row[k]
+			}
+		case opCall:
+			c := &p.calls[in.idx]
+			sp -= c.arity
+			// Gather arguments into the stack's scratch tail: a local
+			// buffer would escape through the indirect builtin call and
+			// cost one heap allocation per lane evaluation.
+			args := stack[len(stack)-LaneCallScratch:]
+			if c.arity > LaneCallScratch {
+				args = make([]float64, c.arity)
+			} else {
+				args = args[:c.arity]
+			}
+			for k := 0; k < lanes; k++ {
+				for a := 0; a < c.arity; a++ {
+					args[a] = stack[(sp+a)*lanes+k]
+				}
+				v, err := c.fn(args)
+				if err != nil {
+					return err
+				}
+				stack[sp*lanes+k] = v
+			}
+			sp++
+		}
+	}
+	copy(out[:lanes], stack[:lanes])
+	return nil
+}
+
 // Eval runs the program. slots must hold at least NumSlots values and
 // stack at least MaxStack entries; neither is retained, so callers can
 // reuse scratch buffers across evaluations for allocation-free operation.

@@ -3,95 +3,123 @@ package sensitivity
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"runtime/debug"
-	"sync"
-	"sync/atomic"
 
 	"socrel/internal/core"
 )
 
-// SweepParallel evaluates f over xs concurrently, fanning the points out
-// over up to GOMAXPROCS goroutines, and returns the same series Sweep
-// would: points in xs order. f must be safe for concurrent use (for
-// reliability studies, evaluate through a core.CompiledAssembly, which
-// is immutable; a *core.Evaluator is not concurrency-safe). If several
-// points fail, the error of the lowest-indexed one is returned.
-func SweepParallel(name string, xs []float64, f Func) (Series, error) {
-	return SweepParallelCtx(context.Background(), name, xs, f)
+// BatchFunc evaluates a whole grid of study points in one call, returning
+// ys[i] for xs[i]. It is the batch-kernel counterpart of Func: instead of
+// the sweep fanning single-point closures out over goroutines, the
+// implementation receives every point at once and brings its own
+// evaluation strategy — CompiledBatch routes the grid through
+// core.PfailBatchCtx, whose lane-vectorized kernel and worker pool are
+// where sweep parallelism now lives.
+type BatchFunc func(ctx context.Context, xs []float64) ([]float64, error)
+
+// CompiledBatch adapts a compiled service to a BatchFunc sweeping Pfail:
+// frame maps the swept scalar to the service's full actual-parameter list
+// (e.g. the list size into (user, list, q)). The returned BatchFunc hands
+// the whole grid to core.PfailBatchCtx in one call, so the sweep gets the
+// lane-vectorized batch kernel, its memo, and its worker pool.
+func CompiledBatch(ca *core.CompiledAssembly, service string, frame func(x float64) []float64) BatchFunc {
+	return func(ctx context.Context, xs []float64) ([]float64, error) {
+		sets := make([][]float64, len(xs))
+		for i, x := range xs {
+			sets[i] = frame(x)
+		}
+		return ca.PfailBatchCtx(ctx, service, sets)
+	}
 }
 
-// SweepParallelCtx is SweepParallel honoring cancellation and isolating
-// panics. Workers check ctx before every point, so a cancellation stops
-// the sweep at the next point boundary and surfaces core.ErrCanceled; a
-// panicking point surfaces core.ErrPanic without taking down the workers
-// evaluating its siblings.
-func SweepParallelCtx(ctx context.Context, name string, xs []float64, f Func) (Series, error) {
+// CompiledReliabilityBatch is CompiledBatch sweeping reliability (1 - Pfail)
+// instead of failure probability.
+func CompiledReliabilityBatch(ca *core.CompiledAssembly, service string, frame func(x float64) []float64) BatchFunc {
+	return func(ctx context.Context, xs []float64) ([]float64, error) {
+		sets := make([][]float64, len(xs))
+		for i, x := range xs {
+			sets[i] = frame(x)
+		}
+		return ca.ReliabilityBatchCtx(ctx, service, sets)
+	}
+}
+
+// PerPoint adapts a scalar Func to a BatchFunc for study targets that have
+// no batch entry point. Points are evaluated in order with a cancellation
+// check at every point boundary and panic isolation per point (a panicking
+// point surfaces core.ErrPanic; an expired context surfaces
+// core.ErrCanceled). There is no hidden concurrency: a bare closure gets
+// point-at-a-time evaluation, and parallel throughput is the batch
+// implementation's job (see CompiledBatch).
+func PerPoint(f Func) BatchFunc {
+	return func(ctx context.Context, xs []float64) ([]float64, error) {
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w: canceled at point %d: %w", core.ErrCanceled, i, err)
+			}
+			y, err := guardFunc(f, x)
+			if err != nil {
+				return nil, fmt.Errorf("at %g: %w", x, err)
+			}
+			ys[i] = y
+		}
+		return ys, nil
+	}
+}
+
+// SweepBatch evaluates bf over xs and returns the same series Sweep would:
+// points in xs order.
+func SweepBatch(name string, xs []float64, bf BatchFunc) (Series, error) {
+	return SweepBatchCtx(context.Background(), name, xs, bf)
+}
+
+// SweepBatchCtx evaluates the whole grid through one BatchFunc call,
+// honoring cancellation. It is the single sweep core: the scalar sweeps
+// delegate here via PerPoint, and compiled sweeps via CompiledBatch, so
+// every caller shares one error and ordering contract — points in xs
+// order, and on failure the error of the lowest-indexed failing point
+// (core.PfailBatchCtx reports exactly that; PerPoint stops at the first).
+func SweepBatchCtx(ctx context.Context, name string, xs []float64, bf BatchFunc) (Series, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	points := make([]Point, len(xs))
-	errIdx := len(xs)
-	var errVal error
-	var errMu sync.Mutex
-	record := func(i int, err error) {
-		errMu.Lock()
-		if i < errIdx {
-			errIdx, errVal = i, err
-		}
-		errMu.Unlock()
+	ys, err := bf(ctx, xs)
+	if err != nil {
+		return Series{}, fmt.Errorf("sensitivity: sweep %s: %w", name, err)
 	}
-	canceled := func(i int, err error) error {
-		return fmt.Errorf("%w: sweep %s canceled at point %d: %w", core.ErrCanceled, name, i, err)
+	if len(ys) != len(xs) {
+		return Series{}, fmt.Errorf("sensitivity: sweep %s: batch returned %d values for %d points", name, len(ys), len(xs))
 	}
-	evalPoint := func(i int) {
-		y, err := guardFunc(f, xs[i])
-		if err != nil {
-			record(i, fmt.Errorf("sensitivity: sweep %s at %g: %w", name, xs[i], err))
-			return
-		}
-		points[i] = Point{X: xs[i], Y: y}
+	s := Series{Name: name, Points: make([]Point, len(xs))}
+	for i, x := range xs {
+		s.Points[i] = Point{X: x, Y: ys[i]}
 	}
-	workers := min(runtime.GOMAXPROCS(0), len(xs))
-	if workers <= 1 {
-		for i := range xs {
-			if err := ctx.Err(); err != nil {
-				record(i, canceled(i, err))
-				break
-			}
-			evalPoint(i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(xs) {
-						return
-					}
-					if err := ctx.Err(); err != nil {
-						record(i, canceled(i, err))
-						return
-					}
-					evalPoint(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	if errVal != nil {
-		return Series{}, errVal
-	}
-	return Series{Name: name, Points: points}, nil
+	return s, nil
+}
+
+// SweepParallel evaluates f over xs and returns the same series Sweep
+// would: points in xs order. The name is historical: the per-point
+// goroutine fan-out it once carried is gone, replaced by the batch kernel
+// (sweep a compiled service with SweepBatch + CompiledBatch to evaluate
+// the grid through core.PfailBatchCtx's worker pool). A bare Func is
+// evaluated point-at-a-time with the same isolation guarantees: a
+// panicking point surfaces core.ErrPanic without taking the process down,
+// and f is never called concurrently with itself.
+func SweepParallel(name string, xs []float64, f Func) (Series, error) {
+	return SweepBatchCtx(context.Background(), name, xs, PerPoint(f))
+}
+
+// SweepParallelCtx is SweepParallel honoring cancellation: the sweep stops
+// at the next point boundary once ctx expires and surfaces
+// core.ErrCanceled.
+func SweepParallelCtx(ctx context.Context, name string, xs []float64, f Func) (Series, error) {
+	return SweepBatchCtx(ctx, name, xs, PerPoint(f))
 }
 
 // guardFunc evaluates one sweep point with panic isolation, so a defective
-// model function cannot kill a worker goroutine (which would crash the
-// whole process) and instead fails just its own point.
+// model function cannot crash the sweep (or the process) and instead fails
+// just its own point.
 func guardFunc(f Func, x float64) (y float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -1,10 +1,13 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+
+	"socrel/internal/core"
 )
 
 // Dist is a one-dimensional input distribution for uncertainty analysis.
@@ -80,12 +83,78 @@ type UncertaintyResult struct {
 	Min, Max float64
 }
 
+// BatchParamFunc evaluates many sampled parameter environments in one
+// call, returning ys[i] for envs[i]. It is the Monte Carlo counterpart of
+// BatchFunc: the study draws every sample up front and hands the whole
+// batch to the implementation, so a compiled study target (see
+// CompiledParamBatch) evaluates all draws through core.PfailBatchCtx's
+// lane-vectorized kernel instead of one solve per draw.
+type BatchParamFunc func(ctx context.Context, envs []map[string]float64) ([]float64, error)
+
+// CompiledParamBatch adapts a compiled service to a BatchParamFunc: frame
+// maps one sampled environment to the service's actual-parameter list. Use
+// it when the uncertain inputs are formal parameters of the study service;
+// uncertain *attributes* (baked into the compiled programs as constants)
+// still need a generic ParamFunc that rebuilds the assembly per draw.
+func CompiledParamBatch(ca *core.CompiledAssembly, service string, frame func(params map[string]float64) []float64) BatchParamFunc {
+	return func(ctx context.Context, envs []map[string]float64) ([]float64, error) {
+		sets := make([][]float64, len(envs))
+		for i, env := range envs {
+			sets[i] = frame(env)
+		}
+		return ca.PfailBatchCtx(ctx, service, sets)
+	}
+}
+
+// CompiledReliabilityParamBatch is CompiledParamBatch over reliability
+// (1 - Pfail) instead of failure probability.
+func CompiledReliabilityParamBatch(ca *core.CompiledAssembly, service string, frame func(params map[string]float64) []float64) BatchParamFunc {
+	return func(ctx context.Context, envs []map[string]float64) ([]float64, error) {
+		sets := make([][]float64, len(envs))
+		for i, env := range envs {
+			sets[i] = frame(env)
+		}
+		return ca.ReliabilityBatchCtx(ctx, service, sets)
+	}
+}
+
+// PerSample adapts a scalar ParamFunc to a BatchParamFunc: samples are
+// evaluated in order with a cancellation check at every sample boundary.
+func PerSample(f ParamFunc) BatchParamFunc {
+	return func(ctx context.Context, envs []map[string]float64) ([]float64, error) {
+		ys := make([]float64, len(envs))
+		for i, env := range envs {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w: canceled at sample %d: %w", core.ErrCanceled, i, err)
+			}
+			y, err := f(env)
+			if err != nil {
+				return nil, fmt.Errorf("sample %d: %w", i, err)
+			}
+			ys[i] = y
+		}
+		return ys, nil
+	}
+}
+
 // Uncertainty propagates input-parameter uncertainty through f by Monte
 // Carlo sampling: each named parameter is drawn from its distribution,
 // f is evaluated, and the output distribution is summarized. Use it to put
 // bands around reliability predictions whose failure rates are only known
 // approximately.
 func Uncertainty(f ParamFunc, dists map[string]Dist, samples int, seed int64) (UncertaintyResult, error) {
+	return UncertaintyBatch(context.Background(), PerSample(f), dists, samples, seed)
+}
+
+// UncertaintyBatch is the batch-kernel form of Uncertainty: all samples
+// are drawn first (the draw sequence for a given seed is identical to
+// Uncertainty's, so the two forms see the same inputs) and evaluated in
+// one BatchParamFunc call, honoring cancellation. With CompiledParamBatch
+// the whole Monte Carlo study becomes a single core.PfailBatchCtx batch.
+func UncertaintyBatch(ctx context.Context, f BatchParamFunc, dists map[string]Dist, samples int, seed int64) (UncertaintyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if samples < 2 {
 		return UncertaintyResult{}, fmt.Errorf("%w: %d samples", ErrBadRange, samples)
 	}
@@ -99,18 +168,23 @@ func Uncertainty(f ParamFunc, dists map[string]Dist, samples int, seed int64) (U
 	sort.Strings(names)
 
 	rng := rand.New(rand.NewSource(seed))
-	outs := make([]float64, 0, samples)
-	var sum, sumSq float64
-	params := make(map[string]float64, len(names))
-	for i := 0; i < samples; i++ {
+	envs := make([]map[string]float64, samples)
+	for i := range envs {
+		env := make(map[string]float64, len(names))
 		for _, name := range names {
-			params[name] = dists[name].sample(rng)
+			env[name] = dists[name].sample(rng)
 		}
-		y, err := f(params)
-		if err != nil {
-			return UncertaintyResult{}, fmt.Errorf("sensitivity: uncertainty sample %d: %w", i, err)
-		}
-		outs = append(outs, y)
+		envs[i] = env
+	}
+	outs, err := f(ctx, envs)
+	if err != nil {
+		return UncertaintyResult{}, fmt.Errorf("sensitivity: uncertainty %w", err)
+	}
+	if len(outs) != samples {
+		return UncertaintyResult{}, fmt.Errorf("sensitivity: uncertainty: batch returned %d values for %d samples", len(outs), samples)
+	}
+	var sum, sumSq float64
+	for _, y := range outs {
 		sum += y
 		sumSq += y * y
 	}

@@ -1,11 +1,13 @@
 package sensitivity
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
 
 	"socrel/internal/assembly"
+	"socrel/internal/core"
 )
 
 func TestUncertaintyPointDistribution(t *testing.T) {
@@ -107,6 +109,41 @@ func TestUncertaintyDeterministicSeed(t *testing.T) {
 	}
 	if a.Mean != b.Mean || a.Q95 != b.Q95 {
 		t.Error("same seed produced different results")
+	}
+}
+
+// TestUncertaintyBatchCompiled routes a Monte Carlo study whose uncertain
+// input is a formal parameter (the list-size workload) through the
+// compiled batch kernel and requires bitwise agreement with the generic
+// per-sample path: same seed, same draws, and the lane kernel is
+// bit-identical to scalar evaluation.
+func TestUncertaintyBatchCompiled(t *testing.T) {
+	asm, err := assembly.RemoteAssembly(assembly.DefaultPaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := core.Compile(asm, core.Options{}, "search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := map[string]Dist{"list": {Kind: DistLogUniform, A: 16, B: 1 << 20}}
+	frame := func(env map[string]float64) []float64 { return []float64{1, env["list"], 1} }
+	batch, err := UncertaintyBatch(context.Background(),
+		CompiledParamBatch(ca, "search", frame), dists, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic, err := Uncertainty(func(env map[string]float64) (float64, error) {
+		return ca.Pfail("search", 1, env["list"], 1)
+	}, dists, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch != generic {
+		t.Errorf("batch study %+v != generic study %+v", batch, generic)
+	}
+	if !(batch.Q05 < batch.Median && batch.Median < batch.Q95) {
+		t.Errorf("quantiles not ordered: %+v", batch)
 	}
 }
 

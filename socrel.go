@@ -405,9 +405,10 @@ func Sweep(name string, xs []float64, f func(x float64) (float64, error)) (Serie
 	return sensitivity.Sweep(name, xs, f)
 }
 
-// SweepParallel evaluates f over xs concurrently (points in xs order in
-// the result). f must be safe for concurrent use — evaluate through a
-// CompiledAssembly, not a shared *Evaluator.
+// SweepParallel evaluates f over xs (points in xs order in the result)
+// with per-point panic isolation. For parallel throughput, sweep a
+// compiled service through SweepBatch + CompiledBatch instead: the batch
+// kernel owns the worker pool and the lane-vectorized solver.
 func SweepParallel(name string, xs []float64, f func(x float64) (float64, error)) (Series, error) {
 	return sensitivity.SweepParallel(name, xs, f)
 }
@@ -417,6 +418,33 @@ func SweepParallel(name string, xs []float64, f func(x float64) (float64, error)
 // panicking point fails with ErrPanic without killing its siblings).
 func SweepParallelCtx(ctx context.Context, name string, xs []float64, f func(x float64) (float64, error)) (Series, error) {
 	return sensitivity.SweepParallelCtx(ctx, name, xs, f)
+}
+
+// BatchFunc evaluates a whole sweep grid in one call; CompiledBatch builds
+// one from a compiled service so sweeps run through the batch kernel.
+type BatchFunc = sensitivity.BatchFunc
+
+// SweepBatch evaluates the whole grid through one BatchFunc call.
+func SweepBatch(name string, xs []float64, bf BatchFunc) (Series, error) {
+	return sensitivity.SweepBatch(name, xs, bf)
+}
+
+// SweepBatchCtx is SweepBatch honoring cancellation.
+func SweepBatchCtx(ctx context.Context, name string, xs []float64, bf BatchFunc) (Series, error) {
+	return sensitivity.SweepBatchCtx(ctx, name, xs, bf)
+}
+
+// CompiledBatch adapts a compiled service to a BatchFunc sweeping Pfail:
+// frame maps the swept scalar to the service's actual parameters. The
+// grid is evaluated by one PfailBatch call through the lane-vectorized
+// kernel.
+func CompiledBatch(ca *CompiledAssembly, service string, frame func(x float64) []float64) BatchFunc {
+	return sensitivity.CompiledBatch(ca, service, frame)
+}
+
+// CompiledReliabilityBatch is CompiledBatch sweeping reliability (1-Pfail).
+func CompiledReliabilityBatch(ca *CompiledAssembly, service string, frame func(x float64) []float64) BatchFunc {
+	return sensitivity.CompiledReliabilityBatch(ca, service, frame)
 }
 
 // Crossover locates where f - g changes sign within [lo, hi] by bisection.
