@@ -10,6 +10,17 @@
 //
 // With -fixedpoint, recursive (mutually calling) assemblies are solved by
 // fixed-point iteration instead of being rejected.
+//
+// The process exit code reflects the typed error taxonomy, so scripts and
+// schedulers can branch on the failure class without parsing stderr:
+//
+//	0  success (or -h/-help)
+//	1  other failure (I/O, ADL parse, unclassified evaluation errors)
+//	2  usage errors (bad flags, missing -file/-paper, unknown -paper)
+//	3  cancellation (deadline expired, interrupted)
+//	4  iterative solver did not converge
+//	5  model defects (defective flows, non-finite laws, invalid services,
+//	   panics isolated by the engine)
 package main
 
 import (
@@ -30,11 +41,49 @@ import (
 	"socrel/internal/sensitivity"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "relpred:", err)
-		os.Exit(1)
+// Process exit codes; see the package comment.
+const (
+	exitOK            = 0
+	exitFailure       = 1
+	exitUsage         = 2
+	exitCanceled      = 3
+	exitNoConvergence = 4
+	exitDefect        = 5
+)
+
+// errUsage marks command-line mistakes (as opposed to evaluation
+// failures) so they map to the usage exit code.
+var errUsage = errors.New("usage error")
+
+// exitCodeFor maps an error to the process exit code through the typed
+// taxonomy: cancellation, non-convergence, and model defects are
+// distinct, everything else is a generic failure.
+func exitCodeFor(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return exitOK
+	case errors.Is(err, errUsage):
+		return exitUsage
 	}
+	switch core.ErrorClass(err) {
+	case "canceled":
+		return exitCanceled
+	case "no-convergence":
+		return exitNoConvergence
+	case "defective-flow", "non-finite", "panic", "invalid-service",
+		"invalid-sharing", "arity", "unresolved-binding":
+		return exitDefect
+	default:
+		return exitFailure
+	}
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "relpred:", err)
+	}
+	os.Exit(exitCodeFor(err))
 }
 
 func run(args []string, out io.Writer) error {
@@ -52,7 +101,10 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "evaluation deadline (e.g. 500ms); expired runs fail with the typed error class (0 = none)")
 	stats := fs.Bool("stats", false, "print compiled-engine memo statistics (hits/misses/resets/entries) after the evaluation")
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 
 	ctx := context.Background()
@@ -82,7 +134,7 @@ func run(args []string, out io.Writer) error {
 		case "remote":
 			asm, err = assembly.RemoteAssembly(p)
 		default:
-			return fmt.Errorf("unknown -paper value %q (want local or remote)", *paper)
+			return fmt.Errorf("%w: unknown -paper value %q (want local or remote)", errUsage, *paper)
 		}
 		if err != nil {
 			return err
@@ -113,7 +165,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("either -file or -paper is required")
+		return fmt.Errorf("%w: either -file or -paper is required", errUsage)
 	}
 
 	if *dotOut != "" {

@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"socrel/internal/core"
 )
 
 const testADL = `
@@ -226,5 +231,50 @@ func TestRunSweepErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestExitCodeFor(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"help", flag.ErrHelp, exitOK},
+		{"usage", fmt.Errorf("%w: either -file or -paper is required", errUsage), exitUsage},
+		{"canceled", fmt.Errorf("class=canceled: %w", core.ErrCanceled), exitCanceled},
+		{"no-convergence", fmt.Errorf("solve: %w", core.ErrNoConvergence), exitNoConvergence},
+		{"defective-flow", fmt.Errorf("class=defective-flow: %w", core.ErrDefectiveFlow), exitDefect},
+		{"non-finite", fmt.Errorf("law: %w", core.ErrNonFinite), exitDefect},
+		{"panic", fmt.Errorf("isolated: %w", core.ErrPanic), exitDefect},
+		{"unresolved-binding", fmt.Errorf("bind: %w", core.ErrUnresolvedBinding), exitDefect},
+		{"plain", errors.New("disk on fire"), exitFailure},
+	}
+	for _, tc := range cases {
+		if got := exitCodeFor(tc.err); got != tc.want {
+			t.Errorf("%s: exitCodeFor(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestExitCodeEndToEnd(t *testing.T) {
+	// Each run exercises the full CLI path; the exit code is what a shell
+	// script branching on the taxonomy would observe.
+	var out bytes.Buffer
+	if err := run([]string{"-paper", "local", "-params", "1,4096,1", "-timeout", "1ns"}, &out); exitCodeFor(err) != exitCanceled {
+		t.Errorf("expired deadline: err = %v, exit = %d, want %d", err, exitCodeFor(err), exitCanceled)
+	}
+	if err := run([]string{}, &out); exitCodeFor(err) != exitUsage {
+		t.Errorf("no source: err = %v, exit = %d, want %d", err, exitCodeFor(err), exitUsage)
+	}
+	if err := run([]string{"-paper", "bogus"}, &out); exitCodeFor(err) != exitUsage {
+		t.Errorf("bad -paper: err = %v, exit = %d, want %d", err, exitCodeFor(err), exitUsage)
+	}
+	if err := run([]string{"-no-such-flag"}, &out); exitCodeFor(err) != exitUsage {
+		t.Errorf("bad flag: err = %v, exit = %d, want %d", err, exitCodeFor(err), exitUsage)
+	}
+	if err := run([]string{"-paper", "local", "-params", "1,4096,1"}, &out); exitCodeFor(err) != exitOK {
+		t.Errorf("success: err = %v, exit = %d, want %d", err, exitCodeFor(err), exitOK)
 	}
 }

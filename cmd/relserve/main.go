@@ -1,0 +1,344 @@
+// Command relserve serves reliability predictions over HTTP through the
+// overload-resilient serving layer: admission control, AIMD concurrency
+// limiting, priority-class load shedding, request hedging, and the
+// graceful-degradation ladder (exact → stale → bounded → unavailable).
+//
+// Usage:
+//
+//	relserve -paper local -service search -listen :8080
+//	relserve -file system.adl -assembly local -service search -listen :8080
+//
+// Endpoints:
+//
+//	POST /predict        {"service":"search","params":[1,4096,1],"priority":"interactive","timeout_ms":250}
+//	POST /predict/batch  {"service":"search","param_sets":[[1,4096,1],[2,4096,1]],"priority":"batch"}
+//	GET  /healthz        200 while accepting load, 503 at overload
+//	GET  /stats          admission/shedding/hedging counters and gauges
+//
+// Every /predict response carries a "kind" tag; degraded answers (stale,
+// bounded, unavailable) also carry the causing "error". Shed requests
+// return 503 with a Retry-After hint.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"socrel/internal/adl"
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	socruntime "socrel/internal/runtime"
+	"socrel/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("relserve", flag.ContinueOnError)
+	file := fs.String("file", "", "ADL file (.adl DSL or .json); '-' reads stdin")
+	asmName := fs.String("assembly", "", "assembly name within the document")
+	paper := fs.String("paper", "", "use the built-in paper example: 'local' or 'remote'")
+	service := fs.String("service", "search", "default service to evaluate")
+	listen := fs.String("listen", ":8080", "address to listen on")
+	queueCap := fs.Int("queue", 64, "admission queue capacity")
+	maxConc := fs.Int("max-concurrency", 0, "AIMD limiter ceiling (0 = 4×GOMAXPROCS)")
+	latencyTarget := fs.Duration("latency-target", 50*time.Millisecond, "per-evaluation latency the limiter steers toward")
+	noHedge := fs.Bool("no-hedge", false, "disable request hedging")
+	fixedPoint := fs.Bool("fixedpoint", false, "solve recursive assemblies by fixed-point iteration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	if *fixedPoint {
+		opts.Cycles = core.CycleFixedPoint
+	}
+	asm, err := loadAssembly(*file, *asmName, *paper)
+	if err != nil {
+		return err
+	}
+	eval, mode, err := buildEvaluator(asm, opts, *service)
+	if err != nil {
+		return err
+	}
+	srv := server.New(eval, server.Config{
+		Service:       *service,
+		QueueCapacity: *queueCap,
+		Limiter:       server.LimiterConfig{Max: *maxConc, LatencyTarget: *latencyTarget},
+		Hedge:         server.HedgeConfig{Disabled: *noHedge},
+	})
+
+	fmt.Fprintf(out, "relserve: serving %q (%s engine) on %s\n", *service, mode, *listen)
+	hs := &http.Server{Addr: *listen, Handler: newMux(srv)}
+	return hs.ListenAndServe()
+}
+
+// loadAssembly resolves the -file / -paper flags into an assembly.
+func loadAssembly(file, asmName, paper string) (*assembly.Assembly, error) {
+	switch {
+	case paper != "":
+		p := assembly.DefaultPaperParams()
+		switch paper {
+		case "local":
+			return assembly.LocalAssembly(p)
+		case "remote":
+			return assembly.RemoteAssembly(p)
+		default:
+			return nil, fmt.Errorf("unknown -paper value %q (want local or remote)", paper)
+		}
+	case file != "":
+		var data []byte
+		var err error
+		if file == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(file)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var doc *adl.Document
+		if strings.HasPrefix(strings.TrimSpace(string(data)), "{") {
+			doc, err = adl.UnmarshalJSON(data)
+		} else {
+			doc, err = adl.ParseDSL(string(data))
+		}
+		if err != nil {
+			return nil, err
+		}
+		if asmName == "" {
+			names := doc.AssemblyNames()
+			if len(names) != 1 {
+				return nil, fmt.Errorf("document defines assemblies %v; pick one with -assembly", names)
+			}
+			asmName = names[0]
+		}
+		return doc.BuildAssembly(asmName)
+	default:
+		return nil, fmt.Errorf("either -file or -paper is required")
+	}
+}
+
+// buildEvaluator compiles the assembly when possible (the compiled
+// engine is safe for the server's concurrency) and otherwise falls back
+// to a mutex-serialized interpreted evaluator.
+func buildEvaluator(asm *assembly.Assembly, opts core.Options, service string) (server.Evaluator, string, error) {
+	ca, err := core.Compile(asm, opts, service)
+	if err == nil {
+		return ca, "compiled", nil
+	}
+	if !errors.Is(err, core.ErrNotCompilable) {
+		return nil, "", err
+	}
+	return &serializedEval{ev: core.New(asm, opts)}, "interpreted", nil
+}
+
+// serializedEval guards the single-goroutine interpreted evaluator with
+// a mutex: correctness over parallelism on the fallback path. The
+// admission controller sees the serialization as latency and sizes the
+// window down accordingly.
+type serializedEval struct {
+	mu sync.Mutex
+	ev *core.Evaluator
+}
+
+func (s *serializedEval) PfailCtx(ctx context.Context, service string, params ...float64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ev.PfailCtx(ctx, service, params...)
+}
+
+// predictRequest is the wire form of one /predict call.
+type predictRequest struct {
+	Service   string      `json:"service,omitempty"`
+	Params    []float64   `json:"params,omitempty"`
+	ParamSets [][]float64 `json:"param_sets,omitempty"`
+	Priority  string      `json:"priority,omitempty"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// predictResponse is the wire form of one answer. Kind is always set;
+// Error is present exactly when the answer is degraded.
+type predictResponse struct {
+	Kind        string   `json:"kind"`
+	Pfail       float64  `json:"pfail"`
+	Reliability float64  `json:"reliability"`
+	Lo          *float64 `json:"lo,omitempty"`
+	Hi          *float64 `json:"hi,omitempty"`
+	AgeMS       int64    `json:"age_ms,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+func toResponse(a socruntime.Answer) predictResponse {
+	r := predictResponse{
+		Kind:        a.Kind.String(),
+		Pfail:       a.Pfail,
+		Reliability: a.Reliability(),
+	}
+	if a.Kind == socruntime.Bounded {
+		lo, hi := a.Lo, a.Hi
+		r.Lo, r.Hi = &lo, &hi
+	}
+	if a.Age > 0 {
+		r.AgeMS = a.Age.Milliseconds()
+	}
+	if a.Err != nil {
+		r.Error = a.Err.Error()
+	}
+	return r
+}
+
+func parsePriority(s string) (server.Priority, error) {
+	switch s {
+	case "", "interactive":
+		return server.Interactive, nil
+	case "batch":
+		return server.Batch, nil
+	case "best-effort":
+		return server.BestEffort, nil
+	default:
+		return 0, fmt.Errorf("unknown priority %q (want interactive, batch, or best-effort)", s)
+	}
+}
+
+// statusFor maps an answer to its HTTP status: any usable value (exact,
+// stale, bounded) is a 200, shed or failed requests are 503, and other
+// evaluation failures are 500.
+func statusFor(a socruntime.Answer) int {
+	if a.Kind != socruntime.Unavailable {
+		return http.StatusOK
+	}
+	if errors.Is(a.Err, server.ErrOverloaded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// newMux builds the HTTP handler over an admission-controlled server.
+// Split from run so tests drive it with httptest.
+func newMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		pri, err := parsePriority(req.Priority)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ans := srv.Serve(r.Context(), server.Request{
+			Service:  req.Service,
+			Params:   req.Params,
+			Priority: pri,
+			Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		})
+		status := statusFor(ans)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, toResponse(ans))
+	})
+
+	mux.HandleFunc("POST /predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		pri, err := parsePriority(req.Priority)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if pri == server.Interactive && req.Priority == "" {
+			pri = server.Batch // batches default to the batch class
+		}
+		answers := srv.ServeBatch(r.Context(), server.BatchRequest{
+			Service:   req.Service,
+			ParamSets: req.ParamSets,
+			Priority:  pri,
+			Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+		})
+		resp := make([]predictResponse, len(answers))
+		status := http.StatusOK
+		exact := 0
+		for i, a := range answers {
+			resp[i] = toResponse(a)
+			if a.Kind == socruntime.Exact {
+				exact++
+			}
+		}
+		// A batch where nothing was usable reports the shed status.
+		if len(answers) > 0 && exact == 0 && statusFor(answers[0]) == http.StatusServiceUnavailable {
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, map[string]any{"answers": resp})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		sat := srv.Saturation()
+		status := http.StatusOK
+		state := "ok"
+		if sat == server.SatOverload {
+			status = http.StatusServiceUnavailable
+			state = "overloaded"
+		}
+		writeJSON(w, status, map[string]string{"status": state, "saturation": sat.String()})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st := srv.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"offered":              st.Offered,
+			"admitted":             st.Admitted,
+			"exact":                st.Exact,
+			"stale":                st.Stale,
+			"bounded":              st.Bounded,
+			"unavailable":          st.Unavailable,
+			"shed_queue_full":      st.ShedQueueFull,
+			"shed_class":           st.ShedClass,
+			"shed_deadline":        st.ShedDeadline,
+			"swept_expired":        st.SweptExpired,
+			"canceled_waiting":     st.CanceledWaiting,
+			"hedges_launched":      st.HedgesLaunched,
+			"hedge_wins":           st.HedgeWins,
+			"limit":                st.Limit,
+			"inflight":             st.Inflight,
+			"queue_depth":          st.QueueDepth,
+			"estimated_latency_us": st.EstimatedLatency.Microseconds(),
+			"hedge_delay_us":       st.HedgeDelay.Microseconds(),
+			"saturation":           st.Saturation.String(),
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

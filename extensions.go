@@ -17,6 +17,7 @@ import (
 	"socrel/internal/propagation"
 	"socrel/internal/registry"
 	socruntime "socrel/internal/runtime"
+	"socrel/internal/server"
 	"socrel/internal/sim"
 )
 
@@ -239,3 +240,81 @@ func AssemblyDOT(a *Assembly) string { return dot.Assembly(a) }
 // TimedEstimate is a simulated response-time distribution from
 // Simulator.EstimateTime (percentiles of successful runs).
 type TimedEstimate = sim.TimedEstimate
+
+// Degraded answers (the graceful-degradation ladder's raw material).
+
+// LastGood is a previously computed exact evaluation: the raw material of
+// stale answers.
+type LastGood = socruntime.LastGood
+
+// Degrade turns an evaluation failure into the best non-exact Answer the
+// ladder can still give: bounded for a non-converged solve, stale when a
+// last-known-good value exists, unavailable otherwise.
+func Degrade(cause error, last *LastGood, now time.Time) Answer {
+	return socruntime.Degrade(cause, last, now)
+}
+
+// BoundedInterval builds a bounded Answer for [lo, hi] (clamped to [0, 1]),
+// carrying cause as the reason the exact value is unknown.
+func BoundedInterval(lo, hi float64, cause error) Answer {
+	return socruntime.BoundedInterval(lo, hi, cause)
+}
+
+// Overload-resilient serving layer (cmd/relserve is the HTTP front end).
+type (
+	// Server is an admission-controlled prediction front end: a bounded
+	// deadline-aware queue, an AIMD concurrency limiter, priority-class
+	// load shedding, request hedging, and the degradation ladder.
+	Server = server.Server
+	// ServerConfig parameterizes a Server.
+	ServerConfig = server.Config
+	// LimiterConfig parameterizes the AIMD concurrency limiter.
+	LimiterConfig = server.LimiterConfig
+	// HedgeConfig parameterizes request hedging.
+	HedgeConfig = server.HedgeConfig
+	// ClassConfig parameterizes one priority class.
+	ClassConfig = server.ClassConfig
+	// ServerRequest is one prediction request.
+	ServerRequest = server.Request
+	// ServerBatchRequest is one batch prediction request.
+	ServerBatchRequest = server.BatchRequest
+	// ServerStats is a snapshot of the server's counters and gauges.
+	ServerStats = server.Stats
+	// ServerPriority is a request's priority class.
+	ServerPriority = server.Priority
+	// ServerSaturation is the server's load state, derived from queue fill.
+	ServerSaturation = server.Saturation
+	// ServerEvaluator is the evaluation backend a Server fronts.
+	ServerEvaluator = server.Evaluator
+)
+
+// Priority classes, most to least important.
+const (
+	// PriorityInteractive is shed last.
+	PriorityInteractive = server.Interactive
+	// PriorityBatch is shed at severe saturation.
+	PriorityBatch = server.Batch
+	// PriorityBestEffort is shed first.
+	PriorityBestEffort = server.BestEffort
+)
+
+// Serving-layer shed reasons.
+var (
+	// ErrOverloaded is the umbrella sentinel every shed answer wraps.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrQueueFull means the admission queue was at capacity.
+	ErrQueueFull = server.ErrQueueFull
+	// ErrClassShed means the priority class is shed at current saturation.
+	ErrClassShed = server.ErrClassShed
+	// ErrDeadlineBudget means the remaining deadline could not cover the
+	// estimated queue wait plus service time at admission.
+	ErrDeadlineBudget = server.ErrDeadlineBudget
+	// ErrExpiredInQueue means the deadline budget expired while queued.
+	ErrExpiredInQueue = server.ErrExpiredInQueue
+)
+
+// NewServer builds an admission-controlled serving front end over eval
+// (use a compiled assembly; it is safe for the server's concurrency).
+func NewServer(eval ServerEvaluator, cfg ServerConfig) *Server {
+	return server.New(eval, cfg)
+}

@@ -351,3 +351,38 @@ func TestFacadeReportAndSimulator(t *testing.T) {
 		t.Error("SoftwareFailure")
 	}
 }
+
+// TestFacadeServingLayer drives the overload-resilient serving layer
+// through the facade: a compiled paper assembly behind an
+// admission-controlled server, one exact answer, one degraded answer.
+func TestFacadeServingLayer(t *testing.T) {
+	asm, err := socrel.LocalAssembly(socrel.DefaultPaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := socrel.Compile(asm, socrel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := socrel.NewServer(ca, socrel.ServerConfig{
+		Service: "search",
+		Hedge:   socrel.HedgeConfig{Disabled: true},
+	})
+	ans := srv.Serve(context.Background(), socrel.ServerRequest{
+		Params:   []float64{1, 4096, 1},
+		Priority: socrel.PriorityInteractive,
+	})
+	if !ans.IsExact() {
+		t.Fatalf("answer = %+v, want exact", ans)
+	}
+	shed := srv.Serve(context.Background(), socrel.ServerRequest{
+		Params:  []float64{1, 4096, 1},
+		Timeout: time.Nanosecond, // cannot cover any service-time estimate
+	})
+	if shed.Kind != socrel.AnswerStale || !errors.Is(shed.Err, socrel.ErrOverloaded) {
+		t.Fatalf("shed answer = %+v, want stale wrapping ErrOverloaded", shed)
+	}
+	if st := srv.Stats(); st.Offered != 2 || st.ShedDeadline != 1 {
+		t.Fatalf("stats = %+v, want offered=2 shed_deadline=1", st)
+	}
+}

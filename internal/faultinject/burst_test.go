@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBurstConcurrent(t *testing.T) {
+	var cur, peak atomic.Int64
+	release := make(chan struct{})
+	rep := Burst(BurstConfig{N: 16}, func(i int) error {
+		n := cur.Add(1)
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		if n == 16 {
+			close(release) // the whole herd has arrived at once
+		}
+		<-release
+		return nil
+	})
+	if rep.Launched != 16 || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want 16 launched, 0 failed", rep)
+	}
+	if peak.Load() != 16 {
+		t.Fatalf("peak concurrency = %d, want 16 (thundering herd)", peak.Load())
+	}
+}
+
+func TestBurstArrivalSchedule(t *testing.T) {
+	var mu sync.Mutex
+	var slept []time.Duration
+	rep := Burst(BurstConfig{
+		N:       8,
+		Arrival: time.Millisecond,
+		Jitter:  time.Millisecond,
+		Seed:    42,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	}, func(i int) error {
+		if i%2 == 1 {
+			return errors.New("shed")
+		}
+		return nil
+	})
+	if rep.Launched != 8 || rep.Failed != 4 || len(rep.Errs) != 4 {
+		t.Fatalf("report = %+v, want 8 launched, 4 failed", rep)
+	}
+	// Request 0 may draw a zero jitter (no sleep); everyone else sleeps
+	// once, within [i×Arrival, i×Arrival+Jitter).
+	if len(slept) < 7 || len(slept) > 8 {
+		t.Fatalf("got %d sleeps, want 7 or 8", len(slept))
+	}
+	for _, d := range slept {
+		if d <= 0 || d >= 8*time.Millisecond+time.Millisecond {
+			t.Fatalf("sleep %v outside the arrival schedule", d)
+		}
+	}
+}
+
+func TestBurstDeterministicForSeed(t *testing.T) {
+	collect := func() []time.Duration {
+		var mu sync.Mutex
+		var slept []time.Duration
+		Burst(BurstConfig{N: 8, Jitter: time.Second, Seed: 7, Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		}}, func(int) error { return nil })
+		sortDurations(slept)
+		return slept
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("runs drew different numbers of delays: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter draw %d differs between identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func sortDurations(ds []time.Duration) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func TestBurstDefaults(t *testing.T) {
+	var calls atomic.Int64
+	rep := Burst(BurstConfig{}, func(int) error { calls.Add(1); return nil })
+	if rep.Launched != 32 || calls.Load() != 32 {
+		t.Fatalf("default burst = %+v with %d calls, want N=32", rep, calls.Load())
+	}
+}

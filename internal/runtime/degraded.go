@@ -75,16 +75,27 @@ func (a Answer) Reliability() float64 { return 1 - a.Pfail }
 // IsExact reports whether the answer is a fresh, exact computation.
 func (a Answer) IsExact() bool { return a.Kind == Exact && a.Err == nil }
 
-// lastKnown is the supervisor's last exact evaluation.
-type lastKnown struct {
-	pfail    float64
-	provider string
-	at       time.Time
+// LastGood is a previously computed exact evaluation, the raw material of
+// Stale (and residual-centered Bounded) answers. The Supervisor keeps one
+// internally; serving layers that cache many exact answers (e.g. the
+// admission-controlled prediction front end) keep one per parameter point
+// and hand it to Degrade when shedding load.
+type LastGood struct {
+	// Pfail is the exact value.
+	Pfail float64
+	// Provider is the binding the value was computed under (may be empty
+	// when the caller does not track bindings).
+	Provider string
+	// At is when the value was computed.
+	At time.Time
 }
 
-// degrade builds the best degraded answer available for cause: a residual
+// Degrade builds the best degraded answer available for cause: a residual
 // bound when the cause carries a *linalg.NoConvergenceError, otherwise the
-// last known good value with staleness metadata, otherwise Unavailable.
+// last known good value (nil when none exists) with staleness metadata,
+// otherwise Unavailable. It never returns an Exact answer: cause must be
+// the non-nil error that forced the degradation, and it is always carried
+// in the answer so a degraded value cannot masquerade as exact.
 //
 // The residual bound is conservative by construction: the iterative
 // solvers ascend to the absorption probability and stop with an infinity-
@@ -92,35 +103,50 @@ type lastKnown struct {
 // widened by the residual (clamped to [0,1]) brackets where the exact
 // solve was heading. Without any last known good value the bound
 // degenerates to the vacuous [0,1].
-func degrade(cause error, last *lastKnown, now time.Time) Answer {
+func Degrade(cause error, last *LastGood, now time.Time) Answer {
 	var nce *linalg.NoConvergenceError
 	if errors.As(cause, &nce) {
 		lo, hi := 0.0, 1.0
 		center := 0.0
 		if last != nil {
-			center = last.pfail
+			center = last.Pfail
 			lo = clamp01(center - nce.Residual)
 			hi = clamp01(center + nce.Residual)
 		}
 		a := Answer{Kind: Bounded, Pfail: hi, Lo: lo, Hi: hi, Err: cause}
 		if last != nil {
-			a.Provider = last.provider
-			a.AsOf = last.at
-			a.Age = now.Sub(last.at)
+			a.Provider = last.Provider
+			a.AsOf = last.At
+			a.Age = now.Sub(last.At)
 		}
 		return a
 	}
 	if last != nil {
 		return Answer{
 			Kind:     Stale,
-			Pfail:    last.pfail,
-			Provider: last.provider,
-			AsOf:     last.at,
-			Age:      now.Sub(last.at),
+			Pfail:    last.Pfail,
+			Provider: last.Provider,
+			AsOf:     last.At,
+			Age:      now.Sub(last.At),
 			Err:      cause,
 		}
 	}
 	return Answer{Kind: Unavailable, Err: cause}
+}
+
+// BoundedInterval builds a Bounded answer from an externally derived
+// interval — e.g. the serving layer's sliding min/max window over recent
+// exact answers, used when saturation forces an answer without an
+// evaluation and no per-point snapshot exists. Pfail carries the
+// conservative (upper) end; cause is the error that forced the
+// degradation. The interval is clamped to [0,1] and inverted bounds are
+// widened to the vacuous [0,1] rather than trusted.
+func BoundedInterval(lo, hi float64, cause error) Answer {
+	lo, hi = clamp01(lo), clamp01(hi)
+	if lo > hi {
+		lo, hi = 0, 1
+	}
+	return Answer{Kind: Bounded, Pfail: hi, Lo: lo, Hi: hi, Err: cause}
 }
 
 func clamp01(v float64) float64 {

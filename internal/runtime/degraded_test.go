@@ -13,9 +13,9 @@ import (
 func TestDegradeBoundedFromResidual(t *testing.T) {
 	now := time.Unix(1_700_000_000, 0)
 	cause := fmt.Errorf("solve: %w", &linalg.NoConvergenceError{Iterations: 9, Residual: 0.05})
-	last := &lastKnown{pfail: 0.02, provider: "p", at: now.Add(-3 * time.Second)}
+	last := &LastGood{Pfail: 0.02, Provider: "p", At: now.Add(-3 * time.Second)}
 
-	a := degrade(cause, last, now)
+	a := Degrade(cause, last, now)
 	if a.Kind != Bounded {
 		t.Fatalf("kind = %v, want bounded", a.Kind)
 	}
@@ -40,7 +40,7 @@ func TestDegradeBoundedFromResidual(t *testing.T) {
 
 func TestDegradeBoundedWithoutHistoryIsVacuous(t *testing.T) {
 	cause := &linalg.NoConvergenceError{Iterations: 1, Residual: 0.5}
-	a := degrade(cause, nil, time.Unix(0, 0))
+	a := Degrade(cause, nil, time.Unix(0, 0))
 	if a.Kind != Bounded {
 		t.Fatalf("kind = %v, want bounded", a.Kind)
 	}
@@ -52,13 +52,13 @@ func TestDegradeBoundedWithoutHistoryIsVacuous(t *testing.T) {
 func TestDegradeStale(t *testing.T) {
 	now := time.Unix(1_700_000_000, 0)
 	cause := errors.New("breaker open")
-	last := &lastKnown{pfail: 0.1, provider: "p", at: now.Add(-time.Minute)}
-	a := degrade(cause, last, now)
+	last := &LastGood{Pfail: 0.1, Provider: "p", At: now.Add(-time.Minute)}
+	a := Degrade(cause, last, now)
 	if a.Kind != Stale || a.Pfail != 0.1 || a.Provider != "p" {
 		t.Fatalf("answer = %+v, want stale 0.1 from p", a)
 	}
-	if a.Age != time.Minute || !a.AsOf.Equal(last.at) {
-		t.Fatalf("staleness = %v as of %v, want 1m as of %v", a.Age, a.AsOf, last.at)
+	if a.Age != time.Minute || !a.AsOf.Equal(last.At) {
+		t.Fatalf("staleness = %v as of %v, want 1m as of %v", a.Age, a.AsOf, last.At)
 	}
 	if a.Err != cause || a.IsExact() {
 		t.Fatalf("stale answer mis-tagged: %+v", a)
@@ -67,7 +67,7 @@ func TestDegradeStale(t *testing.T) {
 
 func TestDegradeUnavailable(t *testing.T) {
 	cause := errors.New("nothing works")
-	a := degrade(cause, nil, time.Unix(0, 0))
+	a := Degrade(cause, nil, time.Unix(0, 0))
 	if a.Kind != Unavailable || a.Err != cause || a.IsExact() {
 		t.Fatalf("answer = %+v, want unavailable carrying the cause", a)
 	}

@@ -68,7 +68,7 @@ type Supervisor struct {
 	current   registry.Candidate
 	predicted float64
 	ev        *core.Evaluator
-	last      *lastKnown
+	last      *LastGood
 	rebinds   []RebindEvent
 }
 
@@ -232,9 +232,9 @@ func (s *Supervisor) Pfail(ctx context.Context) Answer {
 	}
 	p, err := s.ev.PfailCtx(evalCtx, s.target, s.params...)
 	if err == nil {
-		s.last = &lastKnown{pfail: p, provider: prov, at: s.clock.Now()}
+		s.last = &LastGood{Pfail: p, Provider: prov, At: s.clock.Now()}
 		s.tracker.ObserveEvalSuccess(prov)
-		return Answer{Kind: Exact, Pfail: p, Provider: prov, AsOf: s.last.at}
+		return Answer{Kind: Exact, Pfail: p, Provider: prov, AsOf: s.last.At}
 	}
 	s.tracker.ObserveEvalError(prov, err)
 	if s.tracker.Quarantined(prov) {
@@ -243,8 +243,8 @@ func (s *Supervisor) Pfail(ctx context.Context) Answer {
 		why, _ := s.tracker.Breaker(prov).LastTrip()
 		if rerr := s.rebindLocked(ctx, why); rerr == nil {
 			if p, rerr := s.ev.PfailCtx(evalCtx, s.target, s.params...); rerr == nil {
-				s.last = &lastKnown{pfail: p, provider: s.current.Provider, at: s.clock.Now()}
-				return Answer{Kind: Exact, Pfail: p, Provider: s.current.Provider, AsOf: s.last.at}
+				s.last = &LastGood{Pfail: p, Provider: s.current.Provider, At: s.clock.Now()}
+				return Answer{Kind: Exact, Pfail: p, Provider: s.current.Provider, AsOf: s.last.At}
 			}
 		}
 	}
@@ -252,5 +252,5 @@ func (s *Supervisor) Pfail(ctx context.Context) Answer {
 }
 
 func (s *Supervisor) degradeLocked(cause error) Answer {
-	return degrade(cause, s.last, s.clock.Now())
+	return Degrade(cause, s.last, s.clock.Now())
 }

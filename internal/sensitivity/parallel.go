@@ -26,6 +26,9 @@ func CompiledBatch(ca *core.CompiledAssembly, service string, frame func(x float
 	return func(ctx context.Context, xs []float64) ([]float64, error) {
 		sets := make([][]float64, len(xs))
 		for i, x := range xs {
+			if err := frameCtxErr(ctx, i); err != nil {
+				return nil, err
+			}
 			sets[i] = frame(x)
 		}
 		return ca.PfailBatchCtx(ctx, service, sets)
@@ -38,6 +41,9 @@ func CompiledReliabilityBatch(ca *core.CompiledAssembly, service string, frame f
 	return func(ctx context.Context, xs []float64) ([]float64, error) {
 		sets := make([][]float64, len(xs))
 		for i, x := range xs {
+			if err := frameCtxErr(ctx, i); err != nil {
+				return nil, err
+			}
 			sets[i] = frame(x)
 		}
 		return ca.ReliabilityBatchCtx(ctx, service, sets)
@@ -115,6 +121,20 @@ func SweepParallel(name string, xs []float64, f Func) (Series, error) {
 // core.ErrCanceled.
 func SweepParallelCtx(ctx context.Context, name string, xs []float64, f Func) (Series, error) {
 	return SweepBatchCtx(ctx, name, xs, PerPoint(f))
+}
+
+// frameCtxErr is the cancellation check for frame/draw loops that only
+// build inputs (no evaluation): the per-iteration work is tiny, so the
+// check is strided — a canceled study still stops within 256 iterations
+// of the cancel instead of framing an arbitrarily large grid first.
+func frameCtxErr(ctx context.Context, i int) error {
+	if i&255 != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: canceled while framing point %d: %w", core.ErrCanceled, i, err)
+	}
+	return nil
 }
 
 // guardFunc evaluates one sweep point with panic isolation, so a defective

@@ -100,6 +100,9 @@ func CompiledParamBatch(ca *core.CompiledAssembly, service string, frame func(pa
 	return func(ctx context.Context, envs []map[string]float64) ([]float64, error) {
 		sets := make([][]float64, len(envs))
 		for i, env := range envs {
+			if err := frameCtxErr(ctx, i); err != nil {
+				return nil, err
+			}
 			sets[i] = frame(env)
 		}
 		return ca.PfailBatchCtx(ctx, service, sets)
@@ -112,6 +115,9 @@ func CompiledReliabilityParamBatch(ca *core.CompiledAssembly, service string, fr
 	return func(ctx context.Context, envs []map[string]float64) ([]float64, error) {
 		sets := make([][]float64, len(envs))
 		for i, env := range envs {
+			if err := frameCtxErr(ctx, i); err != nil {
+				return nil, err
+			}
 			sets[i] = frame(env)
 		}
 		return ca.ReliabilityBatchCtx(ctx, service, sets)
@@ -170,6 +176,9 @@ func UncertaintyBatch(ctx context.Context, f BatchParamFunc, dists map[string]Di
 	rng := rand.New(rand.NewSource(seed))
 	envs := make([]map[string]float64, samples)
 	for i := range envs {
+		if err := frameCtxErr(ctx, i); err != nil {
+			return UncertaintyResult{}, fmt.Errorf("sensitivity: uncertainty %w", err)
+		}
 		env := make(map[string]float64, len(names))
 		for _, name := range names {
 			env[name] = dists[name].sample(rng)

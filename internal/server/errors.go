@@ -1,0 +1,32 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded is the umbrella sentinel for every load-shedding decision
+// this package makes: a shed answer's Err always matches it via errors.Is,
+// alongside the specific reason below. Shedding is not an evaluation
+// failure — the engine was never asked — so none of these match the core
+// taxonomy; they are the serving layer's own vocabulary.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// Specific shed reasons, each wrapping ErrOverloaded.
+var (
+	// ErrQueueFull means the admission queue was at capacity.
+	ErrQueueFull = fmt.Errorf("%w: admission queue full", ErrOverloaded)
+	// ErrClassShed means the request's priority class is shed at the
+	// current queue fill (lower classes shed earlier as saturation
+	// deepens).
+	ErrClassShed = fmt.Errorf("%w: priority class shed at current saturation", ErrOverloaded)
+	// ErrDeadlineBudget means the request's remaining deadline could not
+	// cover the observed service-time estimate (including expected queue
+	// wait), so evaluating it would only waste capacity on an answer the
+	// caller would never see.
+	ErrDeadlineBudget = fmt.Errorf("%w: remaining deadline below service-time estimate", ErrOverloaded)
+	// ErrExpiredInQueue means the request was admitted but its deadline
+	// budget ran out while it waited for a concurrency slot; the sweep
+	// removed it instead of evaluating it.
+	ErrExpiredInQueue = fmt.Errorf("%w: deadline budget expired while queued", ErrOverloaded)
+)

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// HedgeConfig parameterizes request hedging: racing a duplicate
+// evaluation on a second concurrency slot when the primary straggles
+// past the p95 of recent latencies. Hedging only fires at normal
+// saturation and only when a spare slot is free, so it cannot steal
+// capacity from queued work.
+type HedgeConfig struct {
+	// Disabled turns hedging off entirely.
+	Disabled bool
+	// DelayFactor scales the p95-based hedge delay (default 1.0: hedge
+	// once the attempt has outlived 95% of recent evaluations).
+	DelayFactor float64
+	// MinDelay floors the hedge delay so cold-start estimates cannot
+	// trigger immediate duplicates (default 1ms).
+	MinDelay time.Duration
+}
+
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	if c.DelayFactor <= 0 {
+		c.DelayFactor = 1
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = time.Millisecond
+	}
+	return c
+}
+
+// hedgeDelayLocked is the current hedge pacing: DelayFactor × p95 of
+// the recent-latency window, floored at MinDelay.
+func (s *Server) hedgeDelayLocked() time.Duration {
+	d := time.Duration(s.cfg.Hedge.DelayFactor * float64(s.lat.p95()))
+	if d < s.cfg.Hedge.MinDelay {
+		d = s.cfg.Hedge.MinDelay
+	}
+	return d
+}
+
+// attemptResult is one attempt's outcome in the hedging race.
+type attemptResult struct {
+	p     float64
+	err   error
+	hedge bool
+}
+
+// evalHedged runs one evaluation, racing a hedged duplicate when the
+// primary outlives the hedge delay, saturation is normal, and a spare
+// concurrency slot exists. The first successful attempt wins and the
+// loser is canceled through the shared evaluation context; if the first
+// completion failed but a duplicate is still in flight, the duplicate
+// gets its chance before the failure is reported. The caller holds the
+// primary slot; the hedge acquires and releases its own.
+func (s *Server) evalHedged(ctx context.Context, service string, params []float64, deadline time.Time) (float64, error) {
+	evalCtx, cancel, cleanup := s.deadlineCtx(ctx, deadline)
+	defer cleanup()
+
+	// Buffered to both attempts so the loser never blocks on send: it
+	// deposits its (canceled) result and exits — no goroutine leak.
+	results := make(chan attemptResult, 2)
+	go func() {
+		p, err := s.eval.PfailCtx(evalCtx, service, params...)
+		results <- attemptResult{p: p, err: err}
+	}()
+
+	var hedgeTimer <-chan time.Time
+	s.mu.Lock()
+	if !s.cfg.Hedge.Disabled && s.saturationLocked() == SatNormal {
+		hedgeTimer = s.clock.After(s.hedgeDelayLocked())
+	}
+	s.mu.Unlock()
+
+	pending := 1
+	var firstErr error
+	for pending > 0 {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				cancel()
+				if r.hedge {
+					s.mu.Lock()
+					s.stats.HedgeWins++
+					s.mu.Unlock()
+				}
+				return r.p, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			s.mu.Lock()
+			if s.limiter.tryAcquire() {
+				s.stats.HedgesLaunched++
+				pending++
+				go func() {
+					p, err := s.eval.PfailCtx(evalCtx, service, params...)
+					s.mu.Lock()
+					s.limiter.release()
+					s.dispatchLocked()
+					s.mu.Unlock()
+					results <- attemptResult{p: p, err: err, hedge: true}
+				}()
+			}
+			s.mu.Unlock()
+		}
+	}
+	return 0, firstErr
+}

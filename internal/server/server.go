@@ -1,0 +1,676 @@
+// Package server is the overload-resilient serving layer: a
+// concurrency-limited prediction front end that keeps the engine
+// answering when offered load exceeds capacity. It wraps any evaluator
+// (core.CompiledAssembly in production, core.Evaluator for assemblies
+// outside the compiled domain) behind four cooperating mechanisms:
+//
+//   - a bounded, deadline-aware admission queue (queue.go): requests
+//     whose remaining deadline cannot cover the observed service-time
+//     estimate are shed at the door, queued entries whose budget expires
+//     are swept at every dispatch, and the pop order adapts from FIFO to
+//     LIFO as the backlog deepens;
+//   - an AIMD concurrency limiter (limiter.go) sizing the in-flight
+//     window from measured latency, so capacity tracks the hardware and
+//     the workload rather than a static GOMAXPROCS guess;
+//   - priority classes with per-class shedding thresholds: best-effort
+//     traffic is shed first, interactive last;
+//   - request hedging (hedge.go): when the system is unsaturated and a
+//     spare slot exists, a straggling evaluation is raced against a
+//     duplicate on a second pooled session after a p95-based delay, and
+//     the loser is canceled.
+//
+// Every request gets a tagged runtime.Answer instead of a silent
+// timeout: as saturation deepens the ladder downgrades Exact → Stale
+// (the per-point snapshot of the last exact answer) → Bounded (a
+// solver-residual interval via runtime.Degrade, or the sliding min/max
+// of recent exact answers) → Unavailable, and the exact ⇔ nil-error
+// invariant of the runtime package holds throughout.
+//
+// All time-dependent behavior runs against runtime.Clock, so queue,
+// limiter, and hedging tests are deterministic with a FakeClock and no
+// wall-clock sleeps.
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"socrel/internal/core"
+	socruntime "socrel/internal/runtime"
+)
+
+// Evaluator is the prediction backend: *core.CompiledAssembly and
+// *core.Evaluator both satisfy it.
+type Evaluator interface {
+	PfailCtx(ctx context.Context, service string, params ...float64) (float64, error)
+}
+
+// BatchEvaluator is the optional batch fast path; when the backend
+// provides it (core.CompiledAssembly does), ServeBatch routes whole
+// parameter grids through it instead of looping single evaluations.
+type BatchEvaluator interface {
+	PfailBatchCtx(ctx context.Context, service string, paramSets [][]float64) ([]float64, error)
+}
+
+// ClassConfig parameterizes one priority class.
+type ClassConfig struct {
+	// ShedFill is the queue fill fraction at or above which new requests
+	// of this class are shed (0 picks the class default: interactive 1.0,
+	// batch 0.75, best-effort 0.5; 1.0 means "only when the queue is
+	// full", which the queue-full check handles first).
+	ShedFill float64
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Service is the default evaluation target for requests that leave
+	// Request.Service empty.
+	Service string
+	// QueueCapacity bounds the admission queue (default 64).
+	QueueCapacity int
+	// LIFODepth is the backlog depth above which the queue pops newest
+	// first (default QueueCapacity/4).
+	LIFODepth int
+	// Limiter configures the AIMD concurrency limiter.
+	Limiter LimiterConfig
+	// Hedge configures request hedging.
+	Hedge HedgeConfig
+	// Classes overrides per-class shed thresholds, indexed by Priority.
+	Classes [3]ClassConfig
+	// InitialEstimate seeds the service-time estimate before any
+	// completion has been observed (default 1ms).
+	InitialEstimate time.Duration
+	// EstimateDecay is the EWMA factor in (0, 1] for the service-time
+	// estimate (default 0.2).
+	EstimateDecay float64
+	// StaleCapacity bounds the per-point snapshot store backing Stale
+	// answers (default 4096 entries; the store is reset wholesale at
+	// capacity, like the engine memo).
+	StaleCapacity int
+	// BoundsWindow is how many recent exact answers feed the service-wide
+	// [min, max] interval used for Bounded answers when no per-point
+	// snapshot exists (default 64).
+	BoundsWindow int
+	// Clock drives every queue, limiter, and hedging decision (default
+	// the wall clock).
+	Clock socruntime.Clock
+}
+
+// Saturation summarizes how deep into overload the server is, derived
+// from the queue fill. It is what gates hedging and (through the class
+// thresholds) shedding.
+type Saturation int
+
+// Saturation levels.
+const (
+	// SatNormal: shallow backlog; hedging allowed.
+	SatNormal Saturation = iota
+	// SatElevated: backlog building; hedging disabled (a hedge doubles
+	// load exactly when capacity is scarce).
+	SatElevated
+	// SatSevere: best-effort and batch classes shedding.
+	SatSevere
+	// SatOverload: queue full; everything sheds.
+	SatOverload
+)
+
+func (s Saturation) String() string {
+	switch s {
+	case SatNormal:
+		return "normal"
+	case SatElevated:
+		return "elevated"
+	case SatSevere:
+		return "severe"
+	case SatOverload:
+		return "overload"
+	default:
+		return "invalid"
+	}
+}
+
+// Queue fill fractions at which saturation levels begin.
+const (
+	elevatedFill = 0.25
+	severeFill   = 0.75
+)
+
+// Request is one prediction request.
+type Request struct {
+	// Service names the evaluation target (default Config.Service).
+	Service string
+	// Params are the actual parameters.
+	Params []float64
+	// Priority classes the request for shedding (zero = Interactive).
+	Priority Priority
+	// Timeout is the request's deadline budget measured on the server's
+	// clock (0 = none beyond the context's own deadline). Prefer it over
+	// a context deadline when the server runs on a FakeClock.
+	Timeout time.Duration
+}
+
+// BatchRequest is one batched prediction request; the whole grid is
+// admitted as a single queue unit and evaluated through the backend's
+// batch kernel when available.
+type BatchRequest struct {
+	// Service names the evaluation target (default Config.Service).
+	Service string
+	// ParamSets are the parameter points.
+	ParamSets [][]float64
+	// Priority classes the request (zero = Interactive; batch sweeps
+	// typically want Batch).
+	Priority Priority
+	// Timeout is the whole batch's deadline budget on the server clock.
+	Timeout time.Duration
+}
+
+// Stats is a point-in-time snapshot of the server's counters and gauges.
+type Stats struct {
+	// Offered counts every request presented to Serve/ServeBatch (batch
+	// requests count once).
+	Offered uint64
+	// Admitted counts requests that passed admission control.
+	Admitted uint64
+	// Answer-kind counters over all served requests (batch requests
+	// count per point).
+	Exact, Stale, Bounded, Unavailable uint64
+	// Shed reasons.
+	ShedQueueFull, ShedClass, ShedDeadline, SweptExpired, CanceledWaiting uint64
+	// Hedging counters.
+	HedgesLaunched, HedgeWins uint64
+	// Limit is the AIMD limiter's current window; Inflight and
+	// QueueDepth are the live gauges.
+	Limit      float64
+	Inflight   int
+	QueueDepth int
+	// EstimatedLatency is the admission controller's service-time
+	// estimate; HedgeDelay is the current p95-based hedge pacing.
+	EstimatedLatency time.Duration
+	HedgeDelay       time.Duration
+	// Saturation is the current level.
+	Saturation Saturation
+}
+
+// Server is the admission-controlled prediction front end. Methods are
+// safe for concurrent use by any number of goroutines.
+type Server struct {
+	cfg   Config
+	clock socruntime.Clock
+	eval  Evaluator
+
+	mu      sync.Mutex
+	queue   *admissionQueue
+	limiter *aimdLimiter
+	lat     *latencyDigest
+	stale   map[string]socruntime.LastGood
+	exacts  []float64 // ring of recent exact answers for interval bounds
+	exactN  int
+	exactI  int
+	stats   Stats
+}
+
+// New builds a Server over eval. eval must not be nil.
+func New(eval Evaluator, cfg Config) *Server {
+	if eval == nil {
+		panic("server: nil evaluator")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = socruntime.RealClock{}
+	}
+	if cfg.StaleCapacity <= 0 {
+		cfg.StaleCapacity = 4096
+	}
+	if cfg.BoundsWindow <= 0 {
+		cfg.BoundsWindow = 64
+	}
+	for pri, def := range [3]float64{1.0, severeFill, 0.5} {
+		if cfg.Classes[pri].ShedFill <= 0 {
+			cfg.Classes[pri].ShedFill = def
+		}
+	}
+	cfg.Hedge = cfg.Hedge.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		eval:    eval,
+		queue:   newAdmissionQueue(cfg.QueueCapacity, cfg.LIFODepth),
+		limiter: newLimiter(cfg.Limiter),
+		lat:     newLatencyDigest(cfg.InitialEstimate, cfg.EstimateDecay, 0),
+		stale:   make(map[string]socruntime.LastGood),
+		exacts:  make([]float64, cfg.BoundsWindow),
+	}
+}
+
+// Stats returns a snapshot of the server's counters and gauges.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Limit = s.limiter.limit
+	st.Inflight = s.limiter.inflight
+	st.QueueDepth = s.queue.depth
+	st.EstimatedLatency = s.lat.estimate
+	st.HedgeDelay = s.hedgeDelayLocked()
+	st.Saturation = s.saturationLocked()
+	return st
+}
+
+// Saturation returns the current saturation level.
+func (s *Server) Saturation() Saturation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saturationLocked()
+}
+
+func (s *Server) saturationLocked() Saturation {
+	switch fill := s.queue.fill(); {
+	case s.queue.full():
+		return SatOverload
+	case fill >= severeFill:
+		return SatSevere
+	case fill >= elevatedFill:
+		return SatElevated
+	default:
+		return SatNormal
+	}
+}
+
+// Serve answers one prediction request, always returning a tagged
+// answer: Exact on a successful evaluation, and a degraded tag (Stale,
+// Bounded, or Unavailable, each carrying the causing error) when the
+// request was shed, expired, or the evaluation failed. It never returns
+// the zero Answer.
+func (s *Server) Serve(ctx context.Context, req Request) socruntime.Answer {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	service := req.Service
+	if service == "" {
+		service = s.cfg.Service
+	}
+	key := snapshotKey(service, req.Params)
+	now := s.clock.Now()
+	deadline := s.effectiveDeadline(ctx, now, req.Timeout)
+
+	s.mu.Lock()
+	s.stats.Offered++
+	if !req.Priority.valid() {
+		req.Priority = BestEffort
+	}
+	if cause := s.admitLocked(req.Priority, deadline, now); cause != nil {
+		ans := s.degradeLocked(key, cause, now)
+		s.mu.Unlock()
+		return ans
+	}
+	s.stats.Admitted++
+	var w *waiter
+	if s.queue.depth == 0 && s.limiter.tryAcquire() {
+		// Fast path: empty queue and a free slot.
+	} else {
+		w = &waiter{pri: req.Priority, enq: now, deadline: deadline, ready: make(chan error, 1)}
+		s.queue.push(w)
+	}
+	s.mu.Unlock()
+
+	if w != nil {
+		if cause := s.await(ctx, w); cause != nil {
+			s.mu.Lock()
+			ans := s.degradeLocked(key, cause, s.clock.Now())
+			s.mu.Unlock()
+			return ans
+		}
+	}
+
+	// We hold one in-flight slot.
+	start := s.clock.Now()
+	p, err := s.evalHedged(ctx, service, req.Params, deadline)
+	end := s.clock.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limiter.observe(end.Sub(start), err)
+	s.limiter.release()
+	s.dispatchLocked()
+	if err == nil {
+		s.lat.observe(end.Sub(start))
+		s.recordExactLocked(key, p, end)
+		s.stats.Exact++
+		return socruntime.Answer{Kind: socruntime.Exact, Pfail: p, AsOf: end}
+	}
+	return s.degradeLocked(key, err, end)
+}
+
+// ServeBatch answers one batched request: the grid is admitted as a
+// single unit, holds a single concurrency slot (the batch kernel brings
+// its own internal parallelism), and is never hedged. The result always
+// has len(ParamSets) entries; points the batch could not evaluate carry
+// degraded tags, the rest are Exact.
+func (s *Server) ServeBatch(ctx context.Context, req BatchRequest) []socruntime.Answer {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	service := req.Service
+	if service == "" {
+		service = s.cfg.Service
+	}
+	out := make([]socruntime.Answer, len(req.ParamSets))
+	now := s.clock.Now()
+	deadline := s.effectiveDeadline(ctx, now, req.Timeout)
+
+	s.mu.Lock()
+	s.stats.Offered++
+	if !req.Priority.valid() {
+		req.Priority = BestEffort
+	}
+	if cause := s.admitLocked(req.Priority, deadline, now); cause != nil {
+		s.degradeBatchLocked(out, service, req.ParamSets, cause, now)
+		s.mu.Unlock()
+		return out
+	}
+	s.stats.Admitted++
+	var w *waiter
+	if s.queue.depth == 0 && s.limiter.tryAcquire() {
+	} else {
+		w = &waiter{pri: req.Priority, enq: now, deadline: deadline, ready: make(chan error, 1)}
+		s.queue.push(w)
+	}
+	s.mu.Unlock()
+
+	if w != nil {
+		if cause := s.await(ctx, w); cause != nil {
+			s.mu.Lock()
+			s.degradeBatchLocked(out, service, req.ParamSets, cause, s.clock.Now())
+			s.mu.Unlock()
+			return out
+		}
+	}
+
+	start := s.clock.Now()
+	ps, err := s.evalBatch(ctx, service, req.ParamSets, deadline)
+	end := s.clock.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(req.ParamSets); n > 0 {
+		per := end.Sub(start) / time.Duration(n)
+		s.limiter.observe(per, err)
+		if err == nil {
+			s.lat.observe(per)
+		}
+	}
+	s.limiter.release()
+	s.dispatchLocked()
+	if err == nil && ps == nil {
+		err = fmt.Errorf("server: batch evaluator returned no results")
+	}
+	for i, params := range req.ParamSets {
+		key := snapshotKey(service, params)
+		if i < len(ps) && !math.IsNaN(ps[i]) {
+			s.recordExactLocked(key, ps[i], end)
+			s.stats.Exact++
+			out[i] = socruntime.Answer{Kind: socruntime.Exact, Pfail: ps[i], AsOf: end}
+			continue
+		}
+		cause := err
+		if cause == nil {
+			cause = fmt.Errorf("server: batch point %d not evaluated", i)
+		}
+		out[i] = s.degradeLocked(key, cause, end)
+	}
+	return out
+}
+
+// effectiveDeadline combines the context deadline with the request's
+// clock-relative timeout, preferring the earlier. Context deadlines are
+// wall-clock times; under a FakeClock only Request.Timeout is
+// meaningful, which is why both exist.
+func (s *Server) effectiveDeadline(ctx context.Context, now time.Time, timeout time.Duration) time.Time {
+	var dl time.Time
+	if d, ok := ctx.Deadline(); ok {
+		dl = d
+	}
+	if timeout > 0 {
+		if t := now.Add(timeout); dl.IsZero() || t.Before(dl) {
+			dl = t
+		}
+	}
+	return dl
+}
+
+// admitLocked is the admission controller: it sheds when the queue is
+// full, when the request's class is over its fill threshold, and when
+// the remaining deadline cannot cover the service-time estimate plus
+// the expected queue wait.
+func (s *Server) admitLocked(pri Priority, deadline, now time.Time) error {
+	if s.queue.full() {
+		s.stats.ShedQueueFull++
+		return ErrQueueFull
+	}
+	if fill := s.queue.fill(); fill >= s.cfg.Classes[pri].ShedFill {
+		s.stats.ShedClass++
+		return fmt.Errorf("%w (class %s, fill %.2f)", ErrClassShed, pri, fill)
+	}
+	if !deadline.IsZero() && deadline.Sub(now) < s.requiredBudgetLocked() {
+		s.stats.ShedDeadline++
+		return ErrDeadlineBudget
+	}
+	return nil
+}
+
+// requiredBudgetLocked is the deadline budget a request needs right now:
+// one service time, plus one per full window of queued work ahead of it.
+func (s *Server) requiredBudgetLocked() time.Duration {
+	est := s.lat.estimate
+	waves := 1 + s.queue.depth/s.limiter.limitInt()
+	return est * time.Duration(waves)
+}
+
+// await parks the caller until dispatch grants it a slot or sheds it.
+// A nil return means the caller now holds a slot; non-nil is the shed
+// cause (swept, canceled, or expired while waiting).
+func (s *Server) await(ctx context.Context, w *waiter) error {
+	var timer <-chan time.Time
+	if !w.deadline.IsZero() {
+		timer = s.clock.After(w.deadline.Sub(w.enq))
+	}
+	select {
+	case cause := <-w.ready:
+		return cause
+	case <-ctx.Done():
+		return s.abandon(w, fmt.Errorf("%w: %w while queued", core.ErrCanceled, ctx.Err()))
+	case <-timer:
+		return s.abandon(w, ErrExpiredInQueue)
+	}
+}
+
+// abandon withdraws w from the queue after a cancellation or timer fire.
+// If dispatch got there first the grant (or shed) in w.ready wins: a
+// granted slot is handed back, a shed reason is returned as-is.
+func (s *Server) abandon(w *waiter, cause error) error {
+	s.mu.Lock()
+	if s.queue.remove(w) {
+		if cause == ErrExpiredInQueue {
+			s.stats.SweptExpired++
+		} else {
+			s.stats.CanceledWaiting++
+		}
+		s.mu.Unlock()
+		return cause
+	}
+	s.mu.Unlock()
+	// Dispatch already decided; its decision is in the channel.
+	granted := <-w.ready
+	if granted == nil {
+		s.mu.Lock()
+		s.limiter.release()
+		s.dispatchLocked()
+		s.mu.Unlock()
+		return cause
+	}
+	return granted
+}
+
+// dispatchLocked sweeps expired waiters and grants slots while the
+// window has room. Called whenever a slot frees or the window grows.
+func (s *Server) dispatchLocked() {
+	now := s.clock.Now()
+	est := s.lat.estimate
+	s.queue.sweep(
+		func(w *waiter) bool { return w.deadline.Sub(now) < est },
+		func(w *waiter) {
+			s.stats.SweptExpired++
+			w.granted = true
+			w.ready <- ErrExpiredInQueue
+		},
+	)
+	for s.queue.depth > 0 && s.limiter.tryAcquire() {
+		w := s.queue.pop()
+		w.granted = true
+		w.ready <- nil
+	}
+}
+
+// recordExactLocked refreshes the per-point snapshot and the
+// service-wide bounds window with one exact answer.
+func (s *Server) recordExactLocked(key string, p float64, at time.Time) {
+	if len(s.stale) >= s.cfg.StaleCapacity {
+		clear(s.stale)
+	}
+	s.stale[key] = socruntime.LastGood{Pfail: p, At: at}
+	s.exacts[s.exactI] = p
+	s.exactI = (s.exactI + 1) % len(s.exacts)
+	if s.exactN < len(s.exacts) {
+		s.exactN++
+	}
+}
+
+// exactBoundsLocked is the sliding [min, max] over recent exact answers.
+func (s *Server) exactBoundsLocked() (lo, hi float64, ok bool) {
+	if s.exactN == 0 {
+		return 0, 0, false
+	}
+	lo, hi = s.exacts[0], s.exacts[0]
+	for _, p := range s.exacts[:s.exactN] {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return lo, hi, true
+}
+
+// degradeLocked walks the degradation ladder for one request that could
+// not be answered exactly: Stale from the per-point snapshot, Bounded
+// from a solver residual (runtime.Degrade) or from the recent-exact
+// interval, Unavailable as the floor. The returned answer always
+// carries cause.
+func (s *Server) degradeLocked(key string, cause error, now time.Time) socruntime.Answer {
+	var last *socruntime.LastGood
+	if lg, ok := s.stale[key]; ok {
+		last = &lg
+	}
+	ans := socruntime.Degrade(cause, last, now)
+	if ans.Kind == socruntime.Unavailable {
+		if lo, hi, ok := s.exactBoundsLocked(); ok {
+			ans = socruntime.BoundedInterval(lo, hi, cause)
+		}
+	}
+	switch ans.Kind {
+	case socruntime.Stale:
+		s.stats.Stale++
+	case socruntime.Bounded:
+		s.stats.Bounded++
+	default:
+		s.stats.Unavailable++
+	}
+	return ans
+}
+
+// degradeBatchLocked degrades every point of a shed batch.
+func (s *Server) degradeBatchLocked(out []socruntime.Answer, service string, sets [][]float64, cause error, now time.Time) {
+	for i, params := range sets {
+		out[i] = s.degradeLocked(snapshotKey(service, params), cause, now)
+	}
+}
+
+// evalBatch runs the grid through the backend's batch kernel when it has
+// one, falling back to a per-point loop with cancellation checks at
+// every point boundary.
+func (s *Server) evalBatch(ctx context.Context, service string, sets [][]float64, deadline time.Time) ([]float64, error) {
+	evalCtx, cancel, cleanup := s.deadlineCtx(ctx, deadline)
+	defer cleanup()
+	_ = cancel
+	if be, ok := s.eval.(BatchEvaluator); ok {
+		return be.PfailBatchCtx(evalCtx, service, sets)
+	}
+	out := make([]float64, len(sets))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	var firstErr error
+	for i, params := range sets {
+		if err := evalCtx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: batch point %d: %w: %w", i, core.ErrCanceled, err)
+			}
+			break
+		}
+		p, err := s.eval.PfailCtx(evalCtx, service, params...)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: batch point %d: %w", i, err)
+			}
+			continue
+		}
+		out[i] = p
+	}
+	return out, firstErr
+}
+
+// deadlineCtx derives the evaluation context: cancelable, with a
+// clock-driven deadline watcher when a deadline is set (context's own
+// WithDeadline compares against the wall clock, which would not respect
+// a FakeClock). cleanup must be deferred; cancel aborts the evaluation
+// early.
+func (s *Server) deadlineCtx(ctx context.Context, deadline time.Time) (evalCtx context.Context, cancel context.CancelFunc, cleanup func()) {
+	evalCtx, cancel = context.WithCancel(ctx)
+	if deadline.IsZero() {
+		return evalCtx, cancel, cancel
+	}
+	d := deadline.Sub(s.clock.Now())
+	if d <= 0 {
+		cancel()
+		return evalCtx, cancel, cancel
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-s.clock.After(d):
+			cancel()
+		case <-stop:
+		}
+	}()
+	return evalCtx, cancel, func() {
+		close(stop)
+		cancel()
+	}
+}
+
+// snapshotKey renders (service, params) into the stale-store key.
+func snapshotKey(service string, params []float64) string {
+	b := make([]byte, 0, len(service)+1+8*len(params))
+	b = append(b, service...)
+	b = append(b, 0)
+	for _, p := range params {
+		bits := math.Float64bits(p)
+		b = append(b,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	return string(b)
+}
