@@ -7,6 +7,12 @@
 //	relpred -file system.adl -assembly local -service search -params 1,4096,1 -report
 //	relpred -file system.adl -tojson           # convert DSL to JSON
 //	relpred -paper local -params 1,4096,1      # built-in paper example
+//	relpred -model system.adl -params 1,4096,1             # file, auto-detected
+//	relpred -model acme/search@2 -store ./models -params 1 # stored version
+//
+// -model accepts either an ADL file path (used when the path exists) or a
+// model-store reference tenant/name[@version] resolved against -store;
+// omitting @version reads the latest published version.
 //
 // With -fixedpoint, recursive (mutually calling) assemblies are solved by
 // fixed-point iteration instead of being rejected.
@@ -39,6 +45,7 @@ import (
 	"socrel/internal/dot"
 	"socrel/internal/model"
 	"socrel/internal/sensitivity"
+	"socrel/internal/store"
 )
 
 // Process exit codes; see the package comment.
@@ -55,6 +62,11 @@ const (
 // failures) so they map to the usage exit code.
 var errUsage = errors.New("usage error")
 
+// errModelDefect marks a model that was located but is unusable (parse
+// failure, corrupt stored record, failed validation), mapping -model
+// loading failures to the defect exit code.
+var errModelDefect = errors.New("model defect")
+
 // exitCodeFor maps an error to the process exit code through the typed
 // taxonomy: cancellation, non-convergence, and model defects are
 // distinct, everything else is a generic failure.
@@ -64,6 +76,8 @@ func exitCodeFor(err error) int {
 		return exitOK
 	case errors.Is(err, errUsage):
 		return exitUsage
+	case errors.Is(err, errModelDefect):
+		return exitDefect
 	}
 	switch core.ErrorClass(err) {
 	case "canceled":
@@ -96,6 +110,8 @@ func run(args []string, out io.Writer) error {
 	toJSON := fs.Bool("tojson", false, "convert the document to JSON and exit")
 	fixedPoint := fs.Bool("fixedpoint", false, "solve recursive assemblies by fixed-point iteration")
 	paper := fs.String("paper", "", "use the built-in paper example: 'local' or 'remote'")
+	modelArg := fs.String("model", "", "model to load: an ADL file path, or a store ref tenant/name[@version]")
+	storeDir := fs.String("store", "", "model store directory backing -model store refs")
 	dotOut := fs.String("dot", "", "emit Graphviz DOT instead of a prediction: 'flow', 'failures', or 'assembly'")
 	sweep := fs.String("sweep", "", "sweep one formal parameter: 'name=lo:hi:n' (geometric grid); the -params value for that position is ignored")
 	timeout := fs.Duration("timeout", 0, "evaluation deadline (e.g. 500ms); expired runs fail with the typed error class (0 = none)")
@@ -126,6 +142,29 @@ func run(args []string, out io.Writer) error {
 
 	var asm *assembly.Assembly
 	switch {
+	case *modelArg != "":
+		if *file != "" || *paper != "" {
+			return fmt.Errorf("%w: -model is exclusive with -file and -paper", errUsage)
+		}
+		doc, err := loadModel(*modelArg, *storeDir)
+		if err != nil {
+			return err
+		}
+		if *toJSON {
+			data, err := adl.MarshalJSON(doc)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(out, string(data))
+			return err
+		}
+		asm, err = buildFromDocument(doc, *asmName)
+		if err != nil {
+			if errors.Is(err, errUsage) {
+				return err
+			}
+			return fmt.Errorf("%w: %w", errModelDefect, err)
+		}
 	case *paper != "":
 		p := assembly.DefaultPaperParams()
 		switch *paper {
@@ -152,15 +191,7 @@ func run(args []string, out io.Writer) error {
 			_, err = fmt.Fprintln(out, string(data))
 			return err
 		}
-		name := *asmName
-		if name == "" {
-			names := doc.AssemblyNames()
-			if len(names) != 1 {
-				return fmt.Errorf("document defines assemblies %v; pick one with -assembly", names)
-			}
-			name = names[0]
-		}
-		asm, err = doc.BuildAssembly(name)
+		asm, err = buildFromDocument(doc, *asmName)
 		if err != nil {
 			return err
 		}
@@ -350,6 +381,66 @@ func emitDOT(out io.Writer, asm *assembly.Assembly, kind, service string, params
 	default:
 		return fmt.Errorf("unknown -dot kind %q (want flow, failures, or assembly)", kind)
 	}
+}
+
+// buildFromDocument resolves the assembly name (requiring -assembly when
+// the document is ambiguous) and builds it.
+func buildFromDocument(doc *adl.Document, name string) (*assembly.Assembly, error) {
+	if name == "" {
+		names := doc.AssemblyNames()
+		if len(names) != 1 {
+			return nil, fmt.Errorf("%w: document defines assemblies %v; pick one with -assembly", errUsage, names)
+		}
+		name = names[0]
+	}
+	return doc.BuildAssembly(name)
+}
+
+// loadModel resolves -model: an existing file path loads as a document;
+// anything else must be a store reference resolved against -store.
+// Mistakes in naming the model are usage errors; a model that is found
+// but does not load is a model defect.
+func loadModel(arg, storeDir string) (*adl.Document, error) {
+	if fi, err := os.Stat(arg); err == nil && !fi.IsDir() {
+		doc, err := loadDocument(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %w", errModelDefect, arg, err)
+		}
+		return doc, nil
+	}
+	// "file.adl@2" — a version pin on something that is a file once the
+	// pin is stripped — is a usage mistake, not a missing store ref.
+	if at := strings.LastIndexByte(arg, '@'); at > 0 {
+		if fi, err := os.Stat(arg[:at]); err == nil && !fi.IsDir() {
+			return nil, fmt.Errorf("%w: -model %q: version pins apply only to store refs, not files", errUsage, arg)
+		}
+	}
+	ref, err := store.ParseRef(arg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: -model %q is neither a readable file nor a store ref: %v", errUsage, arg, err)
+	}
+	if storeDir == "" {
+		return nil, fmt.Errorf("%w: -model %s names a stored model; -store DIR is required", errUsage, ref)
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	rec, err := st.Get(ref)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return nil, fmt.Errorf("%w: %v", errUsage, err)
+	case errors.Is(err, store.ErrCorrupt):
+		return nil, fmt.Errorf("%w: %v", errModelDefect, err)
+	case err != nil:
+		return nil, err
+	}
+	doc, err := rec.Document()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errModelDefect, err)
+	}
+	return doc, nil
 }
 
 func loadDocument(path string) (*adl.Document, error) {

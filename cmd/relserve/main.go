@@ -7,13 +7,27 @@
 //
 //	relserve -paper local -service search -listen :8080
 //	relserve -file system.adl -assembly local -service search -listen :8080
+//	relserve -store ./models -service search -listen :8080
 //
 // Endpoints:
 //
 //	POST /predict        {"service":"search","params":[1,4096,1],"priority":"interactive","timeout_ms":250}
 //	POST /predict/batch  {"service":"search","param_sets":[[1,4096,1],[2,4096,1]],"priority":"batch"}
 //	GET  /healthz        200 while accepting load, 503 at overload
-//	GET  /stats          admission/shedding/hedging counters and gauges
+//	GET  /stats          admission/shedding/hedging counters, artifact-cache counters
+//
+// With a model store (-store DIR for the durable disk store, or the
+// default in-memory store) the server is multi-tenant:
+//
+//	GET    /models                        list every stored model
+//	PUT    /models/{tenant}/{model}       publish a version (body: ADL DSL or JSON; ?expect=N for CAS)
+//	GET    /models/{tenant}/{model}       fetch a version (?version=N, default latest)
+//	DELETE /models/{tenant}/{model}       drop a model and its versions
+//	POST   /predict?model=tenant/m@3      predict against a stored version (?assembly=NAME)
+//
+// /predict?model= resolves through an LRU cache of compiled artifacts;
+// omitting @version pins nothing and re-resolves latest per request,
+// while @N keeps serving that exact version no matter what is published.
 //
 // Every /predict response carries a "kind" tag; degraded answers (stale,
 // bounded, unavailable) also carry the causing "error". Shed requests
@@ -27,8 +41,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +54,7 @@ import (
 	"socrel/internal/core"
 	socruntime "socrel/internal/runtime"
 	"socrel/internal/server"
+	"socrel/internal/store"
 )
 
 func main() {
@@ -59,6 +76,8 @@ func run(args []string, out io.Writer) error {
 	latencyTarget := fs.Duration("latency-target", 50*time.Millisecond, "per-evaluation latency the limiter steers toward")
 	noHedge := fs.Bool("no-hedge", false, "disable request hedging")
 	fixedPoint := fs.Bool("fixedpoint", false, "solve recursive assemblies by fixed-point iteration")
+	storeDir := fs.String("store", "", "model store directory (':memory:' = volatile in-memory store)")
+	cacheCap := fs.Int("cache", 64, "compiled-artifact cache capacity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,15 +86,38 @@ func run(args []string, out io.Writer) error {
 	if *fixedPoint {
 		opts.Cycles = core.CycleFixedPoint
 	}
-	asm, err := loadAssembly(*file, *asmName, *paper)
-	if err != nil {
-		return err
+
+	if *file == "" && *paper == "" && *storeDir == "" {
+		return errors.New("nothing to serve: pass -file or -paper for a default model, and/or -store for a model store")
 	}
-	eval, mode, err := buildEvaluator(asm, opts, *service)
-	if err != nil {
-		return err
+	var st store.Store
+	if *storeDir != "" && *storeDir != ":memory:" {
+		disk, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		st = disk
+	} else {
+		st = store.NewMem()
 	}
-	srv := server.New(eval, server.Config{
+	defer st.Close()
+	host := newModelHost(st, *cacheCap, opts)
+
+	// A default assembly is optional: a store-only server answers
+	// /predict?model= requests and 404s bare /predict calls.
+	var eval server.Evaluator
+	mode := "store-only"
+	if *file != "" || *paper != "" {
+		asm, err := loadAssembly(*file, *asmName, *paper)
+		if err != nil {
+			return err
+		}
+		eval, mode, err = buildEvaluator(asm, opts, *service)
+		if err != nil {
+			return err
+		}
+	}
+	srv := server.New(&dispatchEval{fallback: eval}, server.Config{
 		Service:       *service,
 		QueueCapacity: *queueCap,
 		Limiter:       server.LimiterConfig{Max: *maxConc, LatencyTarget: *latencyTarget},
@@ -83,8 +125,91 @@ func run(args []string, out io.Writer) error {
 	})
 
 	fmt.Fprintf(out, "relserve: serving %q (%s engine) on %s\n", *service, mode, *listen)
-	hs := &http.Server{Addr: *listen, Handler: newMux(srv)}
+	hs := &http.Server{Addr: *listen, Handler: newMux(srv, host)}
 	return hs.ListenAndServe()
+}
+
+// modelHost bundles the model store with its compiled-artifact cache.
+type modelHost struct {
+	st    store.Store
+	cache *store.ArtifactCache
+	opts  core.Options
+}
+
+func newModelHost(st store.Store, cacheCap int, opts core.Options) *modelHost {
+	return &modelHost{st: st, cache: store.NewArtifactCache(cacheCap), opts: opts}
+}
+
+// modelCtxKey carries the request's compiled artifact from the HTTP
+// handler through the admission-controlled server to the evaluator, so
+// every tenant model is served with full admission control, hedging, and
+// degradation without one server instance per model.
+type modelCtxKey struct{}
+
+// dispatchEval routes an evaluation to the compiled artifact selected by
+// the request (via modelCtxKey), falling back to the default assembly's
+// evaluator when the request names no model.
+type dispatchEval struct {
+	fallback server.Evaluator
+}
+
+// errNoDefaultModel is returned for bare /predict calls on a store-only
+// server.
+var errNoDefaultModel = errors.New("no default assembly loaded; select a stored model with ?model=tenant/name[@version]")
+
+func (d *dispatchEval) resolve(ctx context.Context) (server.Evaluator, error) {
+	if ca, ok := ctx.Value(modelCtxKey{}).(*core.CompiledAssembly); ok && ca != nil {
+		return ca, nil
+	}
+	if d.fallback == nil {
+		return nil, errNoDefaultModel
+	}
+	return d.fallback, nil
+}
+
+func (d *dispatchEval) PfailCtx(ctx context.Context, service string, params ...float64) (float64, error) {
+	eval, err := d.resolve(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return eval.PfailCtx(ctx, service, params...)
+}
+
+// PfailBatchCtx keeps the batch fast path: when the effective evaluator
+// has a batch kernel it is used directly, otherwise the server's
+// per-point fallback takes over.
+func (d *dispatchEval) PfailBatchCtx(ctx context.Context, service string, paramSets [][]float64) ([]float64, error) {
+	eval, err := d.resolve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if be, ok := eval.(server.BatchEvaluator); ok {
+		return be.PfailBatchCtx(ctx, service, paramSets)
+	}
+	// Mirror the batch partial-results contract: NaN at failed points,
+	// lowest-indexed error reported.
+	out := make([]float64, len(paramSets))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	var firstErr error
+	for i, params := range paramSets {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("batch point %d: %w: %w", i, core.ErrCanceled, err)
+			}
+			break
+		}
+		p, err := eval.PfailCtx(ctx, service, params...)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("batch point %d: %w", i, err)
+			}
+			continue
+		}
+		out[i] = p
+	}
+	return out, firstErr
 }
 
 // loadAssembly resolves the -file / -paper flags into an assembly.
@@ -228,9 +353,41 @@ func statusFor(a socruntime.Answer) int {
 	return http.StatusInternalServerError
 }
 
-// newMux builds the HTTP handler over an admission-controlled server.
-// Split from run so tests drive it with httptest.
-func newMux(srv *server.Server) *http.ServeMux {
+// modelContext resolves an optional ?model=tenant/name[@version] query
+// parameter into a request context carrying the compiled artifact, plus
+// the stale-store scope (the concrete resolved version, so degraded
+// answers never cross models or versions). The bool reports whether the
+// response has already been written (error).
+func modelContext(w http.ResponseWriter, r *http.Request, host *modelHost) (context.Context, string, bool) {
+	ctx := r.Context()
+	m := r.URL.Query().Get("model")
+	if m == "" {
+		return ctx, "", false
+	}
+	if host == nil {
+		httpError(w, http.StatusNotFound, errors.New("no model store configured"))
+		return nil, "", true
+	}
+	ref, err := store.ParseRef(m)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, "", true
+	}
+	ca, rec, err := host.cache.Load(host.st, ref, r.URL.Query().Get("assembly"), host.opts)
+	if err != nil {
+		httpError(w, storeStatus(err), err)
+		return nil, "", true
+	}
+	scope := rec.Ref.String()
+	if asm := r.URL.Query().Get("assembly"); asm != "" {
+		scope += "#" + asm
+	}
+	return context.WithValue(ctx, modelCtxKey{}, ca), scope, false
+}
+
+// newMux builds the HTTP handler over an admission-controlled server and
+// a model host. Split from run so tests drive it with httptest.
+func newMux(srv *server.Server, host *modelHost) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
@@ -244,8 +401,13 @@ func newMux(srv *server.Server) *http.ServeMux {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		ans := srv.Serve(r.Context(), server.Request{
+		ctx, scope, done := modelContext(w, r, host)
+		if done {
+			return
+		}
+		ans := srv.Serve(ctx, server.Request{
 			Service:  req.Service,
+			Scope:    scope,
 			Params:   req.Params,
 			Priority: pri,
 			Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
@@ -271,8 +433,13 @@ func newMux(srv *server.Server) *http.ServeMux {
 		if pri == server.Interactive && req.Priority == "" {
 			pri = server.Batch // batches default to the batch class
 		}
-		answers := srv.ServeBatch(r.Context(), server.BatchRequest{
+		ctx, scope, done := modelContext(w, r, host)
+		if done {
+			return
+		}
+		answers := srv.ServeBatch(ctx, server.BatchRequest{
 			Service:   req.Service,
+			Scope:     scope,
 			ParamSets: req.ParamSets,
 			Priority:  pri,
 			Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
@@ -305,9 +472,13 @@ func newMux(srv *server.Server) *http.ServeMux {
 		writeJSON(w, status, map[string]string{"status": state, "saturation": sat.String()})
 	})
 
+	if host != nil {
+		registerModelRoutes(mux, host)
+	}
+
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := srv.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
+		stats := map[string]any{
 			"offered":              st.Offered,
 			"admitted":             st.Admitted,
 			"exact":                st.Exact,
@@ -327,10 +498,171 @@ func newMux(srv *server.Server) *http.ServeMux {
 			"estimated_latency_us": st.EstimatedLatency.Microseconds(),
 			"hedge_delay_us":       st.HedgeDelay.Microseconds(),
 			"saturation":           st.Saturation.String(),
-		})
+		}
+		if host != nil {
+			cs := host.cache.Stats()
+			stats["artifact_cache"] = map[string]any{
+				"hits":      cs.Hits,
+				"misses":    cs.Misses,
+				"evictions": cs.Evictions,
+				"entries":   cs.Entries,
+			}
+		}
+		writeJSON(w, http.StatusOK, stats)
 	})
 
 	return mux
+}
+
+// storeStatus maps a store error to its HTTP status.
+func storeStatus(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrVersionConflict):
+		return http.StatusConflict
+	case errors.Is(err, store.ErrBadName):
+		return http.StatusBadRequest
+	case errors.Is(err, store.ErrCorrupt):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// modelMeta is the wire form of one stored model in listings.
+type modelMeta struct {
+	Ref      string `json:"ref"`
+	Tenant   string `json:"tenant"`
+	Model    string `json:"model"`
+	Latest   int    `json:"latest"`
+	Versions int    `json:"versions"`
+	Hash     string `json:"hash"`
+}
+
+// recordMeta is the wire form of one stored version.
+type recordMeta struct {
+	Ref       string          `json:"ref"`
+	Tenant    string          `json:"tenant"`
+	Model     string          `json:"model"`
+	Version   int             `json:"version"`
+	Hash      string          `json:"hash"`
+	CreatedAt time.Time       `json:"created_at"`
+	Comment   string          `json:"comment,omitempty"`
+	Document  json.RawMessage `json:"document,omitempty"`
+}
+
+func toRecordMeta(rec store.Record, withDoc bool) recordMeta {
+	m := recordMeta{
+		Ref:       rec.Ref.String(),
+		Tenant:    rec.Tenant,
+		Model:     rec.Model,
+		Version:   rec.Version,
+		Hash:      rec.Hash,
+		CreatedAt: rec.CreatedAt,
+		Comment:   rec.Comment,
+	}
+	if withDoc {
+		m.Document = json.RawMessage(rec.Source)
+	}
+	return m
+}
+
+// registerModelRoutes wires the model-store CRUD under /models.
+func registerModelRoutes(mux *http.ServeMux, host *modelHost) {
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		tenants, err := host.st.Tenants()
+		if err != nil {
+			httpError(w, storeStatus(err), err)
+			return
+		}
+		models := []modelMeta{}
+		for _, tenant := range tenants {
+			names, err := host.st.Models(tenant)
+			if err != nil {
+				httpError(w, storeStatus(err), err)
+				return
+			}
+			for _, name := range names {
+				versions, err := host.st.Versions(tenant, name)
+				if err != nil || len(versions) == 0 {
+					continue // deleted between listing and read
+				}
+				latest := versions[len(versions)-1]
+				models = append(models, modelMeta{
+					Ref:      tenant + "/" + name,
+					Tenant:   tenant,
+					Model:    name,
+					Latest:   latest.Version,
+					Versions: len(versions),
+					Hash:     latest.Hash,
+				})
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"models": models})
+	})
+
+	mux.HandleFunc("GET /models/{tenant}/{model}", func(w http.ResponseWriter, r *http.Request) {
+		ref := store.Ref{Tenant: r.PathValue("tenant"), Model: r.PathValue("model")}
+		if v := r.URL.Query().Get("version"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad version %q (want a positive integer)", v))
+				return
+			}
+			ref.Version = n
+		}
+		rec, err := host.st.Get(ref)
+		if err != nil {
+			httpError(w, storeStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toRecordMeta(rec, true))
+	})
+
+	mux.HandleFunc("PUT /models/{tenant}/{model}", func(w http.ResponseWriter, r *http.Request) {
+		tenant, model := r.PathValue("tenant"), r.PathValue("model")
+		popts := store.PublishOptions{Comment: r.URL.Query().Get("comment")}
+		if e := r.URL.Query().Get("expect"); e != "" {
+			n, err := strconv.Atoi(e)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad expect %q (want an integer; -1 = must not exist)", e))
+				return
+			}
+			popts.ExpectedLatest = n
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var doc *adl.Document
+		if strings.HasPrefix(strings.TrimSpace(string(data)), "{") {
+			doc, err = adl.UnmarshalJSON(data)
+		} else {
+			doc, err = adl.ParseDSL(string(data))
+		}
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		rec, err := host.st.Publish(tenant, model, doc, popts)
+		if err != nil {
+			httpError(w, storeStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toRecordMeta(rec, false))
+	})
+
+	mux.HandleFunc("DELETE /models/{tenant}/{model}", func(w http.ResponseWriter, r *http.Request) {
+		tenant, model := r.PathValue("tenant"), r.PathValue("model")
+		if err := host.st.Delete(tenant, model); err != nil {
+			httpError(w, storeStatus(err), err)
+			return
+		}
+		host.cache.Invalidate(tenant, model)
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": tenant + "/" + model})
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -3,12 +3,9 @@ package adl
 import (
 	"errors"
 	"math"
-	"os"
 	"strings"
 	"testing"
 
-	"socrel/internal/assembly"
-	"socrel/internal/core"
 	"socrel/internal/model"
 )
 
@@ -99,37 +96,9 @@ func TestParsePaperDSL(t *testing.T) {
 	}
 }
 
-// TestDSLAssemblyMatchesProgrammatic verifies the full pipeline: DSL text
-// -> document -> assembly -> engine agrees with the closed forms of
-// section 4 (the same check the programmatic construction passes).
-func TestDSLAssemblyMatchesProgrammatic(t *testing.T) {
-	doc, err := ParseDSL(paperDSL)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := assembly.DefaultPaperParams() // matches the constants in paperDSL
-	for _, tc := range []struct {
-		name   string
-		remote bool
-	}{{"local", false}, {"remote", true}} {
-		asm, err := doc.BuildAssembly(tc.name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ev := core.New(asm, core.Options{})
-		for _, list := range []float64{64, 4096, 1 << 16} {
-			got, err := ev.Pfail("search", 1, list, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := assembly.ClosedFormSearch(p, tc.remote, 1, list, 1)
-			if math.Abs(got-want) > 1e-12 {
-				t.Errorf("%s list=%g: DSL-built engine %.15g vs closed form %.15g",
-					tc.name, list, got, want)
-			}
-		}
-	}
-}
+// TestDSLAssemblyMatchesProgrammatic lives in engine_test.go (external
+// test package): it imports internal/core, which now imports this
+// package, so keeping it here would be an import cycle.
 
 func TestBuildAssemblyUnknown(t *testing.T) {
 	doc, err := ParseDSL(paperDSL)
@@ -286,47 +255,9 @@ service x perfect   # trailing comment
 	}
 }
 
-// TestJSONRoundTrip: DSL -> Document -> JSON -> Document preserves the
-// reliability semantics exactly.
-func TestJSONRoundTrip(t *testing.T) {
-	doc, err := ParseDSL(paperDSL)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data, err := MarshalJSON(doc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	doc2, err := UnmarshalJSON(data)
-	if err != nil {
-		t.Fatalf("UnmarshalJSON: %v\njson:\n%s", err, data)
-	}
-	if len(doc2.Services) != len(doc.Services) || len(doc2.Assemblies) != len(doc.Assemblies) {
-		t.Fatalf("round trip changed counts: %d/%d services, %d/%d assemblies",
-			len(doc2.Services), len(doc.Services), len(doc2.Assemblies), len(doc.Assemblies))
-	}
-	for _, name := range []string{"local", "remote"} {
-		a1, err := doc.BuildAssembly(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		a2, err := doc2.BuildAssembly(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		v1, err := core.New(a1, core.Options{}).Pfail("search", 1, 4096, 1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		v2, err := core.New(a2, core.Options{}).Pfail("search", 1, 4096, 1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if math.Abs(v1-v2) > 1e-15 {
-			t.Errorf("%s: round trip changed Pfail: %g vs %g", name, v1, v2)
-		}
-	}
-}
+// TestJSONRoundTrip (DSL -> Document -> JSON -> Document preserves the
+// reliability semantics exactly) lives in engine_test.go (external test
+// package) for the same import-cycle reason.
 
 func TestJSONRoundTripKofNAndSharing(t *testing.T) {
 	src := `
@@ -444,33 +375,5 @@ service rep kofn_transport {
 	}
 }
 
-func TestShippedPaperADLFile(t *testing.T) {
-	// The example file in the repository must stay parseable and agree
-	// with the programmatic construction.
-	data, err := os.ReadFile("../../examples/paper.adl")
-	if err != nil {
-		t.Fatal(err)
-	}
-	doc, err := ParseDSL(string(data))
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := assembly.DefaultPaperParams()
-	for _, tc := range []struct {
-		name   string
-		remote bool
-	}{{"local", false}, {"remote", true}} {
-		asm, err := doc.BuildAssembly(tc.name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := core.New(asm, core.Options{}).Pfail("search", 1, 4096, 1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		want := assembly.ClosedFormSearch(p, tc.remote, 1, 4096, 1)
-		if math.Abs(got-want) > 1e-12 {
-			t.Errorf("%s: shipped ADL %.15g vs closed form %.15g", tc.name, got, want)
-		}
-	}
-}
+// TestShippedPaperADLFile lives in engine_test.go (external test
+// package) for the same import-cycle reason.

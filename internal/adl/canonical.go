@@ -1,0 +1,94 @@
+package adl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"socrel/internal/assembly"
+	"socrel/internal/model"
+)
+
+// Canonical form and content addressing. The model store keys versions by
+// the hash of a document's canonical serialization, so two authors (or one
+// author using the DSL vs. the JSON codec) publishing semantically
+// identical documents deduplicate to one version. Canonicalization:
+//
+//   - services sorted by name, assemblies sorted by name, bindings sorted
+//     by (caller, role);
+//   - every expression reduced to its parse-stable source form (the fixed
+//     point of expr.Parse ∘ expr.Expr.String);
+//   - the sugar service kinds (cpu, network, lpc, ...) lowered to their
+//     canonical simple/composite representation (MarshalJSON already
+//     lowers them).
+//
+// Normalize is idempotent: Normalize(Normalize(d)) marshals byte-identically
+// to Normalize(d). The round-trip property test and the ADL fuzz harness
+// both enforce this.
+
+// Normalize returns a canonical copy of the document. The input is not
+// modified; services are rebuilt through the JSON codec, which lowers
+// syntactic sugar and re-parses every expression from its printed form.
+func Normalize(d *Document) (*Document, error) {
+	sorted := &Document{
+		Services:   append([]model.Service(nil), d.Services...),
+		Assemblies: make([]AssemblyDef, len(d.Assemblies)),
+	}
+	sort.SliceStable(sorted.Services, func(i, j int) bool {
+		return sorted.Services[i].Name() < sorted.Services[j].Name()
+	})
+	for i, a := range d.Assemblies {
+		def := AssemblyDef{Name: a.Name, Bindings: append([]assembly.Binding(nil), a.Bindings...)}
+		sort.SliceStable(def.Bindings, func(x, y int) bool {
+			if def.Bindings[x].Caller != def.Bindings[y].Caller {
+				return def.Bindings[x].Caller < def.Bindings[y].Caller
+			}
+			return def.Bindings[x].Role < def.Bindings[y].Role
+		})
+		sorted.Assemblies[i] = def
+	}
+	sort.SliceStable(sorted.Assemblies, func(i, j int) bool {
+		return sorted.Assemblies[i].Name < sorted.Assemblies[j].Name
+	})
+	// Round-tripping through the JSON codec lowers sugar kinds and
+	// canonicalizes expression text.
+	data, err := MarshalJSON(sorted)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalJSON(data)
+}
+
+// Hash returns the content address of the document: the hex SHA-256 of its
+// canonical serialization. Documents that normalize identically hash
+// identically regardless of declaration order, sugar, or expression
+// spelling.
+func Hash(d *Document) (string, error) {
+	n, err := Normalize(d)
+	if err != nil {
+		return "", err
+	}
+	data, err := MarshalJSON(n)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// FromAssembly lifts a materialized assembly back into a single-assembly
+// document (its services plus one AssemblyDef), so builder-derived variants
+// can be published to the model store.
+func FromAssembly(asm *assembly.Assembly) (*Document, error) {
+	doc := &Document{}
+	for _, name := range asm.ServiceNames() {
+		svc, err := asm.ServiceByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("adl: %w", err)
+		}
+		doc.Services = append(doc.Services, svc)
+	}
+	doc.Assemblies = []AssemblyDef{{Name: asm.Name(), Bindings: asm.Bindings()}}
+	return doc, nil
+}

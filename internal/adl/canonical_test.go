@@ -1,0 +1,139 @@
+package adl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// mustCanonicalBytes normalizes and marshals, failing the test on error.
+func mustCanonicalBytes(t *testing.T, d *Document) []byte {
+	t.Helper()
+	n, err := Normalize(d)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	data, err := MarshalJSON(n)
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	return data
+}
+
+// TestNormalizeFixedPoint is the round-trip property on the paper example:
+// parse → normalize → marshal → parse must be a fixed point of the
+// canonical serialization.
+func TestNormalizeFixedPoint(t *testing.T) {
+	doc, err := ParseDSL(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mustCanonicalBytes(t, doc)
+	reparsed, err := UnmarshalJSON(first)
+	if err != nil {
+		t.Fatalf("reparse canonical JSON: %v", err)
+	}
+	second := mustCanonicalBytes(t, reparsed)
+	if !bytes.Equal(first, second) {
+		t.Errorf("canonical form is not a fixed point:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// TestHashInsensitiveToOrderAndSugar verifies content addressing: the same
+// services and bindings declared in a different order, and the lowered
+// (sugar-free) form, hash identically.
+func TestHashInsensitiveToOrderAndSugar(t *testing.T) {
+	doc, err := ParseDSL(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := Hash(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reversed declaration order.
+	rev := &Document{}
+	for i := len(doc.Services) - 1; i >= 0; i-- {
+		rev.Services = append(rev.Services, doc.Services[i])
+	}
+	for i := len(doc.Assemblies) - 1; i >= 0; i-- {
+		def := doc.Assemblies[i]
+		var bindings = def.Bindings
+		for l, r := 0, len(bindings)-1; l < r; l, r = l+1, r-1 {
+			bindings[l], bindings[r] = bindings[r], bindings[l]
+		}
+		rev.Assemblies = append(rev.Assemblies, AssemblyDef{Name: def.Name, Bindings: bindings})
+	}
+	h2, err := Hash(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("hash depends on declaration order: %s vs %s", h1, h2)
+	}
+
+	// Lowered form (canonical JSON reparsed — sugar kinds gone).
+	lowered, err := UnmarshalJSON(mustCanonicalBytes(t, doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := Hash(lowered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h3 {
+		t.Errorf("hash depends on sugar lowering: %s vs %s", h1, h3)
+	}
+}
+
+// TestHashDistinguishesContent: a one-constant change must move the hash.
+func TestHashDistinguishesContent(t *testing.T) {
+	doc, err := ParseDSL(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := Hash(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ParseDSL(strings.Replace(paperDSL, "attr q 0.9", "attr q 0.8", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hash(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("documents with different attributes hash identically")
+	}
+}
+
+// TestFromAssemblyRoundTrip lifts the built remote assembly back into a
+// document and checks it rebuilds an equivalent assembly (same bindings,
+// same services by name).
+func TestFromAssemblyRoundTrip(t *testing.T) {
+	doc, err := ParseDSL(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := doc.BuildAssembly("remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := FromAssembly(asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := lifted.BuildAssembly("remote")
+	if err != nil {
+		t.Fatalf("rebuild lifted assembly: %v", err)
+	}
+	if got, want := len(re.ServiceNames()), len(asm.ServiceNames()); got != want {
+		t.Errorf("services = %d, want %d", got, want)
+	}
+	if got, want := len(re.Bindings()), len(asm.Bindings()); got != want {
+		t.Errorf("bindings = %d, want %d", got, want)
+	}
+}

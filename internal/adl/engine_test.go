@@ -1,0 +1,120 @@
+package adl_test
+
+// Engine-facing ADL tests live in an external test package: they import
+// internal/core, and core imports adl (CompileDocument), so an
+// in-package test would be an import cycle.
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"socrel/internal/adl"
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+)
+
+// paperDoc parses the shipped section-4 example (the same model as the
+// in-package paperDSL fixture) and returns its source and document.
+func paperDoc(t *testing.T) (string, *adl.Document) {
+	t.Helper()
+	data, err := os.ReadFile("../../examples/paper.adl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := adl.ParseDSL(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), doc
+}
+
+// TestDSLAssemblyMatchesProgrammatic verifies the full pipeline: DSL text
+// -> document -> assembly -> engine agrees with the closed forms of
+// section 4 (the same check the programmatic construction passes).
+func TestDSLAssemblyMatchesProgrammatic(t *testing.T) {
+	_, doc := paperDoc(t)
+	p := assembly.DefaultPaperParams() // matches the constants in the ADL
+	for _, tc := range []struct {
+		name   string
+		remote bool
+	}{{"local", false}, {"remote", true}} {
+		asm, err := doc.BuildAssembly(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := core.New(asm, core.Options{})
+		for _, list := range []float64{64, 4096, 1 << 16} {
+			got, err := ev.Pfail("search", 1, list, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := assembly.ClosedFormSearch(p, tc.remote, 1, list, 1)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("%s list=%g: DSL-built engine %.15g vs closed form %.15g",
+					tc.name, list, got, want)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	_, doc := paperDoc(t)
+	data, err := adl.MarshalJSON(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := adl.UnmarshalJSON(data)
+	if err != nil {
+		t.Fatalf("UnmarshalJSON: %v\njson:\n%s", err, data)
+	}
+	if len(doc2.Services) != len(doc.Services) || len(doc2.Assemblies) != len(doc.Assemblies) {
+		t.Fatalf("round trip changed counts: %d/%d services, %d/%d assemblies",
+			len(doc2.Services), len(doc.Services), len(doc2.Assemblies), len(doc.Assemblies))
+	}
+	for _, name := range []string{"local", "remote"} {
+		a1, err := doc.BuildAssembly(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := doc2.BuildAssembly(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := core.New(a1, core.Options{}).Pfail("search", 1, 4096, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := core.New(a2, core.Options{}).Pfail("search", 1, 4096, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v1-v2) > 1e-15 {
+			t.Errorf("%s: round trip changed Pfail: %g vs %g", name, v1, v2)
+		}
+	}
+}
+
+func TestShippedPaperADLFile(t *testing.T) {
+	// The example file in the repository must stay parseable and agree
+	// with the programmatic construction.
+	_, doc := paperDoc(t)
+	p := assembly.DefaultPaperParams()
+	for _, tc := range []struct {
+		name   string
+		remote bool
+	}{{"local", false}, {"remote", true}} {
+		asm, err := doc.BuildAssembly(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.New(asm, core.Options{}).Pfail("search", 1, 4096, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := assembly.ClosedFormSearch(p, tc.remote, 1, 4096, 1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: shipped ADL %.15g vs closed form %.15g", tc.name, got, want)
+		}
+	}
+}

@@ -1,0 +1,536 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"socrel/internal/adl"
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/model"
+	"socrel/internal/registry"
+)
+
+// Builder derives a variant assembly from a document's base assembly.
+// Operations are recorded in call order and validated together by Build;
+// a Builder is single-use and not safe for concurrent use.
+type Builder struct {
+	q    *Query
+	base string // base assembly name
+	name string // variant name ("" = base name)
+	opts core.Options
+	ops  []buildOp
+}
+
+// buildOp is one recorded operation, applied and validated at Build time.
+type buildOp struct {
+	op      string // rendered operation, e.g. "Rebind(search.sort)"
+	rebind  *rebindOp
+	setAttr *setAttrOp
+	define  model.Service
+	include *ServiceRef
+	sel     *selectOp
+}
+
+type rebindOp struct {
+	role RoleRef
+	to   BindingSpec
+}
+
+type setAttrOp struct {
+	svc   ServiceRef
+	attr  string
+	value float64
+}
+
+type selectOp struct {
+	role       RoleRef
+	candidates []registry.Candidate
+	target     ServiceRef
+	params     []float64
+}
+
+// Variant starts a builder over the named base assembly of the document.
+func (q *Query) Variant(assemblyName string) *Builder {
+	return &Builder{q: q, base: assemblyName}
+}
+
+// Named sets the variant assembly's name (default: the base name).
+func (b *Builder) Named(name string) *Builder {
+	b.name = name
+	return b
+}
+
+// WithOptions sets the engine options used by registry-driven Select
+// scoring (and only there; Build itself is engine-free).
+func (b *Builder) WithOptions(opts core.Options) *Builder {
+	b.opts = opts
+	return b
+}
+
+// Rebind overrides the binding of a (caller, role) pair: requests for
+// role made by the caller are served by the spec's provider (through its
+// connector, when given) instead of the base binding.
+func (b *Builder) Rebind(role RoleRef, to BindingSpec) *Builder {
+	b.ops = append(b.ops, buildOp{
+		op:     fmt.Sprintf("Rebind(%s -> %s)", role, to),
+		rebind: &rebindOp{role: role, to: to},
+	})
+	return b
+}
+
+// SetAttr overrides one published attribute of a service; the variant
+// gets a rebuilt service definition, the base document is untouched.
+func (b *Builder) SetAttr(svc ServiceRef, attr string, value float64) *Builder {
+	b.ops = append(b.ops, buildOp{
+		op:      fmt.Sprintf("SetAttr(%s.%s)", svc.name, attr),
+		setAttr: &setAttrOp{svc: svc, attr: attr, value: value},
+	})
+	return b
+}
+
+// Define adds a service definition to the variant — a brand-new provider
+// to swap in, or a replacement for a document service of the same name.
+func (b *Builder) Define(svc model.Service) *Builder {
+	op := "Define(<nil>)"
+	if svc != nil {
+		op = fmt.Sprintf("Define(%s)", svc.Name())
+	}
+	b.ops = append(b.ops, buildOp{op: op, define: svc})
+	return b
+}
+
+// Include forces a document service into the variant even when no binding
+// reaches it (e.g. a spare provider kept available for later rebinds).
+func (b *Builder) Include(svc ServiceRef) *Builder {
+	b.ops = append(b.ops, buildOp{op: fmt.Sprintf("Include(%s)", svc.name), include: &svc})
+	return b
+}
+
+// Select resolves the (caller, role) binding by reliability-driven
+// selection over the candidates: at Build time every candidate is scored
+// with registry.SelectBinding against the variant's bindings, and the
+// winner is applied as if Rebind had been called with it. The target
+// service and parameters define the invocation being optimized.
+func (b *Builder) Select(role RoleRef, candidates []registry.Candidate, target ServiceRef, params ...float64) *Builder {
+	b.ops = append(b.ops, buildOp{
+		op:  fmt.Sprintf("Select(%s from %d candidates)", role, len(candidates)),
+		sel: &selectOp{role: role, candidates: candidates, target: target, params: params},
+	})
+	return b
+}
+
+// Build validates every recorded operation and materializes the variant
+// assembly. All failures are reported together (errors.Join of
+// *BuildError values), each matching its taxonomy sentinel via errors.Is.
+func (b *Builder) Build() (*assembly.Assembly, error) {
+	return b.build(context.Background())
+}
+
+// BuildCtx is Build honoring cancellation inside registry-driven Select
+// scoring.
+func (b *Builder) BuildCtx(ctx context.Context) (*assembly.Assembly, error) {
+	return b.build(ctx)
+}
+
+// BuildDocument builds the variant and lifts it into a single-assembly
+// document ready for store.Publish.
+func (b *Builder) BuildDocument() (*adl.Document, error) {
+	asm, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return adl.FromAssembly(asm)
+}
+
+// services returns the effective service definition: Define overrides,
+// then attr-overridden clones, then the document.
+func (b *Builder) build(ctx context.Context) (*assembly.Assembly, error) {
+	var errs []error
+	fail := func(op string, sentinel error, format string, args ...any) {
+		errs = append(errs, opErr(op, sentinel, format, args...))
+	}
+
+	// Resolve the base assembly.
+	var baseDef *adl.AssemblyDef
+	for i := range b.q.doc.Assemblies {
+		if b.q.doc.Assemblies[i].Name == b.base {
+			baseDef = &b.q.doc.Assemblies[i]
+			break
+		}
+	}
+	if baseDef == nil {
+		return nil, opErr(fmt.Sprintf("Variant(%s)", b.base), ErrUnknownAssembly,
+			"document defines %v", b.q.Assemblies())
+	}
+
+	// Effective service definitions: document, overlaid by Define ops and
+	// attribute-overridden clones.
+	defined := make(map[string]model.Service)
+	attrsOverrides := make(map[string]model.Attrs) // service -> attr -> value
+	lookup := func(name string) (model.Service, bool) {
+		if svc, ok := defined[name]; ok {
+			return svc, true
+		}
+		return b.q.doc.Service(name)
+	}
+
+	// Binding state: start from the base definition.
+	type bindKey struct{ caller, role string }
+	bindings := make(map[bindKey]assembly.Binding)
+	var bindOrder []bindKey
+	setBinding := func(bd assembly.Binding) {
+		key := bindKey{bd.Caller, bd.Role}
+		if _, ok := bindings[key]; !ok {
+			bindOrder = append(bindOrder, key)
+		}
+		bindings[key] = bd
+	}
+	for _, bd := range baseDef.Bindings {
+		setBinding(bd)
+	}
+	rebound := make(map[bindKey]string) // first op that rebound the pair
+	attrSet := make(map[string]string)  // "svc.attr" -> first op
+	includes := make(map[string]bool)   // forced includes
+	var selects []buildOp               // deferred to after static ops
+
+	// validateSpec checks a rebind target against the caller's call sites.
+	validateSpec := func(op string, role RoleRef, to BindingSpec) (ok bool) {
+		ok = true
+		callerSvc, exists := lookup(role.svc.name)
+		if !exists {
+			fail(op, ErrUnknownService, "caller %q is not defined", role.svc.name)
+			return false
+		}
+		comp, isComp := callerSvc.(*model.Composite)
+		if !isComp {
+			fail(op, ErrIncompatibleOverride, "caller %q is a simple service; only composites request roles", role.svc.name)
+			return false
+		}
+		var reqs []model.Request
+		for _, st := range comp.Flow().States() {
+			for _, r := range st.Requests {
+				if r.Role == role.role {
+					reqs = append(reqs, r)
+				}
+			}
+		}
+		if len(reqs) == 0 {
+			fail(op, ErrUnknownRole, "%q never requests role %q (has %v)", role.svc.name, role.role, comp.Roles())
+			return false
+		}
+		provider, exists := lookup(to.provider.name)
+		if !exists {
+			fail(op, ErrUnknownService, "provider %q is not defined", to.provider.name)
+			ok = false
+		} else {
+			pf := len(provider.FormalParams())
+			for _, r := range reqs {
+				if len(r.Params) != pf {
+					fail(op, ErrIncompatibleOverride,
+						"provider %q takes %d parameters but %s calls %s with %d",
+						to.provider.name, pf, role.svc.name, role.role, len(r.Params))
+					ok = false
+					break
+				}
+			}
+		}
+		if to.hasConn {
+			conn, exists := lookup(to.connector.name)
+			if !exists {
+				fail(op, ErrUnknownService, "connector %q is not defined", to.connector.name)
+				ok = false
+			} else {
+				cf := len(conn.FormalParams())
+				for _, r := range reqs {
+					if len(r.ConnParams) != cf {
+						fail(op, ErrIncompatibleOverride,
+							"connector %q takes %d parameters but %s calls %s with %d connector parameters",
+							to.connector.name, cf, role.svc.name, role.role, len(r.ConnParams))
+						ok = false
+						break
+					}
+				}
+			}
+		}
+		return ok
+	}
+
+	// Pass 1: apply Define / Include / SetAttr / Rebind; queue Selects.
+	for _, op := range b.ops {
+		switch {
+		case op.define != nil:
+			name := op.define.Name()
+			if prev, ok := defined[name]; ok && prev != op.define {
+				fail(op.op, ErrConflictingOverride, "service %q already defined by an earlier Define", name)
+				continue
+			}
+			defined[name] = op.define
+		case op.include != nil:
+			if _, ok := lookup(op.include.name); !ok {
+				fail(op.op, ErrUnknownService, "document defines %v", b.q.Services())
+				continue
+			}
+			includes[op.include.name] = true
+		case op.setAttr != nil:
+			sa := op.setAttr
+			svc, ok := lookup(sa.svc.name)
+			if !ok {
+				fail(op.op, ErrUnknownService, "document defines %v", b.q.Services())
+				continue
+			}
+			if _, ok := svc.Attributes()[sa.attr]; !ok {
+				fail(op.op, ErrUnknownAttr, "%q publishes no attribute %q", sa.svc.name, sa.attr)
+				continue
+			}
+			if !isFinite(sa.value) {
+				fail(op.op, ErrIncompatibleOverride, "attribute value %v is not finite", sa.value)
+				continue
+			}
+			key := sa.svc.name + "." + sa.attr
+			if first, ok := attrSet[key]; ok {
+				fail(op.op, ErrConflictingOverride, "attribute already set by %s", first)
+				continue
+			}
+			attrSet[key] = op.op
+			if attrsOverrides[sa.svc.name] == nil {
+				attrsOverrides[sa.svc.name] = model.Attrs{}
+			}
+			attrsOverrides[sa.svc.name][sa.attr] = sa.value
+		case op.rebind != nil:
+			rb := op.rebind
+			key := bindKey{rb.role.svc.name, rb.role.role}
+			if first, ok := rebound[key]; ok {
+				fail(op.op, ErrConflictingOverride, "binding already overridden by %s", first)
+				continue
+			}
+			rebound[key] = op.op
+			if !validateSpec(op.op, rb.role, rb.to) {
+				continue
+			}
+			bd := assembly.Binding{Caller: rb.role.svc.name, Role: rb.role.role, Provider: rb.to.provider.name}
+			if rb.to.hasConn {
+				bd.Connector = rb.to.connector.name
+			}
+			setBinding(bd)
+		case op.sel != nil:
+			key := bindKey{op.sel.role.svc.name, op.sel.role.role}
+			if first, ok := rebound[key]; ok {
+				fail(op.op, ErrConflictingOverride, "binding already overridden by %s", first)
+				continue
+			}
+			rebound[key] = op.op
+			selects = append(selects, op)
+		}
+	}
+
+	// Apply attribute overrides by rebuilding the affected services.
+	for name, attrs := range attrsOverrides {
+		svc, ok := lookup(name)
+		if !ok {
+			continue // reported above
+		}
+		clone, err := cloneWithAttrs(svc, attrs)
+		if err != nil {
+			fail(fmt.Sprintf("SetAttr(%s)", name), ErrIncompatibleOverride, "%v", err)
+			continue
+		}
+		defined[name] = clone
+	}
+
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	// materialize builds an assembly from the current binding state.
+	materialize := func(name string, extra map[string]bool) (*assembly.Assembly, error) {
+		needed := make(map[string]bool)
+		for _, key := range bindOrder {
+			bd := bindings[key]
+			needed[bd.Caller] = true
+			needed[bd.Provider] = true
+			if bd.Connector != "" {
+				needed[bd.Connector] = true
+			}
+		}
+		for n := range includes {
+			needed[n] = true
+		}
+		for n := range extra {
+			needed[n] = true
+		}
+		// Close over direct-name role references of included composites.
+		for changed := true; changed; {
+			changed = false
+			for svcName := range needed {
+				svc, ok := lookup(svcName)
+				if !ok {
+					continue // assembly.Validate reports it
+				}
+				comp, ok := svc.(*model.Composite)
+				if !ok {
+					continue
+				}
+				for _, role := range comp.Roles() {
+					if _, bound := bindings[bindKey{svcName, role}]; bound {
+						continue
+					}
+					if _, ok := lookup(role); ok && !needed[role] {
+						needed[role] = true
+						changed = true
+					}
+				}
+			}
+		}
+		asm := assembly.New(name)
+		add := func(svcName string) error {
+			if !needed[svcName] {
+				return nil
+			}
+			svc, ok := lookup(svcName)
+			if !ok {
+				return nil
+			}
+			needed[svcName] = false // consumed
+			return asm.AddService(svc)
+		}
+		// Document order first (stable), then Define-only services.
+		for _, svc := range b.q.doc.Services {
+			if err := add(svc.Name()); err != nil {
+				return nil, err
+			}
+		}
+		for svcName, pending := range needed {
+			if !pending {
+				continue
+			}
+			if err := add(svcName); err != nil {
+				return nil, err
+			}
+		}
+		for _, key := range bindOrder {
+			bd := bindings[key]
+			asm.AddBinding(bd.Caller, bd.Role, bd.Provider, bd.Connector)
+		}
+		return asm, nil
+	}
+
+	// Pass 2: registry-driven selections, each scored against the variant
+	// as built so far.
+	for _, op := range selects {
+		sel := op.sel
+		if len(sel.candidates) == 0 {
+			fail(op.op, ErrNoCandidates, "no candidates given for %s", sel.role)
+			continue
+		}
+		if _, ok := lookup(sel.target.name); !ok {
+			fail(op.op, ErrUnknownService, "target %q is not defined", sel.target.name)
+			continue
+		}
+		candNames := make(map[string]bool)
+		bad := false
+		for _, c := range sel.candidates {
+			if _, ok := lookup(c.Provider); !ok {
+				fail(op.op, ErrUnknownService, "candidate provider %q is not defined", c.Provider)
+				bad = true
+			} else {
+				candNames[c.Provider] = true
+			}
+			if c.Connector != "" {
+				if _, ok := lookup(c.Connector); !ok {
+					fail(op.op, ErrUnknownService, "candidate connector %q is not defined", c.Connector)
+					bad = true
+				} else {
+					candNames[c.Connector] = true
+				}
+			}
+		}
+		if bad {
+			continue
+		}
+		candNames[sel.target.name] = true
+		trial, err := materialize(b.base+"+select", candNames)
+		if err != nil {
+			errs = append(errs, &BuildError{Op: op.op, Err: err})
+			continue
+		}
+		selection, err := registry.SelectBindingCtx(ctx, trial, sel.role.svc.name, sel.role.role,
+			sel.candidates, b.opts, sel.target.name, sel.params...)
+		if err != nil {
+			errs = append(errs, &BuildError{Op: op.op, Err: err})
+			continue
+		}
+		winner := BindingSpec{provider: b.q.Service(selection.Candidate.Provider)}
+		if selection.Candidate.Connector != "" {
+			winner = winner.Via(b.q.Service(selection.Candidate.Connector))
+		}
+		if !validateSpec(op.op, sel.role, winner) {
+			continue
+		}
+		bd := assembly.Binding{Caller: sel.role.svc.name, Role: sel.role.role, Provider: selection.Candidate.Provider, Connector: selection.Candidate.Connector}
+		setBinding(bd)
+		// Keep the selected provider's services resident in the variant.
+		for n := range candNames {
+			if n == bd.Provider || n == bd.Connector {
+				includes[n] = true
+			}
+		}
+	}
+
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	name := b.name
+	if name == "" {
+		name = b.base
+	}
+	asm, err := materialize(name, nil)
+	if err != nil {
+		return nil, &BuildError{Op: fmt.Sprintf("Build(%s)", name), Err: err}
+	}
+	if err := asm.Validate(); err != nil {
+		return nil, &BuildError{Op: fmt.Sprintf("Build(%s)", name), Err: err}
+	}
+	return asm, nil
+}
+
+// cloneWithAttrs rebuilds a service definition with some attributes
+// replaced, leaving the original untouched.
+func cloneWithAttrs(svc model.Service, overrides model.Attrs) (model.Service, error) {
+	attrs := model.Attrs{}
+	for k, v := range svc.Attributes() {
+		attrs[k] = v
+	}
+	for k, v := range overrides {
+		attrs[k] = v
+	}
+	switch s := svc.(type) {
+	case *model.Simple:
+		return model.NewSimple(s.Name(), s.FormalParams(), attrs, s.PfailExpr()), nil
+	case *model.Composite:
+		clone := model.NewComposite(s.Name(), s.FormalParams(), attrs)
+		for _, st := range s.Flow().States() {
+			if st.Name == model.StartState || st.Name == model.EndState {
+				continue
+			}
+			cst, err := clone.Flow().AddState(st.Name, st.Completion, st.Dependency)
+			if err != nil {
+				return nil, err
+			}
+			cst.K = st.K
+			for _, r := range st.Requests {
+				cst.AddRequest(r)
+			}
+		}
+		for _, tr := range s.Flow().Transitions() {
+			if err := clone.Flow().AddTransition(tr.From, tr.To, tr.Prob); err != nil {
+				return nil, err
+			}
+		}
+		return clone, nil
+	default:
+		return nil, fmt.Errorf("unsupported service type %T", svc)
+	}
+}

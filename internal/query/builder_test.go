@@ -1,0 +1,286 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"socrel/internal/adl"
+	"socrel/internal/core"
+	"socrel/internal/registry"
+)
+
+// paperDSL is the paper's section 4 example written in the ADL (same
+// fixture as internal/adl's tests).
+const paperDSL = `
+# The search/sort example of Grassi's section 4.
+service cpu1 cpu {
+    speed 1e9
+    rate 1e-10
+}
+service cpu2 cpu {
+    speed 1e9
+    rate 1e-10
+}
+service net12 network {
+    bandwidth 1e5
+    rate 5e-3
+}
+service lpc lpc {
+    l 1000
+}
+service rpc rpc {
+    c 10
+    m 270
+}
+service sort1 composite(list) {
+    attr phi 1e-6
+    state work and nosharing {
+        call cpu(list * log2(list)) internal 1 - (1 - phi)^(list * log2(list))
+    }
+    transition Start -> work prob 1
+    transition work -> End prob 1
+}
+service sort2 composite(list) {
+    attr phi 1e-7
+    state work and nosharing {
+        call cpu(list * log2(list)) internal 1 - (1 - phi)^(list * log2(list))
+    }
+    transition Start -> work prob 1
+    transition work -> End prob 1
+}
+service search composite(elem, list, res) {
+    attr phi 1e-7
+    attr q 0.9
+    state sort and nosharing {
+        call sort(list) connector(elem + list, res)
+    }
+    state lookup and nosharing {
+        call cpu(log2(list)) internal 1 - (1 - phi)^log2(list)
+    }
+    transition Start -> sort prob q
+    transition Start -> lookup prob 1 - q
+    transition sort -> lookup prob 1
+    transition lookup -> End prob 1
+}
+assembly local {
+    bind search.sort -> sort1 via lpc
+    bind search.cpu -> cpu1
+    bind sort1.cpu -> cpu1
+    bind lpc.cpu -> cpu1
+}
+assembly remote {
+    bind search.sort -> sort2 via rpc
+    bind search.cpu -> cpu1
+    bind sort2.cpu -> cpu2
+    bind rpc.clientcpu -> cpu1
+    bind rpc.servercpu -> cpu2
+    bind rpc.net -> net12
+}
+`
+
+// handWiredVariant is the provider-swap variant written out longhand: the
+// local assembly with sort2 swapped in for sort1. The builder must
+// reproduce its prediction exactly.
+const handWiredVariant = `
+assembly swapped {
+    bind search.sort -> sort2 via lpc
+    bind search.cpu -> cpu1
+    bind sort1.cpu -> cpu1
+    bind sort2.cpu -> cpu1
+    bind lpc.cpu -> cpu1
+}
+`
+
+// TestVariantMatchesHandWired builds the provider-swap variant through
+// the typed builder and checks its prediction against the hand-wired
+// assembly to 1e-12.
+func TestVariantMatchesHandWired(t *testing.T) {
+	doc := mustParse(t, paperDSL)
+	q := From(doc)
+
+	b := q.Variant("local").Named("swapped").
+		Rebind(q.Service("search").Role("sort"), To(q.Service("sort2")).Via(q.Service("lpc"))).
+		Rebind(q.Service("sort2").Role("cpu"), To(q.Service("cpu1")))
+	asm, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm.Name() != "swapped" {
+		t.Fatalf("variant name = %q, want swapped", asm.Name())
+	}
+
+	hand := mustParse(t, paperDSL+handWiredVariant)
+	handAsm, err := hand.BuildAssembly("swapped")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params, err := q.Service("search").ParamVector(map[string]float64{"elem": 16, "list": 1024, "res": 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.New(asm, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.New(handAsm, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("builder variant %.15g vs hand-wired %.15g (diff %g)", got, want, math.Abs(got-want))
+	}
+
+	// Sanity: the swap changed the prediction vs the base assembly.
+	baseAsm, err := doc.BuildAssembly("local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.New(baseAsm, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-base) < 1e-15 {
+		t.Fatal("provider swap did not change the prediction; test is vacuous")
+	}
+}
+
+// TestBuildDocumentRoundTrip lifts the built variant into a document and
+// checks the compiled document predicts identically to the built
+// assembly — the path a stored variant takes through the model store.
+func TestBuildDocumentRoundTrip(t *testing.T) {
+	doc := mustParse(t, paperDSL)
+	q := From(doc)
+
+	b := q.Variant("local").Named("swapped").
+		Rebind(q.Service("search").Role("sort"), To(q.Service("sort2")).Via(q.Service("lpc"))).
+		Rebind(q.Service("sort2").Role("cpu"), To(q.Service("cpu1")))
+	asm, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdoc, err := b.BuildDocument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The document must be canonicalizable and hashable (publishable).
+	if _, err := adl.Hash(vdoc); err != nil {
+		t.Fatal(err)
+	}
+
+	ca, err := core.CompileDocument(vdoc, "swapped", core.Options{}, "search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ca.Pfail("search", 16, 1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := core.New(asm, core.Options{}).Reliability("search", 16, 1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(1-rel)) > 1e-12 {
+		t.Fatalf("document pfail %.15g vs assembly pfail %.15g", got, 1-rel)
+	}
+}
+
+// TestSetAttrOverridesWithoutMutatingBase checks attribute overrides:
+// the variant uses the new value, the base document is untouched, and
+// the prediction shifts accordingly.
+func TestSetAttrOverridesWithoutMutatingBase(t *testing.T) {
+	doc := mustParse(t, paperDSL)
+	q := From(doc)
+
+	asm, err := q.Variant("local").SetAttr(q.Service("search"), "q", 0.0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With q=0 the sort branch is never taken; prediction must differ
+	// from the base and match a hand-edited document.
+	params := []float64{16, 1024, 64}
+	got, err := core.New(asm, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAsm, err := doc.BuildAssembly("local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.New(baseAsm, core.Options{}).Reliability("search", params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= base {
+		t.Fatalf("q=0 variant should be more reliable: %.15g vs base %.15g", got, base)
+	}
+	// The base document still publishes q=0.9.
+	attrs, err := q.Service("search").Attrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["q"] != 0.9 {
+		t.Fatalf("base document mutated: q = %v", attrs["q"])
+	}
+}
+
+// TestSelectPicksMostReliableCandidate degrades cpu2 via SetAttr and
+// checks that a registry-driven Select applied through the builder picks
+// cpu1 even though cpu2 is listed first.
+func TestSelectPicksMostReliableCandidate(t *testing.T) {
+	doc := mustParse(t, paperDSL)
+	q := From(doc)
+
+	asm, err := q.Variant("local").
+		SetAttr(q.Service("cpu2"), "lambda", 0.5).
+		Select(q.Service("sort1").Role("cpu"),
+			[]registry.Candidate{{Provider: "cpu2"}, {Provider: "cpu1"}},
+			q.Service("search"), 16, 1024, 64).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bd := range asm.Bindings() {
+		if bd.Caller == "sort1" && bd.Role == "cpu" {
+			if bd.Provider != "cpu1" {
+				t.Fatalf("Select picked %q, want cpu1 (cpu2 was degraded)", bd.Provider)
+			}
+			return
+		}
+	}
+	t.Fatal("sort1.cpu binding missing from variant")
+}
+
+// TestDefineAddsNewProvider defines a brand-new simple service and
+// rebinds a role to it.
+func TestDefineAddsNewProvider(t *testing.T) {
+	doc := mustParse(t, paperDSL)
+	q := From(doc)
+
+	// A Define takes any model.Service; build one from a tiny aux doc.
+	aux := mustParse(t, "service cpu3 cpu {\n    speed 2e9\n    rate 1e-10\n}\n")
+	svc, ok := aux.Service("cpu3")
+	if !ok {
+		t.Fatal("aux doc lost cpu3")
+	}
+
+	asm, err := q.Variant("local").
+		Define(svc).
+		Rebind(q.Service("sort1").Role("cpu"), To(q.Service("cpu3"))).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, bd := range asm.Bindings() {
+		if bd.Caller == "sort1" && bd.Role == "cpu" && bd.Provider == "cpu3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rebind to defined service not applied")
+	}
+	if _, err := core.New(asm, core.Options{}).Reliability("search", 16, 1024, 64); err != nil {
+		t.Fatalf("variant with defined provider does not solve: %v", err)
+	}
+}

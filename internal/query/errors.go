@@ -1,0 +1,63 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The builder's structured error taxonomy. Every failure Build returns is
+// (a join of) *BuildError values, each matching exactly one sentinel via
+// errors.Is — so callers branch on the class without parsing prose, and a
+// misuse is reported at build time, not at solve time. The style follows
+// typed-query builders (tsq): record operations freely, validate
+// everything at once, name every way a composition can be wrong.
+var (
+	// ErrUnknownAssembly marks a variant built over an assembly name the
+	// document does not define.
+	ErrUnknownAssembly = errors.New("query: unknown assembly")
+	// ErrUnknownService marks a handle naming a service the document does
+	// not define.
+	ErrUnknownService = errors.New("query: unknown service")
+	// ErrUnknownRole marks a role handle whose composite never requests
+	// that role.
+	ErrUnknownRole = errors.New("query: unknown role")
+	// ErrUnknownParam marks a parameter vector naming a formal parameter
+	// the service does not declare.
+	ErrUnknownParam = errors.New("query: unknown formal parameter")
+	// ErrMissingParam marks a parameter vector that omits a declared
+	// formal parameter.
+	ErrMissingParam = errors.New("query: missing formal parameter")
+	// ErrUnknownAttr marks an attribute override naming an attribute the
+	// service does not publish.
+	ErrUnknownAttr = errors.New("query: unknown attribute")
+	// ErrIncompatibleOverride marks an override that names known parts but
+	// cannot work: provider/connector arity does not match the call sites,
+	// the caller is not a composite, a non-composite is used as a caller,
+	// or an attribute value is not finite.
+	ErrIncompatibleOverride = errors.New("query: incompatible override")
+	// ErrConflictingOverride marks two operations that contradict each
+	// other (the same role rebound twice, the same attribute set twice).
+	ErrConflictingOverride = errors.New("query: conflicting override")
+	// ErrNoCandidates marks a Select over an empty candidate set.
+	ErrNoCandidates = errors.New("query: no candidates")
+)
+
+// BuildError is one build-time validation failure: the operation that
+// caused it (as the caller wrote it) and the classified cause. It matches
+// its sentinel via errors.Is and is extracted with errors.As.
+type BuildError struct {
+	// Op names the builder operation, e.g. `Rebind(search.sort)`.
+	Op string
+	// Err wraps exactly one of the sentinel errors above.
+	Err error
+}
+
+func (e *BuildError) Error() string { return fmt.Sprintf("%s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the classified cause to errors.Is / errors.As.
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// opErr builds a *BuildError wrapping sentinel with a detail message.
+func opErr(op string, sentinel error, format string, args ...any) error {
+	return &BuildError{Op: op, Err: fmt.Errorf("%w: %s", sentinel, fmt.Sprintf(format, args...))}
+}

@@ -1,0 +1,237 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socrel/internal/adl"
+	"socrel/internal/registry"
+)
+
+// TestErrorTaxonomy exercises every sentinel in the taxonomy through a
+// real builder misuse: each row asserts the errors.Is class, the
+// errors.As extraction of the *BuildError, and the exact human-readable
+// message (snapshot) so a wording regression is caught, not just a
+// classification one.
+func TestErrorTaxonomy(t *testing.T) {
+	doc := mustParse(t, paperDSL)
+	q := From(doc)
+
+	cases := []struct {
+		name     string
+		run      func() error
+		sentinel error
+		msg      string
+	}{
+		{
+			name:     "unknown assembly",
+			run:      func() error { _, err := q.Variant("nope").Build(); return err },
+			sentinel: ErrUnknownAssembly,
+			msg:      `Variant(nope): query: unknown assembly: document defines [local remote]`,
+		},
+		{
+			name: "unknown service as rebind provider",
+			run: func() error {
+				_, err := q.Variant("local").
+					Rebind(q.Service("search").Role("sort"), To(q.Service("ghost"))).
+					Build()
+				return err
+			},
+			sentinel: ErrUnknownService,
+			msg:      `Rebind(search.sort -> ghost): query: unknown service: provider "ghost" is not defined`,
+		},
+		{
+			name: "unknown service in SetAttr",
+			run: func() error {
+				_, err := q.Variant("local").SetAttr(q.Service("ghost"), "phi", 1e-5).Build()
+				return err
+			},
+			sentinel: ErrUnknownService,
+			msg:      `SetAttr(ghost.phi): query: unknown service: document defines [cpu1 cpu2 net12 lpc rpc sort1 sort2 search]`,
+		},
+		{
+			name: "unknown role",
+			run: func() error {
+				_, err := q.Variant("local").
+					Rebind(q.Service("search").Role("paint"), To(q.Service("sort1"))).
+					Build()
+				return err
+			},
+			sentinel: ErrUnknownRole,
+			msg:      `Rebind(search.paint -> sort1): query: unknown role: "search" never requests role "paint" (has [cpu sort])`,
+		},
+		{
+			name: "unknown formal parameter",
+			run: func() error {
+				_, err := q.Service("search").ParamVector(map[string]float64{
+					"elem": 16, "list": 1024, "res": 64, "bogus": 1,
+				})
+				return err
+			},
+			sentinel: ErrUnknownParam,
+			msg:      `ParamVector(search): query: unknown formal parameter: "bogus" is not a formal of search (has [elem list res])`,
+		},
+		{
+			name: "missing formal parameter",
+			run: func() error {
+				_, err := q.Service("search").ParamVector(map[string]float64{"elem": 16, "res": 64})
+				return err
+			},
+			sentinel: ErrMissingParam,
+			msg:      `ParamVector(search): query: missing formal parameter: formal "list" of search not supplied`,
+		},
+		{
+			name: "unknown attribute",
+			run: func() error {
+				_, err := q.Variant("local").SetAttr(q.Service("search"), "zeta", 1).Build()
+				return err
+			},
+			sentinel: ErrUnknownAttr,
+			msg:      `SetAttr(search.zeta): query: unknown attribute: "search" publishes no attribute "zeta"`,
+		},
+		{
+			name: "incompatible: simple service as caller",
+			run: func() error {
+				_, err := q.Variant("local").
+					Rebind(q.Service("cpu1").Role("x"), To(q.Service("cpu2"))).
+					Build()
+				return err
+			},
+			sentinel: ErrIncompatibleOverride,
+			msg:      `Rebind(cpu1.x -> cpu2): query: incompatible override: caller "cpu1" is a simple service; only composites request roles`,
+		},
+		{
+			name: "incompatible: provider arity mismatch",
+			run: func() error {
+				_, err := q.Variant("local").
+					Rebind(q.Service("search").Role("sort"), To(q.Service("search"))).
+					Build()
+				return err
+			},
+			sentinel: ErrIncompatibleOverride,
+			msg:      `Rebind(search.sort -> search): query: incompatible override: provider "search" takes 3 parameters but search calls sort with 1`,
+		},
+		{
+			name: "incompatible: non-finite attribute value",
+			run: func() error {
+				_, err := q.Variant("local").SetAttr(q.Service("search"), "q", math.NaN()).Build()
+				return err
+			},
+			sentinel: ErrIncompatibleOverride,
+			msg:      `SetAttr(search.q): query: incompatible override: attribute value NaN is not finite`,
+		},
+		{
+			name: "conflicting: role rebound twice",
+			run: func() error {
+				_, err := q.Variant("local").
+					Rebind(q.Service("search").Role("sort"), To(q.Service("sort2")).Via(q.Service("lpc"))).
+					Rebind(q.Service("search").Role("sort"), To(q.Service("sort1"))).
+					Build()
+				return err
+			},
+			sentinel: ErrConflictingOverride,
+			msg:      `Rebind(search.sort -> sort1): query: conflicting override: binding already overridden by Rebind(search.sort -> sort2 via lpc)`,
+		},
+		{
+			name: "conflicting: attribute set twice",
+			run: func() error {
+				_, err := q.Variant("local").
+					SetAttr(q.Service("search"), "q", 0.8).
+					SetAttr(q.Service("search"), "q", 0.7).
+					Build()
+				return err
+			},
+			sentinel: ErrConflictingOverride,
+			msg:      `SetAttr(search.q): query: conflicting override: attribute already set by SetAttr(search.q)`,
+		},
+		{
+			name: "no candidates",
+			run: func() error {
+				_, err := q.Variant("local").
+					Select(q.Service("search").Role("sort"), nil, q.Service("search"), 16, 1024, 64).
+					Build()
+				return err
+			},
+			sentinel: ErrNoCandidates,
+			msg:      `Select(search.sort from 0 candidates): query: no candidates: no candidates given for search.sort`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("expected a build error")
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("errors.Is(%v, sentinel) = false for %v", err, tc.sentinel)
+			}
+			var be *BuildError
+			if !errors.As(err, &be) {
+				t.Fatalf("errors.As failed to extract *BuildError from %v", err)
+			}
+			if got := be.Error(); got != tc.msg {
+				t.Fatalf("message snapshot mismatch:\n got: %s\nwant: %s", got, tc.msg)
+			}
+			// A BuildError must be attributable to exactly one class.
+			matched := 0
+			for _, s := range []error{
+				ErrUnknownAssembly, ErrUnknownService, ErrUnknownRole,
+				ErrUnknownParam, ErrMissingParam, ErrUnknownAttr,
+				ErrIncompatibleOverride, ErrConflictingOverride, ErrNoCandidates,
+			} {
+				if errors.Is(be, s) {
+					matched++
+				}
+			}
+			if matched != 1 {
+				t.Fatalf("BuildError matches %d sentinels, want exactly 1: %v", matched, be)
+			}
+		})
+	}
+}
+
+// TestBuildAccumulatesErrors checks that independent mistakes are all
+// reported in one Build, each with its own class.
+func TestBuildAccumulatesErrors(t *testing.T) {
+	doc := mustParse(t, paperDSL)
+	q := From(doc)
+	_, err := q.Variant("local").
+		Rebind(q.Service("search").Role("paint"), To(q.Service("sort1"))).
+		SetAttr(q.Service("search"), "zeta", 1).
+		SetAttr(q.Service("ghost"), "phi", 1e-5).
+		Build()
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	for _, want := range []error{ErrUnknownRole, ErrUnknownAttr, ErrUnknownService} {
+		if !errors.Is(err, want) {
+			t.Errorf("joined error missing class %v:\n%v", want, err)
+		}
+	}
+}
+
+// TestSelectErrorsPropagate checks that registry failures inside a Select
+// surface as BuildError-wrapped errors too.
+func TestSelectErrorsPropagate(t *testing.T) {
+	doc := mustParse(t, paperDSL)
+	q := From(doc)
+	_, err := q.Variant("local").
+		Select(q.Service("sort1").Role("cpu"),
+			[]registry.Candidate{{Provider: "ghost"}},
+			q.Service("search"), 16, 1024, 64).
+		Build()
+	if !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("want ErrUnknownService for unknown candidate, got %v", err)
+	}
+}
+
+func mustParse(t *testing.T, src string) *adl.Document {
+	t.Helper()
+	doc, err := adl.ParseDSL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}

@@ -1,0 +1,186 @@
+// Package query is the typed query/builder layer over ADL documents: the
+// programmatic way to compose "this stored assembly, but with the network
+// provider swapped" without string templates. Handles (ServiceRef,
+// RoleRef) are cheap typed names into a document; every operation on a
+// Builder is recorded and validated together at Build time, which returns
+// the structured error taxonomy of errors.go instead of failing later at
+// solve time.
+//
+//	q := query.From(doc)
+//	b := q.Variant("remote").Named("remote-alt").
+//		Rebind(q.Service("rpc").Role("net"), query.To(q.Service("net13"))).
+//		SetAttr(q.Service("search"), "q", 0.95)
+//	asm, err := b.Build()          // -> *assembly.Assembly, typed errors
+//	doc2, err := b.BuildDocument() // -> publishable variant document
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"socrel/internal/adl"
+	"socrel/internal/model"
+)
+
+// Query is a read-only typed view over a parsed ADL document.
+type Query struct {
+	doc *adl.Document
+}
+
+// From wraps a document. The document is not copied; it must not be
+// mutated while the query is in use.
+func From(doc *adl.Document) *Query { return &Query{doc: doc} }
+
+// Doc returns the underlying document.
+func (q *Query) Doc() *adl.Document { return q.doc }
+
+// Services returns the declared service names in declaration order.
+func (q *Query) Services() []string {
+	out := make([]string, len(q.doc.Services))
+	for i, s := range q.doc.Services {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Assemblies returns the declared assembly names in declaration order.
+func (q *Query) Assemblies() []string { return q.doc.AssemblyNames() }
+
+// Service returns a typed handle on the named service. The handle is
+// always valid to create; existence is checked when it is used (Build,
+// ParamVector, ...), in the tsq style of deferred validation.
+func (q *Query) Service(name string) ServiceRef { return ServiceRef{q: q, name: name} }
+
+// ServiceRef is a typed handle on one service of a document.
+type ServiceRef struct {
+	q    *Query
+	name string
+}
+
+// Name returns the referenced service name.
+func (s ServiceRef) Name() string { return s.name }
+
+// Exists reports whether the document defines the service.
+func (s ServiceRef) Exists() bool {
+	_, ok := s.q.doc.Service(s.name)
+	return ok
+}
+
+// Role returns a typed handle on a required role of this (composite)
+// service — the left-hand side of a binding override.
+func (s ServiceRef) Role(role string) RoleRef { return RoleRef{svc: s, role: role} }
+
+// Formals returns the service's formal parameter names in declaration
+// order, or ErrUnknownService.
+func (s ServiceRef) Formals() ([]string, error) {
+	svc, ok := s.q.doc.Service(s.name)
+	if !ok {
+		return nil, opErr(fmt.Sprintf("Service(%s)", s.name), ErrUnknownService, "document defines %v", s.q.Services())
+	}
+	return svc.FormalParams(), nil
+}
+
+// Attrs returns a copy of the service's published attributes, or
+// ErrUnknownService.
+func (s ServiceRef) Attrs() (model.Attrs, error) {
+	svc, ok := s.q.doc.Service(s.name)
+	if !ok {
+		return nil, opErr(fmt.Sprintf("Service(%s)", s.name), ErrUnknownService, "document defines %v", s.q.Services())
+	}
+	out := make(model.Attrs, len(svc.Attributes()))
+	for k, v := range svc.Attributes() {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Roles returns the roles the (composite) service requests, sorted;
+// simple services have none.
+func (s ServiceRef) Roles() ([]string, error) {
+	svc, ok := s.q.doc.Service(s.name)
+	if !ok {
+		return nil, opErr(fmt.Sprintf("Service(%s)", s.name), ErrUnknownService, "document defines %v", s.q.Services())
+	}
+	comp, ok := svc.(*model.Composite)
+	if !ok {
+		return nil, nil
+	}
+	roles := comp.Roles()
+	sort.Strings(roles)
+	return roles, nil
+}
+
+// ParamVector assembles the service's actual-parameter vector from a
+// name→value map — the typed replacement for hand-ordering positional
+// parameters. Every formal must be supplied (ErrMissingParam) and every
+// key must be a declared formal (ErrUnknownParam).
+func (s ServiceRef) ParamVector(vals map[string]float64) ([]float64, error) {
+	op := fmt.Sprintf("ParamVector(%s)", s.name)
+	svc, ok := s.q.doc.Service(s.name)
+	if !ok {
+		return nil, opErr(op, ErrUnknownService, "document defines %v", s.q.Services())
+	}
+	formals := svc.FormalParams()
+	index := make(map[string]int, len(formals))
+	for i, f := range formals {
+		index[f] = i
+	}
+	for name := range vals {
+		if _, ok := index[name]; !ok {
+			return nil, opErr(op, ErrUnknownParam, "%q is not a formal of %s (has %v)", name, s.name, formals)
+		}
+	}
+	out := make([]float64, len(formals))
+	for i, f := range formals {
+		v, ok := vals[f]
+		if !ok {
+			return nil, opErr(op, ErrMissingParam, "formal %q of %s not supplied", f, s.name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// RoleRef is a typed handle on a (caller, role) pair — the unit a binding
+// override targets.
+type RoleRef struct {
+	svc  ServiceRef
+	role string
+}
+
+// Caller returns the caller service handle.
+func (r RoleRef) Caller() ServiceRef { return r.svc }
+
+// Role returns the role name.
+func (r RoleRef) Role() string { return r.role }
+
+func (r RoleRef) String() string { return r.svc.name + "." + r.role }
+
+// BindingSpec is the typed right-hand side of a binding override: a
+// provider, optionally reached through a connector.
+type BindingSpec struct {
+	provider  ServiceRef
+	connector ServiceRef
+	hasConn   bool
+}
+
+// To binds directly to a provider (perfect connection).
+func To(provider ServiceRef) BindingSpec { return BindingSpec{provider: provider} }
+
+// Via routes the binding through a connector service.
+func (b BindingSpec) Via(connector ServiceRef) BindingSpec {
+	b.connector = connector
+	b.hasConn = true
+	return b
+}
+
+func (b BindingSpec) String() string {
+	if b.hasConn {
+		return b.provider.name + " via " + b.connector.name
+	}
+	return b.provider.name
+}
+
+// isFinite reports whether v is a usable attribute value.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -90,7 +90,7 @@ type Config struct {
 	// answers (default 4096 entries; the store is reset wholesale at
 	// capacity, like the engine memo).
 	StaleCapacity int
-	// BoundsWindow is how many recent exact answers feed the service-wide
+	// BoundsWindow is how many recent exact answers feed the per-scope
 	// [min, max] interval used for Bounded answers when no per-point
 	// snapshot exists (default 64).
 	BoundsWindow int
@@ -142,6 +142,11 @@ const (
 type Request struct {
 	// Service names the evaluation target (default Config.Service).
 	Service string
+	// Scope partitions the stale-answer store. Callers multiplexing
+	// several models through one server (e.g. per-request artifact
+	// dispatch) must set it to the model's identity, or degraded answers
+	// computed for one model could serve another's requests.
+	Scope string
 	// Params are the actual parameters.
 	Params []float64
 	// Priority classes the request for shedding (zero = Interactive).
@@ -158,6 +163,8 @@ type Request struct {
 type BatchRequest struct {
 	// Service names the evaluation target (default Config.Service).
 	Service string
+	// Scope partitions the stale-answer store (see Request.Scope).
+	Scope string
 	// ParamSets are the parameter points.
 	ParamSets [][]float64
 	// Priority classes the request (zero = Interactive; batch sweeps
@@ -206,10 +213,40 @@ type Server struct {
 	limiter *aimdLimiter
 	lat     *latencyDigest
 	stale   map[string]socruntime.LastGood
-	exacts  []float64 // ring of recent exact answers for interval bounds
-	exactN  int
-	exactI  int
+	bounds  map[string]*boundsRing // per-scope rings of recent exact answers
 	stats   Stats
+}
+
+// boundsRing is a sliding window of recent exact answers for one scope,
+// backing the Bounded rung of the degradation ladder. Rings are per
+// scope so interval bounds never mix answers from different models.
+type boundsRing struct {
+	vals []float64
+	n, i int
+}
+
+func (r *boundsRing) push(p float64) {
+	r.vals[r.i] = p
+	r.i = (r.i + 1) % len(r.vals)
+	if r.n < len(r.vals) {
+		r.n++
+	}
+}
+
+func (r *boundsRing) minMax() (lo, hi float64, ok bool) {
+	if r == nil || r.n == 0 {
+		return 0, 0, false
+	}
+	lo, hi = r.vals[0], r.vals[0]
+	for _, p := range r.vals[:r.n] {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return lo, hi, true
 }
 
 // New builds a Server over eval. eval must not be nil.
@@ -240,7 +277,7 @@ func New(eval Evaluator, cfg Config) *Server {
 		limiter: newLimiter(cfg.Limiter),
 		lat:     newLatencyDigest(cfg.InitialEstimate, cfg.EstimateDecay, 0),
 		stale:   make(map[string]socruntime.LastGood),
-		exacts:  make([]float64, cfg.BoundsWindow),
+		bounds:  make(map[string]*boundsRing),
 	}
 }
 
@@ -291,7 +328,7 @@ func (s *Server) Serve(ctx context.Context, req Request) socruntime.Answer {
 	if service == "" {
 		service = s.cfg.Service
 	}
-	key := snapshotKey(service, req.Params)
+	key := snapshotKey(req.Scope, service, req.Params)
 	now := s.clock.Now()
 	deadline := s.effectiveDeadline(ctx, now, req.Timeout)
 
@@ -301,7 +338,7 @@ func (s *Server) Serve(ctx context.Context, req Request) socruntime.Answer {
 		req.Priority = BestEffort
 	}
 	if cause := s.admitLocked(req.Priority, deadline, now); cause != nil {
-		ans := s.degradeLocked(key, cause, now)
+		ans := s.degradeLocked(req.Scope, key, cause, now)
 		s.mu.Unlock()
 		return ans
 	}
@@ -318,7 +355,7 @@ func (s *Server) Serve(ctx context.Context, req Request) socruntime.Answer {
 	if w != nil {
 		if cause := s.await(ctx, w); cause != nil {
 			s.mu.Lock()
-			ans := s.degradeLocked(key, cause, s.clock.Now())
+			ans := s.degradeLocked(req.Scope, key, cause, s.clock.Now())
 			s.mu.Unlock()
 			return ans
 		}
@@ -336,11 +373,11 @@ func (s *Server) Serve(ctx context.Context, req Request) socruntime.Answer {
 	s.dispatchLocked()
 	if err == nil {
 		s.lat.observe(end.Sub(start))
-		s.recordExactLocked(key, p, end)
+		s.recordExactLocked(req.Scope, key, p, end)
 		s.stats.Exact++
 		return socruntime.Answer{Kind: socruntime.Exact, Pfail: p, AsOf: end}
 	}
-	return s.degradeLocked(key, err, end)
+	return s.degradeLocked(req.Scope, key, err, end)
 }
 
 // ServeBatch answers one batched request: the grid is admitted as a
@@ -366,7 +403,7 @@ func (s *Server) ServeBatch(ctx context.Context, req BatchRequest) []socruntime.
 		req.Priority = BestEffort
 	}
 	if cause := s.admitLocked(req.Priority, deadline, now); cause != nil {
-		s.degradeBatchLocked(out, service, req.ParamSets, cause, now)
+		s.degradeBatchLocked(out, req.Scope, service, req.ParamSets, cause, now)
 		s.mu.Unlock()
 		return out
 	}
@@ -382,7 +419,7 @@ func (s *Server) ServeBatch(ctx context.Context, req BatchRequest) []socruntime.
 	if w != nil {
 		if cause := s.await(ctx, w); cause != nil {
 			s.mu.Lock()
-			s.degradeBatchLocked(out, service, req.ParamSets, cause, s.clock.Now())
+			s.degradeBatchLocked(out, req.Scope, service, req.ParamSets, cause, s.clock.Now())
 			s.mu.Unlock()
 			return out
 		}
@@ -407,9 +444,9 @@ func (s *Server) ServeBatch(ctx context.Context, req BatchRequest) []socruntime.
 		err = fmt.Errorf("server: batch evaluator returned no results")
 	}
 	for i, params := range req.ParamSets {
-		key := snapshotKey(service, params)
+		key := snapshotKey(req.Scope, service, params)
 		if i < len(ps) && !math.IsNaN(ps[i]) {
-			s.recordExactLocked(key, ps[i], end)
+			s.recordExactLocked(req.Scope, key, ps[i], end)
 			s.stats.Exact++
 			out[i] = socruntime.Answer{Kind: socruntime.Exact, Pfail: ps[i], AsOf: end}
 			continue
@@ -418,7 +455,7 @@ func (s *Server) ServeBatch(ctx context.Context, req BatchRequest) []socruntime.
 		if cause == nil {
 			cause = fmt.Errorf("server: batch point %d not evaluated", i)
 		}
-		out[i] = s.degradeLocked(key, cause, end)
+		out[i] = s.degradeLocked(req.Scope, key, cause, end)
 	}
 	return out
 }
@@ -533,50 +570,37 @@ func (s *Server) dispatchLocked() {
 	}
 }
 
-// recordExactLocked refreshes the per-point snapshot and the
-// service-wide bounds window with one exact answer.
-func (s *Server) recordExactLocked(key string, p float64, at time.Time) {
+// recordExactLocked refreshes the per-point snapshot and the scope's
+// bounds window with one exact answer.
+func (s *Server) recordExactLocked(scope, key string, p float64, at time.Time) {
 	if len(s.stale) >= s.cfg.StaleCapacity {
 		clear(s.stale)
 	}
 	s.stale[key] = socruntime.LastGood{Pfail: p, At: at}
-	s.exacts[s.exactI] = p
-	s.exactI = (s.exactI + 1) % len(s.exacts)
-	if s.exactN < len(s.exacts) {
-		s.exactN++
-	}
-}
-
-// exactBoundsLocked is the sliding [min, max] over recent exact answers.
-func (s *Server) exactBoundsLocked() (lo, hi float64, ok bool) {
-	if s.exactN == 0 {
-		return 0, 0, false
-	}
-	lo, hi = s.exacts[0], s.exacts[0]
-	for _, p := range s.exacts[:s.exactN] {
-		if p < lo {
-			lo = p
+	ring := s.bounds[scope]
+	if ring == nil {
+		if len(s.bounds) >= s.cfg.StaleCapacity {
+			clear(s.bounds)
 		}
-		if p > hi {
-			hi = p
-		}
+		ring = &boundsRing{vals: make([]float64, s.cfg.BoundsWindow)}
+		s.bounds[scope] = ring
 	}
-	return lo, hi, true
+	ring.push(p)
 }
 
 // degradeLocked walks the degradation ladder for one request that could
 // not be answered exactly: Stale from the per-point snapshot, Bounded
-// from a solver residual (runtime.Degrade) or from the recent-exact
-// interval, Unavailable as the floor. The returned answer always
-// carries cause.
-func (s *Server) degradeLocked(key string, cause error, now time.Time) socruntime.Answer {
+// from a solver residual (runtime.Degrade) or from the scope's
+// recent-exact interval, Unavailable as the floor. The returned answer
+// always carries cause.
+func (s *Server) degradeLocked(scope, key string, cause error, now time.Time) socruntime.Answer {
 	var last *socruntime.LastGood
 	if lg, ok := s.stale[key]; ok {
 		last = &lg
 	}
 	ans := socruntime.Degrade(cause, last, now)
 	if ans.Kind == socruntime.Unavailable {
-		if lo, hi, ok := s.exactBoundsLocked(); ok {
+		if lo, hi, ok := s.bounds[scope].minMax(); ok {
 			ans = socruntime.BoundedInterval(lo, hi, cause)
 		}
 	}
@@ -592,9 +616,9 @@ func (s *Server) degradeLocked(key string, cause error, now time.Time) socruntim
 }
 
 // degradeBatchLocked degrades every point of a shed batch.
-func (s *Server) degradeBatchLocked(out []socruntime.Answer, service string, sets [][]float64, cause error, now time.Time) {
+func (s *Server) degradeBatchLocked(out []socruntime.Answer, scope, service string, sets [][]float64, cause error, now time.Time) {
 	for i, params := range sets {
-		out[i] = s.degradeLocked(snapshotKey(service, params), cause, now)
+		out[i] = s.degradeLocked(scope, snapshotKey(scope, service, params), cause, now)
 	}
 }
 
@@ -661,9 +685,11 @@ func (s *Server) deadlineCtx(ctx context.Context, deadline time.Time) (evalCtx c
 	}
 }
 
-// snapshotKey renders (service, params) into the stale-store key.
-func snapshotKey(service string, params []float64) string {
-	b := make([]byte, 0, len(service)+1+8*len(params))
+// snapshotKey renders (scope, service, params) into the stale-store key.
+func snapshotKey(scope, service string, params []float64) string {
+	b := make([]byte, 0, len(scope)+1+len(service)+1+8*len(params))
+	b = append(b, scope...)
+	b = append(b, 0)
 	b = append(b, service...)
 	b = append(b, 0)
 	for _, p := range params {

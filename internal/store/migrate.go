@@ -1,0 +1,55 @@
+package store
+
+import (
+	"fmt"
+
+	"socrel/internal/adl"
+)
+
+// MigrateFunc derives a new document from an existing one — the hook point
+// for model-version migrations (retune a failure rate from observed
+// traffic, swap a deprecated provider, add an assembly variant). It must
+// treat its input as immutable and return a new document (returning the
+// input unchanged is allowed and results in a dedup no-op).
+type MigrateFunc func(*adl.Document) (*adl.Document, error)
+
+// Migrate loads the latest version of (tenant, model), applies fn, and
+// publishes the result as the next version under a compare-and-swap on the
+// version it read — a concurrent publish fails the migration with
+// ErrVersionConflict instead of silently clobbering it. If fn changes
+// nothing (canonical hash unchanged), the latest record is returned and no
+// version is appended.
+func Migrate(st Store, tenant, model string, fn MigrateFunc, comment string) (Record, error) {
+	base, err := st.Get(Ref{Tenant: tenant, Model: model})
+	if err != nil {
+		return Record{}, err
+	}
+	doc, err := base.Document()
+	if err != nil {
+		return Record{}, err
+	}
+	next, err := fn(doc)
+	if err != nil {
+		return Record{}, fmt.Errorf("store: migrate %s/%s from v%d: %w", tenant, model, base.Version, err)
+	}
+	if next == nil {
+		return Record{}, fmt.Errorf("store: migrate %s/%s from v%d: hook returned nil document", tenant, model, base.Version)
+	}
+	return st.Publish(tenant, model, next, PublishOptions{
+		ExpectedLatest: base.Version,
+		Comment:        comment,
+	})
+}
+
+// Chain composes migration hooks left to right.
+func Chain(fns ...MigrateFunc) MigrateFunc {
+	return func(doc *adl.Document) (*adl.Document, error) {
+		var err error
+		for _, fn := range fns {
+			if doc, err = fn(doc); err != nil {
+				return nil, err
+			}
+		}
+		return doc, nil
+	}
+}

@@ -1,0 +1,161 @@
+// Model store and typed query/builder facade: persistent, versioned,
+// multi-tenant storage for ADL documents (internal/store) and the typed
+// variant-composition layer over them (internal/query).
+//
+//	st, _ := socrel.OpenDiskStore("./models")
+//	doc, _ := socrel.ParseADL(src)
+//	rec, _ := st.Publish("acme", "search", doc, socrel.PublishOptions{})
+//
+//	q := socrel.NewQuery(doc)
+//	vdoc, err := q.Variant("local").Named("swapped").
+//	    Rebind(q.Service("search").Role("sort"), socrel.BindTo(q.Service("sort2"))).
+//	    BuildDocument()
+//	st.Publish("acme", "search-swapped", vdoc, socrel.PublishOptions{})
+//
+//	cache := socrel.NewArtifactCache(64)
+//	ca, rec, err := cache.Load(st, socrel.ModelRef{Tenant: "acme", Model: "search"}, "", socrel.Options{})
+package socrel
+
+import (
+	"socrel/internal/adl"
+	"socrel/internal/core"
+	"socrel/internal/query"
+	"socrel/internal/store"
+)
+
+// Model store.
+type (
+	// ModelStore is the versioned, multi-tenant document store; DiskStore
+	// and MemStore implement it.
+	ModelStore = store.Store
+	// ModelRef addresses one stored version (Version 0 = latest).
+	ModelRef = store.Ref
+	// ModelRecord is one immutable stored version with its content hash.
+	ModelRecord = store.Record
+	// PublishOptions tunes one Publish call (CAS via ExpectedLatest).
+	PublishOptions = store.PublishOptions
+	// DiskStore is the durable JSON-on-disk backend (crash-safe writes,
+	// quarantine of torn versions at open).
+	DiskStore = store.Disk
+	// MemStore is the in-memory backend with identical semantics.
+	MemStore = store.Mem
+	// ArtifactCache is an LRU of compiled artifacts keyed by concrete
+	// stored version: pinned versions keep serving across publishes.
+	ArtifactCache = store.ArtifactCache
+	// CacheStats is a point-in-time artifact-cache counter snapshot.
+	CacheStats = store.CacheStats
+	// MigrateFunc transforms a document during a store migration.
+	MigrateFunc = store.MigrateFunc
+)
+
+// Model-store error taxonomy; match with errors.Is.
+var (
+	// ErrModelNotFound marks refs to tenants, models, or versions that do
+	// not exist.
+	ErrModelNotFound = store.ErrNotFound
+	// ErrModelVersionConflict marks CAS publishes that lost the race.
+	ErrModelVersionConflict = store.ErrVersionConflict
+	// ErrModelCorrupt marks stored bytes that fail parsing or hash
+	// verification.
+	ErrModelCorrupt = store.ErrCorrupt
+	// ErrBadModelName marks tenant/model names outside [A-Za-z0-9._-]+.
+	ErrBadModelName = store.ErrBadName
+)
+
+// OpenDiskStore opens (creating if needed) a durable model store rooted
+// at dir, sweeping write debris and quarantining torn versions.
+func OpenDiskStore(dir string) (*DiskStore, error) { return store.Open(dir) }
+
+// NewMemStore returns an empty in-memory model store.
+func NewMemStore() *MemStore { return store.NewMem() }
+
+// NewArtifactCache returns an LRU artifact cache holding up to capacity
+// compiled assemblies.
+func NewArtifactCache(capacity int) *ArtifactCache { return store.NewArtifactCache(capacity) }
+
+// ParseModelRef parses "tenant/model" or "tenant/model@version".
+func ParseModelRef(s string) (ModelRef, error) { return store.ParseRef(s) }
+
+// HashDocument returns the canonical content hash of a document — the
+// store's dedup and integrity key.
+func HashDocument(d *Document) (string, error) { return adl.Hash(d) }
+
+// NormalizeDocument returns the canonical form of a document: services,
+// assemblies, and bindings sorted, sugar kinds lowered, expression text
+// canonicalized. Normalize is idempotent and hash-stable.
+func NormalizeDocument(d *Document) (*Document, error) { return adl.Normalize(d) }
+
+// DocumentFromAssembly lifts a programmatically built assembly into a
+// single-assembly document ready for publishing.
+func DocumentFromAssembly(asm *Assembly) (*Document, error) { return adl.FromAssembly(asm) }
+
+// MigrateModel applies fn to the latest version of (tenant, model) and
+// publishes the result with a CAS guard against concurrent publishes.
+func MigrateModel(st ModelStore, tenant, model string, fn MigrateFunc, comment string) (ModelRecord, error) {
+	return store.Migrate(st, tenant, model, fn, comment)
+}
+
+// ChainMigrations composes migration hooks left to right.
+func ChainMigrations(fns ...MigrateFunc) MigrateFunc { return store.Chain(fns...) }
+
+// CompileStored loads, builds, and compiles one stored version without a
+// cache (assemblyName "" selects the document's sole assembly).
+func CompileStored(st ModelStore, ref ModelRef, assemblyName string, opts Options) (*CompiledAssembly, ModelRecord, error) {
+	return store.Compile(st, ref, assemblyName, opts)
+}
+
+// CompileDocument builds and compiles one assembly of a document.
+func CompileDocument(doc *Document, assemblyName string, opts Options, roots ...string) (*CompiledAssembly, error) {
+	return core.CompileDocument(doc, assemblyName, opts, roots...)
+}
+
+// Typed query/builder layer.
+type (
+	// Query is a read-only typed view over a document.
+	Query = query.Query
+	// QueryBuilder derives variant assemblies; obtain one with
+	// Query.Variant.
+	QueryBuilder = query.Builder
+	// ServiceRef is a typed handle on one document service.
+	ServiceRef = query.ServiceRef
+	// RoleRef is a typed handle on a (caller, role) pair.
+	RoleRef = query.RoleRef
+	// BindingSpec is the typed right-hand side of a binding override.
+	BindingSpec = query.BindingSpec
+	// BuildError is one build-time validation failure (operation +
+	// classified cause); extract with errors.As.
+	BuildError = query.BuildError
+)
+
+// Builder error taxonomy; every Build failure matches exactly one of
+// these via errors.Is.
+var (
+	// ErrUnknownAssembly marks variants over undefined assembly names.
+	ErrUnknownAssembly = query.ErrUnknownAssembly
+	// ErrUnknownService marks handles naming undefined services.
+	ErrUnknownService = query.ErrUnknownService
+	// ErrUnknownRole marks roles the caller never requests.
+	ErrUnknownRole = query.ErrUnknownRole
+	// ErrUnknownParam marks parameter maps naming undeclared formals.
+	ErrUnknownParam = query.ErrUnknownParam
+	// ErrMissingParam marks parameter maps omitting declared formals.
+	ErrMissingParam = query.ErrMissingParam
+	// ErrUnknownAttr marks overrides of unpublished attributes.
+	ErrUnknownAttr = query.ErrUnknownAttr
+	// ErrIncompatibleOverride marks overrides that name known parts but
+	// cannot work (arity mismatches, non-composite callers, non-finite
+	// attribute values).
+	ErrIncompatibleOverride = query.ErrIncompatibleOverride
+	// ErrConflictingOverride marks contradictory operations (same role
+	// rebound twice, same attribute set twice).
+	ErrConflictingOverride = query.ErrConflictingOverride
+	// ErrNoCandidates marks selections over empty candidate sets.
+	ErrNoCandidates = query.ErrNoCandidates
+)
+
+// NewQuery wraps a document in the typed query layer.
+func NewQuery(doc *Document) *Query { return query.From(doc) }
+
+// BindTo binds a role directly to a provider (perfect connection);
+// chain .Via(connector) to route through a connector.
+func BindTo(provider ServiceRef) BindingSpec { return query.To(provider) }
