@@ -1,0 +1,399 @@
+// Command relfleet serves reliability predictions from a replicated
+// fleet of in-process serving replicas: consistent-hash routing of
+// (scope, service, parameter-region) keys with at-most-one-hop
+// forwarding, health-evidence gossip so a provider tripped by SPRT on
+// one replica quarantines fleet-wide, and per-replica admission control
+// with the graceful-degradation ladder. Killing a replica (or losing it
+// to a partition, with a fault-injected transport) rebalances its keys
+// to the survivors without dropping the fleet.
+//
+// Usage:
+//
+//	relfleet -paper local -service search -replicas 3 -listen :8080
+//	relfleet -file system.adl -assembly local -service search -listen :8080
+//
+// Endpoints:
+//
+//	POST /predict   {"service":"search","scope":"tenant-a","params":[1,4096,1],"priority":"interactive","timeout_ms":250}
+//	GET  /healthz   200 while any replica accepts load
+//	GET  /cluster   per-replica membership views and routing counters
+//	GET  /stats     aggregate and per-replica serving counters
+//
+// On SIGTERM the fleet drains: admission closes everywhere (503 +
+// Retry-After), in-flight work finishes within -drain-timeout, and each
+// replica prints its final stats line.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"socrel/internal/adl"
+	"socrel/internal/assembly"
+	"socrel/internal/cluster"
+	"socrel/internal/core"
+	socruntime "socrel/internal/runtime"
+	"socrel/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("relfleet", flag.ContinueOnError)
+	file := fs.String("file", "", "ADL file (.adl DSL or .json); '-' reads stdin")
+	asmName := fs.String("assembly", "", "assembly name within the document")
+	paper := fs.String("paper", "", "use the built-in paper example: 'local' or 'remote'")
+	service := fs.String("service", "search", "default service to evaluate")
+	listen := fs.String("listen", ":8080", "address to listen on")
+	replicas := fs.Int("replicas", 3, "fleet size")
+	gossip := fs.Duration("gossip", 100*time.Millisecond, "gossip round interval")
+	queueCap := fs.Int("queue", 64, "per-replica admission queue capacity")
+	maxConc := fs.Int("max-concurrency", 0, "per-replica AIMD limiter ceiling (0 = 4×GOMAXPROCS)")
+	latencyTarget := fs.Duration("latency-target", 50*time.Millisecond, "per-evaluation latency the limiter steers toward")
+	noHedge := fs.Bool("no-hedge", false, "disable request hedging")
+	fixedPoint := fs.Bool("fixedpoint", false, "solve recursive assemblies by fixed-point iteration")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "how long SIGTERM waits for in-flight work before exiting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	if *fixedPoint {
+		opts.Cycles = core.CycleFixedPoint
+	}
+	asm, err := loadAssembly(*file, *asmName, *paper)
+	if err != nil {
+		return err
+	}
+	newEval, mode, err := evaluatorFactory(asm, opts, *service)
+	if err != nil {
+		return err
+	}
+
+	f, err := cluster.NewFleet(cluster.FleetConfig{
+		Replicas: *replicas,
+		Node:     cluster.NodeConfig{GossipInterval: *gossip},
+		Server: server.Config{
+			Service:       *service,
+			QueueCapacity: *queueCap,
+			Limiter:       server.LimiterConfig{Max: *maxConc, LatencyTarget: *latencyTarget},
+			Hedge:         server.HedgeConfig{Disabled: *noHedge},
+		},
+		NewEvaluator: newEval,
+	})
+	if err != nil {
+		return err
+	}
+	f.Start()
+
+	fmt.Fprintf(out, "relfleet: serving %q (%s engine) on %s with %d replicas\n", *service, mode, *listen, *replicas)
+	hs := &http.Server{Addr: *listen, Handler: newFleetMux(f)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		f.Stop()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "relfleet: draining")
+	if err := f.Drain(context.Background(), *drainTimeout); err != nil {
+		fmt.Fprintln(out, "relfleet: drain:", err)
+	}
+	for _, n := range f.Live() {
+		st := n.Server().Stats()
+		fmt.Fprintf(out, "relfleet: %s final stats: offered=%d exact=%d stale=%d bounded=%d unavailable=%d shed_draining=%d\n",
+			n.ID(), st.Offered, st.Exact, st.Stale, st.Bounded, st.Unavailable, st.ShedDraining)
+	}
+	f.Stop()
+	shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return hs.Shutdown(shutCtx)
+}
+
+// evaluatorFactory compiles the assembly once when possible — the
+// compiled engine is concurrency-safe, so every replica shares it — and
+// otherwise hands each replica its own mutex-serialized interpreter.
+func evaluatorFactory(asm *assembly.Assembly, opts core.Options, service string) (func(id string) server.Evaluator, string, error) {
+	ca, err := core.Compile(asm, opts, service)
+	if err == nil {
+		return func(string) server.Evaluator { return ca }, "compiled", nil
+	}
+	if !errors.Is(err, core.ErrNotCompilable) {
+		return nil, "", err
+	}
+	return func(string) server.Evaluator {
+		return &serializedEval{ev: core.New(asm, opts)}
+	}, "interpreted", nil
+}
+
+// serializedEval guards the single-goroutine interpreted evaluator with
+// a mutex, one instance per replica.
+type serializedEval struct {
+	mu sync.Mutex
+	ev *core.Evaluator
+}
+
+func (s *serializedEval) PfailCtx(ctx context.Context, service string, params ...float64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ev.PfailCtx(ctx, service, params...)
+}
+
+// loadAssembly resolves the -file / -paper flags into an assembly.
+func loadAssembly(file, asmName, paper string) (*assembly.Assembly, error) {
+	switch {
+	case paper != "":
+		p := assembly.DefaultPaperParams()
+		switch paper {
+		case "local":
+			return assembly.LocalAssembly(p)
+		case "remote":
+			return assembly.RemoteAssembly(p)
+		default:
+			return nil, fmt.Errorf("unknown -paper value %q (want local or remote)", paper)
+		}
+	case file != "":
+		var data []byte
+		var err error
+		if file == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(file)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var doc *adl.Document
+		if strings.HasPrefix(strings.TrimSpace(string(data)), "{") {
+			doc, err = adl.UnmarshalJSON(data)
+		} else {
+			doc, err = adl.ParseDSL(string(data))
+		}
+		if err != nil {
+			return nil, err
+		}
+		if asmName == "" {
+			names := doc.AssemblyNames()
+			if len(names) != 1 {
+				return nil, fmt.Errorf("document defines assemblies %v; pick one with -assembly", names)
+			}
+			asmName = names[0]
+		}
+		return doc.BuildAssembly(asmName)
+	default:
+		return nil, errors.New("either -file or -paper is required")
+	}
+}
+
+// predictRequest is the wire form of one /predict call. Scope isolates
+// tenants: degraded answers never cross scopes, and the (scope,
+// service, parameter-region) triple is the routing key.
+type predictRequest struct {
+	Service   string    `json:"service,omitempty"`
+	Scope     string    `json:"scope,omitempty"`
+	Params    []float64 `json:"params,omitempty"`
+	Priority  string    `json:"priority,omitempty"`
+	TimeoutMS int64     `json:"timeout_ms,omitempty"`
+}
+
+// predictResponse is the wire form of one answer.
+type predictResponse struct {
+	Kind        string   `json:"kind"`
+	Pfail       float64  `json:"pfail"`
+	Reliability float64  `json:"reliability"`
+	Lo          *float64 `json:"lo,omitempty"`
+	Hi          *float64 `json:"hi,omitempty"`
+	AgeMS       int64    `json:"age_ms,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+func toResponse(a socruntime.Answer) predictResponse {
+	r := predictResponse{
+		Kind:        a.Kind.String(),
+		Pfail:       a.Pfail,
+		Reliability: a.Reliability(),
+	}
+	if a.Kind == socruntime.Bounded {
+		lo, hi := a.Lo, a.Hi
+		r.Lo, r.Hi = &lo, &hi
+	}
+	if a.Age > 0 {
+		r.AgeMS = a.Age.Milliseconds()
+	}
+	if a.Err != nil {
+		r.Error = a.Err.Error()
+	}
+	return r
+}
+
+func parsePriority(s string) (server.Priority, error) {
+	switch s {
+	case "", "interactive":
+		return server.Interactive, nil
+	case "batch":
+		return server.Batch, nil
+	case "best-effort":
+		return server.BestEffort, nil
+	default:
+		return 0, fmt.Errorf("unknown priority %q (want interactive, batch, or best-effort)", s)
+	}
+}
+
+func statusFor(a socruntime.Answer) int {
+	if a.Kind != socruntime.Unavailable {
+		return http.StatusOK
+	}
+	if errors.Is(a.Err, server.ErrOverloaded) || errors.Is(a.Err, cluster.ErrStopped) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// memberView is one replica's judgment of the fleet in /cluster.
+type memberView struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Heartbeat uint64 `json:"heartbeat"`
+}
+
+// newFleetMux builds the HTTP handler over a fleet. Split from run so
+// tests drive it with httptest.
+func newFleetMux(f *cluster.Fleet) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		pri, err := parsePriority(req.Priority)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ans := f.Serve(r.Context(), server.Request{
+			Service:  req.Service,
+			Scope:    req.Scope,
+			Params:   req.Params,
+			Priority: pri,
+			Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		})
+		status := statusFor(ans)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, toResponse(ans))
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		live := f.Live()
+		accepting := 0
+		for _, n := range live {
+			if n.Server().Saturation() != server.SatOverload && !n.Server().Draining() {
+				accepting++
+			}
+		}
+		status := http.StatusOK
+		state := "ok"
+		if accepting == 0 {
+			status = http.StatusServiceUnavailable
+			state = "unavailable"
+		}
+		writeJSON(w, status, map[string]any{
+			"status":    state,
+			"live":      len(live),
+			"accepting": accepting,
+		})
+	})
+
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		views := map[string]any{}
+		for _, n := range f.Live() {
+			members := n.Members()
+			mv := make([]memberView, len(members))
+			for i, m := range members {
+				mv[i] = memberView{ID: m.ID, State: m.State.String(), Heartbeat: m.Heartbeat}
+			}
+			st := n.Stats()
+			views[n.ID()] = map[string]any{
+				"members":          mv,
+				"served_local":     st.ServedLocal,
+				"forwarded":        st.Forwarded,
+				"forward_failed":   st.ForwardFailed,
+				"served_forwarded": st.ServedForwarded,
+				"rumors_sent":      st.RumorsSent,
+				"rumors_received":  st.RumorsReceived,
+				"rumors_skipped":   st.RumorsSkipped,
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"replicas": views})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		perReplica := map[string]any{}
+		var offered, exact, stale, bounded, unavailable, shed uint64
+		for _, n := range f.Live() {
+			st := n.Server().Stats()
+			offered += st.Offered
+			exact += st.Exact
+			stale += st.Stale
+			bounded += st.Bounded
+			unavailable += st.Unavailable
+			shed += st.ShedQueueFull + st.ShedClass + st.ShedDeadline + st.SweptExpired + st.ShedDraining
+			perReplica[n.ID()] = map[string]any{
+				"offered":     st.Offered,
+				"exact":       st.Exact,
+				"stale":       st.Stale,
+				"bounded":     st.Bounded,
+				"unavailable": st.Unavailable,
+				"limit":       st.Limit,
+				"inflight":    st.Inflight,
+				"queue_depth": st.QueueDepth,
+				"saturation":  st.Saturation.String(),
+				"draining":    n.Server().Draining(),
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"offered":     offered,
+			"exact":       exact,
+			"stale":       stale,
+			"bounded":     bounded,
+			"unavailable": unavailable,
+			"shed":        shed,
+			"replicas":    perReplica,
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

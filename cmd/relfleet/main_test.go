@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"socrel/internal/assembly"
+	"socrel/internal/cluster"
+	"socrel/internal/core"
+	socruntime "socrel/internal/runtime"
+	"socrel/internal/server"
+)
+
+// newTestFleet builds a real paper-model fleet on a fake clock (no
+// background gossip; tests drive rounds explicitly).
+func newTestFleet(t *testing.T, replicas int) (*cluster.Fleet, *socruntime.FakeClock) {
+	t.Helper()
+	asm, err := assembly.LocalAssembly(assembly.DefaultPaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEval, mode, err := evaluatorFactory(asm, core.Options{}, "search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != "compiled" {
+		t.Fatalf("paper assembly should compile, got %q", mode)
+	}
+	clk := socruntime.NewFakeClock(time.Unix(0, 0))
+	f, err := cluster.NewFleet(cluster.FleetConfig{
+		Replicas: replicas,
+		Node: cluster.NodeConfig{
+			GossipInterval: time.Second,
+			SuspectAfter:   3 * time.Second,
+			DeadAfter:      9 * time.Second,
+			Clock:          clk,
+		},
+		Server:       server.Config{Service: "search", Hedge: server.HedgeConfig{Disabled: true}},
+		NewEvaluator: newEval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+	return f, clk
+}
+
+func postPredict(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return resp, m
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFleetPredictExact: a fleet answers the paper model exactly over
+// HTTP, whichever replica the entry round-robin picks.
+func TestFleetPredictExact(t *testing.T) {
+	f, _ := newTestFleet(t, 3)
+	ts := httptest.NewServer(newFleetMux(f))
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		resp, m := postPredict(t, ts.URL, `{"params":[1,4096,1]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		if m["kind"] != "exact" {
+			t.Fatalf("kind = %v, want exact (body %v)", m["kind"], m)
+		}
+	}
+}
+
+// TestFleetSurvivesKill: killing a replica mid-serve leaves the fleet
+// answering — keys rebalance to the survivors.
+func TestFleetSurvivesKill(t *testing.T) {
+	f, clk := newTestFleet(t, 3)
+	ts := httptest.NewServer(newFleetMux(f))
+	defer ts.Close()
+
+	if resp, _ := postPredict(t, ts.URL, `{"params":[1,4096,1]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-kill status = %d", resp.StatusCode)
+	}
+	f.GossipRound()
+	if !f.Kill("replica-1") {
+		t.Fatal("Kill refused")
+	}
+	for f.Node("replica-0").MemberState("replica-1") != cluster.Dead {
+		clk.Advance(time.Second)
+		f.GossipRound()
+		if clk.Now().After(time.Unix(60, 0)) {
+			t.Fatal("killed replica never marked dead")
+		}
+	}
+	for i := 0; i < 6; i++ {
+		resp, m := postPredict(t, ts.URL, `{"params":[1,4096,1]}`)
+		if resp.StatusCode != http.StatusOK || m["kind"] != "exact" {
+			t.Fatalf("post-kill answer %d %v, want 200 exact", resp.StatusCode, m)
+		}
+	}
+
+	mc := getJSON(t, ts.URL+"/cluster")
+	views, _ := mc["replicas"].(map[string]any)
+	if len(views) != 2 {
+		t.Fatalf("/cluster lists %d live replicas, want 2", len(views))
+	}
+	if _, present := views["replica-1"]; present {
+		t.Fatal("/cluster still lists the killed replica as live")
+	}
+
+	hz := getJSON(t, ts.URL+"/healthz")
+	if hz["live"] != float64(2) {
+		t.Fatalf("healthz live = %v, want 2", hz["live"])
+	}
+}
+
+// TestFleetStatsAggregates: /stats sums per-replica counters.
+func TestFleetStatsAggregates(t *testing.T) {
+	f, _ := newTestFleet(t, 2)
+	ts := httptest.NewServer(newFleetMux(f))
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		postPredict(t, ts.URL, `{"params":[1,4096,1]}`)
+	}
+	m := getJSON(t, ts.URL+"/stats")
+	if m["offered"].(float64) < 4 {
+		t.Fatalf("aggregate offered = %v, want >= 4", m["offered"])
+	}
+	if m["exact"].(float64) < 4 {
+		t.Fatalf("aggregate exact = %v, want >= 4", m["exact"])
+	}
+	replicas, _ := m["replicas"].(map[string]any)
+	if len(replicas) != 2 {
+		t.Fatalf("per-replica stats for %d replicas, want 2", len(replicas))
+	}
+}
+
+// TestFleetBadRequests: malformed bodies and priorities are 400s, not
+// degraded answers.
+func TestFleetBadRequests(t *testing.T) {
+	f, _ := newTestFleet(t, 2)
+	ts := httptest.NewServer(newFleetMux(f))
+	defer ts.Close()
+
+	if resp, _ := postPredict(t, ts.URL, `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postPredict(t, ts.URL, `{"priority":"urgent"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad priority status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRunFlagValidation: run rejects a missing model source.
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-replicas", "2"}, &strings.Builder{}); err == nil {
+		t.Fatal("run without -file/-paper should fail")
+	}
+	if err := run([]string{"-paper", "nope"}, &strings.Builder{}); err == nil {
+		t.Fatal("run with an unknown -paper should fail")
+	}
+}

@@ -44,9 +44,11 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"socrel/internal/adl"
@@ -78,6 +80,7 @@ func run(args []string, out io.Writer) error {
 	fixedPoint := fs.Bool("fixedpoint", false, "solve recursive assemblies by fixed-point iteration")
 	storeDir := fs.String("store", "", "model store directory (':memory:' = volatile in-memory store)")
 	cacheCap := fs.Int("cache", 64, "compiled-artifact cache capacity")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "how long SIGTERM waits for in-flight work before exiting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,7 +129,37 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "relserve: serving %q (%s engine) on %s\n", *service, mode, *listen)
 	hs := &http.Server{Addr: *listen, Handler: newMux(srv, host)}
-	return hs.ListenAndServe()
+
+	// Graceful shutdown: on SIGTERM/SIGINT the admission layer closes
+	// first — new requests shed as 503 + Retry-After while the listener
+	// stays up — in-flight and queued work finishes within the drain
+	// deadline, and only then does the HTTP server stop.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "relserve: draining")
+	if err := drainAndReport(srv, out, *drainTimeout); err != nil {
+		fmt.Fprintln(out, "relserve: drain:", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return hs.Shutdown(shutCtx)
+}
+
+// drainAndReport drains the serving layer and prints the final stats
+// line — the last evidence a terminated replica leaves behind. Split
+// from run so tests drive it on a fake clock.
+func drainAndReport(srv *server.Server, out io.Writer, timeout time.Duration) error {
+	st, err := srv.Drain(context.Background(), timeout)
+	fmt.Fprintf(out, "relserve: final stats: offered=%d exact=%d stale=%d bounded=%d unavailable=%d shed_draining=%d inflight=%d queue_depth=%d\n",
+		st.Offered, st.Exact, st.Stale, st.Bounded, st.Unavailable, st.ShedDraining, st.Inflight, st.QueueDepth)
+	return err
 }
 
 // modelHost bundles the model store with its compiled-artifact cache.
@@ -488,6 +521,8 @@ func newMux(srv *server.Server, host *modelHost) *http.ServeMux {
 			"shed_queue_full":      st.ShedQueueFull,
 			"shed_class":           st.ShedClass,
 			"shed_deadline":        st.ShedDeadline,
+			"shed_draining":        st.ShedDraining,
+			"draining":             srv.Draining(),
 			"swept_expired":        st.SweptExpired,
 			"canceled_waiting":     st.CanceledWaiting,
 			"hedges_launched":      st.HedgesLaunched,

@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"socrel/internal/assembly"
+	"socrel/internal/cluster"
 	"socrel/internal/core"
 	"socrel/internal/dot"
+	"socrel/internal/faultinject"
 	"socrel/internal/model"
 	"socrel/internal/monitor"
 	"socrel/internal/propagation"
@@ -318,3 +320,89 @@ var (
 func NewServer(eval ServerEvaluator, cfg ServerConfig) *Server {
 	return server.New(eval, cfg)
 }
+
+// Distributed serving tier (cmd/relfleet is the HTTP front end): a
+// replicated fleet sharing one logical registry view via consistent-hash
+// routing and health-evidence gossip (DESIGN.md §13).
+type (
+	// Fleet is a set of replicas with round-robin entry, deterministic
+	// gossip driving, and chaos controls (Kill, AddReplica).
+	Fleet = cluster.Fleet
+	// FleetConfig parameterizes a Fleet.
+	FleetConfig = cluster.FleetConfig
+	// ClusterNode is one replica: an embedded serving tier plus health
+	// tracker, joined to peers by routing and gossip.
+	ClusterNode = cluster.Node
+	// ClusterNodeConfig parameterizes one replica.
+	ClusterNodeConfig = cluster.NodeConfig
+	// ClusterNodeStats counts one replica's cluster-level traffic.
+	ClusterNodeStats = cluster.NodeStats
+	// ClusterRing is the consistent-hash ring mapping route keys to
+	// replicas.
+	ClusterRing = cluster.Ring
+	// ClusterTransport moves rumors and forwarded requests between
+	// replicas.
+	ClusterTransport = cluster.Transport
+	// ClusterMemberState is a replica's liveness as judged by one
+	// observer.
+	ClusterMemberState = cluster.MemberState
+	// ClusterMemberInfo is the exported view of one membership entry.
+	ClusterMemberInfo = cluster.MemberInfo
+	// ClusterRumor is one anti-entropy gossip message.
+	ClusterRumor = cluster.Rumor
+	// NetworkFaults injects partitions, drops, duplicates, and
+	// reordering between in-process replicas.
+	NetworkFaults = faultinject.Network
+	// NetworkFaultsConfig parameterizes NetworkFaults.
+	NetworkFaultsConfig = faultinject.NetConfig
+)
+
+// Replica liveness states.
+const (
+	// MemberAlive means heartbeats are current.
+	MemberAlive = cluster.Alive
+	// MemberSuspect means heartbeats are late; ring keys are kept.
+	MemberSuspect = cluster.Suspect
+	// MemberDead means the replica is evicted from the ring.
+	MemberDead = cluster.Dead
+)
+
+// Cluster and drain sentinels.
+var (
+	// ErrPeerUnreachable reports a forward that could not reach its
+	// owner; the sender serves locally instead.
+	ErrPeerUnreachable = cluster.ErrPeerUnreachable
+	// ErrNodeStopped tags answers from a stopped replica.
+	ErrNodeStopped = cluster.ErrStopped
+	// ErrDraining is the shed reason while a server drains; it wraps
+	// ErrOverloaded so HTTP layers keep mapping it to 503 + Retry-After.
+	ErrDraining = server.ErrDraining
+	// ErrDrainTimeout reports a drain deadline that expired with work
+	// still in flight.
+	ErrDrainTimeout = server.ErrDrainTimeout
+	// ErrPeerEvidence tags a breaker trip caused by merged peer
+	// evidence rather than local observations.
+	ErrPeerEvidence = socruntime.ErrPeerEvidence
+)
+
+// NewFleet builds and registers a replicated serving fleet.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return cluster.NewFleet(cfg) }
+
+// NewClusterRing returns an empty consistent-hash ring with the given
+// virtual-node count per replica (default 64).
+func NewClusterRing(vnodes int) *ClusterRing { return cluster.NewRing(vnodes) }
+
+// ClusterRouteKey renders (scope, service, parameter-region) into the
+// ring key every replica computes identically.
+func ClusterRouteKey(scope, service string, params []float64) string {
+	return cluster.RouteKey(scope, service, params)
+}
+
+// NewNetworkFaults returns a fault-injecting in-process network.
+func NewNetworkFaults(cfg NetworkFaultsConfig) *NetworkFaults {
+	return faultinject.NewNetwork(cfg)
+}
+
+// MergeSnapshots joins two monitor snapshots for the same provider:
+// commutative, associative, idempotent — the gossip merge primitive.
+func MergeSnapshots(a, b MonitorSnapshot) (MonitorSnapshot, error) { return a.Merge(b) }

@@ -386,3 +386,77 @@ func TestFacadeServingLayer(t *testing.T) {
 		t.Fatalf("stats = %+v, want offered=2 shed_deadline=1", st)
 	}
 }
+
+func TestFacadeCluster(t *testing.T) {
+	clk := socrel.NewFakeClock(time.Unix(0, 0))
+	net := socrel.NewNetworkFaults(socrel.NetworkFaultsConfig{Seed: 1})
+	f, err := socrel.NewFleet(socrel.FleetConfig{
+		Replicas: 3,
+		Node: socrel.ClusterNodeConfig{
+			GossipInterval: time.Second,
+			Clock:          clk,
+		},
+		Server: socrel.ServerConfig{Hedge: socrel.HedgeConfig{Disabled: true}},
+		NewEvaluator: func(id string) socrel.ServerEvaluator {
+			return facadeConstEval{}
+		},
+		Network: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	ans := f.Serve(context.Background(), socrel.ServerRequest{Scope: "a", Params: []float64{1}})
+	if !ans.IsExact() || ans.Pfail != 0.125 {
+		t.Fatalf("fleet answer %+v, want exact 0.125", ans)
+	}
+
+	// Quarantine spreads by gossip through the facade types.
+	for _, n := range f.Nodes() {
+		if err := n.Watch("prov", 0.99); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n0 := f.Node("replica-0")
+	for i := 0; i < 200 && !n0.Quarantined("prov"); i++ {
+		n0.Observe("prov", false)
+	}
+	f.GossipRound()
+	if !f.Quarantined("prov") {
+		t.Fatal("fleet did not converge on quarantine")
+	}
+	if st := n0.Stats(); st.RumorsSent == 0 {
+		t.Fatalf("no rumors sent: %+v", st)
+	}
+	for _, m := range n0.Members() {
+		if m.State != socrel.MemberAlive {
+			t.Fatalf("member %s = %v, want alive", m.ID, m.State)
+		}
+	}
+
+	// Ring + route key helpers.
+	r := socrel.NewClusterRing(0)
+	r.Add("a")
+	r.Add("b")
+	if owner, ok := r.Owner(socrel.ClusterRouteKey("s", "svc", []float64{0.5})); !ok || owner == "" {
+		t.Fatal("ring gave no owner")
+	}
+
+	// Snapshot merge through the facade is idempotent.
+	snap := n0.Tracker().Checkpoint()["prov"]
+	merged, err := socrel.MergeSnapshots(snap, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Total != snap.Total {
+		t.Fatalf("self-merge changed evidence: %d -> %d", snap.Total, merged.Total)
+	}
+}
+
+// facadeConstEval is a fixed-value evaluator for the cluster facade test.
+type facadeConstEval struct{}
+
+func (facadeConstEval) PfailCtx(context.Context, string, ...float64) (float64, error) {
+	return 0.125, nil
+}

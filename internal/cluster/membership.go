@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// MemberState is a replica's liveness as judged by one observer. States
+// only move through the suspect ladder by silence on the observer's
+// clock; any fresher heartbeat — direct or relayed — resets a member to
+// Alive, so a healed partition revives the members behind it without any
+// special-case rejoin protocol.
+type MemberState int
+
+// Member states.
+const (
+	// Alive means heartbeats are current; the replica owns ring keys.
+	Alive MemberState = iota + 1
+	// Suspect means heartbeats are late. A suspect replica keeps its
+	// ring keys — evicting on first silence would churn caches on every
+	// hiccup — but is already a forwarding risk the caller absorbs by
+	// falling back to local serving on an unreachable peer.
+	Suspect
+	// Dead means heartbeats stopped long enough ago that the replica is
+	// evicted from the ring; its keys rebalance to the survivors.
+	Dead
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("MemberState(%d)", int(s))
+	}
+}
+
+// member is one replica in a node's membership view.
+type member struct {
+	id        string
+	state     MemberState
+	heartbeat uint64    // highest heartbeat counter seen
+	lastAlive time.Time // local clock time of the last heartbeat advance
+}
+
+// MemberInfo is the exported view of one membership entry.
+type MemberInfo struct {
+	// ID is the replica.
+	ID string
+	// State is the observer's current liveness judgment.
+	State MemberState
+	// Heartbeat is the highest heartbeat counter seen for the replica.
+	Heartbeat uint64
+}

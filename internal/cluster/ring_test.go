@@ -1,0 +1,154 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"socrel/internal/cluster"
+)
+
+func ringOf(nodes ...string) *cluster.Ring {
+	r := cluster.NewRing(64)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+func owners(r *cluster.Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			panic("empty ring")
+		}
+		out[k] = o
+	}
+	return out
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = cluster.RouteKey(fmt.Sprintf("scope-%d", i%7), "app", []float64{float64(i) / 100})
+	}
+	return keys
+}
+
+// TestRingBalance: with 64 virtual nodes per replica, no replica owns
+// less than half or more than twice its fair share of keys. FNV is
+// deterministic, so this is a fixed property, not a flaky one.
+func TestRingBalance(t *testing.T) {
+	const n = 5
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("replica-%d", i)
+	}
+	r := ringOf(nodes...)
+	keys := testKeys(5000)
+	counts := make(map[string]int)
+	for _, o := range owners(r, keys) {
+		counts[o]++
+	}
+	fair := len(keys) / n
+	for _, node := range nodes {
+		if c := counts[node]; c < fair/2 || c > fair*2 {
+			t.Errorf("%s owns %d keys, outside [%d, %d]", node, c, fair/2, fair*2)
+		}
+	}
+}
+
+// TestRingChurnOnLeave: removing a replica moves exactly the keys it
+// owned — every other assignment is untouched — and re-adding it
+// restores the original assignment bit for bit.
+func TestRingChurnOnLeave(t *testing.T) {
+	nodes := make([]string, 10)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("replica-%d", i)
+	}
+	r := ringOf(nodes...)
+	keys := testKeys(2000)
+	before := owners(r, keys)
+
+	r.Remove("replica-3")
+	after := owners(r, keys)
+	for _, k := range keys {
+		switch {
+		case before[k] == "replica-3":
+			if after[k] == "replica-3" {
+				t.Fatalf("key still owned by removed replica")
+			}
+		case after[k] != before[k]:
+			t.Fatalf("key not owned by the leaver moved: %s -> %s", before[k], after[k])
+		}
+	}
+
+	r.Add("replica-3")
+	restored := owners(r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Fatalf("rejoin did not restore ownership: %s vs %s", restored[k], before[k])
+		}
+	}
+}
+
+// TestRingChurnOnJoin: a new replica takes roughly its fair share
+// K/(N+1) and no more than twice that — bounded churn, not a reshuffle.
+func TestRingChurnOnJoin(t *testing.T) {
+	nodes := make([]string, 10)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("replica-%d", i)
+	}
+	r := ringOf(nodes...)
+	keys := testKeys(2000)
+	before := owners(r, keys)
+
+	r.Add("replica-10")
+	after := owners(r, keys)
+	moved := 0
+	for _, k := range keys {
+		if after[k] != before[k] {
+			if after[k] != "replica-10" {
+				t.Fatalf("join moved a key to a pre-existing replica: %s -> %s", before[k], after[k])
+			}
+			moved++
+		}
+	}
+	fair := len(keys) / (len(nodes) + 1)
+	if moved > 2*fair {
+		t.Errorf("join moved %d keys, want <= %d (2x fair share)", moved, 2*fair)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys — new replica owns nothing")
+	}
+}
+
+// TestRouteKeyRegions: nearby parameters quantize to the same route key
+// (so a sweep stays on one replica's caches) while distinct scopes,
+// services, and far-apart parameters route independently.
+func TestRouteKeyRegions(t *testing.T) {
+	base := cluster.RouteKey("A", "app", []float64{0.5})
+	if got := cluster.RouteKey("A", "app", []float64{0.5 + 1e-8}); got != base {
+		t.Error("nearby parameters landed in different regions")
+	}
+	if got := cluster.RouteKey("A", "app", []float64{0.6}); got == base {
+		t.Error("distant parameters landed in the same region")
+	}
+	if got := cluster.RouteKey("B", "app", []float64{0.5}); got == base {
+		t.Error("different scopes share a route key")
+	}
+	if got := cluster.RouteKey("A", "app2", []float64{0.5}); got == base {
+		t.Error("different services share a route key")
+	}
+	if got := cluster.RouteKey("A", "app", nil); got == base {
+		t.Error("different parameter arity shares a route key")
+	}
+}
+
+// TestRingOwnerEmpty: an empty ring reports no owner rather than lying.
+func TestRingOwnerEmpty(t *testing.T) {
+	r := cluster.NewRing(0)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}

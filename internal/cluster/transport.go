@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"socrel/internal/faultinject"
+	socruntime "socrel/internal/runtime"
+	"socrel/internal/server"
+)
+
+// ErrPeerUnreachable is returned by Forward when the target replica is
+// gone, stopped, or cut off by a partition. The forwarding node treats
+// it as "serve locally instead" — never as a client-visible failure.
+var ErrPeerUnreachable = errors.New("cluster: peer unreachable")
+
+// Transport moves cluster traffic between replicas. Gossip is
+// fire-and-forget (the protocol tolerates arbitrary loss, duplication,
+// and reordering); Forward is the synchronous one-hop request handoff
+// and reports unreachability so the caller can fall back to serving
+// locally.
+type Transport interface {
+	// Gossip delivers one rumor to a peer, best-effort.
+	Gossip(from, to string, r Rumor)
+	// Forward hands a misrouted request to its owning replica and
+	// returns that replica's answer. The receiving side always serves
+	// locally (at most one hop by construction).
+	Forward(ctx context.Context, from, to string, req server.Request) (socruntime.Answer, error)
+}
+
+// LocalTransport connects in-process replicas, optionally routing every
+// message through a faultinject.Network so tests (and the chaos soak)
+// inject partitions, drops, duplicates, and reordering between replicas
+// that share an address space. It is safe for concurrent use.
+type LocalTransport struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	net   *faultinject.Network
+}
+
+// NewLocalTransport returns an empty transport; net may be nil for a
+// reliable network.
+func NewLocalTransport(net *faultinject.Network) *LocalTransport {
+	return &LocalTransport{nodes: make(map[string]*Node), net: net}
+}
+
+// Register attaches a node under its ID.
+func (t *LocalTransport) Register(n *Node) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[n.ID()] = n
+}
+
+// Deregister detaches a node: subsequent gossip to it is dropped and
+// forwards fail with ErrPeerUnreachable (a killed replica, as seen by
+// the survivors).
+func (t *LocalTransport) Deregister(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.nodes, id)
+}
+
+func (t *LocalTransport) lookup(to string) (*Node, *faultinject.Network) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes[to], t.net
+}
+
+// Gossip implements Transport.
+func (t *LocalTransport) Gossip(from, to string, r Rumor) {
+	target, net := t.lookup(to)
+	if target == nil {
+		return
+	}
+	if net != nil {
+		net.Deliver(from, to, func() { target.HandleRumor(r) })
+		return
+	}
+	target.HandleRumor(r)
+}
+
+// Forward implements Transport. Partitions block forwards the same way
+// they block gossip; the random drop/delay rates do not apply — a
+// forward is a synchronous call that either reaches the peer or fails
+// loudly, not a datagram.
+func (t *LocalTransport) Forward(ctx context.Context, from, to string, req server.Request) (socruntime.Answer, error) {
+	target, net := t.lookup(to)
+	if target == nil {
+		return socruntime.Answer{}, fmt.Errorf("%w: %s is gone", ErrPeerUnreachable, to)
+	}
+	if net != nil && !net.Reachable(from, to) {
+		return socruntime.Answer{}, fmt.Errorf("%w: %s partitioned from %s", ErrPeerUnreachable, to, from)
+	}
+	return target.ServeForwarded(ctx, req)
+}

@@ -1,0 +1,203 @@
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// NetConfig parameterizes a Network message-fault injector.
+//
+// All probabilities are in [0, 1] and drawn from one seeded RNG, so a
+// single-threaded test replays the exact same fault schedule for a seed;
+// under concurrent delivery the schedule is deterministic only up to the
+// callers' interleaving.
+type NetConfig struct {
+	// Seed seeds the fault draws.
+	Seed int64
+	// Drop is the probability a message is silently discarded.
+	Drop float64
+	// Duplicate is the probability a delivered message is delivered
+	// twice.
+	Duplicate float64
+	// Delay is the probability a message is held and released only after
+	// later traffic has gone past it — delay and reordering in one
+	// mechanism, measured in messages rather than wall time so tests
+	// stay deterministic without sleeping.
+	Delay float64
+	// MaxDelay bounds how many subsequent deliveries a held message can
+	// wait before it is released (default 4).
+	MaxDelay int
+}
+
+func (c NetConfig) withDefaults() NetConfig {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 4
+	}
+	return c
+}
+
+// NetStats counts a Network's decisions.
+type NetStats struct {
+	// Sent counts every Deliver call.
+	Sent uint64
+	// Delivered counts executed sends, duplicates included.
+	Delivered uint64
+	// Dropped counts random drops; Blocked counts partition drops.
+	Dropped, Blocked uint64
+	// Duplicated counts extra deliveries; Delayed counts held messages.
+	Duplicated, Delayed uint64
+}
+
+// heldMsg is a delayed message waiting for its release point.
+type heldMsg struct {
+	due  uint64 // message-counter value at which it releases
+	send func()
+}
+
+// Network injects partitions, drops, duplicates, delays, and reordering
+// into a message-passing layer. Callers route every send through Deliver;
+// the injector decides the message's fate with a seeded RNG and the
+// current partition map. It is safe for concurrent use; sends execute
+// outside the injector's lock.
+type Network struct {
+	mu    sync.Mutex
+	cfg   NetConfig
+	rng   *rand.Rand
+	group map[string]int
+	held  []heldMsg
+	count uint64
+	stats NetStats
+}
+
+// NewNetwork returns a fault-free network for cfg (zero rates = reliable
+// transport; Partition still applies).
+func NewNetwork(cfg NetConfig) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		group: make(map[string]int),
+	}
+}
+
+// Partition splits the network: messages flow only between endpoints in
+// the same group. Endpoints not named in any group form one implicit
+// extra group of their own (connected to each other, cut off from every
+// named group). Partition replaces any previous split.
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group = make(map[string]int)
+	for i, g := range groups {
+		for _, id := range g {
+			n.group[id] = i + 1 // 0 is the implicit group of unnamed endpoints
+		}
+	}
+}
+
+// Heal removes the partition; drop/duplicate/delay rates keep applying.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group = make(map[string]int)
+}
+
+// Reachable reports whether the partition currently lets from talk to to.
+func (n *Network) Reachable(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.group[from] == n.group[to]
+}
+
+// Deliver routes one message: send runs zero times (dropped or blocked by
+// a partition), once, twice (duplicated), or later (held for reordering
+// and released by subsequent Deliver or Flush calls). Messages already
+// due for release are flushed first, so a held message is overtaken by at
+// most MaxDelay later messages.
+func (n *Network) Deliver(from, to string, send func()) {
+	n.mu.Lock()
+	n.count++
+	n.stats.Sent++
+	due := n.takeDueLocked()
+	var out []func()
+	switch {
+	case n.group[from] != n.group[to]:
+		n.stats.Blocked++
+	case n.roll(n.cfg.Drop):
+		n.stats.Dropped++
+	case n.roll(n.cfg.Delay):
+		n.stats.Delayed++
+		wait := 1 + n.rng.Intn(n.cfg.MaxDelay)
+		n.held = append(n.held, heldMsg{due: n.count + uint64(wait), send: send})
+	default:
+		out = append(out, send)
+		if n.roll(n.cfg.Duplicate) {
+			n.stats.Duplicated++
+			out = append(out, send)
+		}
+		n.stats.Delivered += uint64(len(out))
+	}
+	n.mu.Unlock()
+	for _, s := range due {
+		s()
+	}
+	for _, s := range out {
+		s()
+	}
+}
+
+// Flush releases every held message immediately (e.g. at the end of a
+// chaos phase, so no traffic is stranded).
+func (n *Network) Flush() {
+	n.mu.Lock()
+	due := make([]func(), 0, len(n.held))
+	for _, h := range n.held {
+		due = append(due, h.send)
+	}
+	n.stats.Delivered += uint64(len(due))
+	n.held = nil
+	n.mu.Unlock()
+	for _, s := range due {
+		s()
+	}
+}
+
+// takeDueLocked removes and returns the sends of held messages whose
+// release point has passed. Callers hold n.mu and run the sends after
+// unlocking.
+func (n *Network) takeDueLocked() []func() {
+	var due []func()
+	kept := n.held[:0]
+	for _, h := range n.held {
+		if h.due <= n.count {
+			due = append(due, h.send)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	for i := len(kept); i < len(n.held); i++ {
+		n.held[i] = heldMsg{}
+	}
+	n.held = kept
+	n.stats.Delivered += uint64(len(due))
+	return due
+}
+
+// roll draws one fault decision.
+func (n *Network) roll(p float64) bool {
+	return p > 0 && n.rng.Float64() < p
+}
+
+// Stats returns a snapshot of the network's counters.
+func (n *Network) Stats() NetStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Held reports how many messages are currently held for delayed release.
+func (n *Network) Held() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.held)
+}

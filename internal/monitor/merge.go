@@ -1,0 +1,128 @@
+package monitor
+
+// Snapshot merging is how SPRT evidence travels between replicas: a
+// serving fleet gossips per-provider checkpoints, and every receiver folds
+// a remote snapshot into its own with Merge. Because the two replicas
+// observed *different* outcome streams, summing their counts would
+// double-count evidence as rumors are re-delivered; Merge instead picks
+// the snapshot carrying the most evidence under a deterministic total
+// order ("most evidence wins") and preserves the one verdict that must
+// never regress: a tripped (Violating) SPRT on either side stays tripped
+// in the result.
+//
+// The pick-the-max-plus-sticky-verdict construction makes Merge a
+// join-semilattice operation: commutative, associative, and idempotent.
+// Re-delivered or reordered gossip therefore converges to the same state
+// no matter how many times or in what order snapshots arrive.
+
+// Merge combines two snapshots of the same provider observed from
+// different vantage points. The statistics come from the input carrying
+// the most evidence (most recorded outcomes; ties broken by a
+// deterministic total order over every statistical field); the verdict
+// merges separately by its own join (Violating > Meeting > Undecided),
+// so a tripped SPRT on either input is preserved no matter which side
+// wins on evidence. Both inputs must be valid snapshots.
+//
+// The two components merge independently — a product of two
+// join-semilattices — which is what makes the whole operation
+// commutative, associative, and idempotent. The evidence comparator must
+// therefore never read Decided: the verdict join rewrites that field, and
+// a comparator that depended on it would see merged snapshots order
+// differently from their inputs, breaking associativity.
+func (s Snapshot) Merge(o Snapshot) (Snapshot, error) {
+	if _, err := s.validate(); err != nil {
+		return Snapshot{}, err
+	}
+	if _, err := o.validate(); err != nil {
+		return Snapshot{}, err
+	}
+	win := s
+	if compareEvidence(s, o) < 0 {
+		win = o
+	}
+	out := win
+	out.Window = append([]bool(nil), win.Window...)
+	out.Decided = joinVerdict(s.Decided, o.Decided)
+	return out, nil
+}
+
+// joinVerdict is the verdict lattice's join: Violating > Meeting >
+// Undecided. A decided test dominates an armed one, and Violating — the
+// verdict that quarantines a provider — dominates everything.
+func joinVerdict(a, b Verdict) Verdict {
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+// compareEvidence is a deterministic total order over a snapshot's
+// statistical content (everything except Decided): it returns >0 when a
+// carries strictly more (or more alarming) evidence than b, <0 for the
+// converse, and 0 only for identical content. The order prefers more
+// outcomes, then more failures, then a larger log likelihood ratio; the
+// remaining comparisons exist only to make the order total so Merge is
+// commutative.
+func compareEvidence(a, b Snapshot) int {
+	if a.Total != b.Total {
+		return cmpInt(a.Total, b.Total)
+	}
+	// Same totals: more failures is the more alarming evidence.
+	if a.Successes != b.Successes {
+		return cmpInt(b.Successes, a.Successes)
+	}
+	if a.LLR != b.LLR {
+		return cmpFloat(a.LLR, b.LLR)
+	}
+	for _, c := range [5][2]float64{
+		{a.Config.Predicted, b.Config.Predicted},
+		{a.Config.Degraded, b.Config.Degraded},
+		{a.Config.Alpha, b.Config.Alpha},
+		{a.Config.Beta, b.Config.Beta},
+		{float64(a.Config.Window), float64(b.Config.Window)},
+	} {
+		if c[0] != c[1] {
+			return cmpFloat(c[0], c[1])
+		}
+	}
+	if len(a.Window) != len(b.Window) {
+		return cmpInt(len(a.Window), len(b.Window))
+	}
+	for i := range a.Window {
+		if a.Window[i] != b.Window[i] {
+			return cmpBool(a.Window[i], b.Window[i])
+		}
+	}
+	return 0
+}
+
+func cmpInt(a, b int) int {
+	if a > b {
+		return 1
+	}
+	if a < b {
+		return -1
+	}
+	return 0
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case a:
+		return 1
+	default:
+		return -1
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	if a > b {
+		return 1
+	}
+	if a < b {
+		return -1
+	}
+	return 0
+}

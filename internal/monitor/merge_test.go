@@ -1,0 +1,145 @@
+package monitor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genSnapshot draws a random valid snapshot: a monitor with a random
+// configuration fed a random outcome stream, optionally with its SPRT
+// verdict forced.
+func genSnapshot(t *testing.T, rng *rand.Rand) Snapshot {
+	t.Helper()
+	cfg := Config{
+		Predicted: 0.5 + 0.49*rng.Float64(),
+		Window:    1 + rng.Intn(32),
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n := rng.Intn(64)
+	for i := 0; i < n; i++ {
+		m.Record(rng.Float64() < 0.7)
+	}
+	if rng.Intn(4) == 0 {
+		m.ResetSPRT() // mix decided and re-armed tests
+	}
+	return m.Snapshot()
+}
+
+// normalize maps a nil window to an empty one so DeepEqual compares
+// content, not slice headers.
+func normalize(s Snapshot) Snapshot {
+	if s.Window == nil {
+		s.Window = []bool{}
+	}
+	return s
+}
+
+func mustMerge(t *testing.T, a, b Snapshot) Snapshot {
+	t.Helper()
+	out, err := a.Merge(b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	return out
+}
+
+// TestMergeProperties checks the semilattice laws over random snapshot
+// pairs/triples: commutativity, idempotency, associativity, and that
+// re-delivering a snapshot that was already merged changes nothing (so
+// gossip re-delivery cannot double-count evidence).
+func TestMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a := genSnapshot(t, rng)
+		b := genSnapshot(t, rng)
+		c := genSnapshot(t, rng)
+
+		ab := mustMerge(t, a, b)
+		ba := mustMerge(t, b, a)
+		if !reflect.DeepEqual(normalize(ab), normalize(ba)) {
+			t.Fatalf("trial %d: Merge not commutative:\n a=%+v\n b=%+v\n ab=%+v\n ba=%+v", trial, a, b, ab, ba)
+		}
+
+		aa := mustMerge(t, a, a)
+		if !reflect.DeepEqual(normalize(aa), normalize(a)) {
+			t.Fatalf("trial %d: Merge(a,a) != a:\n a=%+v\n aa=%+v", trial, a, aa)
+		}
+
+		// Re-delivery: merging b in again is a no-op.
+		abb := mustMerge(t, ab, b)
+		if !reflect.DeepEqual(normalize(abb), normalize(ab)) {
+			t.Fatalf("trial %d: re-delivery changed the merge:\n ab=%+v\n abb=%+v", trial, ab, abb)
+		}
+		if abb.Total != ab.Total || abb.Successes != ab.Successes {
+			t.Fatalf("trial %d: re-delivery double-counted evidence: %+v vs %+v", trial, ab, abb)
+		}
+
+		abc1 := mustMerge(t, ab, c)
+		abc2 := mustMerge(t, a, mustMerge(t, b, c))
+		if !reflect.DeepEqual(normalize(abc1), normalize(abc2)) {
+			t.Fatalf("trial %d: Merge not associative:\n (ab)c=%+v\n a(bc)=%+v", trial, abc1, abc2)
+		}
+
+		// The merged snapshot must always restore.
+		if _, err := Restore(ab); err != nil {
+			t.Fatalf("trial %d: merged snapshot not restorable: %v\n%+v", trial, err, ab)
+		}
+	}
+}
+
+// TestMergeNeverRegressesViolating forces a Violating verdict on one side
+// and checks the merge keeps it regardless of which side carries more
+// evidence.
+func TestMergeNeverRegressesViolating(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a := genSnapshot(t, rng)
+		b := genSnapshot(t, rng)
+		a.Decided = Violating
+		got := mustMerge(t, a, b)
+		if got.Decided != Violating {
+			t.Fatalf("trial %d: merge regressed a Violating verdict:\n a=%+v\n b=%+v\n got=%+v", trial, a, b, got)
+		}
+		got = mustMerge(t, b, a)
+		if got.Decided != Violating {
+			t.Fatalf("trial %d: merge (flipped) regressed a Violating verdict: %+v", trial, got)
+		}
+	}
+}
+
+// TestMergeMostEvidenceWins pins the headline semantics: the side with
+// more recorded outcomes supplies the merged statistics.
+func TestMergeMostEvidenceWins(t *testing.T) {
+	mkSnap := func(outcomes int, ok bool) Snapshot {
+		m, err := New(Config{Predicted: 0.9, Window: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < outcomes; i++ {
+			m.Record(ok)
+		}
+		return m.Snapshot()
+	}
+	small := mkSnap(3, true)
+	big := mkSnap(20, false)
+	got := mustMerge(t, small, big)
+	if got.Total != big.Total || got.Successes != big.Successes {
+		t.Fatalf("merge did not take the side with more evidence: %+v", got)
+	}
+}
+
+// TestMergeRejectsInvalid checks both inputs are validated.
+func TestMergeRejectsInvalid(t *testing.T) {
+	valid := Snapshot{Config: Config{Predicted: 0.9}, Total: 2, Successes: 1, Decided: Undecided}
+	bad := Snapshot{Config: Config{Predicted: 0.9}, Total: 1, Successes: 5, Decided: Undecided}
+	if _, err := valid.Merge(bad); err == nil {
+		t.Fatal("Merge accepted an invalid right operand")
+	}
+	if _, err := bad.Merge(valid); err == nil {
+		t.Fatal("Merge accepted an invalid left operand")
+	}
+}

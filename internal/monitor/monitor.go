@@ -246,25 +246,38 @@ func (m *Monitor) Snapshot() Snapshot {
 	}
 }
 
+// validate checks a snapshot's internal consistency, returning its
+// defaulted configuration. Restore and Merge share it.
+func (s Snapshot) validate() (Config, error) {
+	cfg, err := s.Config.withDefaults()
+	if err != nil {
+		return cfg, err
+	}
+	if s.Total < 0 || s.Successes < 0 || s.Successes > s.Total {
+		return cfg, fmt.Errorf("%w: %d successes of %d outcomes", ErrBadSnapshot, s.Successes, s.Total)
+	}
+	if len(s.Window) > cfg.Window || len(s.Window) > s.Total {
+		return cfg, fmt.Errorf("%w: window of %d entries (config window %d, total %d)", ErrBadSnapshot, len(s.Window), cfg.Window, s.Total)
+	}
+	switch s.Decided {
+	case Undecided, Meeting, Violating:
+	default:
+		return cfg, fmt.Errorf("%w: verdict %d", ErrBadSnapshot, int(s.Decided))
+	}
+	return cfg, nil
+}
+
 // Restore rebuilds a Monitor from a snapshot. The restored monitor
 // continues exactly where the snapshot was taken: same estimates, same
 // SPRT evidence, same verdict — and ResetSPRT keeps its usual semantics
 // (re-arm the sequential test, keep the statistics).
 func Restore(s Snapshot) (*Monitor, error) {
+	if _, err := s.validate(); err != nil {
+		return nil, err
+	}
 	m, err := New(s.Config)
 	if err != nil {
 		return nil, err
-	}
-	if s.Total < 0 || s.Successes < 0 || s.Successes > s.Total {
-		return nil, fmt.Errorf("%w: %d successes of %d outcomes", ErrBadSnapshot, s.Successes, s.Total)
-	}
-	if len(s.Window) > m.cfg.Window || len(s.Window) > s.Total {
-		return nil, fmt.Errorf("%w: window of %d entries (config window %d, total %d)", ErrBadSnapshot, len(s.Window), m.cfg.Window, s.Total)
-	}
-	switch s.Decided {
-	case Undecided, Meeting, Violating:
-	default:
-		return nil, fmt.Errorf("%w: verdict %d", ErrBadSnapshot, int(s.Decided))
 	}
 	for i, ok := range s.Window {
 		m.ring[i] = ok

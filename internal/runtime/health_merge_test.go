@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"socrel/internal/monitor"
+)
+
+// tripTracker feeds a provider failures until its SPRT trips, returning
+// the tracker.
+func tripTracker(t *testing.T, provider string) *HealthTracker {
+	t.Helper()
+	h := NewHealthTracker(HealthConfig{})
+	if err := h.Watch(provider, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && h.Verdict(provider) != monitor.Violating; i++ {
+		h.Observe(provider, false)
+	}
+	if h.Verdict(provider) != monitor.Violating {
+		t.Fatal("SPRT never tripped under a pure-failure stream")
+	}
+	if !h.Quarantined(provider) {
+		t.Fatal("Violating verdict did not quarantine the provider")
+	}
+	return h
+}
+
+// TestMergeCheckpointPropagatesQuarantine is the fleet-wide quarantine
+// path: a provider tripped on replica A becomes quarantined on replica B
+// after B merges A's checkpoint, with OnTrip firing a peer-evidence
+// reason.
+func TestMergeCheckpointPropagatesQuarantine(t *testing.T) {
+	a := tripTracker(t, "p")
+
+	var tripped []string
+	var reasons []error
+	b := NewHealthTracker(HealthConfig{OnTrip: func(provider string, reason error) {
+		tripped = append(tripped, provider)
+		reasons = append(reasons, reason)
+	}})
+	if err := b.Watch("p", 0.99); err != nil {
+		t.Fatal(err)
+	}
+	b.Observe("p", true) // a little healthy local evidence
+
+	if err := b.MergeCheckpoint(a.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Quarantined("p") {
+		t.Fatal("merged Violating evidence did not quarantine the provider on the receiving tracker")
+	}
+	if b.Verdict("p") != monitor.Violating {
+		t.Fatalf("merged verdict = %v, want Violating", b.Verdict("p"))
+	}
+	if len(tripped) != 1 || tripped[0] != "p" {
+		t.Fatalf("OnTrip calls = %v, want exactly [p]", tripped)
+	}
+	if !errors.Is(reasons[0], ErrPeerEvidence) || !errors.Is(reasons[0], ErrProviderDegraded) {
+		t.Fatalf("trip reason %v does not wrap ErrPeerEvidence and ErrProviderDegraded", reasons[0])
+	}
+}
+
+// TestMergeCheckpointIdempotent re-delivers the same checkpoint and
+// checks evidence is not double-counted and the breaker does not re-trip.
+func TestMergeCheckpointIdempotent(t *testing.T) {
+	a := tripTracker(t, "p")
+	snap := a.Checkpoint()
+
+	trips := 0
+	b := NewHealthTracker(HealthConfig{OnTrip: func(string, error) { trips++ }})
+	if err := b.MergeCheckpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	first := b.Checkpoint()["p"]
+	for i := 0; i < 3; i++ {
+		if err := b.MergeCheckpoint(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again := b.Checkpoint()["p"]
+	if again.Total != first.Total || again.Successes != first.Successes {
+		t.Fatalf("re-delivered checkpoint changed evidence: %+v -> %+v", first, again)
+	}
+	if trips != 1 {
+		t.Fatalf("OnTrip fired %d times across re-deliveries, want 1", trips)
+	}
+}
+
+// TestMergeCheckpointAdoptsUnknownProvider: a provider only a peer has
+// seen appears locally with the peer's evidence (and no trip when the
+// peer's verdict is not Violating).
+func TestMergeCheckpointAdoptsUnknownProvider(t *testing.T) {
+	a := NewHealthTracker(HealthConfig{})
+	if err := a.Watch("fresh", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.Observe("fresh", true)
+	}
+
+	b := NewHealthTracker(HealthConfig{OnTrip: func(string, error) { t.Fatal("unexpected trip") }})
+	if err := b.MergeCheckpoint(a.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Checkpoint()["fresh"]
+	if got.Total != 10 || got.Successes != 10 {
+		t.Fatalf("adopted evidence = %+v, want 10/10", got)
+	}
+	if b.Quarantined("fresh") {
+		t.Fatal("healthy adopted provider is quarantined")
+	}
+}
+
+// TestMergeCheckpointKeepsLocalEvidenceWhenLarger: the local side wins
+// when it carries more outcomes; remote Undecided evidence cannot erase
+// it.
+func TestMergeCheckpointKeepsLocalEvidenceWhenLarger(t *testing.T) {
+	local := NewHealthTracker(HealthConfig{})
+	if err := local.Watch("p", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		local.Observe("p", true)
+	}
+	remote := NewHealthTracker(HealthConfig{})
+	if err := remote.Watch("p", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	remote.Observe("p", true)
+
+	if err := local.MergeCheckpoint(remote.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if got := local.Checkpoint()["p"]; got.Total != 50 {
+		t.Fatalf("local evidence regressed to %d outcomes, want 50", got.Total)
+	}
+}
+
+// TestMergeCheckpointRejectsCorrupt: a torn snapshot fails loudly instead
+// of poisoning the tracker.
+func TestMergeCheckpointRejectsCorrupt(t *testing.T) {
+	b := NewHealthTracker(HealthConfig{})
+	bad := map[string]monitor.Snapshot{
+		"p": {Config: monitor.Config{Predicted: 0.9}, Total: 1, Successes: 9},
+	}
+	if err := b.MergeCheckpoint(bad); err == nil {
+		t.Fatal("MergeCheckpoint accepted a corrupt snapshot")
+	}
+}

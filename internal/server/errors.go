@@ -29,4 +29,15 @@ var (
 	// budget ran out while it waited for a concurrency slot; the sweep
 	// removed it instead of evaluating it.
 	ErrExpiredInQueue = fmt.Errorf("%w: deadline budget expired while queued", ErrOverloaded)
+	// ErrDraining means the server is shutting down gracefully: admission
+	// is closed while in-flight and queued work finishes. It wraps
+	// ErrOverloaded so front ends translate it to the same 503 +
+	// Retry-After they use for load sheds — to the client, a draining
+	// replica and a saturated one both mean "retry elsewhere, soon".
+	ErrDraining = fmt.Errorf("%w: server draining", ErrOverloaded)
 )
+
+// ErrDrainTimeout is returned by Drain when its deadline elapses with
+// work still in flight. It does not wrap ErrOverloaded: it is a report to
+// the operator, not a shed answer.
+var ErrDrainTimeout = errors.New("server: drain deadline exceeded with work in flight")

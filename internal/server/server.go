@@ -186,6 +186,9 @@ type Stats struct {
 	Exact, Stale, Bounded, Unavailable uint64
 	// Shed reasons.
 	ShedQueueFull, ShedClass, ShedDeadline, SweptExpired, CanceledWaiting uint64
+	// ShedDraining counts requests refused because the server is
+	// draining for shutdown.
+	ShedDraining uint64
 	// Hedging counters.
 	HedgesLaunched, HedgeWins uint64
 	// Limit is the AIMD limiter's current window; Inflight and
@@ -208,13 +211,15 @@ type Server struct {
 	clock socruntime.Clock
 	eval  Evaluator
 
-	mu      sync.Mutex
-	queue   *admissionQueue
-	limiter *aimdLimiter
-	lat     *latencyDigest
-	stale   map[string]socruntime.LastGood
-	bounds  map[string]*boundsRing // per-scope rings of recent exact answers
-	stats   Stats
+	mu       sync.Mutex
+	queue    *admissionQueue
+	limiter  *aimdLimiter
+	lat      *latencyDigest
+	stale    map[string]socruntime.LastGood
+	bounds   map[string]*boundsRing // per-scope rings of recent exact answers
+	stats    Stats
+	draining bool
+	drained  chan struct{} // closed once draining and quiescent
 }
 
 // boundsRing is a sliding window of recent exact answers for one scope,
@@ -482,6 +487,10 @@ func (s *Server) effectiveDeadline(ctx context.Context, now time.Time, timeout t
 // the remaining deadline cannot cover the service-time estimate plus
 // the expected queue wait.
 func (s *Server) admitLocked(pri Priority, deadline, now time.Time) error {
+	if s.draining {
+		s.stats.ShedDraining++
+		return ErrDraining
+	}
 	if s.queue.full() {
 		s.stats.ShedQueueFull++
 		return ErrQueueFull
@@ -567,6 +576,61 @@ func (s *Server) dispatchLocked() {
 		w := s.queue.pop()
 		w.granted = true
 		w.ready <- nil
+	}
+	s.maybeQuiesceLocked()
+}
+
+// maybeQuiesceLocked completes an in-progress drain once the last slot
+// frees and the queue is empty. dispatchLocked runs at every release
+// point, so this is checked exactly when quiescence can change.
+func (s *Server) maybeQuiesceLocked() {
+	if s.draining && s.drained != nil && s.limiter.inflight == 0 && s.queue.depth == 0 {
+		close(s.drained)
+		s.drained = nil
+	}
+}
+
+// Draining reports whether the server has stopped admitting requests.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: admission closes immediately
+// (new requests degrade with ErrDraining, which front ends surface as
+// 503 + Retry-After), while queued and in-flight work runs to
+// completion. Drain blocks until the server is quiescent, the timeout
+// elapses on the server's clock (ErrDrainTimeout), or ctx is canceled;
+// it returns the final stats snapshot either way, so callers can emit a
+// last accounting line. Drain is idempotent — concurrent callers all
+// wait for the same quiescence.
+func (s *Server) Drain(ctx context.Context, timeout time.Duration) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.drained = make(chan struct{})
+		s.maybeQuiesceLocked()
+	}
+	done := s.drained
+	s.mu.Unlock()
+	if done == nil { // already quiescent
+		return s.Stats(), nil
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = s.clock.After(timeout)
+	}
+	select {
+	case <-done:
+		return s.Stats(), nil
+	case <-ctx.Done():
+		return s.Stats(), fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	case <-timer:
+		return s.Stats(), ErrDrainTimeout
 	}
 }
 
