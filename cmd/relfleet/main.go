@@ -17,7 +17,13 @@
 //	POST /predict   {"service":"search","scope":"tenant-a","params":[1,4096,1],"priority":"interactive","timeout_ms":250}
 //	GET  /healthz   200 while any replica accepts load
 //	GET  /cluster   per-replica membership views and routing counters
-//	GET  /stats     aggregate and per-replica serving counters
+//	GET  /stats     aggregate and per-replica serving counters, estimator counters
+//	GET  /estimates per-replica fitted failure rates — convergent fleet-wide via gossip
+//
+// Each replica runs an online failure-parameter estimator fed by its own
+// served evaluations; estimator snapshots ride the health gossip, so
+// every replica's /estimates view converges on the union of the fleet's
+// evidence within bounded gossip rounds.
 //
 // On SIGTERM the fleet drains: admission closes everywhere (503 +
 // Retry-After), in-flight work finishes within -drain-timeout, and each
@@ -43,6 +49,8 @@ import (
 	"socrel/internal/assembly"
 	"socrel/internal/cluster"
 	"socrel/internal/core"
+	"socrel/internal/estimate"
+	"socrel/internal/monitor"
 	socruntime "socrel/internal/runtime"
 	"socrel/internal/server"
 )
@@ -96,6 +104,13 @@ func run(args []string, out io.Writer) error {
 			Hedge:         server.HedgeConfig{Disabled: *noHedge},
 		},
 		NewEvaluator: newEval,
+		NewEstimator: func(id string) *estimate.Estimator {
+			est, err := estimate.New(estimate.Config{})
+			if err != nil {
+				panic(err) // default config never fails validation
+			}
+			return est
+		},
 	})
 	if err != nil {
 		return err
@@ -269,6 +284,42 @@ func statusFor(a socruntime.Answer) int {
 	return http.StatusInternalServerError
 }
 
+// estimateMeta is the wire form of one estimation bucket in /estimates.
+type estimateMeta struct {
+	Provider     string  `json:"provider"`
+	Context      string  `json:"context,omitempty"`
+	Load         int     `json:"load,omitempty"`
+	Rate         float64 `json:"rate"`
+	Lo           float64 `json:"lo"`
+	Hi           float64 `json:"hi"`
+	Observations int     `json:"observations"`
+	Failures     int     `json:"failures"`
+	MeanLatencyS float64 `json:"mean_latency_s,omitempty"`
+	Bound        float64 `json:"bound,omitempty"`
+	Drift        string  `json:"drift,omitempty"`
+	Direction    int     `json:"direction,omitempty"`
+}
+
+func toEstimateMeta(b estimate.BucketEstimate) estimateMeta {
+	m := estimateMeta{
+		Provider:     b.Key.Provider,
+		Context:      b.Key.Context,
+		Load:         b.Key.Load,
+		Rate:         b.Estimate.Rate,
+		Lo:           b.Estimate.Lo,
+		Hi:           b.Estimate.Hi,
+		Observations: b.Estimate.Observations,
+		Failures:     b.Estimate.Failures,
+		MeanLatencyS: b.Estimate.MeanLatency,
+		Bound:        b.Bound,
+		Direction:    b.Direction,
+	}
+	if b.Drift != monitor.Verdict(0) {
+		m.Drift = b.Drift.String()
+	}
+	return m
+}
+
 // memberView is one replica's judgment of the fleet in /cluster.
 type memberView struct {
 	ID        string `json:"id"`
@@ -350,6 +401,26 @@ func newFleetMux(f *cluster.Fleet) *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]any{"replicas": views})
 	})
 
+	mux.HandleFunc("GET /estimates", func(w http.ResponseWriter, r *http.Request) {
+		perReplica := map[string]any{}
+		for _, n := range f.Live() {
+			est := n.Estimator()
+			if est == nil {
+				continue
+			}
+			all := est.All()
+			buckets := make([]estimateMeta, 0, len(all))
+			for _, b := range all {
+				if !b.OK && b.Estimate.Observations == 0 {
+					continue
+				}
+				buckets = append(buckets, toEstimateMeta(b))
+			}
+			perReplica[n.ID()] = buckets
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"replicas": perReplica})
+	})
+
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		perReplica := map[string]any{}
 		var offered, exact, stale, bounded, unavailable, shed uint64
@@ -361,7 +432,7 @@ func newFleetMux(f *cluster.Fleet) *http.ServeMux {
 			bounded += st.Bounded
 			unavailable += st.Unavailable
 			shed += st.ShedQueueFull + st.ShedClass + st.ShedDeadline + st.SweptExpired + st.ShedDraining
-			perReplica[n.ID()] = map[string]any{
+			rep := map[string]any{
 				"offered":     st.Offered,
 				"exact":       st.Exact,
 				"stale":       st.Stale,
@@ -373,6 +444,17 @@ func newFleetMux(f *cluster.Fleet) *http.ServeMux {
 				"saturation":  st.Saturation.String(),
 				"draining":    n.Server().Draining(),
 			}
+			if est := n.Estimator(); est != nil {
+				es := est.Stats()
+				rep["estimator"] = map[string]any{
+					"observed":         es.Observed,
+					"keys":             es.Keys,
+					"drift_violations": es.DriftViolations,
+					"merged":           es.Merged,
+					"bad_merges":       es.BadMerges,
+				}
+			}
+			perReplica[n.ID()] = rep
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"offered":     offered,

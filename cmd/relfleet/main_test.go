@@ -11,6 +11,7 @@ import (
 	"socrel/internal/assembly"
 	"socrel/internal/cluster"
 	"socrel/internal/core"
+	"socrel/internal/estimate"
 	socruntime "socrel/internal/runtime"
 	"socrel/internal/server"
 )
@@ -41,6 +42,13 @@ func newTestFleet(t *testing.T, replicas int) (*cluster.Fleet, *socruntime.FakeC
 		},
 		Server:       server.Config{Service: "search", Hedge: server.HedgeConfig{Disabled: true}},
 		NewEvaluator: newEval,
+		NewEstimator: func(id string) *estimate.Estimator {
+			est, err := estimate.New(estimate.Config{Clock: clk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return est
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

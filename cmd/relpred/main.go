@@ -9,6 +9,14 @@
 //	relpred -paper local -params 1,4096,1      # built-in paper example
 //	relpred -model system.adl -params 1,4096,1             # file, auto-detected
 //	relpred -model acme/search@2 -store ./models -params 1 # stored version
+//	relpred -observe outcomes.jsonl -bounds 'db=0.05'      # fit failure rates offline
+//
+// -observe replays a JSONL stream of observed invocation outcomes
+// ({"provider":..,"context":..,"failed":..,"exposure":..,"latency_ms":..,
+// "t_ms":..}) through the online failure-parameter estimator and prints
+// each bucket's windowed-MLE rate with its confidence interval; -bounds
+// arms drift detectors against currently bound model parameters and
+// prints their verdicts.
 //
 // -model accepts either an ADL file path (used when the path exists) or a
 // model-store reference tenant/name[@version] resolved against -store;
@@ -116,11 +124,24 @@ func run(args []string, out io.Writer) error {
 	sweep := fs.String("sweep", "", "sweep one formal parameter: 'name=lo:hi:n' (geometric grid); the -params value for that position is ignored")
 	timeout := fs.Duration("timeout", 0, "evaluation deadline (e.g. 500ms); expired runs fail with the typed error class (0 = none)")
 	stats := fs.Bool("stats", false, "print compiled-engine memo statistics (hits/misses/resets/entries) after the evaluation")
+	observe := fs.String("observe", "", "replay an outcomes JSONL file ('-' = stdin) through the failure-parameter estimator and print fitted rates")
+	boundsSpec := fs.String("bounds", "", "comma-separated key=rate drift bounds for -observe (key: provider, provider|context, or provider|context|load)")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for -observe interval fits")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+
+	if *observe != "" {
+		if *file != "" || *paper != "" || *modelArg != "" {
+			return fmt.Errorf("%w: -observe is exclusive with -file, -paper, and -model", errUsage)
+		}
+		return runObserve(out, *observe, *boundsSpec, *confidence)
+	}
+	if *boundsSpec != "" {
+		return fmt.Errorf("%w: -bounds requires -observe", errUsage)
 	}
 
 	ctx := context.Background()

@@ -1,0 +1,160 @@
+package main
+
+// Offline outcome replay: -observe feeds a JSONL stream of observed
+// invocation outcomes through the online estimator on a fake clock and
+// prints the fitted failure parameters — the same math that closes the
+// loop in the serving tier, runnable against captured traffic.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"socrel/internal/estimate"
+	socruntime "socrel/internal/runtime"
+)
+
+// outcomeRecord is the wire form of one replayed observation. Only
+// "provider" is required; "t_ms" orders the record on the replay clock
+// (records replay in file order regardless).
+type outcomeRecord struct {
+	Provider  string  `json:"provider"`
+	Context   string  `json:"context,omitempty"`
+	Load      int     `json:"load,omitempty"`
+	Failed    bool    `json:"failed"`
+	Exposure  float64 `json:"exposure,omitempty"`
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+	TMS       int64   `json:"t_ms,omitempty"`
+}
+
+// parseBounds parses the -bounds spec: comma-separated key=rate pairs,
+// where key is "provider", "provider|context", or the canonical
+// "provider|context|load". Each bound arms the bucket's drift detector.
+func parseBounds(spec string) (map[estimate.Key]float64, error) {
+	out := make(map[estimate.Key]float64)
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		eq := strings.LastIndex(pair, "=")
+		if eq <= 0 {
+			return nil, fmt.Errorf("%w: -bounds entry %q: want key=rate", errUsage, pair)
+		}
+		rate, err := strconv.ParseFloat(pair[eq+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: -bounds entry %q: bad rate: %v", errUsage, pair, err)
+		}
+		ks := pair[:eq]
+		switch strings.Count(ks, "|") {
+		case 0:
+			ks += "||0"
+		case 1:
+			ks += "|0"
+		}
+		k, err := estimate.ParseKey(ks)
+		if err != nil {
+			return nil, fmt.Errorf("%w: -bounds entry %q: %v", errUsage, pair, err)
+		}
+		out[k] = rate
+	}
+	return out, nil
+}
+
+// runObserve replays an outcomes JSONL file ('-' reads stdin) through a
+// fresh estimator and prints one line per estimation bucket: the fitted
+// rate with its confidence interval, and the drift verdict for buckets
+// armed with a -bounds rate.
+func runObserve(out io.Writer, path, boundsSpec string, confidence float64) error {
+	bounds, err := parseBounds(boundsSpec)
+	if err != nil {
+		return err
+	}
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	// The replay clock only matters for MaxAge-style windowing (unused
+	// here) and default timestamps; a fixed epoch keeps runs identical.
+	base := time.Unix(0, 0).UTC()
+	est, err := estimate.New(estimate.Config{
+		Clock:      socruntime.NewFakeClock(base),
+		Confidence: confidence,
+	})
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	for k, rate := range bounds {
+		if err := est.SetBound(k, rate); err != nil {
+			return fmt.Errorf("%w: bound for %s: %v", errUsage, k, err)
+		}
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var rec outcomeRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if rec.Provider == "" {
+			return fmt.Errorf("%s:%d: missing provider", path, line)
+		}
+		est.Observe(estimate.Outcome{
+			Provider: rec.Provider,
+			Context:  rec.Context,
+			Load:     rec.Load,
+			Failed:   rec.Failed,
+			Exposure: rec.Exposure,
+			Latency:  time.Duration(rec.LatencyMS * float64(time.Millisecond)),
+			At:       base.Add(time.Duration(rec.TMS) * time.Millisecond),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	all := est.All()
+	if len(all) == 0 {
+		return fmt.Errorf("no outcomes replayed from %s", path)
+	}
+	for _, b := range all {
+		e := b.Estimate
+		fmt.Fprintf(out, "bucket %s: rate=%.6g ci%d=[%.6g, %.6g] obs=%d failures=%d exposure=%.6g",
+			b.Key, e.Rate, int(confidence*100+0.5), e.Lo, e.Hi, e.Observations, e.Failures, e.Exposure)
+		if b.OK && e.Failures == 0 {
+			fmt.Fprint(out, " (censored: no failures observed)")
+		}
+		if b.Bound > 0 {
+			fmt.Fprintf(out, " bound=%.6g drift=%s", b.Bound, b.Drift)
+			switch b.Direction {
+			case 1:
+				fmt.Fprint(out, " (rate rose above bound)")
+			case -1:
+				fmt.Fprint(out, " (rate fell below bound)")
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	st := est.Stats()
+	fmt.Fprintf(out, "observed=%d buckets=%d drift_violations=%d\n", st.Observed, st.Keys, st.DriftViolations)
+	return nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeOutcomes writes a JSONL fixture: n outcomes for provider with a
+// failure every failEvery records (0 = never).
+func writeOutcomes(t *testing.T, provider, context string, n, failEvery int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		failed := failEvery > 0 && i%failEvery == 0
+		fmt.Fprintf(&sb, `{"provider":%q,"context":%q,"failed":%v,"exposure":1,"latency_ms":5,"t_ms":%d}`+"\n",
+			provider, context, failed, i*100)
+	}
+	path := filepath.Join(t.TempDir(), "outcomes.jsonl")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestObserveReplayFitsRates(t *testing.T) {
+	path := writeOutcomes(t, "db", "app", 200, 10)
+	var out strings.Builder
+	if err := run([]string{"-observe", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "bucket db|app|0:") {
+		t.Fatalf("no bucket line:\n%s", got)
+	}
+	if !strings.Contains(got, "obs=200 failures=20") {
+		t.Fatalf("wrong evidence counts:\n%s", got)
+	}
+	if !strings.Contains(got, "observed=200 buckets=1") {
+		t.Fatalf("no summary line:\n%s", got)
+	}
+}
+
+func TestObserveDriftVerdict(t *testing.T) {
+	// True failure rate ≈ -ln(1-1/3) ≈ 0.405 per unit exposure, far above
+	// the bound 0.05 — the drift detector must report an upward violation.
+	path := writeOutcomes(t, "db", "app", 300, 3)
+	var out strings.Builder
+	if err := run([]string{"-observe", path, "-bounds", "db|app=0.05"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "bound=0.05 drift=violating prediction (rate rose above bound)") {
+		t.Fatalf("no upward drift verdict:\n%s", got)
+	}
+	if !strings.Contains(got, "drift_violations=1") {
+		t.Fatalf("summary missed the violation:\n%s", got)
+	}
+}
+
+func TestObserveCensoredBucket(t *testing.T) {
+	path := writeOutcomes(t, "db", "", 50, 0)
+	var out strings.Builder
+	if err := run([]string{"-observe", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "rate=0") || !strings.Contains(got, "censored: no failures observed") {
+		t.Fatalf("censored bucket not reported as such:\n%s", got)
+	}
+}
+
+func TestObserveUsageErrors(t *testing.T) {
+	path := writeOutcomes(t, "db", "", 5, 0)
+	cases := [][]string{
+		{"-observe", path, "-paper", "local"},      // exclusive flags
+		{"-bounds", "db=0.1"},                      // -bounds without -observe... needs -file too
+		{"-observe", path, "-bounds", "nope"},      // malformed bound
+		{"-observe", path, "-bounds", "db=notnum"}, // bad rate
+		{"-observe", path, "-confidence", "1.5"},   // bad confidence
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		err := run(args, &out)
+		if err == nil {
+			t.Fatalf("args %v succeeded", args)
+		}
+		if exitCodeFor(err) != exitUsage {
+			t.Fatalf("args %v: exit %d (%v), want usage exit %d", args, exitCodeFor(err), err, exitUsage)
+		}
+	}
+}
+
+func TestObserveBadFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-observe", filepath.Join(t.TempDir(), "missing.jsonl")}, &out); err == nil {
+		t.Fatal("missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-observe", bad}, &out); err == nil || !strings.Contains(err.Error(), ":1:") {
+		t.Fatalf("malformed line error: %v", err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-observe", empty}, &out); err == nil {
+		t.Fatal("empty replay succeeded")
+	}
+}

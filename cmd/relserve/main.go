@@ -14,7 +14,13 @@
 //	POST /predict        {"service":"search","params":[1,4096,1],"priority":"interactive","timeout_ms":250}
 //	POST /predict/batch  {"service":"search","param_sets":[[1,4096,1],[2,4096,1]],"priority":"batch"}
 //	GET  /healthz        200 while accepting load, 503 at overload
-//	GET  /stats          admission/shedding/hedging counters, artifact-cache counters
+//	GET  /stats          admission/shedding/hedging counters, artifact-cache and estimator counters
+//	GET  /estimates      per-bucket fitted failure rates with confidence intervals and drift verdicts
+//
+// Every completed evaluation also feeds an online failure-parameter
+// estimator (windowed MLE per evaluated service), so /estimates shows
+// what the serving tier has actually observed next to what the model
+// predicts.
 //
 // With a model store (-store DIR for the durable disk store, or the
 // default in-memory store) the server is multi-tenant:
@@ -54,6 +60,8 @@ import (
 	"socrel/internal/adl"
 	"socrel/internal/assembly"
 	"socrel/internal/core"
+	"socrel/internal/estimate"
+	"socrel/internal/monitor"
 	socruntime "socrel/internal/runtime"
 	"socrel/internal/server"
 	"socrel/internal/store"
@@ -120,15 +128,20 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	est, err := estimate.New(estimate.Config{})
+	if err != nil {
+		return err
+	}
 	srv := server.New(&dispatchEval{fallback: eval}, server.Config{
 		Service:       *service,
 		QueueCapacity: *queueCap,
 		Limiter:       server.LimiterConfig{Max: *maxConc, LatencyTarget: *latencyTarget},
 		Hedge:         server.HedgeConfig{Disabled: *noHedge},
+		OnOutcome:     estimateFeed(est),
 	})
 
 	fmt.Fprintf(out, "relserve: serving %q (%s engine) on %s\n", *service, mode, *listen)
-	hs := &http.Server{Addr: *listen, Handler: newMux(srv, host)}
+	hs := &http.Server{Addr: *listen, Handler: newMux(srv, host, est)}
 
 	// Graceful shutdown: on SIGTERM/SIGINT the admission layer closes
 	// first — new requests shed as 503 + Retry-After while the listener
@@ -418,9 +431,76 @@ func modelContext(w http.ResponseWriter, r *http.Request, host *modelHost) (cont
 	return context.WithValue(ctx, modelCtxKey{}, ca), scope, false
 }
 
-// newMux builds the HTTP handler over an admission-controlled server and
-// a model host. Split from run so tests drive it with httptest.
-func newMux(srv *server.Server, host *modelHost) *http.ServeMux {
+// estimateFeed adapts the server's outcome stream into estimator
+// observations: the evaluated service is the estimation bucket's
+// provider and the request scope its context.
+func estimateFeed(est *estimate.Estimator) func(server.Outcome) {
+	return func(o server.Outcome) {
+		est.Observe(estimate.Outcome{
+			Provider: o.Service,
+			Context:  o.Scope,
+			Failed:   !o.Success,
+			Latency:  o.Latency,
+			At:       o.At,
+		})
+	}
+}
+
+// estimateMeta is the wire form of one estimation bucket.
+type estimateMeta struct {
+	Provider     string  `json:"provider"`
+	Context      string  `json:"context,omitempty"`
+	Load         int     `json:"load,omitempty"`
+	Rate         float64 `json:"rate"`
+	Lo           float64 `json:"lo"`
+	Hi           float64 `json:"hi"`
+	Observations int     `json:"observations"`
+	Failures     int     `json:"failures"`
+	MeanLatencyS float64 `json:"mean_latency_s,omitempty"`
+	Bound        float64 `json:"bound,omitempty"`
+	Drift        string  `json:"drift,omitempty"`
+	Direction    int     `json:"direction,omitempty"`
+}
+
+func toEstimateMeta(b estimate.BucketEstimate) estimateMeta {
+	m := estimateMeta{
+		Provider:     b.Key.Provider,
+		Context:      b.Key.Context,
+		Load:         b.Key.Load,
+		Rate:         b.Estimate.Rate,
+		Lo:           b.Estimate.Lo,
+		Hi:           b.Estimate.Hi,
+		Observations: b.Estimate.Observations,
+		Failures:     b.Estimate.Failures,
+		MeanLatencyS: b.Estimate.MeanLatency,
+		Bound:        b.Bound,
+		Direction:    b.Direction,
+	}
+	if b.Drift != monitor.Verdict(0) {
+		m.Drift = b.Drift.String()
+	}
+	return m
+}
+
+// registerEstimateRoutes wires the estimator's read surface.
+func registerEstimateRoutes(mux *http.ServeMux, est *estimate.Estimator) {
+	mux.HandleFunc("GET /estimates", func(w http.ResponseWriter, r *http.Request) {
+		all := est.All()
+		out := make([]estimateMeta, 0, len(all))
+		for _, b := range all {
+			if !b.OK && b.Estimate.Observations == 0 {
+				continue
+			}
+			out = append(out, toEstimateMeta(b))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"estimates": out})
+	})
+}
+
+// newMux builds the HTTP handler over an admission-controlled server, a
+// model host, and an optional estimator. Split from run so tests drive
+// it with httptest.
+func newMux(srv *server.Server, host *modelHost, est *estimate.Estimator) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
@@ -508,6 +588,9 @@ func newMux(srv *server.Server, host *modelHost) *http.ServeMux {
 	if host != nil {
 		registerModelRoutes(mux, host)
 	}
+	if est != nil {
+		registerEstimateRoutes(mux, est)
+	}
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := srv.Stats()
@@ -541,6 +624,16 @@ func newMux(srv *server.Server, host *modelHost) *http.ServeMux {
 				"misses":    cs.Misses,
 				"evictions": cs.Evictions,
 				"entries":   cs.Entries,
+			}
+		}
+		if est != nil {
+			es := est.Stats()
+			stats["estimator"] = map[string]any{
+				"observed":         es.Observed,
+				"keys":             es.Keys,
+				"drift_violations": es.DriftViolations,
+				"merged":           es.Merged,
+				"bad_merges":       es.BadMerges,
 			}
 		}
 		writeJSON(w, http.StatusOK, stats)

@@ -1,0 +1,82 @@
+package socrel
+
+// Re-exports of the online estimation subsystem (internal/estimate): the
+// failure-parameter estimator that fits exponential failure-law rates
+// from observed invocation outcomes, the drift detector riding each
+// estimation bucket, and the reactor that closes the loop — confirmed
+// drift rebinds the model parameter and recomputes the prediction
+// through the self-healing runtime.
+
+import (
+	"socrel/internal/estimate"
+	socruntime "socrel/internal/runtime"
+)
+
+type (
+	// Estimator fits per-provider, per-context failure rates with
+	// confidence intervals from an outcome stream, and detects drift
+	// from the rates bound in the live model.
+	Estimator = estimate.Estimator
+	// EstimatorConfig parameterizes an Estimator.
+	EstimatorConfig = estimate.Config
+	// EstimateKey identifies one estimation bucket: provider, service
+	// context, load bucket.
+	EstimateKey = estimate.Key
+	// EstimateOutcome is one observed invocation outcome.
+	EstimateOutcome = estimate.Outcome
+	// RateEstimate is a fitted failure rate with its confidence
+	// interval and the evidence behind it.
+	RateEstimate = estimate.Estimate
+	// BucketEstimate pairs a bucket key with its estimate, bound, and
+	// drift verdict.
+	BucketEstimate = estimate.BucketEstimate
+	// EstimatorStats are the estimator's monotonic counters.
+	EstimatorStats = estimate.Stats
+	// EstimateSnapshot is a self-contained bucket checkpoint; maps of
+	// them ride cluster gossip and merge as a join-semilattice.
+	EstimateSnapshot = estimate.Snapshot
+	// DriftEvent describes a bucket whose drift detector tripped.
+	DriftEvent = estimate.DriftEvent
+	// Reactor turns confirmed drift into action: re-prediction through
+	// a Repredictor, or a breaker trip through a DriftTripper.
+	Reactor = estimate.Reactor
+	// ReactorConfig parameterizes a Reactor.
+	ReactorConfig = estimate.ReactorConfig
+	// ReactorStats are the reactor's monotonic counters.
+	ReactorStats = estimate.ReactorStats
+	// RepredictEvent describes one completed re-prediction.
+	RepredictEvent = estimate.RepredictEvent
+	// Invocation is one observed invocation reported to a Supervisor.
+	Invocation = socruntime.Invocation
+	// OutcomeEvent is the typed event a Supervisor publishes for every
+	// reported invocation — the stream estimation layers consume.
+	OutcomeEvent = socruntime.OutcomeEvent
+)
+
+// Estimation sentinels.
+var (
+	// ErrBadEstimateKey is returned by ParseEstimateKey for malformed
+	// key strings.
+	ErrBadEstimateKey = estimate.ErrBadKey
+	// ErrBadEstimateSnapshot is returned for inconsistent snapshots.
+	ErrBadEstimateSnapshot = estimate.ErrBadSnapshot
+	// ErrBadBound is returned for unusable drift-bound rates.
+	ErrBadBound = estimate.ErrBadBound
+	// ErrDrift tags breaker trips caused by confirmed estimation drift.
+	ErrDrift = socruntime.ErrDrift
+)
+
+// NewEstimator returns an Estimator for the given configuration.
+func NewEstimator(cfg EstimatorConfig) (*Estimator, error) { return estimate.New(cfg) }
+
+// NewReactor returns a Reactor for the given configuration.
+func NewReactor(cfg ReactorConfig) (*Reactor, error) { return estimate.NewReactor(cfg) }
+
+// ParseEstimateKey parses the "provider|context|load" form produced by
+// EstimateKey.String.
+func ParseEstimateKey(s string) (EstimateKey, error) { return estimate.ParseKey(s) }
+
+// MergeEstimateSnapshots joins two bucket snapshots observed from
+// different vantage points: commutative, associative, idempotent — the
+// gossip merge primitive for estimation evidence.
+func MergeEstimateSnapshots(a, b EstimateSnapshot) (EstimateSnapshot, error) { return a.Merge(b) }

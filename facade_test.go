@@ -460,3 +460,56 @@ type facadeConstEval struct{}
 func (facadeConstEval) PfailCtx(context.Context, string, ...float64) (float64, error) {
 	return 0.125, nil
 }
+
+func TestFacadeEstimation(t *testing.T) {
+	est, err := socrel.NewEstimator(socrel.EstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := socrel.EstimateKey{Provider: "cpu1", Context: "app"}
+	if err := est.SetBound(k, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		est.Observe(socrel.EstimateOutcome{Provider: "cpu1", Context: "app", Failed: i%10 == 0})
+	}
+	e, ok := est.Estimate(k)
+	if !ok || e.Observations != 100 || e.Failures != 10 {
+		t.Fatalf("estimate %+v ok=%v, want 100 obs / 10 failures", e, ok)
+	}
+	if e.Rate <= 0 || e.Lo >= e.Hi {
+		t.Fatalf("degenerate fit %+v", e)
+	}
+
+	rt, err := socrel.ParseEstimateKey(k.String())
+	if err != nil || rt != k {
+		t.Fatalf("key round trip: %v %v", rt, err)
+	}
+	if _, err := socrel.ParseEstimateKey("nope"); !errors.Is(err, socrel.ErrBadEstimateKey) {
+		t.Fatalf("malformed key error %v", err)
+	}
+
+	cp := est.Checkpoint()
+	s := cp[k.String()]
+	merged, err := socrel.MergeEstimateSnapshots(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Total != s.Total || merged.Failures != s.Failures {
+		t.Fatalf("idempotent merge changed evidence: %+v vs %+v", merged, s)
+	}
+
+	re, err := socrel.NewReactor(socrel.ReactorConfig{Estimator: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Bind(k, "lambda", 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Rate(k); got != 0.05 {
+		t.Fatalf("bound rate %g, want 0.05", got)
+	}
+	if err := re.Bind(k, "lambda", math.NaN()); !errors.Is(err, socrel.ErrBadBound) {
+		t.Fatalf("NaN bound error %v", err)
+	}
+}

@@ -64,6 +64,18 @@ func (a *Assembly) AddService(svc model.Service) error {
 	return nil
 }
 
+// ReplaceService swaps an existing service definition for an updated one
+// of the same name, preserving registration order and bindings. This is
+// the re-prediction hook: learned failure-law parameters re-enter the
+// model by replacing the drifted service in place.
+func (a *Assembly) ReplaceService(svc model.Service) error {
+	if _, ok := a.services[svc.Name()]; !ok {
+		return fmt.Errorf("%w: %q", model.ErrUnknownService, svc.Name())
+	}
+	a.services[svc.Name()] = svc
+	return nil
+}
+
 // MustAddService registers a service, panicking on duplicates; intended for
 // statically known-correct assembly constructions.
 func (a *Assembly) MustAddService(svc model.Service) {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"socrel/internal/estimate"
 	"socrel/internal/faultinject"
 	socruntime "socrel/internal/runtime"
 	"socrel/internal/server"
@@ -31,6 +32,14 @@ type FleetConfig struct {
 	// NewEvaluator builds each replica's evaluator. Required. It may
 	// return a shared evaluator if that evaluator is concurrency-safe.
 	NewEvaluator func(id string) server.Evaluator
+	// NewEstimator, when set, builds each replica's failure-parameter
+	// estimator. The fleet attaches it to the node (so its snapshots ride
+	// gossip and peer snapshots merge in) and chains the replica server's
+	// OnOutcome hook to feed it: every evaluation outcome is observed
+	// under bucket (provider = target service, context = request scope).
+	// Richer feeds — supervisor outcome events carrying real provider
+	// identities — call Node.ObserveEstimate directly.
+	NewEstimator func(id string) *estimate.Estimator
 	// Network, when set, carries all inter-replica traffic so tests can
 	// partition, drop, duplicate, and reorder it.
 	Network *faultinject.Network
@@ -100,12 +109,35 @@ func (f *Fleet) addNodeLocked(id string, seeds []string, seedOffset int64) (*Nod
 	ncfg.ID = id
 	ncfg.Seeds = seeds
 	ncfg.Seed = f.cfg.Node.Seed + seedOffset
-	srv := server.New(f.cfg.NewEvaluator(id), f.cfg.Server)
+	scfg := f.cfg.Server
+	var est *estimate.Estimator
+	if f.cfg.NewEstimator != nil {
+		est = f.cfg.NewEstimator(id)
+	}
+	if est != nil {
+		// Chain rather than replace: the caller's hook still fires, and
+		// the estimator sees every completed evaluation.
+		inner := scfg.OnOutcome
+		scfg.OnOutcome = func(o server.Outcome) {
+			est.Observe(estimate.Outcome{
+				Provider: o.Service,
+				Context:  o.Scope,
+				Failed:   !o.Success,
+				Latency:  o.Latency,
+				At:       o.At,
+			})
+			if inner != nil {
+				inner(o)
+			}
+		}
+	}
+	srv := server.New(f.cfg.NewEvaluator(id), scfg)
 	tracker := socruntime.NewHealthTracker(f.cfg.Health)
 	n, err := NewNode(ncfg, srv, tracker, f.transport)
 	if err != nil {
 		return nil, err
 	}
+	n.AttachEstimator(est)
 	f.transport.Register(n)
 	f.nodes = append(f.nodes, n)
 	f.byID[id] = n

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"socrel/internal/estimate"
 	"socrel/internal/monitor"
 )
 
@@ -27,10 +28,17 @@ type Rumor struct {
 	// Evidence is the sender's merged provider-health checkpoint.
 	Evidence map[string]monitor.Snapshot
 	// EvidenceVV is the sender's version vector: for each replica, the
-	// generation of that replica's locally observed evidence folded into
-	// Evidence. A receiver whose own vector dominates the rumor's can
+	// generation of that replica's locally observed evidence (SPRT
+	// outcomes plus estimator observations) folded into Evidence and
+	// Estimates. A receiver whose own vector dominates the rumor's can
 	// skip the merge entirely — the rumor carries nothing new.
 	EvidenceVV map[string]uint64
+	// Estimates is the sender's merged failure-parameter estimator
+	// checkpoint (nil when the sender has no estimator attached). Like
+	// Evidence it merges as a semilattice join (estimate.Snapshot.Merge),
+	// so replicas that never saw a drifting provider's traffic still
+	// converge on the fleet's best evidence about it.
+	Estimates map[string]estimate.Snapshot
 }
 
 // dominates reports whether local covers every entry of remote — i.e.

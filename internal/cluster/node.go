@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"socrel/internal/estimate"
 	"socrel/internal/monitor"
 	socruntime "socrel/internal/runtime"
 	"socrel/internal/server"
@@ -93,6 +94,11 @@ type NodeStats struct {
 	EvidenceMerged uint64
 	// BadRumors counts rumors whose evidence failed validation.
 	BadRumors uint64
+	// EstimatesMerged counts rumors whose estimator checkpoint was folded
+	// into the local estimator; BadEstimates counts rumors where that
+	// merge rejected at least one snapshot.
+	EstimatesMerged uint64
+	BadEstimates    uint64
 }
 
 // Node is one replica: an embedded serving tier (admission control,
@@ -105,6 +111,12 @@ type Node struct {
 	srv       *server.Server
 	tracker   *socruntime.HealthTracker
 	transport Transport
+
+	// est is the optional failure-parameter estimator whose snapshots
+	// ride this replica's gossip. Stored atomically so observation and
+	// gossip paths never take node.mu to reach it (same reasoning as
+	// evidenceGen).
+	est atomic.Pointer[estimate.Estimator]
 
 	// evidenceGen counts locally observed health outcomes. It is atomic,
 	// not mu-guarded, so Observe wrappers never take the node lock —
@@ -180,6 +192,31 @@ func (n *Node) Observe(provider string, success bool) monitor.Verdict {
 	v := n.tracker.Observe(provider, success)
 	n.evidenceGen.Add(1)
 	return v
+}
+
+// AttachEstimator hooks a failure-parameter estimator into the replica:
+// its checkpoint rides every subsequent gossip round, received rumors'
+// estimates merge into it, and its observation generation counts toward
+// the replica's version-vector entry. Attach before gossip starts;
+// attaching nil detaches.
+func (n *Node) AttachEstimator(est *estimate.Estimator) {
+	n.est.Store(est)
+}
+
+// Estimator returns the attached estimator (nil if none).
+func (n *Node) Estimator() *estimate.Estimator {
+	return n.est.Load()
+}
+
+// ObserveEstimate feeds one invocation outcome to the attached estimator
+// (a no-op without one), returning the bucket's drift verdict. The next
+// gossip round carries the updated snapshot.
+func (n *Node) ObserveEstimate(o estimate.Outcome) monitor.Verdict {
+	est := n.est.Load()
+	if est == nil {
+		return monitor.Undecided
+	}
+	return est.Observe(o)
 }
 
 // Quarantined reports whether this replica has the provider tripped —
@@ -328,9 +365,20 @@ func (n *Node) HandleRumor(r Rumor) {
 	// Merge outside the node lock: MergeCheckpoint takes the tracker
 	// lock, and holding both here would order node.mu before tracker.mu
 	// on this path while pinning every tracker callback to the reverse.
+	// The same ordering argument covers the estimator's lock.
 	if err := n.tracker.MergeCheckpoint(r.Evidence); err != nil {
 		n.bump(func(s *NodeStats) { s.BadRumors++ })
 		return
+	}
+	if est := n.est.Load(); est != nil && len(r.Estimates) > 0 {
+		if err := est.MergeCheckpoint(r.Estimates); err != nil {
+			// Valid snapshots merged; the rejects stay the sender's
+			// problem. The version vector still advances — replaying the
+			// same bad snapshot next round would not fix it.
+			n.bump(func(s *NodeStats) { s.BadEstimates++ })
+		} else {
+			n.bump(func(s *NodeStats) { s.EstimatesMerged++ })
+		}
 	}
 	n.mu.Lock()
 	mergeVV(n.vv, r.EvidenceVV)
@@ -413,7 +461,14 @@ func (n *Node) GossipRound() {
 	if n.sweepLocked(now) {
 		n.rebuildRingLocked()
 	}
-	n.vv[n.cfg.ID] = n.evidenceGen.Load()
+	// The self entry sums the two local evidence counters (SPRT outcomes
+	// and estimator observations): both are monotone, so the sum is a
+	// valid version-vector component covering either stream advancing.
+	gen := n.evidenceGen.Load()
+	if est := n.est.Load(); est != nil {
+		gen += est.Gen()
+	}
+	n.vv[n.cfg.ID] = gen
 
 	// Push targets include Dead-judged members. A Dead judgment is local
 	// and possibly wrong — after a symmetric partition both sides condemn
@@ -450,6 +505,9 @@ func (n *Node) GossipRound() {
 		Heartbeats: heartbeats,
 		Evidence:   n.tracker.Checkpoint(),
 		EvidenceVV: vv,
+	}
+	if est := n.est.Load(); est != nil {
+		r.Estimates = est.Checkpoint()
 	}
 	for _, to := range targets {
 		n.transport.Gossip(n.cfg.ID, to, r)

@@ -1,0 +1,363 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"socrel/internal/monitor"
+	"socrel/internal/runtime"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestEstimator(t *testing.T, cfg Config) (*Estimator, *runtime.FakeClock) {
+	t.Helper()
+	clk := runtime.NewFakeClock(t0)
+	cfg.Clock = clk
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e, clk
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	for _, k := range []Key{
+		{Provider: "cpu1", Context: "search", Load: 0},
+		{Provider: "net", Context: "", Load: 3},
+		{Provider: "p", Context: "a b c", Load: -1},
+	} {
+		got, err := ParseKey(k.String())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %q: got %+v want %+v", k.String(), got, k)
+		}
+	}
+	for _, bad := range []string{"", "noseparator", "only|one", "a|b|notanint", "|ctx|0"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted malformed key", bad)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Window: -1},
+		{MaxAge: -time.Second},
+		{Confidence: 1.5},
+		{DriftRatio: 0.5},
+		{DriftAlpha: 2},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", bad)
+		}
+	}
+	e, _ := newTestEstimator(t, Config{})
+	cfg := e.Config()
+	if cfg.Window != 256 || cfg.Confidence != 0.95 || cfg.DriftRatio != 2 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+// TestDeterministicMLE checks the failures-per-exposure estimator on an
+// exactly known stream.
+func TestDeterministicMLE(t *testing.T) {
+	e, _ := newTestEstimator(t, Config{Window: 512})
+	k := Key{Provider: "cpu1", Context: "app", Load: 0}
+	for i := 0; i < 100; i++ {
+		e.Observe(Outcome{Provider: k.Provider, Context: k.Context, Failed: i < 10, Exposure: 2})
+	}
+	est, ok := e.Estimate(k)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if est.Observations != 100 || est.Failures != 10 || est.Exposure != 200 {
+		t.Fatalf("window stats: %+v", est)
+	}
+	// Constant exposure t: the grouped-exponential MLE equals the exact
+	// inversion -ln(1 - d/n)/t, independent of the solver.
+	want := -math.Log(1-0.1) / 2
+	if math.Abs(est.Rate-want) > 1e-10 {
+		t.Fatalf("rate %g, want %g", est.Rate, want)
+	}
+	if est.Lo >= est.Rate || est.Hi <= est.Rate || est.Lo <= 0 {
+		t.Fatalf("interval [%g, %g] does not bracket MLE %g", est.Lo, est.Hi, est.Rate)
+	}
+	// Rare-failure limit: CI width is close to the 1/sqrt(d) lognormal.
+	if ratio := est.Hi / est.Rate; math.Abs(ratio-math.Exp(1.959963984540054/math.Sqrt(10))) > 0.05 {
+		t.Fatalf("hi/rate %g far from lognormal rare-failure limit", ratio)
+	}
+}
+
+// TestGoldenConvergence recovers known rates from seeded synthetic
+// streams: the true rate must land inside the estimator's own CI.
+func TestGoldenConvergence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		lam  float64
+		seed int64
+	}{
+		{"lambda-0.1", 0.1, 11},
+		{"lambda-0.02", 0.02, 22},
+		{"beta-0.5", 0.5, 33},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, _ := newTestEstimator(t, Config{Window: 1024})
+			k := Key{Provider: "p", Context: "c", Load: 0}
+			rng := rand.New(rand.NewSource(tc.seed))
+			for i := 0; i < 1024; i++ {
+				exp := 0.5 + rng.Float64() // exposures in [0.5, 1.5)
+				pf := -math.Expm1(-tc.lam * exp)
+				e.Observe(Outcome{Provider: k.Provider, Context: k.Context, Failed: rng.Float64() < pf, Exposure: exp})
+			}
+			est, ok := e.Estimate(k)
+			if !ok {
+				t.Fatal("no estimate")
+			}
+			if tc.lam < est.Lo || tc.lam > est.Hi {
+				t.Fatalf("true rate %g outside CI [%g, %g] (MLE %g, %d failures)", tc.lam, est.Lo, est.Hi, est.Rate, est.Failures)
+			}
+			if math.Abs(est.Rate-tc.lam)/tc.lam > 0.5 {
+				t.Fatalf("MLE %g too far from truth %g", est.Rate, tc.lam)
+			}
+		})
+	}
+}
+
+// TestCensoredLowTraffic checks the zero-failure path: the interval must
+// widen (upper bound shrink only with more evidence, grow as evidence
+// ages out) instead of oscillating a point estimate.
+func TestCensoredLowTraffic(t *testing.T) {
+	e, clk := newTestEstimator(t, Config{Window: 128, MaxAge: 10 * time.Second})
+	k := Key{Provider: "quiet", Context: "c", Load: 0}
+	obsEvery := 500 * time.Millisecond
+
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			clk.Advance(obsEvery)
+			e.Observe(Outcome{Provider: k.Provider, Context: k.Context, Exposure: 1})
+		}
+	}
+
+	feed(5)
+	est1, ok := e.Estimate(k)
+	if !ok {
+		t.Fatal("no estimate after 5 obs")
+	}
+	if est1.Rate != 0 || est1.Lo != 0 {
+		t.Fatalf("censored sample has nonzero MLE: %+v", est1)
+	}
+	// Rule of three: hi = -ln(0.05)/T ~ 3/T.
+	if want := -math.Log(0.05) / 5; math.Abs(est1.Hi-want) > 1e-12 {
+		t.Fatalf("censored hi %g, want %g", est1.Hi, want)
+	}
+
+	// More evidence tightens the bound monotonically.
+	feed(10)
+	est2, _ := e.Estimate(k)
+	if est2.Hi >= est1.Hi {
+		t.Fatalf("hi did not tighten with evidence: %g -> %g", est1.Hi, est2.Hi)
+	}
+
+	// Silence ages evidence out; the bound must widen again, and the
+	// point estimate must not move.
+	clk.Advance(8 * time.Second)
+	est3, ok := e.Estimate(k)
+	if !ok {
+		t.Fatal("estimate vanished while some window entries are fresh")
+	}
+	if est3.Hi <= est2.Hi {
+		t.Fatalf("hi did not widen as evidence aged: %g -> %g", est2.Hi, est3.Hi)
+	}
+	if est3.Rate != 0 {
+		t.Fatalf("censored point estimate oscillated to %g", est3.Rate)
+	}
+
+	// Total silence: no usable exposure left.
+	clk.Advance(time.Hour)
+	if _, ok := e.Estimate(k); ok {
+		t.Fatal("estimate survived with every window entry stale")
+	}
+}
+
+func TestContextAndLoadBucketing(t *testing.T) {
+	e, _ := newTestEstimator(t, Config{})
+	for i := 0; i < 50; i++ {
+		e.Observe(Outcome{Provider: "p", Context: "search", Load: 0, Failed: true})
+		e.Observe(Outcome{Provider: "p", Context: "search", Load: 2})
+		e.Observe(Outcome{Provider: "p", Context: "browse", Load: 0})
+	}
+	hot, _ := e.Estimate(Key{Provider: "p", Context: "search", Load: 0})
+	loaded, _ := e.Estimate(Key{Provider: "p", Context: "search", Load: 2})
+	browse, _ := e.Estimate(Key{Provider: "p", Context: "browse", Load: 0})
+	if hot.Failures != 50 || loaded.Failures != 0 || browse.Failures != 0 {
+		t.Fatalf("buckets bled: hot=%d loaded=%d browse=%d", hot.Failures, loaded.Failures, browse.Failures)
+	}
+	all := e.All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d buckets, want 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key.String() >= all[i].Key.String() {
+			t.Fatalf("All() not sorted: %v before %v", all[i-1].Key, all[i].Key)
+		}
+	}
+}
+
+func TestDriftVerdictAndCallback(t *testing.T) {
+	var events []DriftEvent
+	clk := runtime.NewFakeClock(t0)
+	e, err := New(Config{Clock: clk, OnDrift: func(ev DriftEvent) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	k := Key{Provider: "p", Context: "c", Load: 0}
+	if err := e.SetBound(k, 0.05); err != nil {
+		t.Fatalf("SetBound: %v", err)
+	}
+	// True rate far above the bound: all failures at exposure 1.
+	var v monitor.Verdict
+	for i := 0; i < 200 && v != monitor.Violating; i++ {
+		v = e.Observe(Outcome{Provider: k.Provider, Context: k.Context, Failed: true})
+	}
+	if v != monitor.Violating {
+		t.Fatalf("verdict %v after 200 failures against bound 0.05", v)
+	}
+	if got, dir := e.Verdict(k); got != monitor.Violating || dir != +1 {
+		t.Fatalf("Verdict() = %v/%d, want Violating/+1", got, dir)
+	}
+	if len(events) != 1 {
+		t.Fatalf("OnDrift fired %d times, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Key != k || ev.Direction != +1 || ev.Bound != 0.05 || ev.FromMerge {
+		t.Fatalf("bad drift event: %+v", ev)
+	}
+	if s := e.Stats(); s.DriftViolations != 1 {
+		t.Fatalf("DriftViolations = %d, want 1", s.DriftViolations)
+	}
+	// Rebinding re-arms the detector.
+	if err := e.SetBound(k, 1.5); err != nil {
+		t.Fatalf("SetBound: %v", err)
+	}
+	if got, _ := e.Verdict(k); got != monitor.Undecided {
+		t.Fatalf("verdict after rebind = %v, want Undecided", got)
+	}
+	if err := e.SetBound(k, math.NaN()); err == nil {
+		t.Fatal("SetBound accepted NaN")
+	}
+}
+
+func TestGenAdvances(t *testing.T) {
+	e, _ := newTestEstimator(t, Config{})
+	g0 := e.Gen()
+	e.Observe(Outcome{Provider: "p"})
+	if e.Gen() <= g0 {
+		t.Fatal("Observe did not advance Gen")
+	}
+	g1 := e.Gen()
+	if err := e.SetBound(Key{Provider: "p"}, 0.1); err != nil {
+		t.Fatalf("SetBound: %v", err)
+	}
+	if e.Gen() <= g1 {
+		t.Fatal("SetBound did not advance Gen")
+	}
+}
+
+func TestPfailAt(t *testing.T) {
+	est := Estimate{Rate: 0.1, Lo: 0.05, Hi: 0.2}
+	p, lo, hi := est.PfailAt(2)
+	if math.Abs(p-(1-math.Exp(-0.2))) > 1e-12 || lo >= p || hi <= p {
+		t.Fatalf("PfailAt: p=%g lo=%g hi=%g", p, lo, hi)
+	}
+}
+
+func TestZQuantile(t *testing.T) {
+	for _, tc := range []struct{ conf, z float64 }{
+		{0.90, 1.6448536269514722},
+		{0.95, 1.959963984540054},
+		{0.99, 2.5758293035489004},
+	} {
+		if got := zQuantile(tc.conf); math.Abs(got-tc.z) > 1e-6 {
+			t.Errorf("zQuantile(%g) = %g, want %g", tc.conf, got, tc.z)
+		}
+	}
+}
+
+// TestMeetingRearmsDetector: a bucket whose traffic confirms the bound
+// must still catch drift that starts afterwards. A sticky Meeting would
+// blind the detector; instead the confirmation parks in the merged slot
+// and the live detector re-arms.
+func TestMeetingRearmsDetector(t *testing.T) {
+	e, _ := newTestEstimator(t, Config{Window: 128})
+	k := Key{Provider: "cpu1", Context: "app"}
+	if err := e.SetBound(k, 0.05); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a long healthy stretch at the bound rate — deterministic
+	// 1-in-20 failures (rate -ln(0.95) ≈ 0.051) so the SPRT marches to
+	// Meeting without the sampling variance that risks a false trip.
+	healthy := func(i int) bool { return i%20 == 0 }
+	sawMeeting := false
+	for i := 0; i < 4000; i++ {
+		v := e.Observe(Outcome{Provider: "cpu1", Context: "app", Failed: healthy(i)})
+		if v == monitor.Meeting {
+			sawMeeting = true
+		}
+		if v == monitor.Violating {
+			t.Fatalf("false drift trip at healthy observation %d", i)
+		}
+	}
+	if !sawMeeting {
+		t.Fatal("bound never confirmed Meeting during the healthy stretch")
+	}
+
+	// Phase 2: the true rate quadruples (1-in-5 failures). The detector
+	// must trip despite the earlier Meeting decision.
+	tripped := false
+	for i := 0; i < 4000 && !tripped; i++ {
+		if e.Observe(Outcome{Provider: "cpu1", Context: "app", Failed: i%5 == 0}) == monitor.Violating {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatal("detector never tripped after drift — Meeting blinded it")
+	}
+	if v, dir := e.Verdict(k); v != monitor.Violating || dir != 1 {
+		t.Fatalf("verdict %v dir %d, want Violating +1", v, dir)
+	}
+
+	// The same re-arm survives a checkpoint round trip: a restored
+	// Meeting bucket keeps watching too.
+	e2, _ := newTestEstimator(t, Config{Window: 128})
+	if err := e2.SetBound(k, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		e2.Observe(Outcome{Provider: "cpu1", Context: "app", Failed: healthy(i)})
+	}
+	if v, _ := e2.Verdict(k); v != monitor.Meeting {
+		t.Fatalf("verdict %v, want Meeting before round trip", v)
+	}
+	e3, _ := newTestEstimator(t, Config{Window: 128})
+	if err := e3.RestoreCheckpoint(e2.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e3.Verdict(k); v != monitor.Meeting {
+		t.Fatalf("restored verdict %v, want Meeting", v)
+	}
+	tripped = false
+	for i := 0; i < 4000 && !tripped; i++ {
+		if e3.Observe(Outcome{Provider: "cpu1", Context: "app", Failed: i%5 == 0}) == monitor.Violating {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatal("restored detector never tripped after drift")
+	}
+}

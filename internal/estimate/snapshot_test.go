@@ -1,0 +1,273 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"socrel/internal/monitor"
+	"socrel/internal/runtime"
+)
+
+// randomSnapshot produces a valid snapshot by running a real estimator
+// over a random stream — validity by construction, realism for free.
+func randomSnapshot(t *testing.T, rng *rand.Rand) Snapshot {
+	t.Helper()
+	clk := runtime.NewFakeClock(t0.Add(time.Duration(rng.Intn(1000)) * time.Second))
+	e, err := New(Config{Window: 8 + rng.Intn(16), Clock: clk})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	k := Key{Provider: "p", Context: "c", Load: 0}
+	if rng.Intn(3) > 0 {
+		if err := e.SetBound(k, 0.01+rng.Float64()); err != nil {
+			t.Fatalf("SetBound: %v", err)
+		}
+	}
+	n := rng.Intn(40)
+	for i := 0; i < n; i++ {
+		clk.Advance(time.Duration(1+rng.Intn(900)) * time.Millisecond)
+		e.Observe(Outcome{
+			Provider: k.Provider,
+			Context:  k.Context,
+			Failed:   rng.Float64() < 0.3,
+			Exposure: 0.1 + rng.Float64(),
+			Latency:  time.Duration(rng.Intn(50)) * time.Millisecond,
+		})
+	}
+	cp := e.Checkpoint()
+	s, ok := cp[k.String()]
+	if !ok {
+		// No bound and no observations: synthesize the empty bucket.
+		return Snapshot{}
+	}
+	return s
+}
+
+func mustMerge(t *testing.T, a, b Snapshot) Snapshot {
+	t.Helper()
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	return m
+}
+
+func TestMergeSemilatticeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		a := randomSnapshot(t, rng)
+		b := randomSnapshot(t, rng)
+		c := randomSnapshot(t, rng)
+
+		// Idempotent.
+		if got := mustMerge(t, a, a); !reflect.DeepEqual(got, normalizeWin(a)) {
+			t.Fatalf("trial %d: merge(a,a) != a\n got %+v\nwant %+v", trial, got, a)
+		}
+		// Commutative.
+		ab, ba := mustMerge(t, a, b), mustMerge(t, b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative\n ab %+v\n ba %+v", trial, ab, ba)
+		}
+		// Associative.
+		left := mustMerge(t, mustMerge(t, a, b), c)
+		right := mustMerge(t, a, mustMerge(t, b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: merge not associative\n l %+v\n r %+v", trial, left, right)
+		}
+	}
+}
+
+// normalizeWin matches Merge's non-nil empty window convention.
+func normalizeWin(s Snapshot) Snapshot {
+	s.Window = append([]ObsSnapshot(nil), s.Window...)
+	return s
+}
+
+func TestMergeStickyViolating(t *testing.T) {
+	// The side with less evidence is Violating: the winner's statistics
+	// must combine with the loser's verdict.
+	big := Snapshot{Total: 100, Failures: 5, Exposure: 100, Bound: 0.05,
+		DriftRatio: 2, DriftAlpha: 0.01, DriftBeta: 0.01, Decided: monitor.Undecided}
+	small := Snapshot{Total: 10, Failures: 8, Exposure: 10, Bound: 0.05,
+		DriftRatio: 2, DriftAlpha: 0.01, DriftBeta: 0.01, LLRUp: 7,
+		Decided: monitor.Violating, Direction: +1}
+	m := mustMerge(t, big, small)
+	if m.Total != 100 || m.Decided != monitor.Violating || m.Direction != +1 {
+		t.Fatalf("merge lost evidence or verdict: %+v", m)
+	}
+	// And in the other argument order.
+	m2 := mustMerge(t, small, big)
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatalf("order dependence: %+v vs %+v", m, m2)
+	}
+}
+
+func TestMergeRejectsInvalid(t *testing.T) {
+	good := Snapshot{Total: 1, Failures: 0, Exposure: 1}
+	for _, bad := range []Snapshot{
+		{Total: -1},
+		{Total: 1, Failures: 2},
+		{Total: 1, Exposure: math.NaN()},
+		{Total: 0, Window: []ObsSnapshot{{Exposure: 1}}},
+		{Total: 2, Failures: 0, Window: []ObsSnapshot{{Exposure: 1, Failed: true}}},
+		{Total: 1, Bound: -0.5},
+		{Total: 1, Bound: 0.5}, // bound with no verdict
+		{Total: 1, Decided: monitor.Violating},
+		{Total: 1, Decided: monitor.Meeting, Direction: 1},
+		{Total: 1, LLRUp: math.Inf(1)},
+	} {
+		if _, err := good.Merge(bad); err == nil {
+			t.Errorf("Merge accepted invalid snapshot %+v", bad)
+		}
+		if _, err := bad.Merge(good); err == nil {
+			t.Errorf("Merge from invalid receiver %+v succeeded", bad)
+		}
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	e, clk := newTestEstimator(t, Config{Window: 32})
+	k := Key{Provider: "p", Context: "c", Load: 1}
+	if err := e.SetBound(k, 0.1); err != nil {
+		t.Fatalf("SetBound: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		clk.Advance(50 * time.Millisecond)
+		e.Observe(Outcome{Provider: k.Provider, Context: k.Context, Load: k.Load,
+			Failed: rng.Float64() < 0.1, Exposure: 1, Latency: time.Millisecond})
+	}
+	cp := e.Checkpoint()
+
+	r, _ := newTestEstimator(t, Config{Window: 32})
+	if err := r.RestoreCheckpoint(cp); err != nil {
+		t.Fatalf("RestoreCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(e.All(), r.All()) {
+		t.Fatalf("restored state diverges:\n%+v\n%+v", e.All(), r.All())
+	}
+	if !reflect.DeepEqual(r.Checkpoint(), cp) {
+		t.Fatal("re-checkpoint does not round-trip")
+	}
+	if r.Bound(k) != 0.1 {
+		t.Fatalf("restored bound %g", r.Bound(k))
+	}
+
+	// Restore into a smaller window truncates to the newest entries.
+	small, _ := newTestEstimator(t, Config{Window: 8})
+	if err := small.RestoreCheckpoint(cp); err != nil {
+		t.Fatalf("RestoreCheckpoint small: %v", err)
+	}
+	scp := small.Checkpoint()[k.String()]
+	full := cp[k.String()]
+	if len(scp.Window) != 8 {
+		t.Fatalf("truncated window has %d entries", len(scp.Window))
+	}
+	if !reflect.DeepEqual(scp.Window, full.Window[len(full.Window)-8:]) {
+		t.Fatal("truncation did not keep the newest entries")
+	}
+
+	if err := r.RestoreCheckpoint(map[string]Snapshot{"bogus": {}}); err == nil {
+		t.Fatal("RestoreCheckpoint accepted malformed key")
+	}
+}
+
+func TestMergeCheckpointConverges(t *testing.T) {
+	mk := func(seed int64) *Estimator {
+		e, clk := newTestEstimator(t, Config{Window: 64})
+		rng := rand.New(rand.NewSource(seed))
+		if err := e.SetBound(Key{Provider: "p", Context: "c", Load: 0}, 0.05); err != nil {
+			t.Fatalf("SetBound: %v", err)
+		}
+		for i := 0; i < 50+rng.Intn(50); i++ {
+			clk.Advance(time.Duration(10+rng.Intn(100)) * time.Millisecond)
+			e.Observe(Outcome{Provider: "p", Context: "c",
+				Failed: rng.Float64() < 0.05, Exposure: 0.5 + rng.Float64()})
+		}
+		return e
+	}
+	a, b := mk(1), mk(2)
+
+	// Exchange checkpoints both ways (including a redundant re-delivery);
+	// both sides must converge to identical state.
+	cpA, cpB := a.Checkpoint(), b.Checkpoint()
+	if err := a.MergeCheckpoint(cpB); err != nil {
+		t.Fatalf("a.Merge: %v", err)
+	}
+	if err := b.MergeCheckpoint(cpA); err != nil {
+		t.Fatalf("b.Merge: %v", err)
+	}
+	if err := b.MergeCheckpoint(cpA); err != nil {
+		t.Fatalf("b re-merge: %v", err)
+	}
+	if !reflect.DeepEqual(a.Checkpoint(), b.Checkpoint()) {
+		t.Fatal("replicas did not converge after checkpoint exchange")
+	}
+	if s := a.Stats(); s.Merged == 0 {
+		t.Fatal("merge counter did not advance")
+	}
+}
+
+func TestMergeCheckpointAdoptsAndTrips(t *testing.T) {
+	// Replica A observes enough failures to trip drift; replica B has
+	// never heard of the bucket and must adopt it, firing OnDrift with
+	// FromMerge set.
+	a, _ := newTestEstimator(t, Config{})
+	k := Key{Provider: "hot", Context: "c", Load: 0}
+	if err := a.SetBound(k, 0.05); err != nil {
+		t.Fatalf("SetBound: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		if a.Observe(Outcome{Provider: k.Provider, Context: k.Context, Failed: true}) == monitor.Violating {
+			break
+		}
+	}
+	if v, _ := a.Verdict(k); v != monitor.Violating {
+		t.Fatal("replica A never tripped")
+	}
+
+	var events []DriftEvent
+	clk := runtime.NewFakeClock(t0)
+	b, err := New(Config{Clock: clk, OnDrift: func(ev DriftEvent) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := b.MergeCheckpoint(a.Checkpoint()); err != nil {
+		t.Fatalf("MergeCheckpoint: %v", err)
+	}
+	if v, dir := b.Verdict(k); v != monitor.Violating || dir != +1 {
+		t.Fatalf("adopted verdict %v/%d", v, dir)
+	}
+	if len(events) != 1 || !events[0].FromMerge || events[0].Key != k {
+		t.Fatalf("drift events: %+v", events)
+	}
+	// Re-delivery must not re-fire.
+	if err := b.MergeCheckpoint(a.Checkpoint()); err != nil {
+		t.Fatalf("re-merge: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("redelivered rumor re-fired OnDrift: %d events", len(events))
+	}
+}
+
+func TestMergeCheckpointSkipsBadEntries(t *testing.T) {
+	e, _ := newTestEstimator(t, Config{})
+	cp := map[string]Snapshot{
+		"ok|c|0":      {Total: 3, Failures: 1, Exposure: 3, Window: []ObsSnapshot{{At: t0, Exposure: 1, Failed: true}}},
+		"bad|c|0":     {Total: 1, Failures: 2},
+		"unparseable": {},
+	}
+	if err := e.MergeCheckpoint(cp); err == nil {
+		t.Fatal("MergeCheckpoint swallowed invalid entries")
+	}
+	if _, ok := e.Estimate(Key{Provider: "ok", Context: "c", Load: 0}); !ok {
+		t.Fatal("valid entry was not merged past the bad ones")
+	}
+	s := e.Stats()
+	if s.BadMerges != 2 || s.Merged != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

@@ -1,0 +1,134 @@
+package faultinject
+
+// Time-varying failure-rate injection for drift chaos: a RateProfile maps
+// wall-clock (or FakeClock) time to an instantaneous exponential failure
+// rate, and a Sampler draws per-invocation outcomes from it. The drift
+// soak ramps a provider's true rate away from the rate its model was
+// fitted with and asserts the estimation layer detects and corrects it.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RateProfile is a time-varying instantaneous failure rate λ(t) for an
+// exponential failure law Pfail = 1 - exp(-λ(t)·exposure).
+// Implementations must be safe for concurrent use (the provided profiles
+// are stateless).
+type RateProfile interface {
+	// Rate returns the instantaneous failure rate at t. It is
+	// non-negative.
+	Rate(t time.Time) float64
+}
+
+// Step is a RateProfile that switches from Before to After at At: the
+// classic sudden-drift injection.
+type Step struct {
+	// At is the switch instant; Rate returns Before strictly before At
+	// and After from At on.
+	At time.Time
+	// Before and After are the rates on either side of the step.
+	Before, After float64
+}
+
+// Rate implements RateProfile.
+func (s Step) Rate(t time.Time) float64 {
+	if t.Before(s.At) {
+		return clampRate(s.Before)
+	}
+	return clampRate(s.After)
+}
+
+// Ramp is a RateProfile that interpolates linearly from From (at Start)
+// to To (at Start+Over), holding constant outside the window: gradual
+// drift, the hardest case for threshold alarms.
+type Ramp struct {
+	// Start is when the ramp begins and Over how long it takes; Over <= 0
+	// degenerates to a Step at Start.
+	Start time.Time
+	Over  time.Duration
+	// From and To are the rates before and after the ramp.
+	From, To float64
+}
+
+// Rate implements RateProfile.
+func (r Ramp) Rate(t time.Time) float64 {
+	if !t.After(r.Start) {
+		return clampRate(r.From)
+	}
+	if r.Over <= 0 || !t.Before(r.Start.Add(r.Over)) {
+		return clampRate(r.To)
+	}
+	frac := float64(t.Sub(r.Start)) / float64(r.Over)
+	return clampRate(r.From + (r.To-r.From)*frac)
+}
+
+// Diurnal is a RateProfile oscillating sinusoidally around Base with the
+// given Amplitude and Period: load-correlated daily rhythm. The rate
+// peaks at Phase past each period boundary (measured from the zero
+// time) and is clamped at zero when Amplitude exceeds Base.
+type Diurnal struct {
+	// Base is the mean rate and Amplitude the peak deviation from it.
+	Base, Amplitude float64
+	// Period is the oscillation period (default 24h) and Phase the
+	// offset of the peak within it.
+	Period time.Duration
+	Phase  time.Duration
+}
+
+// Rate implements RateProfile.
+func (d Diurnal) Rate(t time.Time) float64 {
+	period := d.Period
+	if period <= 0 {
+		period = 24 * time.Hour
+	}
+	x := float64(t.Sub(time.Time{})-d.Phase) / float64(period)
+	return clampRate(d.Base + d.Amplitude*math.Cos(2*math.Pi*x))
+}
+
+// Constant is the trivial RateProfile: a fixed rate.
+type Constant float64
+
+// Rate implements RateProfile.
+func (c Constant) Rate(time.Time) float64 { return clampRate(float64(c)) }
+
+func clampRate(r float64) float64 {
+	if math.IsNaN(r) || r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Sampler draws per-invocation outcomes from a RateProfile: an
+// invocation at time t with the given exposure fails with probability
+// 1 - exp(-Rate(t)·exposure). It is deterministic for a given seed and
+// call sequence, and safe for concurrent use (calls are serialized).
+type Sampler struct {
+	profile RateProfile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewSampler returns a Sampler over profile seeded with seed.
+func NewSampler(profile RateProfile, seed int64) *Sampler {
+	return &Sampler{profile: profile, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Profile returns the sampler's rate profile.
+func (s *Sampler) Profile() RateProfile { return s.profile }
+
+// Failed draws one invocation outcome at time t under the given
+// exposure: true means the invocation failed. Non-positive or non-finite
+// exposure is treated as 1.
+func (s *Sampler) Failed(t time.Time, exposure float64) bool {
+	if exposure <= 0 || math.IsNaN(exposure) || math.IsInf(exposure, 0) {
+		exposure = 1
+	}
+	p := -math.Expm1(-s.profile.Rate(t) * exposure)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64() < p
+}

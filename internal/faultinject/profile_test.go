@@ -1,0 +1,172 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var profT0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestStepProfile(t *testing.T) {
+	p := Step{At: profT0, Before: 0.05, After: 0.2}
+	if got := p.Rate(profT0.Add(-time.Nanosecond)); got != 0.05 {
+		t.Fatalf("before step: %g", got)
+	}
+	if got := p.Rate(profT0); got != 0.2 {
+		t.Fatalf("at step instant: %g", got)
+	}
+	if got := p.Rate(profT0.Add(time.Hour)); got != 0.2 {
+		t.Fatalf("after step: %g", got)
+	}
+	if got := (Step{At: profT0, Before: -1, After: math.NaN()}).Rate(profT0); got != 0 {
+		t.Fatalf("bad rates not clamped: %g", got)
+	}
+}
+
+func TestRampProfile(t *testing.T) {
+	p := Ramp{Start: profT0, Over: 100 * time.Second, From: 0.05, To: 0.25}
+	if got := p.Rate(profT0.Add(-time.Hour)); got != 0.05 {
+		t.Fatalf("before ramp: %g", got)
+	}
+	if got := p.Rate(profT0); got != 0.05 {
+		t.Fatalf("at ramp start: %g", got)
+	}
+	if got := p.Rate(profT0.Add(50 * time.Second)); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("midpoint: %g, want 0.15", got)
+	}
+	if got := p.Rate(profT0.Add(25 * time.Second)); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("quarter point: %g, want 0.10", got)
+	}
+	if got := p.Rate(profT0.Add(100 * time.Second)); got != 0.25 {
+		t.Fatalf("at ramp end: %g", got)
+	}
+	if got := p.Rate(profT0.Add(time.Hour)); got != 0.25 {
+		t.Fatalf("after ramp: %g", got)
+	}
+	// Monotone non-decreasing across the window for an upward ramp.
+	prev := -1.0
+	for s := -10; s <= 110; s++ {
+		got := p.Rate(profT0.Add(time.Duration(s) * time.Second))
+		if got < prev {
+			t.Fatalf("ramp not monotone at %ds: %g < %g", s, got, prev)
+		}
+		prev = got
+	}
+	// Over <= 0 degenerates to a step at Start.
+	step := Ramp{Start: profT0, From: 0.05, To: 0.25}
+	if step.Rate(profT0.Add(-time.Nanosecond)) != 0.05 || step.Rate(profT0.Add(time.Nanosecond)) != 0.25 {
+		t.Fatal("degenerate ramp is not a step")
+	}
+}
+
+func TestDiurnalProfile(t *testing.T) {
+	p := Diurnal{Base: 0.1, Amplitude: 0.05, Period: 24 * time.Hour}
+	peak := p.Rate(time.Time{})
+	if math.Abs(peak-0.15) > 1e-9 {
+		t.Fatalf("peak %g, want 0.15", peak)
+	}
+	trough := p.Rate(time.Time{}.Add(12 * time.Hour))
+	if math.Abs(trough-0.05) > 1e-9 {
+		t.Fatalf("trough %g, want 0.05", trough)
+	}
+	if got := p.Rate(time.Time{}.Add(24 * time.Hour)); math.Abs(got-peak) > 1e-9 {
+		t.Fatalf("not periodic: %g vs %g", got, peak)
+	}
+	// Phase shifts the peak.
+	shifted := Diurnal{Base: 0.1, Amplitude: 0.05, Period: 24 * time.Hour, Phase: 6 * time.Hour}
+	if got := shifted.Rate(time.Time{}.Add(6 * time.Hour)); math.Abs(got-0.15) > 1e-9 {
+		t.Fatalf("shifted peak %g, want 0.15", got)
+	}
+	// Amplitude above Base clamps at zero rather than going negative.
+	deep := Diurnal{Base: 0.05, Amplitude: 0.2, Period: 24 * time.Hour}
+	if got := deep.Rate(time.Time{}.Add(12 * time.Hour)); got != 0 {
+		t.Fatalf("negative excursion not clamped: %g", got)
+	}
+	// Default period is 24h.
+	dflt := Diurnal{Base: 0.1, Amplitude: 0.05}
+	if got := dflt.Rate(time.Time{}.Add(24 * time.Hour)); math.Abs(got-0.15) > 1e-9 {
+		t.Fatalf("default period wrong: %g", got)
+	}
+}
+
+func TestConstantProfile(t *testing.T) {
+	if got := Constant(0.07).Rate(profT0); got != 0.07 {
+		t.Fatalf("constant: %g", got)
+	}
+	if got := Constant(-3).Rate(profT0); got != 0 {
+		t.Fatalf("negative constant not clamped: %g", got)
+	}
+}
+
+// TestSamplerMatchesProfile draws many outcomes on each side of a step
+// and checks the empirical failure fractions track 1-exp(-λ·exposure).
+func TestSamplerMatchesProfile(t *testing.T) {
+	p := Step{At: profT0.Add(time.Hour), Before: 0.05, After: 0.5}
+	s := NewSampler(p, 42)
+	const n = 20000
+	count := func(at time.Time, exposure float64) float64 {
+		fails := 0
+		for i := 0; i < n; i++ {
+			if s.Failed(at, exposure) {
+				fails++
+			}
+		}
+		return float64(fails) / n
+	}
+	before := count(profT0, 1)
+	if want := -math.Expm1(-0.05); math.Abs(before-want) > 0.01 {
+		t.Fatalf("pre-step failure fraction %g, want ≈%g", before, want)
+	}
+	after := count(profT0.Add(2*time.Hour), 1)
+	if want := -math.Expm1(-0.5); math.Abs(after-want) > 0.02 {
+		t.Fatalf("post-step failure fraction %g, want ≈%g", after, want)
+	}
+	// Exposure scales the per-invocation failure probability.
+	heavy := count(profT0, 10)
+	if want := -math.Expm1(-0.5); math.Abs(heavy-want) > 0.02 {
+		t.Fatalf("exposure-10 failure fraction %g, want ≈%g", heavy, want)
+	}
+}
+
+func TestSamplerDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []bool {
+		s := NewSampler(Constant(0.3), seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = s.Failed(profT0.Add(time.Duration(i)*time.Second), 1)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestSamplerDefaultsBadExposure(t *testing.T) {
+	// Exposure <= 0 / NaN / Inf behaves like exposure 1: with a rate so
+	// high that exposure 1 virtually always fails, every draw fails.
+	s := NewSampler(Constant(50), 1)
+	for _, exp := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if !s.Failed(profT0, exp) {
+			t.Fatalf("exposure %v did not default to 1", exp)
+		}
+	}
+	if s.Profile() == nil {
+		t.Fatal("Profile accessor lost the profile")
+	}
+}

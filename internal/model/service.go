@@ -177,6 +177,30 @@ func checkRate(name, capLabel string, capacity float64, rateLabel string, rate f
 	return nil
 }
 
+// WithAttr returns a copy of the service with one attribute rebound to
+// value. This is the re-prediction primitive: an estimation layer that
+// learns a new failure rate produces an updated service without mutating
+// the one live evaluators still reference. The attribute must already
+// exist (failure laws only read declared attributes) and the value must
+// be finite.
+func (s *Simple) WithAttr(name string, value float64) (*Simple, error) {
+	if s.ctorErr != nil {
+		return nil, s.ctorErr
+	}
+	if _, ok := s.attrs[name]; !ok {
+		return nil, fmt.Errorf("%w: service %q has no attribute %q", ErrInvalidService, s.name, name)
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return nil, fmt.Errorf("%w: attribute %q = %g", ErrNonFinite, name, value)
+	}
+	attrs := make(Attrs, len(s.attrs))
+	for k, v := range s.attrs {
+		attrs[k] = v
+	}
+	attrs[name] = value
+	return &Simple{name: s.name, formals: append([]string(nil), s.formals...), attrs: attrs, pfail: s.pfail}, nil
+}
+
 // Name implements Service.
 func (s *Simple) Name() string { return s.name }
 

@@ -1,0 +1,228 @@
+package monitor
+
+// Drift detection for failure-law *parameters*. Where Monitor tests a
+// Bernoulli success probability against the engine's predicted
+// reliability, Drift tests the rate parameter of one of the paper's
+// exponential failure laws (eqs. (1)-(2): Pfail = 1 - exp(-rate *
+// exposure)) against the value currently bound in the model. It is the
+// sequential half of the estimation loop: the estimator fits a rate from
+// live outcomes, and Drift decides — with bounded error rates and as few
+// observations as possible — whether the true rate has moved away from
+// the bound enough to warrant re-prediction.
+//
+// The test is Wald's SPRT again, but exposure-weighted and two-sided:
+// each observation carries an exposure t (the N/s or B/b of the failure
+// law), and two one-sided tests run in parallel, one for drift *up* (true
+// rate >= Ratio * bound) and one for drift *down* (true rate <= bound /
+// Ratio). Under an exponential law the per-observation log likelihood
+// ratio between rates l1 and l0 is
+//
+//	success: log(exp(-l1 t) / exp(-l0 t))            = -(l1 - l0) * t
+//	failure: log((1 - exp(-l1 t)) / (1 - exp(-l0 t)))
+//
+// so successes on long exposures are strong evidence against a higher
+// rate, and failures on short exposures are strong evidence for one —
+// exactly the weighting a per-request Bernoulli test would lose.
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriftConfig parameterizes a Drift detector.
+type DriftConfig struct {
+	// Bound is the rate parameter currently bound in the model (H0);
+	// must be positive.
+	Bound float64
+	// Ratio is the multiplicative drift each one-sided test should
+	// detect: drift up means rate >= Ratio*Bound, drift down means
+	// rate <= Bound/Ratio. Must exceed 1; zero defaults to 2.
+	Ratio float64
+	// Alpha is the false-alarm rate of each one-sided test (default
+	// 0.01).
+	Alpha float64
+	// Beta is the missed-detection rate of each one-sided test (default
+	// 0.01).
+	Beta float64
+}
+
+func (c DriftConfig) withDefaults() (DriftConfig, error) {
+	if c.Bound <= 0 || math.IsInf(c.Bound, 0) || math.IsNaN(c.Bound) {
+		return c, fmt.Errorf("%w: bound rate %g", ErrBadConfig, c.Bound)
+	}
+	if c.Ratio == 0 {
+		c.Ratio = 2
+	}
+	if c.Ratio <= 1 || math.IsInf(c.Ratio, 0) || math.IsNaN(c.Ratio) {
+		return c, fmt.Errorf("%w: drift ratio %g", ErrBadConfig, c.Ratio)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 || c.Beta <= 0 || c.Beta >= 1 {
+		return c, fmt.Errorf("%w: alpha=%g beta=%g", ErrBadConfig, c.Alpha, c.Beta)
+	}
+	return c, nil
+}
+
+// Validate checks the configuration, returning it with defaults applied.
+func (c DriftConfig) Validate() (DriftConfig, error) { return c.withDefaults() }
+
+// Drift is a two-sided, exposure-weighted SPRT on an exponential failure
+// rate. Like Monitor's SPRT, a decided test stays decided until reset.
+type Drift struct {
+	cfg DriftConfig
+
+	llrUp   float64 // one-sided test: rate drifted up to Ratio*Bound
+	llrDown float64 // one-sided test: rate drifted down to Bound/Ratio
+	upper   float64 // accept H1 (drifted)
+	lower   float64 // accept H0 (holding)
+
+	decided   Verdict
+	direction int // +1 drift up, -1 drift down, 0 none
+}
+
+// NewDrift returns a Drift detector for the given configuration.
+func NewDrift(cfg DriftConfig) (*Drift, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Drift{
+		cfg:     cfg,
+		upper:   math.Log((1 - cfg.Beta) / cfg.Alpha),
+		lower:   math.Log(cfg.Beta / (1 - cfg.Alpha)),
+		decided: Undecided,
+	}, nil
+}
+
+// llStep returns the log likelihood ratio contribution of one observation
+// under alternative rate l1 vs null rate l0.
+func llStep(l1, l0, exposure float64, failed bool) float64 {
+	if !failed {
+		return -(l1 - l0) * exposure
+	}
+	if exposure <= 0 {
+		// Limit of the failure term as exposure -> 0: log(l1/l0).
+		return math.Log(l1 / l0)
+	}
+	// 1 - exp(-x) == -expm1(-x), stable for small x.
+	return math.Log(-math.Expm1(-l1*exposure)) - math.Log(-math.Expm1(-l0*exposure))
+}
+
+// Record consumes one observation: whether the invocation failed, and the
+// exposure it accumulated under the failure law (the N/s of eq. (1) or
+// B/b of eq. (2); non-positive exposures contribute the zero-exposure
+// limit). Once decided, further observations are ignored until Reset.
+func (d *Drift) Record(exposure float64, failed bool) Verdict {
+	if d.decided != Undecided {
+		return d.decided
+	}
+	if failed && exposure < 0 {
+		exposure = 0
+	}
+	up := d.cfg.Ratio * d.cfg.Bound
+	down := d.cfg.Bound / d.cfg.Ratio
+	d.llrUp += llStep(up, d.cfg.Bound, exposure, failed)
+	d.llrDown += llStep(down, d.cfg.Bound, exposure, failed)
+	switch {
+	case d.llrUp >= d.upper:
+		d.decided, d.direction = Violating, +1
+	case d.llrDown >= d.upper:
+		d.decided, d.direction = Violating, -1
+	case d.llrUp <= d.lower && d.llrDown <= d.lower:
+		d.decided = Meeting
+	}
+	return d.decided
+}
+
+// Verdict returns the current verdict: Violating once either one-sided
+// test accepts its drift hypothesis, Meeting once both accept the bound,
+// Undecided otherwise.
+func (d *Drift) Verdict() Verdict { return d.decided }
+
+// Direction reports which way a Violating verdict drifted: +1 up, -1
+// down, 0 while not Violating.
+func (d *Drift) Direction() int { return d.direction }
+
+// Config returns the detector's defaulted configuration.
+func (d *Drift) Config() DriftConfig { return d.cfg }
+
+// Reset re-arms the detector against the same bound, discarding
+// accumulated evidence (e.g. after the bound itself was re-predicted —
+// callers usually construct a fresh detector with the new bound instead).
+func (d *Drift) Reset() {
+	d.llrUp, d.llrDown = 0, 0
+	d.decided, d.direction = Undecided, 0
+}
+
+// DriftSnapshot is a self-contained checkpoint of a Drift detector. All
+// fields are exported so it serializes with encoding/json as-is.
+type DriftSnapshot struct {
+	// Config is the detector's (defaulted) configuration.
+	Config DriftConfig
+	// LLRUp and LLRDown are the two one-sided cumulative log likelihood
+	// ratios.
+	LLRUp   float64
+	LLRDown float64
+	// Decided is the detector's verdict and Direction its drift sign
+	// (+1 up, -1 down, 0 while not Violating).
+	Decided   Verdict
+	Direction int
+}
+
+// Snapshot captures the detector's complete state.
+func (d *Drift) Snapshot() DriftSnapshot {
+	return DriftSnapshot{
+		Config:    d.cfg,
+		LLRUp:     d.llrUp,
+		LLRDown:   d.llrDown,
+		Decided:   d.decided,
+		Direction: d.direction,
+	}
+}
+
+// validate checks a drift snapshot's internal consistency, returning its
+// defaulted configuration.
+func (s DriftSnapshot) validate() (DriftConfig, error) {
+	cfg, err := s.Config.withDefaults()
+	if err != nil {
+		return cfg, err
+	}
+	if math.IsNaN(s.LLRUp) || math.IsNaN(s.LLRDown) {
+		return cfg, fmt.Errorf("%w: NaN log likelihood ratio", ErrBadSnapshot)
+	}
+	switch s.Decided {
+	case Undecided, Meeting, Violating:
+	default:
+		return cfg, fmt.Errorf("%w: verdict %d", ErrBadSnapshot, int(s.Decided))
+	}
+	switch s.Direction {
+	case -1, 0, +1:
+	default:
+		return cfg, fmt.Errorf("%w: drift direction %d", ErrBadSnapshot, s.Direction)
+	}
+	if (s.Decided == Violating) != (s.Direction != 0) {
+		return cfg, fmt.Errorf("%w: verdict %v with direction %d", ErrBadSnapshot, s.Decided, s.Direction)
+	}
+	return cfg, nil
+}
+
+// RestoreDrift rebuilds a Drift detector from a snapshot.
+func RestoreDrift(s DriftSnapshot) (*Drift, error) {
+	if _, err := s.validate(); err != nil {
+		return nil, err
+	}
+	d, err := NewDrift(s.Config)
+	if err != nil {
+		return nil, err
+	}
+	d.llrUp = s.LLRUp
+	d.llrDown = s.LLRDown
+	d.decided = s.Decided
+	d.direction = s.Direction
+	return d, nil
+}

@@ -1,0 +1,173 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDriftConfigDefaults(t *testing.T) {
+	d, err := NewDrift(DriftConfig{Bound: 0.05})
+	if err != nil {
+		t.Fatalf("NewDrift: %v", err)
+	}
+	cfg := d.Config()
+	if cfg.Ratio != 2 || cfg.Alpha != 0.01 || cfg.Beta != 0.01 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	for _, bad := range []DriftConfig{
+		{Bound: 0},
+		{Bound: -1},
+		{Bound: math.NaN()},
+		{Bound: 0.1, Ratio: 1},
+		{Bound: 0.1, Ratio: 0.5},
+		{Bound: 0.1, Alpha: 1.5},
+		{Bound: 0.1, Beta: -0.1},
+	} {
+		if _, err := NewDrift(bad); err == nil {
+			t.Errorf("NewDrift(%+v) accepted invalid config", bad)
+		}
+	}
+}
+
+// drive feeds a seeded Bernoulli outcome stream with true rate lam and
+// constant exposure, returning the verdict and observation count.
+func drive(t *testing.T, d *Drift, lam, exposure float64, seed int64, max int) (Verdict, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pFail := 1 - math.Exp(-lam*exposure)
+	for i := 1; i <= max; i++ {
+		if v := d.Record(exposure, rng.Float64() < pFail); v != Undecided {
+			return v, i
+		}
+	}
+	return Undecided, max
+}
+
+func TestDriftDetectsUpwardDrift(t *testing.T) {
+	d, err := NewDrift(DriftConfig{Bound: 0.05, Ratio: 2})
+	if err != nil {
+		t.Fatalf("NewDrift: %v", err)
+	}
+	v, n := drive(t, d, 0.2, 1.0, 1, 20000)
+	if v != Violating || d.Direction() != +1 {
+		t.Fatalf("verdict %v direction %d after %d obs; want Violating/+1", v, d.Direction(), n)
+	}
+}
+
+func TestDriftDetectsDownwardDrift(t *testing.T) {
+	d, err := NewDrift(DriftConfig{Bound: 0.2, Ratio: 2})
+	if err != nil {
+		t.Fatalf("NewDrift: %v", err)
+	}
+	v, n := drive(t, d, 0.02, 1.0, 2, 20000)
+	if v != Violating || d.Direction() != -1 {
+		t.Fatalf("verdict %v direction %d after %d obs; want Violating/-1", v, d.Direction(), n)
+	}
+}
+
+func TestDriftAcceptsHoldingRate(t *testing.T) {
+	d, err := NewDrift(DriftConfig{Bound: 0.1, Ratio: 3})
+	if err != nil {
+		t.Fatalf("NewDrift: %v", err)
+	}
+	v, n := drive(t, d, 0.1, 1.0, 3, 50000)
+	if v != Meeting {
+		t.Fatalf("verdict %v after %d obs; want Meeting", v, n)
+	}
+	if d.Direction() != 0 {
+		t.Fatalf("direction %d for Meeting verdict", d.Direction())
+	}
+}
+
+func TestDriftExposureWeighting(t *testing.T) {
+	// A failure on a tiny exposure is far stronger evidence of an
+	// elevated rate than a failure on a huge exposure, where even the
+	// bound rate fails almost surely.
+	d, err := NewDrift(DriftConfig{Bound: 0.1})
+	if err != nil {
+		t.Fatalf("NewDrift: %v", err)
+	}
+	small := llStep(0.2, 0.1, 0.01, true)
+	large := llStep(0.2, 0.1, 100, true)
+	if small <= large {
+		t.Fatalf("llStep failure: small-exposure %g <= large-exposure %g", small, large)
+	}
+	// A success on a long exposure argues harder against drift-up than a
+	// success on a short one.
+	if s1, s2 := llStep(0.2, 0.1, 10, false), llStep(0.2, 0.1, 0.1, false); s1 >= s2 {
+		t.Fatalf("llStep success: long-exposure %g >= short-exposure %g", s1, s2)
+	}
+	// Zero-exposure failure takes the log(Ratio) limit and stays finite.
+	if got := llStep(0.2, 0.1, 0, true); math.IsInf(got, 0) || math.IsNaN(got) || math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("zero-exposure failure step = %g, want log(2)", got)
+	}
+	_ = d
+}
+
+func TestDriftDecidedSticksUntilReset(t *testing.T) {
+	d, err := NewDrift(DriftConfig{Bound: 0.05})
+	if err != nil {
+		t.Fatalf("NewDrift: %v", err)
+	}
+	for i := 0; i < 1000 && d.Verdict() == Undecided; i++ {
+		d.Record(1, true)
+	}
+	if d.Verdict() != Violating {
+		t.Fatalf("verdict %v; want Violating", d.Verdict())
+	}
+	// Contradictory evidence does not un-decide.
+	for i := 0; i < 1000; i++ {
+		d.Record(1, false)
+	}
+	if d.Verdict() != Violating || d.Direction() != +1 {
+		t.Fatalf("decided verdict regressed: %v/%d", d.Verdict(), d.Direction())
+	}
+	d.Reset()
+	if d.Verdict() != Undecided || d.Direction() != 0 {
+		t.Fatalf("Reset did not re-arm: %v/%d", d.Verdict(), d.Direction())
+	}
+}
+
+func TestDriftSnapshotRoundTrip(t *testing.T) {
+	d, err := NewDrift(DriftConfig{Bound: 0.05, Ratio: 4, Alpha: 0.05, Beta: 0.02})
+	if err != nil {
+		t.Fatalf("NewDrift: %v", err)
+	}
+	drive(t, d, 0.05, 0.7, 7, 25)
+	snap := d.Snapshot()
+	r, err := RestoreDrift(snap)
+	if err != nil {
+		t.Fatalf("RestoreDrift: %v", err)
+	}
+	// Restored detector continues identically on the same stream.
+	rng1 := rand.New(rand.NewSource(99))
+	rng2 := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		f1 := rng1.Float64() < 0.1
+		f2 := rng2.Float64() < 0.1
+		v1 := d.Record(0.7, f1)
+		v2 := r.Record(0.7, f2)
+		if v1 != v2 {
+			t.Fatalf("obs %d: verdicts diverged %v vs %v", i, v1, v2)
+		}
+	}
+	if d.Snapshot() != r.Snapshot() {
+		t.Fatalf("snapshots diverged:\n%+v\n%+v", d.Snapshot(), r.Snapshot())
+	}
+}
+
+func TestDriftSnapshotValidation(t *testing.T) {
+	for _, bad := range []DriftSnapshot{
+		{Config: DriftConfig{Bound: 0}},
+		{Config: DriftConfig{Bound: 0.1}, LLRUp: math.NaN()},
+		{Config: DriftConfig{Bound: 0.1}, Decided: Verdict(9)},
+		{Config: DriftConfig{Bound: 0.1}, Decided: Violating, Direction: 0},
+		{Config: DriftConfig{Bound: 0.1}, Decided: Meeting, Direction: 1},
+		{Config: DriftConfig{Bound: 0.1}, Decided: Undecided, Direction: -2},
+	} {
+		if _, err := RestoreDrift(bad); err == nil {
+			t.Errorf("RestoreDrift(%+v) accepted invalid snapshot", bad)
+		}
+	}
+}

@@ -173,6 +173,19 @@ func (b *Breaker) tripLocked(reason error) {
 	b.lastTripTime = b.openedAt
 }
 
+// Reset force-closes the breaker and clears its probe and failure
+// counters (the trip count and last-trip reason are kept as history).
+// Re-prediction uses it: once the model is rebound to the observed
+// failure rate, a quarantine justified by the old prediction no longer
+// is.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.consecFails = 0
+	b.probeSuccs = 0
+}
+
 // Trips returns how many times the breaker has opened.
 func (b *Breaker) Trips() int {
 	b.mu.Lock()

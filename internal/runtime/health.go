@@ -24,6 +24,9 @@ var (
 	// from a peer replica — not this process's own observations — carries
 	// a Violating SPRT verdict for a provider.
 	ErrPeerEvidence = errors.New("runtime: SPRT violating in merged peer evidence")
+	// ErrDrift is the trip reason when the estimation layer confirms a
+	// provider's failure parameters drifted away from the bound model.
+	ErrDrift = errors.New("runtime: failure-parameter drift")
 )
 
 // HealthConfig parameterizes a HealthTracker.
@@ -320,6 +323,46 @@ func (h *HealthTracker) tripFromPeerLocked(name string, ph *providerHealth, tota
 	if h.cfg.OnTrip != nil {
 		h.cfg.OnTrip(name, reason)
 	}
+}
+
+// TripDrift opens a watched provider's breaker because the estimation
+// layer confirmed sustained failure-parameter drift — the same
+// quarantine path hard failures take, with a reason wrapping ErrDrift.
+// It reports whether the provider was watched (unwatched providers are
+// ignored). HealthTracker implements estimate.DriftTripper with it.
+func (h *HealthTracker) TripDrift(provider string, reason error) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph, ok := h.providers[provider]
+	if !ok {
+		return false
+	}
+	why := ErrDrift
+	if reason != nil {
+		why = fmt.Errorf("%w: %w", ErrDrift, reason)
+	}
+	ph.breaker.Trip(why)
+	if h.cfg.OnTrip != nil {
+		h.cfg.OnTrip(provider, why)
+	}
+	return true
+}
+
+// Recover force-closes a provider's breaker and re-arms its SPRT. The
+// re-prediction path uses it: evidence accumulated against the old
+// prediction — including a quarantine it caused — no longer applies once
+// the model is rebound to the observed behavior. It reports whether the
+// provider was watched.
+func (h *HealthTracker) Recover(provider string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph, ok := h.providers[provider]
+	if !ok {
+		return false
+	}
+	ph.breaker.Reset()
+	ph.mon.ResetSPRT()
+	return true
 }
 
 // SelectHealthyBinding is registry.SelectBindingCtx restricted to healthy

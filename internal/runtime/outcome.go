@@ -1,0 +1,252 @@
+package runtime
+
+// The typed outcome-event hook and the re-prediction entry point: the two
+// halves of the Supervisor's estimation seam. Outcome events stream what
+// the supervisor observes (so estimation layers consume a stable typed
+// surface instead of scraping internals), and Repredict feeds what the
+// estimation layer learned back into the live model.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"socrel/internal/core"
+	"socrel/internal/model"
+	"socrel/internal/monitor"
+)
+
+// OutcomeClass classifies an observed invocation outcome.
+type OutcomeClass int
+
+// Outcome classes.
+const (
+	// OutcomeSuccess means the invocation completed successfully.
+	OutcomeSuccess OutcomeClass = iota + 1
+	// OutcomeFailure means the invocation failed.
+	OutcomeFailure
+)
+
+func (c OutcomeClass) String() string {
+	switch c {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeFailure:
+		return "failure"
+	default:
+		return fmt.Sprintf("OutcomeClass(%d)", int(c))
+	}
+}
+
+// Invocation describes one observed invocation of the currently bound
+// provider, as reported to ReportInvocation. Only Success is required;
+// the remaining fields default to a nominal invocation of the supervised
+// target at the supervisor's clock.
+type Invocation struct {
+	// Success reports whether the invocation succeeded.
+	Success bool
+	// Latency is the observed invocation latency (0 if unmeasured).
+	Latency time.Duration
+	// Context tags the service context for estimation bucketing; empty
+	// defaults to the supervised target service.
+	Context string
+	// Exposure is the exposure accumulated under the provider's failure
+	// law (the N/s of eq. (1) or B/b of eq. (2)); non-positive defaults
+	// to 1.
+	Exposure float64
+	// Load is the load bucket the invocation ran under.
+	Load int
+	// At is the observation timestamp; zero defaults to the supervisor's
+	// clock.
+	At time.Time
+}
+
+// OutcomeEvent is the typed event published to SupervisorConfig.OnOutcome
+// for every reported invocation: provider, service context, outcome
+// class, latency, and clock timestamp — everything an estimation layer
+// needs, nothing it has to scrape.
+type OutcomeEvent struct {
+	// Provider is the provider that was bound when the outcome was
+	// observed.
+	Provider string
+	// Context is the service context (the supervised target unless the
+	// reporter overrode it).
+	Context string
+	// Class is the outcome class.
+	Class OutcomeClass
+	// Latency is the observed latency and Exposure the failure-law
+	// exposure; Load is the load bucket.
+	Latency  time.Duration
+	Exposure float64
+	Load     int
+	// At is the observation timestamp.
+	At time.Time
+}
+
+// RepredictEvent records one re-prediction: a learned failure-law
+// parameter re-entering the live model.
+type RepredictEvent struct {
+	// Provider is the service whose attribute was rebound and Attr the
+	// attribute name (e.g. "lambda", "beta").
+	Provider string
+	Attr     string
+	// OldValue and NewValue are the attribute before and after.
+	OldValue, NewValue float64
+	// OldPfail and NewPfail are the supervised target's predicted
+	// failure probability before and after (OldPfail is NaN when no
+	// pre-swap prediction was computable).
+	OldPfail, NewPfail float64
+	// At is when the re-prediction completed.
+	At time.Time
+}
+
+// ReportInvocation streams one observed invocation outcome of the
+// currently bound provider: the health layer consumes it (SPRT monitor,
+// breaker, automatic rebind — exactly like ReportOutcome), and
+// SupervisorConfig.OnOutcome receives the typed event, outside the
+// supervisor's lock. It returns the SPRT verdict after the outcome and
+// whether a rebind happened (rebindErr reports a rebind that was needed
+// but found no healthy candidate — the binding then stays and answers
+// degrade).
+func (s *Supervisor) ReportInvocation(ctx context.Context, inv Invocation) (v monitor.Verdict, rebound bool, rebindErr error) {
+	if inv.Exposure <= 0 || math.IsNaN(inv.Exposure) || math.IsInf(inv.Exposure, 0) {
+		inv.Exposure = 1
+	}
+	if inv.At.IsZero() {
+		inv.At = s.clock.Now()
+	}
+
+	s.lock()
+	prov := s.current.Provider
+	if inv.Context == "" {
+		inv.Context = s.target
+	}
+	v = s.tracker.Observe(prov, inv.Success)
+	if s.tracker.Quarantined(prov) {
+		why, _ := s.tracker.Breaker(prov).LastTrip()
+		if why == nil {
+			why = fmt.Errorf("%w: %q", ErrQuarantined, prov)
+		}
+		if err := s.rebindLocked(ctx, why); err != nil {
+			rebindErr = err
+		} else {
+			rebound = true
+		}
+	}
+	s.unlock()
+
+	if s.cfg.OnOutcome != nil {
+		class := OutcomeSuccess
+		if !inv.Success {
+			class = OutcomeFailure
+		}
+		s.cfg.OnOutcome(OutcomeEvent{
+			Provider: prov,
+			Context:  inv.Context,
+			Class:    class,
+			Latency:  inv.Latency,
+			Exposure: inv.Exposure,
+			Load:     inv.Load,
+			At:       inv.At,
+		})
+	}
+	return v, rebound, rebindErr
+}
+
+// Repredict rebinds one attribute of a (simple) service to a learned
+// value and recomputes the prediction through the updated model: the
+// service is replaced by a WithAttr copy, the evaluator rebuilt, and the
+// supervised target re-evaluated. On success the supervisor's predicted
+// reliability, last-known-good value, and the provider's health state
+// are refreshed (breaker closed, SPRT re-armed against the new
+// prediction — the old evidence judged the old model), and
+// SupervisorConfig.OnRepredict fires outside the lock. On evaluation
+// failure the old service is restored and the model is unchanged.
+// *Supervisor implements estimate.Repredictor with this method.
+func (s *Supervisor) Repredict(ctx context.Context, provider, attr string, value float64) (oldPfail, newPfail float64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ev, err := s.repredictLocked(ctx, provider, attr, value)
+	if err != nil {
+		return 0, 0, err
+	}
+	if s.cfg.OnRepredict != nil {
+		s.cfg.OnRepredict(ev)
+	}
+	return ev.OldPfail, ev.NewPfail, nil
+}
+
+func (s *Supervisor) repredictLocked(ctx context.Context, provider, attr string, value float64) (RepredictEvent, error) {
+	s.lock()
+	defer s.unlock()
+
+	svc, err := s.asm.ServiceByName(provider)
+	if err != nil {
+		return RepredictEvent{}, err
+	}
+	simple, ok := svc.(*model.Simple)
+	if !ok {
+		return RepredictEvent{}, fmt.Errorf("runtime: repredict %q: %w: not a simple service", provider, model.ErrInvalidService)
+	}
+	updated, err := simple.WithAttr(attr, value)
+	if err != nil {
+		return RepredictEvent{}, fmt.Errorf("runtime: repredict %q: %w", provider, err)
+	}
+	oldValue := simple.Attributes()[attr]
+
+	// Pre-swap prediction, for the published old/new pair; fall back to
+	// the last-known-good value when the current model cannot evaluate
+	// (e.g. the drifted provider is quarantined with no alternative).
+	oldPfail := math.NaN()
+	if p, perr := s.ev.PfailCtx(ctx, s.target, s.params...); perr == nil {
+		oldPfail = p
+	} else if s.last != nil {
+		oldPfail = s.last.Pfail
+	}
+
+	if err := s.asm.ReplaceService(updated); err != nil {
+		return RepredictEvent{}, err
+	}
+	s.ev = core.New(s.wrapped(), s.opts)
+	newPfail, err := s.ev.PfailCtx(ctx, s.target, s.params...)
+	if err != nil {
+		// The learned parameter broke the model: roll back.
+		if rerr := s.asm.ReplaceService(svc); rerr != nil {
+			err = fmt.Errorf("%w (rollback failed: %v)", err, rerr)
+		}
+		s.ev = core.New(s.wrapped(), s.opts)
+		return RepredictEvent{}, fmt.Errorf("runtime: repredict %s.%s=%g: %w", provider, attr, value, err)
+	}
+
+	s.predicted = 1 - newPfail
+	s.last = &LastGood{Pfail: newPfail, Provider: s.current.Provider, At: s.clock.Now()}
+	// The re-predicted provider's quarantine and SPRT evidence judged
+	// the old model; clear them so the corrected model gets a fresh
+	// sequential test against the new prediction.
+	s.tracker.Recover(provider)
+	if err := s.tracker.Watch(s.current.Provider, s.predicted); err != nil {
+		return RepredictEvent{}, err
+	}
+
+	ev := RepredictEvent{
+		Provider: provider,
+		Attr:     attr,
+		OldValue: oldValue,
+		NewValue: value,
+		OldPfail: oldPfail,
+		NewPfail: newPfail,
+		At:       s.clock.Now(),
+	}
+	s.repredicts = append(s.repredicts, ev)
+	return ev, nil
+}
+
+// Repredictions returns every completed re-prediction so far, oldest
+// first.
+func (s *Supervisor) Repredictions() []RepredictEvent {
+	s.lock()
+	defer s.unlock()
+	return append([]RepredictEvent(nil), s.repredicts...)
+}

@@ -1,0 +1,350 @@
+package runtime_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+	"socrel/internal/monitor"
+	"socrel/internal/registry"
+	rt "socrel/internal/runtime"
+)
+
+// buildCPUAssembly builds an estimation fixture: an "app" composite with
+// one open role "worker" and two CPU candidates whose failure laws are
+// 1 - exp(-lambda * N / s). With speed 1 and N = 1, each invocation
+// carries exposure exactly 1, so Pfail(app) == 1 - exp(-lambda).
+func buildCPUAssembly(t *testing.T, lam1, lam2 float64) (*assembly.Assembly, []registry.Candidate) {
+	t.Helper()
+	asm := assembly.New("estfix")
+	asm.MustAddService(model.NewCPU("cpu1", 1, lam1))
+	asm.MustAddService(model.NewCPU("cpu2", 1, lam2))
+	app := model.NewComposite("app", nil, nil)
+	st, err := app.Flow().AddState("work", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddRequest(model.Request{Role: "worker", Params: []expr.Expr{expr.Num(1)}})
+	if err := app.Flow().AddTransitionP(model.StartState, "work", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Flow().AddTransitionP("work", model.EndState, 1); err != nil {
+		t.Fatal(err)
+	}
+	asm.MustAddService(app)
+	return asm, []registry.Candidate{{Provider: "cpu1"}, {Provider: "cpu2"}}
+}
+
+func TestReportInvocationPublishesTypedEvent(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	var events []rt.OutcomeEvent
+	asm, cands := buildWorkerAssembly(t, 0.01, 0.03)
+	cfg := rt.SupervisorConfig{
+		Clock:     clk,
+		OnOutcome: func(ev rt.OutcomeEvent) { events = append(events, ev) },
+	}
+	sup, err := rt.NewSupervisor(context.Background(), cfg, asm, "app", "worker", cands, core.Options{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := sup.ReportInvocation(context.Background(), rt.Invocation{
+		Success: true, Latency: 20 * time.Millisecond, Exposure: 2.5, Load: 3,
+	}); err != nil {
+		t.Fatalf("ReportInvocation: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Provider != "providerA" || ev.Context != "app" || ev.Class != rt.OutcomeSuccess {
+		t.Fatalf("bad event: %+v", ev)
+	}
+	if ev.Latency != 20*time.Millisecond || ev.Exposure != 2.5 || ev.Load != 3 || !ev.At.Equal(t0) {
+		t.Fatalf("bad event details: %+v", ev)
+	}
+
+	// Defaults: context falls back to the target, exposure to 1, the
+	// timestamp to the clock; failures classify as OutcomeFailure.
+	clk.Advance(time.Second)
+	if _, _, err := sup.ReportInvocation(context.Background(), rt.Invocation{Success: false, Context: "custom"}); err != nil {
+		t.Fatalf("ReportInvocation: %v", err)
+	}
+	ev = events[1]
+	if ev.Class != rt.OutcomeFailure || ev.Context != "custom" || ev.Exposure != 1 || !ev.At.Equal(t0.Add(time.Second)) {
+		t.Fatalf("bad defaulted event: %+v", ev)
+	}
+	if ev.Class.String() != "failure" || rt.OutcomeSuccess.String() != "success" {
+		t.Fatal("OutcomeClass.String broken")
+	}
+}
+
+// TestReportOutcomeFeedsHookAndHealth verifies the migration: the legacy
+// ReportOutcome path now flows through ReportInvocation, so it both feeds
+// the health tracker (SPRT trip + rebind as before) and publishes typed
+// events.
+func TestReportOutcomeFeedsHookAndHealth(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	var events []rt.OutcomeEvent
+	asm, cands := buildWorkerAssembly(t, 0.01, 0.03)
+	cfg := rt.SupervisorConfig{
+		Clock:     clk,
+		OnOutcome: func(ev rt.OutcomeEvent) { events = append(events, ev) },
+	}
+	sup, err := rt.NewSupervisor(context.Background(), cfg, asm, "app", "worker", cands, core.Options{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, rebound := 0, false
+	for i := 0; i < 2000 && !rebound; i++ {
+		_, rb, err := sup.ReportOutcome(context.Background(), false)
+		if err != nil {
+			t.Fatalf("ReportOutcome: %v", err)
+		}
+		reports++
+		rebound = rb
+	}
+	if !rebound {
+		t.Fatal("all-failure stream never tripped the SPRT and rebound")
+	}
+	if sup.Current().Provider != "providerB" {
+		t.Fatalf("bound to %q after trip", sup.Current().Provider)
+	}
+	if len(events) != reports {
+		t.Fatalf("%d events for %d reports", len(events), reports)
+	}
+	if last := events[len(events)-1]; last.Provider != "providerA" {
+		t.Fatalf("event attributed to %q, want the provider bound at observation time", last.Provider)
+	}
+}
+
+func TestRepredictRebindsParameterAndPrediction(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	var published []rt.RepredictEvent
+	asm, cands := buildCPUAssembly(t, 0.05, 0.5)
+	cfg := rt.SupervisorConfig{
+		Clock:       clk,
+		OnRepredict: func(ev rt.RepredictEvent) { published = append(published, ev) },
+	}
+	sup, err := rt.NewSupervisor(context.Background(), cfg, asm, "app", "worker", cands, core.Options{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup.Current().Provider != "cpu1" {
+		t.Fatalf("initial binding %q", sup.Current().Provider)
+	}
+	wantOld := -math.Expm1(-0.05)
+
+	oldPfail, newPfail, err := sup.Repredict(context.Background(), "cpu1", "lambda", 0.2)
+	if err != nil {
+		t.Fatalf("Repredict: %v", err)
+	}
+	if math.Abs(oldPfail-wantOld) > 1e-12 {
+		t.Fatalf("old Pfail %g, want %g", oldPfail, wantOld)
+	}
+	if want := -math.Expm1(-0.2); math.Abs(newPfail-want) > 1e-12 {
+		t.Fatalf("new Pfail %g, want %g", newPfail, want)
+	}
+	// The live model now carries the learned rate...
+	svc, err := asm.ServiceByName("cpu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Attributes()["lambda"]; got != 0.2 {
+		t.Fatalf("lambda after repredict = %g", got)
+	}
+	// ...the prediction and served answers track it...
+	if want := 1 - newPfail; math.Abs(sup.Predicted()-want) > 1e-12 {
+		t.Fatalf("predicted %g, want %g", sup.Predicted(), want)
+	}
+	ans := sup.Pfail(context.Background())
+	if !ans.IsExact() || math.Abs(ans.Pfail-newPfail) > 1e-12 {
+		t.Fatalf("served answer %+v", ans)
+	}
+	// ...and the event was recorded and published.
+	evs := sup.Repredictions()
+	if len(evs) != 1 || len(published) != 1 || evs[0] != published[0] {
+		t.Fatalf("events: recorded %+v published %+v", evs, published)
+	}
+	ev := evs[0]
+	if ev.Provider != "cpu1" || ev.Attr != "lambda" || ev.OldValue != 0.05 || ev.NewValue != 0.2 {
+		t.Fatalf("bad event: %+v", ev)
+	}
+	if ev.OldPfail != oldPfail || ev.NewPfail != newPfail || !ev.At.Equal(t0) {
+		t.Fatalf("bad event predictions: %+v", ev)
+	}
+}
+
+func TestRepredictValidation(t *testing.T) {
+	asm, cands := buildCPUAssembly(t, 0.05, 0.5)
+	sup, err := rt.NewSupervisor(context.Background(), rt.SupervisorConfig{Clock: rt.NewFakeClock(t0)}, asm, "app", "worker", cands, core.Options{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sup.Repredict(context.Background(), "nosuch", "lambda", 0.1); !errors.Is(err, model.ErrUnknownService) {
+		t.Fatalf("unknown provider: %v", err)
+	}
+	if _, _, err := sup.Repredict(context.Background(), "app", "lambda", 0.1); !errors.Is(err, model.ErrInvalidService) {
+		t.Fatalf("composite provider: %v", err)
+	}
+	if _, _, err := sup.Repredict(context.Background(), "cpu1", "nosuchattr", 0.1); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, _, err := sup.Repredict(context.Background(), "cpu1", "lambda", math.NaN()); err == nil {
+		t.Fatal("NaN value accepted")
+	}
+	// Nothing above may have disturbed the model.
+	svc, _ := asm.ServiceByName("cpu1")
+	if got := svc.Attributes()["lambda"]; got != 0.05 {
+		t.Fatalf("lambda disturbed by failed repredicts: %g", got)
+	}
+	if len(sup.Repredictions()) != 0 {
+		t.Fatal("failed repredicts were recorded")
+	}
+}
+
+// TestRepredictRecoversQuarantine drives the single-candidate drift
+// story: drift trips the breaker, answers degrade, and a re-prediction —
+// not more failures — restores exact service under the corrected model.
+func TestRepredictRecoversQuarantine(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	asm, _ := buildCPUAssembly(t, 0.05, 0.5)
+	cands := []registry.Candidate{{Provider: "cpu1"}} // nowhere to fail over
+	cfg := rt.SupervisorConfig{
+		Clock:  clk,
+		Health: rt.HealthConfig{Breaker: rt.BreakerConfig{OpenFor: time.Hour}},
+	}
+	sup, err := rt.NewSupervisor(context.Background(), cfg, asm, "app", "worker", cands, core.Options{}, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sup.Tracker().TripDrift("cpu1", errors.New("estimate says 4x the bound")) {
+		t.Fatal("TripDrift on watched provider returned false")
+	}
+	if ans := sup.Pfail(context.Background()); ans.IsExact() {
+		t.Fatalf("quarantined single binding served exact answer: %+v", ans)
+	}
+	if _, _, err := sup.Repredict(context.Background(), "cpu1", "lambda", 0.2); err != nil {
+		t.Fatalf("Repredict: %v", err)
+	}
+	ans := sup.Pfail(context.Background())
+	if !ans.IsExact() {
+		t.Fatalf("answer after repredict: %+v", ans)
+	}
+	if want := -math.Expm1(-0.2); math.Abs(ans.Pfail-want) > 1e-12 {
+		t.Fatalf("Pfail %g, want %g", ans.Pfail, want)
+	}
+}
+
+func TestTripDriftAndRecover(t *testing.T) {
+	var trips []error
+	tr := rt.NewHealthTracker(rt.HealthConfig{
+		Breaker: rt.BreakerConfig{OpenFor: time.Hour, Clock: rt.NewFakeClock(t0)},
+		OnTrip:  func(_ string, reason error) { trips = append(trips, reason) },
+	})
+	if tr.TripDrift("ghost", nil) {
+		t.Fatal("TripDrift tripped an unwatched provider")
+	}
+	if err := tr.Watch("p", 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.TripDrift("p", errors.New("rate 4x bound")) {
+		t.Fatal("TripDrift failed on watched provider")
+	}
+	if !tr.Quarantined("p") {
+		t.Fatal("provider not quarantined after TripDrift")
+	}
+	if len(trips) != 1 || !errors.Is(trips[0], rt.ErrDrift) {
+		t.Fatalf("OnTrip: %v", trips)
+	}
+	why, _ := tr.Breaker("p").LastTrip()
+	if !errors.Is(why, rt.ErrDrift) {
+		t.Fatalf("trip reason: %v", why)
+	}
+
+	if tr.Recover("ghost") {
+		t.Fatal("Recover on unwatched provider returned true")
+	}
+	if !tr.Recover("p") {
+		t.Fatal("Recover failed on watched provider")
+	}
+	if tr.Quarantined("p") {
+		t.Fatal("provider still quarantined after Recover")
+	}
+	if v := tr.Verdict("p"); v != monitor.Undecided {
+		t.Fatalf("verdict after Recover: %v", v)
+	}
+	if got := tr.Breaker("p").Trips(); got != 1 {
+		t.Fatalf("Recover erased trip history: %d", got)
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	clk := rt.NewFakeClock(t0)
+	b := rt.NewBreaker(rt.BreakerConfig{OpenFor: time.Hour, Clock: clk})
+	b.Trip(errors.New("drift"))
+	if b.State() != rt.Open || b.Allow() {
+		t.Fatal("breaker not open after Trip")
+	}
+	b.Reset()
+	if b.State() != rt.Closed || !b.Allow() {
+		t.Fatal("breaker not closed after Reset")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Reset erased trip count: %d", b.Trips())
+	}
+	if why, _ := b.LastTrip(); why == nil {
+		t.Fatal("Reset erased last-trip reason")
+	}
+}
+
+func TestWithAttrAndReplaceService(t *testing.T) {
+	cpu := model.NewCPU("cpu1", 2, 0.05)
+	up, err := cpu.WithAttr("lambda", 0.4)
+	if err != nil {
+		t.Fatalf("WithAttr: %v", err)
+	}
+	if got := up.Attributes()["lambda"]; got != 0.4 {
+		t.Fatalf("updated lambda %g", got)
+	}
+	if got := cpu.Attributes()["lambda"]; got != 0.05 {
+		t.Fatalf("original mutated: lambda %g", got)
+	}
+	if up.Attributes()["s"] != 2 || up.Name() != "cpu1" {
+		t.Fatalf("copy lost fields: %+v", up.Attributes())
+	}
+	if err := up.Validate(); err != nil {
+		t.Fatalf("updated service invalid: %v", err)
+	}
+	if _, err := cpu.WithAttr("nope", 1); err == nil {
+		t.Fatal("WithAttr accepted unknown attribute")
+	}
+	if _, err := cpu.WithAttr("lambda", math.Inf(1)); err == nil {
+		t.Fatal("WithAttr accepted infinite value")
+	}
+
+	asm := assembly.New("a")
+	asm.MustAddService(cpu)
+	if err := asm.ReplaceService(up); err != nil {
+		t.Fatalf("ReplaceService: %v", err)
+	}
+	got, err := asm.ServiceByName("cpu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attributes()["lambda"] != 0.4 {
+		t.Fatal("ReplaceService did not swap the definition")
+	}
+	if err := asm.ReplaceService(model.NewConstant("stranger", 0.1)); !errors.Is(err, model.ErrUnknownService) {
+		t.Fatalf("ReplaceService on unknown name: %v", err)
+	}
+	if names := asm.ServiceNames(); len(names) != 1 || names[0] != "cpu1" {
+		t.Fatalf("registration order disturbed: %v", names)
+	}
+}

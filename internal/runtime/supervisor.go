@@ -30,6 +30,15 @@ type SupervisorConfig struct {
 	// OnRebind, when set, is called after every successful automatic
 	// rebind.
 	OnRebind func(RebindEvent)
+	// OnOutcome, when set, receives a typed OutcomeEvent for every
+	// invocation reported via ReportInvocation/ReportOutcome. It is
+	// called outside the supervisor's lock (calling back into the
+	// supervisor is safe) — this is the outcome stream estimation
+	// layers consume.
+	OnOutcome func(OutcomeEvent)
+	// OnRepredict, when set, is called after every completed
+	// re-prediction (see Repredict), outside the supervisor's lock.
+	OnRepredict func(RepredictEvent)
 }
 
 // RebindEvent records one automatic rebind.
@@ -64,12 +73,13 @@ type Supervisor struct {
 	target     string
 	params     []float64
 
-	mu        chan struct{} // semaphore: also serializes the interpreted evaluator
-	current   registry.Candidate
-	predicted float64
-	ev        *core.Evaluator
-	last      *LastGood
-	rebinds   []RebindEvent
+	mu         chan struct{} // semaphore: also serializes the interpreted evaluator
+	current    registry.Candidate
+	predicted  float64
+	ev         *core.Evaluator
+	last       *LastGood
+	rebinds    []RebindEvent
+	repredicts []RepredictEvent
 }
 
 // NewSupervisor binds the (caller, role) requirement to the most reliable
@@ -183,23 +193,11 @@ func (s *Supervisor) RestoreCheckpoint(snap map[string]monitor.Snapshot) error {
 // best healthy alternative. It returns the SPRT verdict after the
 // outcome and whether a rebind happened (rebindErr reports a rebind that
 // was needed but found no healthy candidate — the binding then stays and
-// answers degrade).
+// answers degrade). It is shorthand for ReportInvocation with a nominal
+// invocation; richer reporters (latency, exposure, context, load) use
+// ReportInvocation directly.
 func (s *Supervisor) ReportOutcome(ctx context.Context, success bool) (v monitor.Verdict, rebound bool, rebindErr error) {
-	s.lock()
-	defer s.unlock()
-	prov := s.current.Provider
-	v = s.tracker.Observe(prov, success)
-	if !s.tracker.Quarantined(prov) {
-		return v, false, nil
-	}
-	why, _ := s.tracker.Breaker(prov).LastTrip()
-	if why == nil {
-		why = fmt.Errorf("%w: %q", ErrQuarantined, prov)
-	}
-	if err := s.rebindLocked(ctx, why); err != nil {
-		return v, false, err
-	}
-	return v, true, nil
+	return s.ReportInvocation(ctx, Invocation{Success: success})
 }
 
 // Pfail returns the current prediction for the supervised target

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	socruntime "socrel/internal/runtime"
+)
+
+func TestOnOutcomePublishesEvaluations(t *testing.T) {
+	clock := socruntime.NewFakeClock(time.Unix(1000, 0))
+	eval := constEval(0.125)
+	var events []Outcome
+	srv := New(eval, Config{
+		Service:   "app",
+		Hedge:     HedgeConfig{Disabled: true},
+		Clock:     clock,
+		OnOutcome: func(o Outcome) { events = append(events, o) },
+	})
+
+	ans := srv.Serve(context.Background(), Request{Scope: "m1"})
+	checkInvariant(t, ans)
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	o := events[0]
+	if o.Service != "app" || o.Scope != "m1" || !o.Success || !o.At.Equal(clock.Now()) {
+		t.Fatalf("bad outcome: %+v", o)
+	}
+
+	// Failed evaluations publish too, with Success false.
+	boom := errors.New("solver exploded")
+	eval.set(func(context.Context, string, ...float64) (float64, error) { return 0, boom })
+	srv.Serve(context.Background(), Request{Service: "other"})
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if o := events[1]; o.Success || o.Service != "other" {
+		t.Fatalf("bad failure outcome: %+v", o)
+	}
+}
+
+func TestOnOutcomeSilentForShedRequests(t *testing.T) {
+	clock := socruntime.NewFakeClock(time.Unix(1000, 0))
+	var events []Outcome
+	srv := New(constEval(0.1), Config{
+		Service:   "app",
+		Hedge:     HedgeConfig{Disabled: true},
+		Clock:     clock,
+		OnOutcome: func(o Outcome) { events = append(events, o) },
+	})
+	if _, err := srv.Drain(context.Background(), 0); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	ans := srv.Serve(context.Background(), Request{})
+	if ans.Kind == socruntime.Exact {
+		t.Fatal("draining server served exact")
+	}
+	if len(events) != 0 {
+		t.Fatalf("shed request published %d outcome events", len(events))
+	}
+}

@@ -97,6 +97,26 @@ type Config struct {
 	// Clock drives every queue, limiter, and hedging decision (default
 	// the wall clock).
 	Clock socruntime.Clock
+	// OnOutcome, when set, receives one Outcome for every Serve request
+	// whose evaluation actually ran (shed or expired requests emit
+	// nothing — they observed the server, not the model). It is called
+	// outside the server's lock, so calling back into the server is
+	// safe. This is the outcome stream estimation layers consume.
+	OnOutcome func(Outcome)
+}
+
+// Outcome describes one completed evaluation, as published to
+// Config.OnOutcome: what was evaluated, whether it succeeded, and how
+// long it took on the server's clock.
+type Outcome struct {
+	// Service is the evaluation target and Scope the request's scope.
+	Service, Scope string
+	// Success reports whether the evaluation produced an exact answer.
+	Success bool
+	// Latency is the measured evaluation latency.
+	Latency time.Duration
+	// At is when the evaluation completed, on the server's clock.
+	At time.Time
 }
 
 // Saturation summarizes how deep into overload the server is, derived
@@ -372,17 +392,30 @@ func (s *Server) Serve(ctx context.Context, req Request) socruntime.Answer {
 	end := s.clock.Now()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.limiter.observe(end.Sub(start), err)
 	s.limiter.release()
 	s.dispatchLocked()
+	var ans socruntime.Answer
 	if err == nil {
 		s.lat.observe(end.Sub(start))
 		s.recordExactLocked(req.Scope, key, p, end)
 		s.stats.Exact++
-		return socruntime.Answer{Kind: socruntime.Exact, Pfail: p, AsOf: end}
+		ans = socruntime.Answer{Kind: socruntime.Exact, Pfail: p, AsOf: end}
+	} else {
+		ans = s.degradeLocked(req.Scope, key, err, end)
 	}
-	return s.degradeLocked(req.Scope, key, err, end)
+	s.mu.Unlock()
+
+	if s.cfg.OnOutcome != nil {
+		s.cfg.OnOutcome(Outcome{
+			Service: service,
+			Scope:   req.Scope,
+			Success: err == nil,
+			Latency: end.Sub(start),
+			At:      end,
+		})
+	}
+	return ans
 }
 
 // ServeBatch answers one batched request: the grid is admitted as a
