@@ -89,6 +89,14 @@ func Elasticities(f func(params map[string]float64) (float64, error), base map[s
 // Elasticity is a normalized one-at-a-time sensitivity.
 type Elasticity = sensitivity.Elasticity
 
+// Gradient returns dPfail/dparam_i for every formal parameter of the
+// service: exact compiled derivatives when the assembly was built with
+// CompileParametric and admits a closed form, central finite differences
+// through the numeric kernel otherwise.
+func Gradient(ca *CompiledAssembly, service string, params ...float64) ([]float64, error) {
+	return sensitivity.Gradient(ca, service, params...)
+}
+
 // ParetoFront filters configurations evaluated with ExploreOptions.WithTime
 // down to the reliability/time non-dominated set.
 func ParetoFront(configs []Configuration) []Configuration {

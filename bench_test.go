@@ -291,6 +291,7 @@ func BenchmarkCompiledBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(base)), "ns/point")
 }
 
 // BenchmarkCompiledLane times the Figure 6 batch workload at several lane
@@ -324,6 +325,92 @@ func BenchmarkCompiledLane(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Parametric-engine benchmarks (symbolic solve, closed-form eval). ---
+
+// parametricPaperPair compiles the paper's two assemblies with the
+// symbolic chain solver, failing if either root fell back to numeric.
+func parametricPaperPair(b *testing.B) [2]*core.CompiledAssembly {
+	b.Helper()
+	p := assembly.DefaultPaperParams()
+	local, err := assembly.LocalAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote, err := assembly.RemoteAssembly(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := core.CompileParametric(local, core.Options{}, core.ParametricOptions{}, "search")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cr, err := core.CompileParametric(remote, core.Options{}, core.ParametricOptions{}, "search")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ca := range []*core.CompiledAssembly{cl, cr} {
+		if st := ca.ParametricStats(); st.Outputs == 0 {
+			b.Fatalf("paper assembly has no closed form: %v", ca.ParametricFallbacks())
+		}
+	}
+	return [2]*core.CompiledAssembly{cl, cr}
+}
+
+// BenchmarkParametricSerial is BenchmarkCompiledSerial through a
+// parametric compile: each point is one closed-form program evaluation
+// instead of a numeric chain build + solve. The steady state must stay
+// at 0 allocs/op (asserted by the CI bench smoke).
+func BenchmarkParametricSerial(b *testing.B) {
+	cas := parametricPaperPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca := cas[i%2]
+		if _, err := ca.Pfail("search", 1, float64(16+i), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParametricBatch is BenchmarkCompiledBatch (the memo-defeated
+// Figure 6 grid) through a parametric compile; its ns/point against
+// BenchmarkCompiledBatch's is the headline parametric speedup recorded
+// in BENCH_engine.json.
+func BenchmarkParametricBatch(b *testing.B) {
+	cas := parametricPaperPair(b)
+	base := make([][]float64, 0, 17)
+	for e := 4; e <= 20; e++ {
+		base = append(base, []float64{1, float64(int(1) << e), 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := make([][]float64, len(base))
+		for j, s := range base {
+			// Perturb the list size so no point is ever memoized.
+			sets[j] = []float64{s[0], s[1] + float64(i)/1024, s[2]}
+		}
+		if _, err := cas[1].PfailBatch("search", sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(base)), "ns/point")
+}
+
+// BenchmarkParametricGradient times the exact symbolic gradient (three
+// compiled partial-derivative programs per call); the finite-difference
+// alternative costs 2 numeric solves per parameter.
+func BenchmarkParametricGradient(b *testing.B) {
+	cas := parametricPaperPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cas[1].Sensitivities("search", 1, float64(16+i), 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

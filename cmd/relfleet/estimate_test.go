@@ -12,7 +12,7 @@ import (
 // that served nothing still report the fleet's evidence.
 func TestFleetEstimatesEndpoint(t *testing.T) {
 	f, _ := newTestFleet(t, 3)
-	ts := httptest.NewServer(newFleetMux(f))
+	ts := httptest.NewServer(newFleetMux(f, nil))
 	defer ts.Close()
 
 	for i := 0; i < 12; i++ {

@@ -89,7 +89,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	newEval, mode, err := evaluatorFactory(asm, opts, *service)
+	newEval, sharedCA, mode, err := evaluatorFactory(asm, opts, *service)
 	if err != nil {
 		return err
 	}
@@ -118,7 +118,7 @@ func run(args []string, out io.Writer) error {
 	f.Start()
 
 	fmt.Fprintf(out, "relfleet: serving %q (%s engine) on %s with %d replicas\n", *service, mode, *listen, *replicas)
-	hs := &http.Server{Addr: *listen, Handler: newFleetMux(f)}
+	hs := &http.Server{Addr: *listen, Handler: newFleetMux(f, sharedCA)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
@@ -146,19 +146,24 @@ func run(args []string, out io.Writer) error {
 }
 
 // evaluatorFactory compiles the assembly once when possible — the
-// compiled engine is concurrency-safe, so every replica shares it — and
-// otherwise hands each replica its own mutex-serialized interpreter.
-func evaluatorFactory(asm *assembly.Assembly, opts core.Options, service string) (func(id string) server.Evaluator, string, error) {
-	ca, err := core.Compile(asm, opts, service)
+// compiled engine is concurrency-safe, so every replica shares it — with
+// the parametric closed-form layer on top, and otherwise hands each
+// replica its own mutex-serialized interpreter.
+func evaluatorFactory(asm *assembly.Assembly, opts core.Options, service string) (func(id string) server.Evaluator, *core.CompiledAssembly, string, error) {
+	ca, err := core.CompileParametric(asm, opts, core.ParametricOptions{}, service)
 	if err == nil {
-		return func(string) server.Evaluator { return ca }, "compiled", nil
+		mode := "compiled"
+		if st := ca.ParametricStats(); st.Outputs > 0 {
+			mode = "parametric"
+		}
+		return func(string) server.Evaluator { return ca }, ca, mode, nil
 	}
 	if !errors.Is(err, core.ErrNotCompilable) {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	return func(string) server.Evaluator {
 		return &serializedEval{ev: core.New(asm, opts)}
-	}, "interpreted", nil
+	}, nil, "interpreted", nil
 }
 
 // serializedEval guards the single-goroutine interpreted evaluator with
@@ -328,8 +333,10 @@ type memberView struct {
 }
 
 // newFleetMux builds the HTTP handler over a fleet. Split from run so
-// tests drive it with httptest.
-func newFleetMux(f *cluster.Fleet) *http.ServeMux {
+// tests drive it with httptest. ca, when non-nil, is the compiled
+// artifact every replica shares; /stats then reports the parametric
+// (closed-form) vs numeric path split for the whole fleet.
+func newFleetMux(f *cluster.Fleet, ca *core.CompiledAssembly) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
@@ -456,7 +463,7 @@ func newFleetMux(f *cluster.Fleet) *http.ServeMux {
 			}
 			perReplica[n.ID()] = rep
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		stats := map[string]any{
 			"offered":     offered,
 			"exact":       exact,
 			"stale":       stale,
@@ -464,7 +471,18 @@ func newFleetMux(f *cluster.Fleet) *http.ServeMux {
 			"unavailable": unavailable,
 			"shed":        shed,
 			"replicas":    perReplica,
-		})
+		}
+		if ca != nil {
+			ps := ca.ParametricStats()
+			stats["parametric"] = map[string]any{
+				"outputs":           ps.Outputs,
+				"fallbacks":         ps.Fallbacks,
+				"parametric_points": ps.ParametricPoints,
+				"numeric_points":    ps.NumericPoints,
+				"gradient_points":   ps.GradientPoints,
+			}
+		}
+		writeJSON(w, http.StatusOK, stats)
 	})
 
 	return mux

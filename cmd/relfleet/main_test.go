@@ -24,12 +24,12 @@ func newTestFleet(t *testing.T, replicas int) (*cluster.Fleet, *socruntime.FakeC
 	if err != nil {
 		t.Fatal(err)
 	}
-	newEval, mode, err := evaluatorFactory(asm, core.Options{}, "search")
+	newEval, _, mode, err := evaluatorFactory(asm, core.Options{}, "search")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mode != "compiled" {
-		t.Fatalf("paper assembly should compile, got %q", mode)
+	if mode != "parametric" {
+		t.Fatalf("paper assembly should compile parametrically, got %q", mode)
 	}
 	clk := socruntime.NewFakeClock(time.Unix(0, 0))
 	f, err := cluster.NewFleet(cluster.FleetConfig{
@@ -89,7 +89,7 @@ func getJSON(t *testing.T, url string) map[string]any {
 // HTTP, whichever replica the entry round-robin picks.
 func TestFleetPredictExact(t *testing.T) {
 	f, _ := newTestFleet(t, 3)
-	ts := httptest.NewServer(newFleetMux(f))
+	ts := httptest.NewServer(newFleetMux(f, nil))
 	defer ts.Close()
 
 	for i := 0; i < 6; i++ {
@@ -107,7 +107,7 @@ func TestFleetPredictExact(t *testing.T) {
 // answering — keys rebalance to the survivors.
 func TestFleetSurvivesKill(t *testing.T) {
 	f, clk := newTestFleet(t, 3)
-	ts := httptest.NewServer(newFleetMux(f))
+	ts := httptest.NewServer(newFleetMux(f, nil))
 	defer ts.Close()
 
 	if resp, _ := postPredict(t, ts.URL, `{"params":[1,4096,1]}`); resp.StatusCode != http.StatusOK {
@@ -149,7 +149,7 @@ func TestFleetSurvivesKill(t *testing.T) {
 // TestFleetStatsAggregates: /stats sums per-replica counters.
 func TestFleetStatsAggregates(t *testing.T) {
 	f, _ := newTestFleet(t, 2)
-	ts := httptest.NewServer(newFleetMux(f))
+	ts := httptest.NewServer(newFleetMux(f, nil))
 	defer ts.Close()
 
 	for i := 0; i < 4; i++ {
@@ -172,7 +172,7 @@ func TestFleetStatsAggregates(t *testing.T) {
 // degraded answers.
 func TestFleetBadRequests(t *testing.T) {
 	f, _ := newTestFleet(t, 2)
-	ts := httptest.NewServer(newFleetMux(f))
+	ts := httptest.NewServer(newFleetMux(f, nil))
 	defer ts.Close()
 
 	if resp, _ := postPredict(t, ts.URL, `{not json`); resp.StatusCode != http.StatusBadRequest {

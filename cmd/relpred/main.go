@@ -10,6 +10,7 @@
 //	relpred -model system.adl -params 1,4096,1             # file, auto-detected
 //	relpred -model acme/search@2 -store ./models -params 1 # stored version
 //	relpred -observe outcomes.jsonl -bounds 'db=0.05'      # fit failure rates offline
+//	relpred -paper local -explain -grad                    # closed-form Pfail + partials
 //
 // -observe replays a JSONL stream of observed invocation outcomes
 // ({"provider":..,"context":..,"failed":..,"exposure":..,"latency_ms":..,
@@ -124,6 +125,8 @@ func run(args []string, out io.Writer) error {
 	sweep := fs.String("sweep", "", "sweep one formal parameter: 'name=lo:hi:n' (geometric grid); the -params value for that position is ignored")
 	timeout := fs.Duration("timeout", 0, "evaluation deadline (e.g. 500ms); expired runs fail with the typed error class (0 = none)")
 	stats := fs.Bool("stats", false, "print compiled-engine memo statistics (hits/misses/resets/entries) after the evaluation")
+	explain := fs.Bool("explain", false, "print the closed-form Pfail expression of the service (paper eqs. (15)-(22)) instead of a prediction")
+	grad := fs.Bool("grad", false, "with -explain, also print the closed-form partial derivative per formal parameter")
 	observe := fs.String("observe", "", "replay an outcomes JSONL file ('-' = stdin) through the failure-parameter estimator and print fitted rates")
 	boundsSpec := fs.String("bounds", "", "comma-separated key=rate drift bounds for -observe (key: provider, provider|context, or provider|context|load)")
 	confidence := fs.Float64("confidence", 0.95, "confidence level for -observe interval fits")
@@ -223,6 +226,12 @@ func run(args []string, out io.Writer) error {
 	if *dotOut != "" {
 		return emitDOT(out, asm, *dotOut, *service, params, opts)
 	}
+	if *grad && !*explain {
+		return fmt.Errorf("%w: -grad requires -explain", errUsage)
+	}
+	if *explain {
+		return runExplain(out, asm, opts, *service, params, *grad)
+	}
 	if *sweep != "" {
 		return runSweep(ctx, out, asm, opts, *service, params, *sweep, *stats)
 	}
@@ -236,7 +245,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	var pfail float64
-	if ca, cerr := core.Compile(asm, opts, *service); cerr == nil {
+	if ca, cerr := core.CompileParametric(asm, opts, core.ParametricOptions{}, *service); cerr == nil {
 		pfail, err = ca.PfailCtx(ctx, *service, params...)
 		printMemoStats(out, ca, *stats)
 	} else if errors.Is(cerr, core.ErrNotCompilable) {
@@ -256,7 +265,8 @@ func run(args []string, out io.Writer) error {
 }
 
 // printMemoStats renders the compiled engine's memo counters, letting
-// scripts confirm a sweep was served from cache (or not).
+// scripts confirm a sweep was served from cache (or not), plus the
+// parametric counters showing how many points the closed form answered.
 func printMemoStats(out io.Writer, ca *core.CompiledAssembly, enabled bool) {
 	if !enabled || ca == nil {
 		return
@@ -264,6 +274,68 @@ func printMemoStats(out io.Writer, ca *core.CompiledAssembly, enabled bool) {
 	ms := ca.MemoStats()
 	fmt.Fprintf(out, "memo: hits=%d misses=%d resets=%d entries=%d\n",
 		ms.Hits, ms.Misses, ms.Resets, ms.Entries)
+	ps := ca.ParametricStats()
+	fmt.Fprintf(out, "parametric: outputs=%d fallbacks=%d points=%d numeric=%d gradients=%d\n",
+		ps.Outputs, ps.Fallbacks, ps.ParametricPoints, ps.NumericPoints, ps.GradientPoints)
+}
+
+// runExplain prints the service's closed-form failure probability — the
+// symbolic solution of the absorbing chain, the compiled analogue of the
+// paper's equations (15)-(22) — and, with grad, the exact partial
+// derivative with respect to each formal parameter. When actual
+// parameters are supplied the forms are also evaluated at that point.
+func runExplain(out io.Writer, asm *assembly.Assembly, opts core.Options, service string, params []float64, grad bool) error {
+	ca, err := core.CompileParametric(asm, opts, core.ParametricOptions{}, service)
+	if err != nil {
+		return withClass(err)
+	}
+	form, ok := ca.ClosedForm(service)
+	if !ok {
+		if reason, fell := ca.ParametricFallbacks()[service]; fell {
+			return fmt.Errorf("no closed form for %s (numeric evaluation still available): %w", service, reason)
+		}
+		return fmt.Errorf("no closed form for %s", service)
+	}
+	formals, _ := ca.FormalParams(service)
+	fmt.Fprintf(out, "Pfail_%s(%s) = %s\n", service, strings.Join(formals, ", "), form)
+	if grad {
+		for _, f := range formals {
+			g, ok := ca.ClosedFormGradient(service, f)
+			if !ok {
+				fmt.Fprintf(out, "dPfail_%s/d%s: not differentiable\n", service, f)
+				continue
+			}
+			fmt.Fprintf(out, "dPfail_%s/d%s = %s\n", service, f, g)
+		}
+	}
+	if len(params) == 0 {
+		return nil
+	}
+	pfail, err := ca.Pfail(service, params...)
+	if err != nil {
+		return withClass(err)
+	}
+	fmt.Fprintf(out, "at (%s): Pfail = %.9g, reliability = %.9g\n",
+		joinFloats(params), pfail, 1-pfail)
+	if grad {
+		sens, err := ca.Sensitivities(service, params...)
+		if err != nil {
+			return withClass(err)
+		}
+		for i, f := range formals {
+			fmt.Fprintf(out, "at (%s): dPfail/d%s = %.9g\n", joinFloats(params), f, sens[i])
+		}
+	}
+	return nil
+}
+
+// joinFloats renders params the way they were typed: comma-separated.
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
 }
 
 // withClass annotates an evaluation failure with its typed error class, so
@@ -328,10 +400,11 @@ func runSweep(ctx context.Context, out io.Writer, asm *assembly.Assembly, opts c
 	return nil
 }
 
-// sweepPfails evaluates every parameter set, compiled when possible; the
+// sweepPfails evaluates every parameter set, compiled (and, when the
+// flow admits one, via the closed parametric form) when possible; the
 // returned CompiledAssembly is nil on the interpreted fallback.
 func sweepPfails(ctx context.Context, asm *assembly.Assembly, opts core.Options, service string, paramSets [][]float64) ([]float64, *core.CompiledAssembly, error) {
-	ca, err := core.Compile(asm, opts, service)
+	ca, err := core.CompileParametric(asm, opts, core.ParametricOptions{}, service)
 	switch {
 	case err == nil:
 		pfails, err := ca.PfailBatchCtx(ctx, service, paramSets)

@@ -170,6 +170,53 @@ func TestRunSweep(t *testing.T) {
 	}
 }
 
+func TestRunExplain(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "local", "-explain", "-grad", "-params", "1,4096,1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Pfail_search(elem, list, res) = ",
+		"dPfail_search/dlist = ",
+		"at (1,4096,1): Pfail = 0.043168",
+		"at (1,4096,1): dPfail/dlist = ",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Without -params the forms print alone; no evaluation lines.
+	out.Reset()
+	if err := run([]string{"-paper", "local", "-explain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "at (") {
+		t.Errorf("explain without params evaluated anyway:\n%s", out.String())
+	}
+
+	// -grad without -explain is a usage error.
+	out.Reset()
+	err = run([]string{"-paper", "local", "-grad", "-params", "1,4096,1"}, &out)
+	if exitCodeFor(err) != exitUsage {
+		t.Errorf("-grad alone: err = %v, exit = %d, want %d", err, exitCodeFor(err), exitUsage)
+	}
+}
+
+func TestRunStatsPrintsParametricCounters(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "local", "-params", "1,4096,1", "-stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "parametric: outputs=1 fallbacks=0 points=1 numeric=0") {
+		t.Errorf("stats output missing parametric counters:\n%s", s)
+	}
+}
+
 func TestRunTimeoutExpiredPrintsErrorClass(t *testing.T) {
 	// A 1ns deadline has always expired by the time the evaluator checks
 	// the context, so the run fails deterministically with the typed class.

@@ -17,7 +17,7 @@ import (
 )
 
 func newTestServerFrom(srv *server.Server) *httptest.Server {
-	return httptest.NewServer(newMux(srv, nil, nil))
+	return httptest.NewServer(newMux(srv, nil, nil, nil))
 }
 
 func decodeJSON(t *testing.T, resp *http.Response) map[string]any {

@@ -26,7 +26,7 @@ func newEstimateServer(t *testing.T, eval server.Evaluator) (*httptest.Server, *
 		Hedge:     server.HedgeConfig{Disabled: true},
 		OnOutcome: estimateFeed(est),
 	})
-	ts := httptest.NewServer(newMux(srv, nil, est))
+	ts := httptest.NewServer(newMux(srv, nil, est, nil))
 	t.Cleanup(ts.Close)
 	return ts, est
 }

@@ -141,7 +141,8 @@ func run(args []string, out io.Writer) error {
 	})
 
 	fmt.Fprintf(out, "relserve: serving %q (%s engine) on %s\n", *service, mode, *listen)
-	hs := &http.Server{Addr: *listen, Handler: newMux(srv, host, est)}
+	ca, _ := eval.(*core.CompiledAssembly)
+	hs := &http.Server{Addr: *listen, Handler: newMux(srv, host, est, ca)}
 
 	// Graceful shutdown: on SIGTERM/SIGINT the admission layer closes
 	// first — new requests shed as 503 + Retry-After while the listener
@@ -305,11 +306,16 @@ func loadAssembly(file, asmName, paper string) (*assembly.Assembly, error) {
 }
 
 // buildEvaluator compiles the assembly when possible (the compiled
-// engine is safe for the server's concurrency) and otherwise falls back
-// to a mutex-serialized interpreted evaluator.
+// engine is safe for the server's concurrency), with the parametric
+// closed-form layer on top so /predict/batch points are pure expression
+// evaluations, and otherwise falls back to a mutex-serialized interpreted
+// evaluator.
 func buildEvaluator(asm *assembly.Assembly, opts core.Options, service string) (server.Evaluator, string, error) {
-	ca, err := core.Compile(asm, opts, service)
+	ca, err := core.CompileParametric(asm, opts, core.ParametricOptions{}, service)
 	if err == nil {
+		if st := ca.ParametricStats(); st.Outputs > 0 {
+			return ca, "parametric", nil
+		}
 		return ca, "compiled", nil
 	}
 	if !errors.Is(err, core.ErrNotCompilable) {
@@ -499,8 +505,10 @@ func registerEstimateRoutes(mux *http.ServeMux, est *estimate.Estimator) {
 
 // newMux builds the HTTP handler over an admission-controlled server, a
 // model host, and an optional estimator. Split from run so tests drive
-// it with httptest.
-func newMux(srv *server.Server, host *modelHost, est *estimate.Estimator) *http.ServeMux {
+// it with httptest. ca, when non-nil, is the default assembly's compiled
+// artifact; /stats then reports which evaluation path (closed-form
+// parametric vs numeric kernel) served the traffic.
+func newMux(srv *server.Server, host *modelHost, est *estimate.Estimator, ca *core.CompiledAssembly) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
@@ -634,6 +642,16 @@ func newMux(srv *server.Server, host *modelHost, est *estimate.Estimator) *http.
 				"drift_violations": es.DriftViolations,
 				"merged":           es.Merged,
 				"bad_merges":       es.BadMerges,
+			}
+		}
+		if ca != nil {
+			ps := ca.ParametricStats()
+			stats["parametric"] = map[string]any{
+				"outputs":           ps.Outputs,
+				"fallbacks":         ps.Fallbacks,
+				"parametric_points": ps.ParametricPoints,
+				"numeric_points":    ps.NumericPoints,
+				"gradient_points":   ps.GradientPoints,
 			}
 		}
 		writeJSON(w, http.StatusOK, stats)

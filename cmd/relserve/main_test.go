@@ -38,7 +38,7 @@ func newTestServer(eval server.Evaluator, cfg server.Config) *httptest.Server {
 	if cfg.Service == "" {
 		cfg.Service = "search"
 	}
-	return httptest.NewServer(newMux(server.New(eval, cfg), nil, nil))
+	return httptest.NewServer(newMux(server.New(eval, cfg), nil, nil, nil))
 }
 
 func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {

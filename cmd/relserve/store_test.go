@@ -44,7 +44,7 @@ assembly main {
 func newStoreServer(st store.Store) (*httptest.Server, *modelHost) {
 	host := newModelHost(st, 8, core.Options{})
 	srv := server.New(&dispatchEval{}, server.Config{Service: "search"})
-	return httptest.NewServer(newMux(srv, host, nil)), host
+	return httptest.NewServer(newMux(srv, host, nil, nil)), host
 }
 
 func doReq(t *testing.T, method, url, body string) (*http.Response, map[string]any) {

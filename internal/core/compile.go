@@ -32,21 +32,29 @@ type compiledService struct {
 	formals []string
 }
 
-// compiledSimple is a simple service's failure law as a program.
+// compiledSimple is a simple service's failure law as a program. src is
+// the folded symbolic form the program was emitted from, retained for the
+// parametric compiler.
 type compiledSimple struct {
 	prog     *expr.Program
+	src      expr.Expr
 	constVal float64
 	isConst  bool
 }
 
-// compiledRequest is a request with its binding resolved up front.
+// compiledRequest is a request with its binding resolved up front. The
+// *Src fields hold the folded symbolic forms of the corresponding
+// programs, retained for the parametric compiler.
 type compiledRequest struct {
-	role       string
-	provider   int // index into CompiledAssembly.services
-	connector  int // index, or -1 for a perfect connection
-	params     []*expr.Program
-	connParams []*expr.Program
-	internal   *expr.Program // nil = perfectly reliable invocation
+	role         string
+	provider     int // index into CompiledAssembly.services
+	connector    int // index, or -1 for a perfect connection
+	params       []*expr.Program
+	connParams   []*expr.Program
+	internal     *expr.Program // nil = perfectly reliable invocation
+	paramSrc     []expr.Expr
+	connParamSrc []expr.Expr
+	internalSrc  expr.Expr
 }
 
 // compiledState is one working state of a flow.
@@ -59,12 +67,14 @@ type compiledState struct {
 	requests   []compiledRequest
 }
 
-// compiledTransition is one flow edge with its probability program.
+// compiledTransition is one flow edge with its probability program. src
+// is the folded symbolic form, retained for the parametric compiler.
 type compiledTransition struct {
 	fromName, toName string
 	from             int // transient index of the source state
 	to               int // transient index of the target, or -1 for End
 	prog             *expr.Program
+	src              expr.Expr
 	constVal         float64
 	isConst          bool
 }
@@ -174,11 +184,11 @@ func (c *compiler) compileService(svc model.Service) (int, error) {
 
 	switch s := svc.(type) {
 	case *model.Simple:
-		prog, err := c.compileExpr(s.PfailExpr(), formals, s.Attributes())
+		prog, src, err := c.compileExpr(s.PfailExpr(), formals, s.Attributes())
 		if err != nil {
 			return 0, fmt.Errorf("core: compile %s failure law: %w", name, err)
 		}
-		simple := &compiledSimple{prog: prog}
+		simple := &compiledSimple{prog: prog, src: src}
 		if v, ok := prog.Const(); ok {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return 0, fmt.Errorf("%w: %s failure law is constant %g", ErrNonFinite, name, v)
@@ -201,15 +211,18 @@ func (c *compiler) compileService(svc model.Service) (int, error) {
 	return idx, nil
 }
 
-func (c *compiler) compileExpr(e expr.Expr, formals []string, attrs model.Attrs) (*expr.Program, error) {
+// compileExpr compiles e to a slot program and also returns the folded
+// symbolic form the program was emitted from (attributes bound in, slots
+// left free), which the parametric compiler substitutes into.
+func (c *compiler) compileExpr(e expr.Expr, formals []string, attrs model.Attrs) (*expr.Program, expr.Expr, error) {
 	prog, err := expr.CompileProgram(e, formals, attrs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if prog.MaxStack() > c.maxStack {
 		c.maxStack = prog.MaxStack()
 	}
-	return prog, nil
+	return prog, expr.Fold(e, formals, attrs), nil
 }
 
 // compileComposite builds the chain skeleton and per-state request plans
@@ -241,7 +254,7 @@ func (c *compiler) compileComposite(svc *model.Composite) (*compiledComposite, e
 
 	comp := &compiledComposite{}
 	for _, tr := range flow.Transitions() {
-		prog, err := c.compileExpr(tr.Prob, formals, attrs)
+		prog, src, err := c.compileExpr(tr.Prob, formals, attrs)
 		if err != nil {
 			return nil, fmt.Errorf("core: compile %s transition %s -> %s: %w", name, tr.From, tr.To, err)
 		}
@@ -251,6 +264,7 @@ func (c *compiler) compileComposite(svc *model.Composite) (*compiledComposite, e
 			from:     order(tr.From),
 			to:       order(tr.To),
 			prog:     prog,
+			src:      src,
 		}
 		if v, ok := prog.Const(); ok {
 			ct.constVal, ct.isConst = v, true
@@ -305,11 +319,12 @@ func (c *compiler) compileComposite(svc *model.Composite) (*compiledComposite, e
 					providerName, c.ca.services[provIdx].arity, len(req.Params))
 			}
 			for _, e := range req.Params {
-				prog, err := c.compileExpr(e, formals, attrs)
+				prog, src, err := c.compileExpr(e, formals, attrs)
 				if err != nil {
 					return nil, fmt.Errorf("core: compile %s state %q request %q params: %w", name, st.Name, req.Role, err)
 				}
 				creq.params = append(creq.params, prog)
+				creq.paramSrc = append(creq.paramSrc, src)
 			}
 			if connectorName != "" {
 				connector, err := c.resolver.ServiceByName(connectorName)
@@ -326,19 +341,21 @@ func (c *compiler) compileComposite(svc *model.Composite) (*compiledComposite, e
 						connectorName, c.ca.services[connIdx].arity, len(req.ConnParams))
 				}
 				for _, e := range req.ConnParams {
-					prog, err := c.compileExpr(e, formals, attrs)
+					prog, src, err := c.compileExpr(e, formals, attrs)
 					if err != nil {
 						return nil, fmt.Errorf("core: compile %s state %q request %q connector params: %w", name, st.Name, req.Role, err)
 					}
 					creq.connParams = append(creq.connParams, prog)
+					creq.connParamSrc = append(creq.connParamSrc, src)
 				}
 			}
 			if req.Internal != nil {
-				prog, err := c.compileExpr(req.Internal, formals, attrs)
+				prog, src, err := c.compileExpr(req.Internal, formals, attrs)
 				if err != nil {
 					return nil, fmt.Errorf("core: compile %s state %q request %q internal failure: %w", name, st.Name, req.Role, err)
 				}
 				creq.internal = prog
+				creq.internalSrc = src
 			}
 			cstate.requests = append(cstate.requests, creq)
 		}

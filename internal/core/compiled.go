@@ -85,6 +85,16 @@ type CompiledAssembly struct {
 	memoMisses atomic.Uint64
 	memoResets atomic.Uint64
 	pool       sync.Pool
+
+	// Parametric compilation artifacts (see parametric.go): closed-form
+	// Pfail programs per root output, compile-time fallback reasons, and
+	// which path served each evaluated point. Both maps are nil unless the
+	// assembly came from CompileParametric, and immutable afterwards.
+	parametric         map[int]*parametricOutput
+	parametricFallback map[string]error
+	parametricPoints   atomic.Uint64
+	numericPoints      atomic.Uint64
+	gradientPoints     atomic.Uint64
 }
 
 func (ca *CompiledAssembly) init() {
@@ -157,6 +167,25 @@ func (ca *CompiledAssembly) PfailCtx(ctx context.Context, service string, params
 	}
 	if err := ctx.Err(); err != nil {
 		return 0, classify(err)
+	}
+	if po := ca.parametric[idx]; po != nil {
+		if len(params) != po.arity {
+			return 0, fmt.Errorf("%w: %s expects %d, got %d", model.ErrArity, service, po.arity, len(params))
+		}
+		s := ca.pool.Get().(*session)
+		v, perr := evalParametricPoint(po.prog, params, s.stack)
+		ca.pool.Put(s)
+		if perr == nil && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			ca.parametricPoints.Add(1)
+			return clamp01(v), nil
+		}
+		// Fall through to the numeric kernel: it re-derives the failure
+		// with exact per-point error attribution (division by zero in a
+		// closed form corresponds to trapped probability mass or an
+		// absorbing-classification boundary the numeric path diagnoses).
+	}
+	if ca.parametric != nil {
+		ca.numericPoints.Add(1)
 	}
 	s := ca.pool.Get().(*session)
 	// Sessions are safe to reuse after a failed or panicked evaluation:
@@ -239,8 +268,25 @@ func (ca *CompiledAssembly) PfailBatchCtx(ctx context.Context, service string, p
 	}
 	lw := ca.laneWidth
 	numChunks := (len(paramSets) + lw - 1) / lw
+	po := ca.parametric[idx]
 	evalChunk := func(s *session, lo int) {
 		hi := min(lo+lw, len(paramSets))
+		if po != nil && ca.parametricChunk(po, s, paramSets[lo:hi], out[lo:hi]) {
+			if cerr := ctx.Err(); cerr != nil {
+				// Keep the stop-at-a-point-boundary contract the numeric
+				// lanes honor: discard a lane that straddled cancellation.
+				for i := lo; i < hi; i++ {
+					out[i] = math.NaN()
+				}
+				record(lo, cerr)
+				return
+			}
+			ca.parametricPoints.Add(uint64(hi - lo))
+			return
+		}
+		if ca.parametric != nil {
+			ca.numericPoints.Add(uint64(hi - lo))
+		}
 		if k := hi - lo; k > 1 {
 			err := guardLane(func() error { return s.pfailLaneTop(idx, paramSets[lo:hi], out[lo:hi]) })
 			if err == nil {

@@ -19,12 +19,13 @@ func figure6Lists() []float64 {
 	return xs
 }
 
-// Figure6Series computes the curves of Figure 6 with the compiled engine's
-// batch kernel: one local series per phi1 value and one remote series per
-// gamma value (the local assembly does not depend on gamma, nor the remote
-// one on phi1, matching the paper's figure layout). Each curve is one
-// core.PfailBatchCtx call — the full list-size grid goes through the
-// lane-vectorized solver at once.
+// Figure6Series computes the curves of Figure 6 with the parametric
+// engine: one local series per phi1 value and one remote series per gamma
+// value (the local assembly does not depend on gamma, nor the remote one
+// on phi1, matching the paper's figure layout). Each curve is one
+// core.PfailBatchCtx call against a CompileParametric assembly — the chain
+// is solved symbolically once per assembly and the full list-size grid is
+// then pure closed-form evaluation.
 func Figure6Series() ([]sensitivity.Series, error) {
 	lists := figure6Lists()
 	var out []sensitivity.Series
@@ -37,7 +38,7 @@ func Figure6Series() ([]sensitivity.Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		ca, err := core.Compile(asm, core.Options{}, "search")
+		ca, err := core.CompileParametric(asm, core.Options{}, core.ParametricOptions{}, "search")
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +58,7 @@ func Figure6Series() ([]sensitivity.Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		ca, err := core.Compile(asm, core.Options{}, "search")
+		ca, err := core.CompileParametric(asm, core.Options{}, core.ParametricOptions{}, "search")
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,132 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCSESharedSubterms checks that common subexpressions — whether shared
+// by node identity (a DAG) or duplicated structurally in the source — are
+// emitted once and reloaded from a local, and that the resulting program
+// still matches the tree interpreter exactly.
+func TestCSESharedSubterms(t *testing.T) {
+	// Structural duplicates: the parser builds distinct nodes, hash-consing
+	// must merge them.
+	dup, err := CompileProgram(MustParse("((x+1)*(x+1)) * ((x+1)*(x+1))"), []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Emitting (x+1) once and squaring twice needs well under the 15 ops of
+	// the expanded tree.
+	if dup.Ops() >= 12 {
+		t.Errorf("structurally duplicated program has %d ops, want CSE to shrink it below 12", dup.Ops())
+	}
+	stack := make([]float64, dup.MaxStack())
+	got, err := dup.Eval([]float64{2.5}, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ((2.5 + 1) * (2.5 + 1)) * ((2.5 + 1) * (2.5 + 1))
+	if got != want {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+
+	// Identity-shared DAG: a chain of squarings whose tree expansion is
+	// 2^20 nodes must compile to a linear program.
+	e := Expr(MustParse("x + 0.5"))
+	for i := 0; i < 20; i++ {
+		e = Mul(e, e)
+	}
+	prog, err := CompileProgram(e, []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Ops() > 100 {
+		t.Errorf("DAG program has %d ops, want linear in DAG size", prog.Ops())
+	}
+	stack = make([]float64, prog.MaxStack())
+	got, err = prog.Eval([]float64{0.5001}, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := 0.5001 + 0.5
+	for i := 0; i < 20; i++ {
+		acc *= acc
+	}
+	if got != acc {
+		t.Errorf("DAG Eval = %v, want %v (bitwise)", got, acc)
+	}
+}
+
+// TestCSELaneMatchesScalar holds EvalLane to bitwise agreement with Eval on
+// programs with locals, across a lane of random points.
+func TestCSELaneMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	srcs := []string{
+		"((x+1)*(x+1)) * ((x+1)*(x+1))",
+		"(x*y + 1) / (x*y + 2) + (x*y + 1) * (x*y + 2)",
+		"sqrt(x*x + y*y) * sqrt(x*x + y*y)",
+	}
+	const lanes = 8
+	for _, src := range srcs {
+		prog, err := CompileProgram(MustParse(src), []string{"x", "y"}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		slots := make([]float64, 2*lanes)
+		for i := range slots {
+			slots[i] = rng.Float64()*3 + 0.1
+		}
+		out := make([]float64, lanes)
+		laneStack := make([]float64, prog.MaxStack()*lanes+LaneCallScratch)
+		if err := prog.EvalLane(slots, lanes, out, laneStack); err != nil {
+			t.Fatalf("%s: EvalLane: %v", src, err)
+		}
+		stack := make([]float64, prog.MaxStack())
+		for k := 0; k < lanes; k++ {
+			want, err := prog.Eval([]float64{slots[k], slots[lanes+k]}, stack)
+			if err != nil {
+				t.Fatalf("%s: Eval lane %d: %v", src, k, err)
+			}
+			if out[k] != want {
+				t.Errorf("%s lane %d: EvalLane %v != Eval %v (want bitwise)", src, k, out[k], want)
+			}
+		}
+	}
+}
+
+// TestCSEEvalAllocFree pins the steady-state evaluation of a program with
+// locals (opTee/opLoad) at zero allocations.
+func TestCSEEvalAllocFree(t *testing.T) {
+	prog, err := CompileProgram(MustParse("((x+1)*(x+1)) / ((x+1)*(x+1) + 3)"), []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := make([]float64, prog.MaxStack())
+	slots := []float64{1.25}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := prog.Eval(slots, stack); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Eval with locals allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestCSEConstDedup checks that repeated constants share one constant-pool
+// entry (observable through the op count staying linear).
+func TestCSEConstDedup(t *testing.T) {
+	prog, err := CompileProgram(MustParse("x*0.75 + y*0.75 + x*y*0.75"), []string{"x", "y"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := make([]float64, prog.MaxStack())
+	got, err := prog.Eval([]float64{2, 3}, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*0.75 + 3*0.75 + 2*3*0.75; got != want {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,111 @@
+package expr
+
+import "math"
+
+// Derivative returns the symbolic partial derivative of e with respect to
+// name, simplified. It computes the same rules as the Diff method, but is
+// memoized on node identity and simplifies as it builds: differentiating
+// an expression with heavy subterm sharing (the DAGs the parametric chain
+// elimination produces) costs time linear in the number of distinct
+// nodes, where Diff's structural recursion would take exponential time
+// and produce an exponential tree.
+//
+// Non-differentiable builtins (abs, floor, ceil, min, max) differentiate
+// to NaN constants, matching Diff, so the error is visible at evaluation
+// time rather than silently wrong.
+func Derivative(e Expr, name string) Expr {
+	d := &differ{
+		name:  name,
+		dmemo: make(map[Expr]Expr),
+		smemo: make(map[Expr]Expr),
+	}
+	return d.diff(e)
+}
+
+type differ struct {
+	name  string
+	dmemo map[Expr]Expr // original node -> derivative
+	smemo map[Expr]Expr // shared simplification memo
+}
+
+func (d *differ) simp(e Expr) Expr { return simplifyMemo(e, d.smemo) }
+
+func (d *differ) diff(e Expr) Expr {
+	if r, ok := d.dmemo[e]; ok {
+		return r
+	}
+	r := d.diffNode(e)
+	d.dmemo[e] = r
+	return r
+}
+
+func (d *differ) diffNode(e Expr) Expr {
+	switch n := e.(type) {
+	case Num:
+		return Num(0)
+	case Var:
+		if string(n) == d.name {
+			return Num(1)
+		}
+		return Num(0)
+	case *Neg:
+		return d.simp(&Neg{X: d.diff(n.X)})
+	case *Binary:
+		dl, dr := d.diff(n.L), d.diff(n.R)
+		switch n.Op {
+		case OpAdd:
+			return d.simp(Add(dl, dr))
+		case OpSub:
+			return d.simp(Sub(dl, dr))
+		case OpMul:
+			return d.simp(Add(Mul(dl, n.R), Mul(n.L, dr)))
+		case OpDiv:
+			if isZeroConst(dr) {
+				// Constant denominator: dl/r, sparing the quotient-rule
+				// square that elimination denominators would otherwise
+				// accumulate at every chain stage.
+				return d.simp(Div(dl, n.R))
+			}
+			return d.simp(Div(Sub(Mul(dl, n.R), Mul(n.L, dr)), Pow(n.R, Num(2))))
+		case OpPow:
+			return d.diffPow(e, n.L, n.R, dl, dr)
+		default:
+			return Num(math.NaN())
+		}
+	case *CallExpr:
+		switch n.Name {
+		case "exp":
+			return d.simp(Mul(e, d.diff(n.Args[0])))
+		case "log":
+			return d.simp(Div(d.diff(n.Args[0]), n.Args[0]))
+		case "log2":
+			return d.simp(Div(d.diff(n.Args[0]), Mul(n.Args[0], Num(math.Ln2))))
+		case "log10":
+			return d.simp(Div(d.diff(n.Args[0]), Mul(n.Args[0], Num(math.Ln10))))
+		case "sqrt":
+			return d.simp(Div(d.diff(n.Args[0]), Mul(Num(2), e)))
+		case "pow":
+			return d.diffPow(e, n.Args[0], n.Args[1], d.diff(n.Args[0]), d.diff(n.Args[1]))
+		default:
+			return Num(math.NaN())
+		}
+	default:
+		return Num(math.NaN())
+	}
+}
+
+// diffPow differentiates l^r (orig is the original node, reused so the
+// general-power rule shares it instead of rebuilding it).
+func (d *differ) diffPow(orig, l, r, dl, dr Expr) Expr {
+	if rc, ok := r.(Num); ok {
+		// (f^c)' = c f^(c-1) f'
+		return d.simp(Mul(Mul(r, Pow(l, Num(float64(rc)-1))), dl))
+	}
+	// f^g = exp(g log f): (f^g)' = f^g (g' log f + g f'/f)
+	return d.simp(Mul(orig, Add(Mul(dr, Call1("log", l)), Mul(r, Div(dl, l)))))
+}
+
+func isZeroConst(e Expr) bool {
+	c, ok := e.(Num)
+	return ok && float64(c) == 0
+}

@@ -1,0 +1,99 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDerivativeMatchesDiff checks the memoized Derivative against the
+// structural Diff method on random expressions: both evaluated at random
+// points must agree wherever both are defined.
+func TestDerivativeMatchesDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for i := 0; i < 20000 && checked < 300; i++ {
+		e := randomExpr(rng, 4)
+		env := Env{"x": rng.Float64()*4 + 0.1, "y": rng.Float64()*4 + 0.1, "z": rng.Float64()*4 + 0.1}
+		v1, err1 := e.Diff("x").Eval(env)
+		v2, err2 := Derivative(e, "x").Eval(env)
+		if err1 != nil {
+			continue // outside the original derivative's domain
+		}
+		if err2 != nil {
+			// Simplification may only extend the domain, never shrink it.
+			t.Fatalf("Derivative(%s) errored where Diff did not: %v", e, err2)
+		}
+		if math.IsNaN(v1) {
+			// Diff's NaN poisoning of a non-differentiable subterm may be
+			// eliminated by Derivative's simplifying construction (f^0
+			// differentiates to 0 even when f' is marked NaN) — a strict
+			// improvement, not a divergence.
+			continue
+		}
+		if math.IsNaN(v2) {
+			t.Fatalf("Derivative(%s) = NaN where Diff = %v", e, v1)
+		}
+		if !almostEqual(v1, v2) {
+			t.Errorf("expr %s: Diff %v vs Derivative %v", e, v1, v2)
+		}
+		checked++
+	}
+	if checked < 300 {
+		t.Fatalf("only %d comparisons landed in-domain", checked)
+	}
+}
+
+// TestDerivativeSharedDAG differentiates an expression with exponential
+// tree expansion but linear DAG size: e_{n} = e_{n-1} + e_{n-1} built on a
+// shared node. The structural Diff would take 2^40 steps; Derivative must
+// finish and produce a program evaluating to the analytic 2^40.
+func TestDerivativeSharedDAG(t *testing.T) {
+	const depth = 40
+	e := Expr(Var("x"))
+	for i := 0; i < depth; i++ {
+		e = Add(e, e) // both children the same node: a DAG, not a tree
+	}
+	d := Derivative(e, "x")
+	prog, err := CompileProgram(d, []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := make([]float64, prog.MaxStack())
+	got, err := prog.Eval([]float64{3.5}, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Pow(2, depth); got != want {
+		t.Errorf("d/dx of 2^%d * x = %v, want %v", depth, got, want)
+	}
+	if ops := prog.Ops(); ops > 8*depth {
+		t.Errorf("derivative program has %d ops; CSE failed to keep the DAG linear", ops)
+	}
+}
+
+// TestDerivativeNonDifferentiable checks that non-differentiable builtins
+// poison the derivative with NaN instead of a silently wrong value.
+func TestDerivativeNonDifferentiable(t *testing.T) {
+	for _, src := range []string{"abs(x)", "floor(x) * 2", "min(x, 3)"} {
+		d := Derivative(MustParse(src), "x")
+		v, err := d.Eval(Env{"x": 1.5})
+		if err == nil && !math.IsNaN(v) {
+			t.Errorf("Derivative(%s) = %v, want NaN poisoning", src, v)
+		}
+	}
+}
+
+// TestDerivativeConstDenominator pins the constant-denominator shortcut:
+// d/dx (x/c) must compile to a quotient by c, not a quotient-rule square.
+func TestDerivativeConstDenominator(t *testing.T) {
+	d := Derivative(MustParse("x / 4"), "x")
+	if s := d.String(); strings.Contains(s, "^") {
+		t.Errorf("d/dx(x/4) = %q kept the quotient-rule square", s)
+	}
+	v, err := d.Eval(nil)
+	if err != nil || v != 0.25 {
+		t.Errorf("d/dx(x/4) = %v, %v; want 0.25", v, err)
+	}
+}

@@ -117,6 +117,28 @@ func TestSimplify(t *testing.T) {
 		{"--x", "x"},
 		{"-(3)", "(-3)"},
 		{"(1 - 1) * log(x)", "0"},
+		// Constant-shift gathering through nested +/- chains.
+		{"1 - (1 - x)", "x"},
+		{"1 - (1 - (1 - (1 - x)))", "x"},
+		{"2 - (1 - x)", "1 + x"},
+		{"3 - (x - 1)", "4 - x"},
+		{"2 + (x + 3)", "5 + x"},
+		{"2 + (x - 3)", "(-1) + x"},
+		{"(1 - x) - 1", "-x"},
+		{"(x + 5) - 5", "x"},
+		// Neg normalization into +/-.
+		{"x + -y", "x - y"},
+		{"-x + y", "y - x"},
+		{"x - -y", "x + y"},
+		// Constant-factor gathering through products and quotients.
+		{"3 * (2 * x)", "6 * x"},
+		{"(x * 2) * 3", "6 * x"},
+		{"2 * (4 / x)", "8 / x"},
+		// Rational-form normalization.
+		{"(x / 2) / 3", "x / 6"},
+		{"x / (y / z)", "x * z / y"},
+		{"4 / (x / 2)", "8 / x"},
+		{"(x / y) / z", "x / (y * z)"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.src, func(t *testing.T) {

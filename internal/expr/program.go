@@ -12,15 +12,25 @@ import (
 // moving the whole class of unbound-identifier failures from evaluation
 // time to compile time.
 //
+// Compilation performs common-subexpression elimination: structurally
+// equal subtrees are hash-consed into one node, and any node referenced
+// more than once is computed a single time into a local (a reserved cell
+// at the base of the evaluation stack, written by opTee and reread by
+// opLoad). The value a CSE'd program computes is bit-identical to the
+// uneliminated one — a reused local holds exactly the value recomputation
+// would have produced — so lane/scalar and compiled/interpreted parity
+// contracts are unaffected.
+//
 // A Program is immutable after compilation and safe for concurrent use;
 // per-evaluation state lives entirely in the caller-provided stack.
 type Program struct {
-	src      string
-	code     []instr
-	consts   []float64
-	calls    []compiledCall
-	numSlots int
-	maxStack int
+	src       string
+	code      []instr
+	consts    []float64
+	calls     []compiledCall
+	numSlots  int
+	numLocals int
+	maxStack  int
 }
 
 type opcode uint8
@@ -35,6 +45,8 @@ const (
 	opPow
 	opNeg
 	opCall
+	opTee  // copy the stack top into local idx (no pop)
+	opLoad // push local idx onto the stack
 )
 
 type instr struct {
@@ -59,26 +71,20 @@ func CompileProgram(e Expr, slotNames []string, consts Env) (*Program, error) {
 	for i, n := range slotNames {
 		slots[n] = i
 	}
-	// Fold attribute constants in, but never a name that a slot shadows.
-	folded := consts
-	if len(consts) > 0 {
-		for _, n := range slotNames {
-			if _, shadowed := consts[n]; shadowed {
-				folded = consts.Clone()
-				for _, sn := range slotNames {
-					delete(folded, sn)
-				}
-				break
-			}
-		}
-		e = Bind(e, folded)
-	} else {
-		e = Simplify(e)
+	e = Fold(e, slotNames, consts)
+	e = internExpr(e)
+	p := &Program{src: renderSrc(e), numSlots: len(slotNames)}
+	em := &emitter{
+		p:        p,
+		slots:    slots,
+		shared:   sharedNodes(e),
+		locals:   make(map[Expr]uint32),
+		constIdx: make(map[uint64]uint32),
 	}
-	p := &Program{src: e.String(), numSlots: len(slotNames)}
-	if err := p.emit(e, slots); err != nil {
+	if err := em.emit(e); err != nil {
 		return nil, err
 	}
+	p.numLocals = len(em.locals)
 	p.maxStack = p.computeMaxStack()
 	return p, nil
 }
@@ -93,30 +99,205 @@ func MustCompileProgram(e Expr, slotNames []string, consts Env) *Program {
 	return p
 }
 
-func (p *Program) emit(e Expr, slots map[string]int) error {
+// maxSrcNodes caps the tree size String renders for a compiled program.
+// The parametric compiler produces DAGs whose tree expansion can be
+// exponential in depth, so rendering must be size-gated; past the cap the
+// source form becomes a placeholder.
+const maxSrcNodes = 1 << 14
+
+func renderSrc(e Expr) string {
+	if n := treeSizeCapped(e, make(map[Expr]int)); n > maxSrcNodes {
+		return fmt.Sprintf("<compiled expression wider than %d nodes>", maxSrcNodes)
+	}
+	return e.String()
+}
+
+// treeSizeCapped returns the tree-expansion size of e, saturating at
+// maxSrcNodes+1; memoized on node identity so DAGs are measured in time
+// linear in their distinct nodes.
+func treeSizeCapped(e Expr, memo map[Expr]int) int {
+	if s, ok := memo[e]; ok {
+		return s
+	}
+	s := 1
+	switch n := e.(type) {
+	case *Neg:
+		s += treeSizeCapped(n.X, memo)
+	case *Binary:
+		s += treeSizeCapped(n.L, memo) + treeSizeCapped(n.R, memo)
+	case *CallExpr:
+		for _, a := range n.Args {
+			s += treeSizeCapped(a, memo)
+		}
+	}
+	if s > maxSrcNodes {
+		s = maxSrcNodes + 1
+	}
+	memo[e] = s
+	return s
+}
+
+// internKey identifies an expression node structurally by its kind, any
+// leaf payload, and the identities of its (already canonical) children.
+type internKey struct {
+	kind byte
+	op   Op
+	name string
+	bits uint64
+	a, b Expr
+}
+
+// internExpr hash-conses e bottom-up so that structurally equal subtrees
+// become pointer-identical, turning structural equality into pointer
+// equality for the sharing analysis below.
+func internExpr(e Expr) Expr {
+	return internMemo(e, make(map[internKey]Expr), make(map[Expr]Expr))
+}
+
+func internMemo(e Expr, canon map[internKey]Expr, done map[Expr]Expr) Expr {
+	if c, ok := done[e]; ok {
+		return c
+	}
+	var out Expr
+	var key internKey
+	haveKey := true
 	switch n := e.(type) {
 	case Num:
-		p.code = append(p.code, instr{op: opConst, idx: uint32(len(p.consts))})
-		p.consts = append(p.consts, float64(n))
+		key = internKey{kind: 1, bits: math.Float64bits(float64(n))}
+		out = n
+	case Var:
+		key = internKey{kind: 2, name: string(n)}
+		out = n
+	case *Neg:
+		x := internMemo(n.X, canon, done)
+		key = internKey{kind: 3, a: x}
+		out = &Neg{X: x}
+	case *Binary:
+		l := internMemo(n.L, canon, done)
+		r := internMemo(n.R, canon, done)
+		key = internKey{kind: 4, op: n.Op, a: l, b: r}
+		out = &Binary{Op: n.Op, L: l, R: r}
+	case *CallExpr:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = internMemo(a, canon, done)
+		}
+		out = &CallExpr{Name: n.Name, Args: args}
+		switch len(args) {
+		case 1:
+			key = internKey{kind: 5, name: n.Name, a: args[0]}
+		case 2:
+			key = internKey{kind: 5, name: n.Name, a: args[0], b: args[1]}
+		default:
+			haveKey = false
+		}
+	default:
+		out, haveKey = e, false
+	}
+	if haveKey {
+		if c, ok := canon[key]; ok {
+			out = c
+		} else {
+			canon[key] = out
+		}
+	}
+	done[e] = out
+	return out
+}
+
+// sharedNodes returns the interior nodes of the (interned) DAG that are
+// referenced more than once; each gets a local so it is computed exactly
+// once. Leaves (constants, slots) are cheaper to rematerialize than load.
+func sharedNodes(root Expr) map[Expr]bool {
+	counts := make(map[Expr]int)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		counts[e]++
+		if counts[e] != 1 {
+			return
+		}
+		switch n := e.(type) {
+		case *Neg:
+			walk(n.X)
+		case *Binary:
+			walk(n.L)
+			walk(n.R)
+		case *CallExpr:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(root)
+	shared := make(map[Expr]bool)
+	for node, c := range counts {
+		if c < 2 {
+			continue
+		}
+		switch node.(type) {
+		case Num, Var:
+		default:
+			shared[node] = true
+		}
+	}
+	return shared
+}
+
+type emitter struct {
+	p        *Program
+	slots    map[string]int
+	shared   map[Expr]bool
+	locals   map[Expr]uint32 // shared node -> assigned local (once emitted)
+	constIdx map[uint64]uint32
+}
+
+func (em *emitter) emit(e Expr) error {
+	if idx, ok := em.locals[e]; ok {
+		em.p.code = append(em.p.code, instr{op: opLoad, idx: idx})
+		return nil
+	}
+	if err := em.emitNode(e); err != nil {
+		return err
+	}
+	if em.shared[e] {
+		idx := uint32(len(em.locals))
+		em.locals[e] = idx
+		em.p.code = append(em.p.code, instr{op: opTee, idx: idx})
+	}
+	return nil
+}
+
+func (em *emitter) emitNode(e Expr) error {
+	p := em.p
+	switch n := e.(type) {
+	case Num:
+		bits := math.Float64bits(float64(n))
+		ci, ok := em.constIdx[bits]
+		if !ok {
+			ci = uint32(len(p.consts))
+			p.consts = append(p.consts, float64(n))
+			em.constIdx[bits] = ci
+		}
+		p.code = append(p.code, instr{op: opConst, idx: ci})
 		return nil
 	case Var:
-		i, ok := slots[string(n)]
+		i, ok := em.slots[string(n)]
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrUnboundIdentifier, string(n))
 		}
 		p.code = append(p.code, instr{op: opSlot, idx: uint32(i)})
 		return nil
 	case *Neg:
-		if err := p.emit(n.X, slots); err != nil {
+		if err := em.emit(n.X); err != nil {
 			return err
 		}
 		p.code = append(p.code, instr{op: opNeg})
 		return nil
 	case *Binary:
-		if err := p.emit(n.L, slots); err != nil {
+		if err := em.emit(n.L); err != nil {
 			return err
 		}
-		if err := p.emit(n.R, slots); err != nil {
+		if err := em.emit(n.R); err != nil {
 			return err
 		}
 		var op opcode
@@ -145,7 +326,7 @@ func (p *Program) emit(e Expr, slots map[string]int) error {
 			return fmt.Errorf("expr: compile: %s expects %d argument(s), got %d", n.Name, b.arity, len(n.Args))
 		}
 		for _, a := range n.Args {
-			if err := p.emit(a, slots); err != nil {
+			if err := em.emit(a); err != nil {
 				return err
 			}
 		}
@@ -157,15 +338,17 @@ func (p *Program) emit(e Expr, slots map[string]int) error {
 	}
 }
 
+// computeMaxStack returns the total stack requirement: the locals region
+// at the base plus the deepest operand excursion above it.
 func (p *Program) computeMaxStack() int {
 	sp, best := 0, 0
 	for _, in := range p.code {
 		switch in.op {
-		case opConst, opSlot:
+		case opConst, opSlot, opLoad:
 			sp++
 		case opAdd, opSub, opMul, opDiv, opPow:
 			sp--
-		case opNeg:
+		case opNeg, opTee:
 			// depth unchanged
 		case opCall:
 			sp -= p.calls[in.idx].arity - 1
@@ -174,14 +357,18 @@ func (p *Program) computeMaxStack() int {
 			best = sp
 		}
 	}
-	return best
+	return p.numLocals + best
 }
 
 // NumSlots returns the number of parameter slots the program reads.
 func (p *Program) NumSlots() int { return p.numSlots }
 
-// MaxStack returns the evaluation-stack depth Eval requires.
+// MaxStack returns the evaluation-stack depth Eval requires (including the
+// locals region common-subexpression elimination reserves at its base).
 func (p *Program) MaxStack() int { return p.maxStack }
+
+// Ops returns the number of instructions in the compiled program.
+func (p *Program) Ops() int { return len(p.code) }
 
 // Const reports whether the program folded to a single constant, and its
 // value.
@@ -192,7 +379,9 @@ func (p *Program) Const() (float64, bool) {
 	return 0, false
 }
 
-// String returns the (folded) source form of the compiled expression.
+// String returns the (folded) source form of the compiled expression, or a
+// placeholder when the tree expansion of the compiled DAG is too large to
+// render.
 func (p *Program) String() string { return p.src }
 
 // LaneCallScratch is the number of extra entries EvalLane requires at the
@@ -215,7 +404,7 @@ const LaneCallScratch = 8
 // domain error) fails the whole lane — callers that need per-point error
 // attribution re-run the lane's points through Eval.
 func (p *Program) EvalLane(slots []float64, lanes int, out, stack []float64) error {
-	sp := 0
+	sp := p.numLocals
 	for _, in := range p.code {
 		switch in.op {
 		case opConst:
@@ -228,6 +417,11 @@ func (p *Program) EvalLane(slots []float64, lanes int, out, stack []float64) err
 		case opSlot:
 			copy(stack[sp*lanes:sp*lanes+lanes], slots[int(in.idx)*lanes:int(in.idx)*lanes+lanes])
 			sp++
+		case opLoad:
+			copy(stack[sp*lanes:sp*lanes+lanes], stack[int(in.idx)*lanes:int(in.idx)*lanes+lanes])
+			sp++
+		case opTee:
+			copy(stack[int(in.idx)*lanes:int(in.idx)*lanes+lanes], stack[(sp-1)*lanes:sp*lanes])
 		case opAdd:
 			sp--
 			dst := stack[(sp-1)*lanes : sp*lanes]
@@ -300,7 +494,7 @@ func (p *Program) EvalLane(slots []float64, lanes int, out, stack []float64) err
 			sp++
 		}
 	}
-	copy(out[:lanes], stack[:lanes])
+	copy(out[:lanes], stack[p.numLocals*lanes:(p.numLocals+1)*lanes])
 	return nil
 }
 
@@ -308,7 +502,7 @@ func (p *Program) EvalLane(slots []float64, lanes int, out, stack []float64) err
 // stack at least MaxStack entries; neither is retained, so callers can
 // reuse scratch buffers across evaluations for allocation-free operation.
 func (p *Program) Eval(slots, stack []float64) (float64, error) {
-	sp := 0
+	sp := p.numLocals
 	for _, in := range p.code {
 		switch in.op {
 		case opConst:
@@ -317,6 +511,11 @@ func (p *Program) Eval(slots, stack []float64) (float64, error) {
 		case opSlot:
 			stack[sp] = slots[in.idx]
 			sp++
+		case opLoad:
+			stack[sp] = stack[in.idx]
+			sp++
+		case opTee:
+			stack[in.idx] = stack[sp-1]
 		case opAdd:
 			sp--
 			stack[sp-1] += stack[sp]
@@ -352,5 +551,5 @@ func (p *Program) Eval(slots, stack []float64) (float64, error) {
 			sp++
 		}
 	}
-	return stack[0], nil
+	return stack[p.numLocals], nil
 }

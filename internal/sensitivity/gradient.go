@@ -1,0 +1,41 @@
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+
+	"socrel/internal/core"
+)
+
+// Gradient returns ∂Pfail/∂param for every formal parameter of the service
+// at the given point, ordered like core's FormalParams. When the assembly
+// came from core.CompileParametric and the service has a differentiable
+// closed form, the partials come from the compiled symbolic derivatives
+// (exact, one expression evaluation per parameter); otherwise — a plain
+// Compile, a fallback to the numeric kernel, or a non-differentiable
+// closed form — each partial falls back to the central finite difference
+// through Pfail, transparently.
+func Gradient(ca *core.CompiledAssembly, service string, params ...float64) ([]float64, error) {
+	grads, err := ca.Sensitivities(service, params...)
+	if err == nil {
+		return grads, nil
+	}
+	if !errors.Is(err, core.ErrNoParametricForm) && !errors.Is(err, core.ErrNonDifferentiable) {
+		return nil, err
+	}
+	out := make([]float64, len(params))
+	pt := make([]float64, len(params))
+	for i := range params {
+		i := i
+		d, ferr := FiniteDiff(func(x float64) (float64, error) {
+			copy(pt, params)
+			pt[i] = x
+			return ca.Pfail(service, pt...)
+		}, params[i])
+		if ferr != nil {
+			return nil, fmt.Errorf("sensitivity: gradient of %s in parameter %d: %w", service, i, ferr)
+		}
+		out[i] = d
+	}
+	return out, nil
+}

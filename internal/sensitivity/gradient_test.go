@@ -1,0 +1,83 @@
+package sensitivity
+
+import (
+	"math"
+	"testing"
+
+	"socrel/internal/assembly"
+	"socrel/internal/core"
+	"socrel/internal/expr"
+	"socrel/internal/model"
+)
+
+func gradientFixture(t *testing.T) *assembly.Assembly {
+	t.Helper()
+	asm := assembly.New("grad")
+	leaf := model.NewSimple("leaf", []string{"n"}, model.Attrs{"phi": 1e-4},
+		expr.MustParse("1 - (1 - phi) ^ n"))
+	if err := asm.AddService(leaf); err != nil {
+		t.Fatal(err)
+	}
+	root := model.NewComposite("root", []string{"x"}, nil)
+	flow := root.Flow()
+	s0, err := flow.AddState("s0", model.AND, model.NoSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0.AddRequest(model.Request{Role: "leaf", Params: []expr.Expr{expr.Var("x")}})
+	for _, tr := range []struct {
+		from, to string
+		p        float64
+	}{
+		{model.StartState, "s0", 1},
+		{"s0", "s0", 0.1},
+		{"s0", model.EndState, 0.9},
+	} {
+		if err := flow.AddTransitionP(tr.from, tr.to, tr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := asm.AddService(root); err != nil {
+		t.Fatal(err)
+	}
+	return asm
+}
+
+// TestGradientSymbolicVsFallback checks that the symbolic gradient of a
+// parametric assembly and the finite-difference fallback of a plain
+// compile agree on the same model.
+func TestGradientSymbolicVsFallback(t *testing.T) {
+	asm := gradientFixture(t)
+	par, err := core.CompileParametric(asm, core.Options{}, core.ParametricOptions{}, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := par.ParametricStats(); st.Outputs != 1 {
+		t.Fatalf("no closed form: %v", par.ParametricFallbacks())
+	}
+	plain, err := core.Compile(asm, core.Options{}, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{5, 120, 3000} {
+		sym, err := Gradient(par, "root", x)
+		if err != nil {
+			t.Fatalf("symbolic gradient at %g: %v", x, err)
+		}
+		fd, err := Gradient(plain, "root", x)
+		if err != nil {
+			t.Fatalf("fallback gradient at %g: %v", x, err)
+		}
+		if len(sym) != 1 || len(fd) != 1 {
+			t.Fatalf("gradient lengths %d, %d", len(sym), len(fd))
+		}
+		scale := math.Max(math.Abs(fd[0]), 1e-12)
+		if rel := math.Abs(sym[0]-fd[0]) / scale; rel > 1e-4 {
+			t.Errorf("x=%g: symbolic %v vs finite difference %v (rel %g)", x, sym[0], fd[0], rel)
+		}
+	}
+	// The symbolic path must have been served by compiled derivatives.
+	if st := par.ParametricStats(); st.GradientPoints != 3 {
+		t.Errorf("GradientPoints = %d, want 3", st.GradientPoints)
+	}
+}

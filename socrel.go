@@ -275,6 +275,53 @@ func CompileServices(resolver model.Resolver, opts Options, roots ...string) (*C
 	return core.Compile(resolver, opts, roots...)
 }
 
+// Parametric compilation: the absorbing chain is solved once,
+// symbolically, so every evaluation (Pfail, PfailBatch, sweeps,
+// uncertainty sampling) is a pure closed-form expression evaluation, and
+// exact partial derivatives come for free via Sensitivities.
+type (
+	// ParametricOptions bounds the symbolic solve (cyclic-SCC state
+	// bound, expression node budget) and observes fallbacks.
+	ParametricOptions = core.ParametricOptions
+	// ParametricStats counts closed forms, fallbacks, and how many
+	// points each path answered.
+	ParametricStats = core.ParametricStats
+)
+
+// Parametric-compilation sentinels and defaults.
+var (
+	// ErrNoParametricForm marks roots served numerically because no
+	// closed form was built (Sensitivities wraps the fallback reason).
+	ErrNoParametricForm = core.ErrNoParametricForm
+	// ErrNonDifferentiable marks closed forms whose exact gradient does
+	// not exist (absolute values, floors, minima along the solved path).
+	ErrNonDifferentiable = core.ErrNonDifferentiable
+)
+
+// DefaultStateBound is the largest cyclic strongly-connected component
+// CompileParametric eliminates symbolically before falling back to the
+// numeric kernel for that root.
+const DefaultStateBound = core.DefaultStateBound
+
+// CompileParametric is Compile plus a symbolic solve of each root's
+// absorbing chain: the resulting CompiledAssembly answers Pfail and
+// PfailBatch by evaluating one compiled closed-form program per point
+// (falling back to the numeric kernel transparently), exposes the form
+// via ClosedForm, and exact partials via Sensitivities:
+//
+//	ca, err := socrel.CompileParametric(asm, socrel.Options{}, socrel.ParametricOptions{})
+//	form, ok := ca.ClosedForm("search")     // printable Pfail(elem, list, res)
+//	grads, err := ca.Sensitivities("search", 1, 4096, 1)
+func CompileParametric(asm *Assembly, opts Options, popts ParametricOptions) (*CompiledAssembly, error) {
+	return core.CompileParametric(asm, opts, popts, asm.ServiceNames()...)
+}
+
+// CompileParametricServices is CompileParametric for explicit roots
+// against an arbitrary resolver.
+func CompileParametricServices(resolver model.Resolver, opts Options, popts ParametricOptions, roots ...string) (*CompiledAssembly, error) {
+	return core.CompileParametric(resolver, opts, popts, roots...)
+}
+
 // Resilience & error taxonomy (DESIGN.md section 8). Every failure an
 // evaluation entry point returns matches one of these sentinels (or a
 // model-layer sentinel such as model.ErrInvalidService) via errors.Is.

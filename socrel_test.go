@@ -72,6 +72,43 @@ func TestPaperAssembliesThroughFacade(t *testing.T) {
 	}
 }
 
+func TestFacadeCompileParametric(t *testing.T) {
+	asm, err := socrel.LocalAssembly(socrel.DefaultPaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := socrel.CompileParametric(asm, socrel.Options{}, socrel.ParametricOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	form, ok := ca.ClosedForm("search")
+	if !ok || form == "" {
+		t.Fatalf("no closed form for search: %v", ca.ParametricFallbacks())
+	}
+	pf, err := ca.Pfail("search", 1, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := socrel.NewEvaluator(asm, socrel.Options{}).Pfail("search", 1, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := pf - ref; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("parametric %g vs interpreted %g", pf, ref)
+	}
+	st := ca.ParametricStats()
+	if st.Outputs == 0 || st.ParametricPoints != 1 || st.NumericPoints != 0 {
+		t.Errorf("stats = %+v, want the point answered in closed form", st)
+	}
+	grads, err := socrel.Gradient(ca, "search", 1, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grads) != 3 || grads[1] <= 0 {
+		t.Errorf("gradient = %v, want dPfail/dlist > 0", grads)
+	}
+}
+
 func TestFacadeSimulatorAgrees(t *testing.T) {
 	p := socrel.DefaultPaperParams()
 	p.Gamma = 1e-1
