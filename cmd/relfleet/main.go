@@ -28,6 +28,13 @@
 // On SIGTERM the fleet drains: admission closes everywhere (503 +
 // Retry-After), in-flight work finishes within -drain-timeout, and each
 // replica prints its final stats line.
+//
+// The fleet machinery this command wires up — gossip, membership,
+// forwarding, estimators — is also exercised by the deterministic
+// simulation harness (internal/dst): seeded fault schedules on a
+// virtual timeline, replayable with
+// go test ./internal/dst -run TestDSTSeed -dst.seed=N and shrunk to
+// minimal regression tests on failure. See DESIGN.md §16.
 package main
 
 import (

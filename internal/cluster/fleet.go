@@ -43,6 +43,12 @@ type FleetConfig struct {
 	// Network, when set, carries all inter-replica traffic so tests can
 	// partition, drop, duplicate, and reorder it.
 	Network *faultinject.Network
+	// NewClock, when set, supplies each replica's clock — the seam the
+	// deterministic simulation harness uses to give every node its own
+	// skewed view of one shared fake timeline. A nil result falls back
+	// to the template Node.Clock. The fleet's own background gossip loop
+	// stays on the template clock.
+	NewClock func(id string) socruntime.Clock
 }
 
 // Fleet is a set of replicas plus the glue a caller needs: an entry
@@ -55,10 +61,11 @@ type Fleet struct {
 	transport *LocalTransport
 	next      atomic.Uint64
 
-	mu     sync.Mutex
-	nodes  []*Node // creation order; killed replicas stay, marked stopped
-	byID   map[string]*Node
-	killed map[string]bool
+	mu       sync.Mutex
+	nodes    []*Node // creation order; killed replicas stay, marked stopped
+	byID     map[string]*Node
+	killed   map[string]bool
+	restarts int // lifetime Restart count, offsets restarted-node seeds
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -101,27 +108,38 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	return f, nil
 }
 
-// addNodeLocked builds, registers, and records one replica. The fleet
-// lock need not be held during construction at boot, but AddReplica
-// holds it; the name documents the latter caller.
-func (f *Fleet) addNodeLocked(id string, seeds []string, seedOffset int64) (*Node, error) {
+// buildNode constructs and transport-registers one replica without
+// recording it in the fleet's bookkeeping (addNodeLocked and Restart
+// record it differently).
+func (f *Fleet) buildNode(id string, seeds []string, seedOffset int64, genBase uint64) (*Node, error) {
 	ncfg := f.cfg.Node
 	ncfg.ID = id
 	ncfg.Seeds = seeds
 	ncfg.Seed = f.cfg.Node.Seed + seedOffset
+	ncfg.GenBase = genBase
 	scfg := f.cfg.Server
+	if f.cfg.NewClock != nil {
+		if c := f.cfg.NewClock(id); c != nil {
+			ncfg.Clock = c
+			scfg.Clock = c
+		}
+	}
 	var est *estimate.Estimator
 	if f.cfg.NewEstimator != nil {
 		est = f.cfg.NewEstimator(id)
 	}
 	if est != nil {
 		// Chain rather than replace: the caller's hook still fires, and
-		// the estimator sees every completed evaluation.
+		// the estimator sees every completed evaluation. Latency
+		// quantization gives per-load buckets, so a provider that only
+		// degrades when slow is estimated apart from its healthy traffic.
+		lq := estimate.DefaultLatencyQuantizer()
 		inner := scfg.OnOutcome
 		scfg.OnOutcome = func(o server.Outcome) {
 			est.Observe(estimate.Outcome{
 				Provider: o.Service,
 				Context:  o.Scope,
+				Load:     lq.Bucket(o.Latency),
 				Failed:   !o.Success,
 				Latency:  o.Latency,
 				At:       o.At,
@@ -139,6 +157,17 @@ func (f *Fleet) addNodeLocked(id string, seeds []string, seedOffset int64) (*Nod
 	}
 	n.AttachEstimator(est)
 	f.transport.Register(n)
+	return n, nil
+}
+
+// addNodeLocked builds, registers, and records one replica. The fleet
+// lock need not be held during construction at boot, but AddReplica
+// holds it; the name documents the latter caller.
+func (f *Fleet) addNodeLocked(id string, seeds []string, seedOffset int64) (*Node, error) {
+	n, err := f.buildNode(id, seeds, seedOffset, 0)
+	if err != nil {
+		return nil, err
+	}
 	f.nodes = append(f.nodes, n)
 	f.byID[id] = n
 	return n, nil
@@ -219,6 +248,47 @@ func (f *Fleet) Kill(id string) bool {
 	n.Stop()
 	f.transport.Deregister(id)
 	return true
+}
+
+// Restart brings a killed replica back under its original ID: a fresh
+// node (empty stores, reset estimator, new incarnation) seeded with the
+// current live roster, occupying the dead replica's slot. Peers re-admit
+// it on its first gossip round and mark it Alive again. Restarting a
+// live or unknown replica is an error.
+func (f *Fleet) Restart(id string) (*Node, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := f.byID[id]
+	if old == nil {
+		return nil, fmt.Errorf("cluster: Restart(%q): unknown replica", id)
+	}
+	if !f.killed[id] {
+		return nil, fmt.Errorf("cluster: Restart(%q): replica is live", id)
+	}
+	seeds := make([]string, 0, len(f.nodes)+1)
+	for _, n := range f.liveLocked() {
+		seeds = append(seeds, n.ID())
+	}
+	seeds = append(seeds, id) // rejoin its own ring slot immediately
+	f.restarts++
+	// Carry the predecessor's evidence generation forward: the version
+	// vector is per identity, not per incarnation, and a counter that
+	// restarted from zero would have this node's rumors dominance-skipped
+	// by every peer that remembers the old one.
+	n, err := f.buildNode(id, seeds, int64(len(f.nodes)+f.restarts), old.EvidenceGen())
+	if err != nil {
+		f.restarts--
+		return nil, err
+	}
+	for i, existing := range f.nodes {
+		if existing == old {
+			f.nodes[i] = n
+			break
+		}
+	}
+	f.byID[id] = n
+	delete(f.killed, id)
+	return n, nil
 }
 
 // AddReplica joins one new replica seeded with the current live roster.

@@ -44,6 +44,12 @@ type NodeConfig struct {
 	DeadAfter time.Duration
 	// Seed feeds the fanout-selection RNG (deterministic per replica).
 	Seed int64
+	// GenBase offsets the node's evidence generation counter. A restarted
+	// incarnation passes its predecessor's counter so the version-vector
+	// entry it publishes for itself stays monotonic across the restart —
+	// peers would otherwise dominance-skip its rumors as already-seen
+	// until the fresh counter outran the ghost's.
+	GenBase uint64
 	// Clock supplies time; defaults to the real clock.
 	Clock socruntime.Clock
 }
@@ -84,6 +90,10 @@ type NodeStats struct {
 	ServedForDead uint64
 	// ServedForwarded counts requests received from a peer's forward.
 	ServedForwarded uint64
+	// ReadRepaired counts forwarded answers whose fresher snapshot was
+	// pushed back into this replica's own stale store, so a later
+	// partition finds the entry already warm here.
+	ReadRepaired uint64
 	// RumorsSent and RumorsReceived count gossip traffic.
 	RumorsSent     uint64
 	RumorsReceived uint64
@@ -156,6 +166,7 @@ func NewNode(cfg NodeConfig, srv *server.Server, tracker *socruntime.HealthTrack
 		vv:        make(map[string]uint64),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
+	n.evidenceGen.Store(cfg.GenBase)
 	now := n.clock.Now()
 	n.members[cfg.ID] = &member{id: cfg.ID, state: Alive, lastAlive: now}
 	n.ring.Add(cfg.ID)
@@ -217,6 +228,19 @@ func (n *Node) ObserveEstimate(o estimate.Outcome) monitor.Verdict {
 		return monitor.Undecided
 	}
 	return est.Observe(o)
+}
+
+// EvidenceGen returns the node's current evidence generation — the sum
+// of locally observed health outcomes and estimator observations, on
+// top of any GenBase. It is the version-vector entry the next gossip
+// round will publish; Fleet.Restart passes it forward as the successor
+// incarnation's GenBase.
+func (n *Node) EvidenceGen() uint64 {
+	gen := n.evidenceGen.Load()
+	if est := n.est.Load(); est != nil {
+		gen += est.Gen()
+	}
+	return gen
 }
 
 // Quarantined reports whether this replica has the provider tripped —
@@ -315,7 +339,25 @@ func (n *Node) Serve(ctx context.Context, req server.Request) socruntime.Answer 
 		return n.srv.Serve(ctx, req)
 	}
 	n.bump(func(s *NodeStats) { s.Forwarded++ })
+	n.readRepair(req, ans)
 	return ans
+}
+
+// readRepair folds a peer's answer back into the local stale store when
+// it is fresher than what this replica holds, so requests this replica
+// must serve itself during a later partition start from the owner's
+// last-known-good value instead of a cold store.
+func (n *Node) readRepair(req server.Request, ans socruntime.Answer) {
+	if ans.Kind != socruntime.Exact && ans.Kind != socruntime.Stale {
+		return
+	}
+	if ans.AsOf.IsZero() {
+		return
+	}
+	lg := socruntime.LastGood{Pfail: ans.Pfail, Provider: ans.Provider, At: ans.AsOf}
+	if n.srv.RepairSnapshot(req.Scope, req.Service, req.Params, lg) {
+		n.bump(func(s *NodeStats) { s.ReadRepaired++ })
+	}
 }
 
 // ServeForwarded serves a request received from a peer. It is terminal:
@@ -344,9 +386,9 @@ func (n *Node) HandleRumor(r Rumor) {
 	}
 	n.stats.RumorsReceived++
 	now := n.clock.Now()
-	changed := n.applyHeartbeatLocked(r.From, r.Heartbeat, now)
+	changed := n.applyHeartbeatLocked(r.From, r.Heartbeat, now, true)
 	for id, hb := range r.Heartbeats {
-		if n.applyHeartbeatLocked(id, hb, now) {
+		if n.applyHeartbeatLocked(id, hb, now, false) {
 			changed = true
 		}
 	}
@@ -386,10 +428,15 @@ func (n *Node) HandleRumor(r Rumor) {
 	n.mu.Unlock()
 }
 
-// applyHeartbeatLocked records a (possibly relayed) heartbeat. Any
-// advance proves the member was alive more recently than we knew;
-// unknown members join Alive. Returns true if ring membership changed.
-func (n *Node) applyHeartbeatLocked(id string, hb uint64, now time.Time) bool {
+// applyHeartbeatLocked records a heartbeat. A counter advance proves
+// the member was alive more recently than we knew; unknown members join
+// Alive. A direct heartbeat — one carried in a rumor authored by the
+// member itself rather than relayed — is proof of life even without an
+// advance: a restarted incarnation counts from zero, below the peak its
+// predecessor gossiped, and would otherwise stay condemned until its
+// fresh counter outran a ghost's. Returns true if ring membership
+// changed.
+func (n *Node) applyHeartbeatLocked(id string, hb uint64, now time.Time, direct bool) bool {
 	if id == "" || id == n.cfg.ID {
 		return false
 	}
@@ -398,8 +445,11 @@ func (n *Node) applyHeartbeatLocked(id string, hb uint64, now time.Time) bool {
 		n.members[id] = &member{id: id, state: Alive, heartbeat: hb, lastAlive: now}
 		return true
 	}
-	if hb > m.heartbeat {
+	advanced := hb > m.heartbeat
+	if advanced {
 		m.heartbeat = hb
+	}
+	if advanced || direct {
 		m.lastAlive = now
 		if m.state != Alive {
 			revived := m.state == Dead
@@ -464,11 +514,7 @@ func (n *Node) GossipRound() {
 	// The self entry sums the two local evidence counters (SPRT outcomes
 	// and estimator observations): both are monotone, so the sum is a
 	// valid version-vector component covering either stream advancing.
-	gen := n.evidenceGen.Load()
-	if est := n.est.Load(); est != nil {
-		gen += est.Gen()
-	}
-	n.vv[n.cfg.ID] = gen
+	n.vv[n.cfg.ID] = n.EvidenceGen()
 
 	// Push targets include Dead-judged members. A Dead judgment is local
 	// and possibly wrong — after a symmetric partition both sides condemn

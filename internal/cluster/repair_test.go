@@ -1,0 +1,186 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"socrel/internal/cluster"
+	"socrel/internal/faultinject"
+	socruntime "socrel/internal/runtime"
+	"socrel/internal/server"
+)
+
+// switchEval answers a per-replica constant until fail is flipped, then
+// errors — the switch that forces the serving tier down its ladder.
+type switchEval struct {
+	p    float64
+	fail *atomic.Bool
+}
+
+func (e switchEval) PfailCtx(ctx context.Context, service string, params ...float64) (float64, error) {
+	if e.fail.Load() {
+		return 0, errors.New("evaluator down")
+	}
+	return e.p, nil
+}
+
+// peerOwnedRequest finds a parameter point whose ring owner (in entry's
+// view) is a peer, so Serve must forward.
+func peerOwnedRequest(t *testing.T, entry *cluster.Node) (server.Request, string) {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		req := server.Request{Scope: "model", Params: []float64{float64(i)}}
+		if owner, ok := entry.Owner(req); ok && owner != entry.ID() {
+			return req, owner
+		}
+	}
+	t.Fatal("no peer-owned parameter point found in 256 tries")
+	return server.Request{}, ""
+}
+
+// TestReadRepairAfterHeal: a replica cut off by a partition serves its
+// own (older) exact answers; after the heal, one forwarded request pulls
+// the owner's fresher snapshot back into the origin's stale store, so
+// when the evaluator then dies and the owner with it, the origin serves
+// Stale from the repaired value instead of its stale-er own one.
+func TestReadRepairAfterHeal(t *testing.T) {
+	clk := socruntime.NewFakeClock(time.Unix(0, 0))
+	net := faultinject.NewNetwork(faultinject.NetConfig{Seed: 11})
+	fail := &atomic.Bool{}
+	pfail := map[string]float64{"replica-0": 0.1, "replica-1": 0.2, "replica-2": 0.3}
+	f, err := cluster.NewFleet(cluster.FleetConfig{
+		Replicas: 3,
+		Node: cluster.NodeConfig{
+			GossipInterval: time.Second,
+			SuspectAfter:   3 * time.Second,
+			DeadAfter:      9 * time.Second,
+			Clock:          clk,
+			Seed:           42,
+		},
+		Server:       server.Config{Hedge: server.HedgeConfig{Disabled: true}},
+		NewEvaluator: func(id string) server.Evaluator { return switchEval{p: pfail[id], fail: fail} },
+		Network:      net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+
+	entry := f.Node("replica-0")
+	req, owner := peerOwnedRequest(t, entry)
+	ctx := context.Background()
+
+	// Partitioned: the forward fails and the origin serves its own exact
+	// answer — which also warms its stale store with the OLDER value.
+	net.Partition([]string{"replica-0"}, []string{"replica-1", "replica-2"})
+	ans := entry.Serve(ctx, req)
+	if ans.Kind != socruntime.Exact || ans.Pfail != pfail["replica-0"] {
+		t.Fatalf("partitioned serve = %v p=%v, want local Exact %v", ans.Kind, ans.Pfail, pfail["replica-0"])
+	}
+	if got := entry.Stats().ReadRepaired; got != 0 {
+		t.Fatalf("ReadRepaired = %d across a partition, want 0", got)
+	}
+
+	// Heal, with time passing so the owner's answer is strictly fresher
+	// than the origin's own partition-era snapshot.
+	clk.Advance(time.Second)
+	net.Heal()
+	ans = entry.Serve(ctx, req)
+	if ans.Kind != socruntime.Exact || ans.Pfail != pfail[owner] {
+		t.Fatalf("healed serve = %v p=%v, want forwarded Exact %v", ans.Kind, ans.Pfail, pfail[owner])
+	}
+	if got := entry.Stats().ReadRepaired; got != 1 {
+		t.Fatalf("ReadRepaired = %d after healed forward, want 1", got)
+	}
+	lg, ok := entry.Server().Snapshot(req.Scope, req.Service, req.Params)
+	if !ok || lg.Pfail != pfail[owner] {
+		t.Fatalf("repaired snapshot = %+v ok=%v, want Pfail %v", lg, ok, pfail[owner])
+	}
+
+	// Repair is freshness-gated: replaying the same answer changes nothing.
+	_ = entry.Serve(ctx, req)
+	if got := entry.Stats().ReadRepaired; got != 1 {
+		t.Fatalf("ReadRepaired = %d after equal-freshness replay, want still 1", got)
+	}
+
+	// Evaluator dies and the owner with it: the origin degrades to Stale
+	// and the value it serves is the owner's repaired-in one.
+	fail.Store(true)
+	f.Kill(owner)
+	ans = entry.Serve(ctx, req)
+	if ans.Kind != socruntime.Stale {
+		t.Fatalf("degraded serve = %v (err %v), want Stale", ans.Kind, ans.Err)
+	}
+	if ans.Pfail != pfail[owner] {
+		t.Fatalf("stale Pfail = %v, want the read-repaired %v", ans.Pfail, pfail[owner])
+	}
+}
+
+// TestFleetRestart: a killed replica restarted under its original ID
+// rejoins the ring with fresh state, peers re-admit it on the next
+// gossip exchange, and Restart refuses live or unknown ids.
+func TestFleetRestart(t *testing.T) {
+	clk := socruntime.NewFakeClock(time.Unix(0, 0))
+	f := newTestFleet(t, 3, nil, clk)
+
+	if _, err := f.Restart("replica-1"); err == nil {
+		t.Fatal("Restart of a live replica did not error")
+	}
+	if _, err := f.Restart("replica-9"); err == nil {
+		t.Fatal("Restart of an unknown replica did not error")
+	}
+
+	// Let the doomed replica gossip long enough that its heartbeat
+	// counter is well above anything its next incarnation will reach
+	// quickly — the restart must revive via direct proof of life, not by
+	// outrunning the ghost's counter.
+	for i := 0; i < 15; i++ {
+		clk.Advance(time.Second)
+		f.GossipRound()
+	}
+	if !f.Kill("replica-1") {
+		t.Fatal("Kill failed")
+	}
+	// Survivors condemn the corpse.
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second)
+		f.GossipRound()
+	}
+	if got := f.Node("replica-0").MemberState("replica-1"); got != cluster.Dead {
+		t.Fatalf("replica-0 judges killed peer %v, want Dead", got)
+	}
+
+	n, err := f.Restart("replica-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == f.Node("replica-0") || f.Node("replica-1") != n {
+		t.Fatal("Restart did not install the new node under the old ID")
+	}
+	if len(f.Live()) != 3 {
+		t.Fatalf("live = %d after restart, want 3", len(f.Live()))
+	}
+
+	// The restarted node's first rounds re-admit it everywhere.
+	for i := 0; i < 3; i++ {
+		clk.Advance(time.Second)
+		f.GossipRound()
+	}
+	for _, id := range []string{"replica-0", "replica-2"} {
+		if got := f.Node(id).MemberState("replica-1"); got != cluster.Alive {
+			t.Fatalf("%s judges restarted peer %v, want Alive", id, got)
+		}
+	}
+	if got := n.MemberState("replica-0"); got != cluster.Alive {
+		t.Fatalf("restarted node judges replica-0 %v, want Alive", got)
+	}
+
+	// And it serves.
+	ans := n.Serve(context.Background(), server.Request{Scope: "model", Params: []float64{1}})
+	if ans.Kind != socruntime.Exact {
+		t.Fatalf("restarted node serve = %v, want Exact", ans.Kind)
+	}
+}

@@ -1,0 +1,197 @@
+package dst_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	gorun "runtime"
+	"testing"
+	"time"
+
+	"socrel/internal/dst"
+)
+
+// dstSeed replays one recorded seed:
+//
+//	go test ./internal/dst -run TestDSTSeed -dst.seed=N
+var dstSeed = flag.Int64("dst.seed", 0, "replay this schedule seed under the full invariant suite")
+
+// matrixSeeds is the pinned CI seed matrix. Every seed here must pass
+// the full invariant suite; a failure records the trace under
+// dst-failures/ and prints the replay command.
+var matrixSeeds = []int64{1, 2, 3, 5, 8, 13}
+
+// exploreSeed runs one seed and fails the test with a recorded trace
+// and repro command if any invariant breaks.
+func exploreSeed(t *testing.T, seed int64) *dst.Report {
+	t.Helper()
+	rep, err := dst.Explore(dst.Options{}, dst.GenConfig{Seed: seed})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if rep.Violation != nil {
+		dir := "dst-failures"
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%d.jsonl", seed))
+			if f, err := os.Create(path); err == nil {
+				_ = dst.WriteTrace(f, rep.Trace)
+				f.Close()
+				t.Logf("seed %d: trace recorded at %s", seed, path)
+			}
+		}
+		t.Errorf("seed %d violated %q at step %d: %v\nreplay: go test ./internal/dst -run TestDSTSeed -dst.seed=%d\nshrunk to %d/%d events:\n%s",
+			seed, rep.Violation.Invariant, rep.Violation.Step, rep.Violation.Err,
+			seed, len(rep.Shrunk), len(rep.Schedule), rep.Repro)
+	}
+	return rep
+}
+
+// TestDSTSeedMatrix: the pinned seeds all hold every invariant.
+func TestDSTSeedMatrix(t *testing.T) {
+	seeds := matrixSeeds
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			exploreSeed(t, seed)
+		})
+	}
+}
+
+// TestDSTSeed replays the -dst.seed flag (skipped without one) — the
+// entry point printed with every recorded failure.
+func TestDSTSeed(t *testing.T) {
+	if *dstSeed == 0 {
+		t.Skip("no -dst.seed given")
+	}
+	rep := exploreSeed(t, *dstSeed)
+	if rep.Violation == nil {
+		t.Logf("seed %d: %d events, all invariants held", *dstSeed, len(rep.Schedule))
+	}
+}
+
+// TestDSTDeterminism: the same seed produces a byte-identical event
+// trace and identical invariant verdicts across two consecutive runs.
+func TestDSTDeterminism(t *testing.T) {
+	run := func() ([]byte, *dst.Violation, []dst.Event) {
+		schedule := dst.Generate(dst.GenConfig{Seed: 21})
+		var buf bytes.Buffer
+		w, err := dst.NewWorld(dst.Options{Seed: 21, Trace: &buf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		v := w.Run(schedule)
+		return buf.Bytes(), v, schedule
+	}
+	trace1, v1, sched1 := run()
+	trace2, v2, sched2 := run()
+	if !reflect.DeepEqual(sched1, sched2) {
+		t.Fatal("same seed generated different schedules")
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatalf("same seed produced different traces:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", trace1, trace2)
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("same seed produced different verdicts: %v vs %v", v1, v2)
+	}
+	if len(trace1) == 0 {
+		t.Fatal("trace is empty — determinism check is vacuous")
+	}
+}
+
+// TestDSTTraceRoundTrip: a recorded trace replays to the same verdict
+// through ReadSchedule — the byte-replay path used for failure
+// artifacts.
+func TestDSTTraceRoundTrip(t *testing.T) {
+	schedule := dst.Generate(dst.GenConfig{Seed: 3, Length: 24})
+	var buf bytes.Buffer
+	w, err := dst.NewWorld(dst.Options{Seed: 3, Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := w.Run(schedule)
+	w.Close()
+
+	recovered, err := dst.ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(schedule, recovered) {
+		t.Fatalf("trace did not round-trip the schedule: %d events in, %d out", len(schedule), len(recovered))
+	}
+	if v2 := dst.Replay(dst.Options{Seed: 3}, recovered); !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("replayed trace verdict %v, original %v", v2, v1)
+	}
+}
+
+// TestDSTPlantedViolationShrinks: a deliberately planted invariant —
+// "never a kill while a partition is active" — is found by the explorer
+// and delta-debugged to a minimal schedule (≤25% of the original) that
+// still replays to the same violation.
+func TestDSTPlantedViolationShrinks(t *testing.T) {
+	planted := []dst.Invariant{{
+		Name: "planted-no-kill-under-partition",
+		Check: func(w *dst.World) error {
+			if w.PartitionActive() && len(w.Killed()) > 0 {
+				return fmt.Errorf("killed %v while partitioned", w.Killed())
+			}
+			return nil
+		},
+	}}
+
+	for seed := int64(1); seed <= 64; seed++ {
+		schedule := dst.Generate(dst.GenConfig{Seed: seed})
+		opts := dst.Options{Seed: seed, Invariants: planted}
+		v := dst.Replay(opts, schedule)
+		if v == nil {
+			continue // this seed never kills under a partition; try the next
+		}
+		shrunk := dst.Shrink(opts, schedule, v.Invariant)
+		if len(shrunk)*4 > len(schedule) {
+			t.Fatalf("seed %d: shrunk %d of %d events — above the 25%% bound", seed, len(shrunk), len(schedule))
+		}
+		v2 := dst.Replay(opts, shrunk)
+		if v2 == nil || v2.Invariant != v.Invariant {
+			t.Fatalf("seed %d: shrunk schedule does not replay the violation (got %v)", seed, v2)
+		}
+		// The planted condition needs exactly a split and a kill (in
+		// either order): 1-minimality should land on two events.
+		if len(shrunk) > 3 {
+			t.Errorf("seed %d: shrunk schedule has %d events, expected ≤3:\n%s",
+				seed, len(shrunk), dst.ReproSource(seed, v.Invariant, shrunk))
+		}
+		t.Logf("seed %d: %d events shrunk to %d\n%s", seed, len(schedule), len(shrunk),
+			dst.ReproSource(seed, v.Invariant, shrunk))
+		return
+	}
+	t.Fatal("no seed in 1..64 ever killed under a partition — generator too tame")
+}
+
+// TestDSTNoGoroutineLeak: a full simulated run tears down to the
+// baseline goroutine count.
+func TestDSTNoGoroutineLeak(t *testing.T) {
+	before := gorun.NumGoroutine()
+	schedule := dst.Generate(dst.GenConfig{Seed: 4})
+	w, err := dst.NewWorld(dst.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := w.Run(schedule); v != nil {
+		t.Fatalf("seed 4 violated: %v", v)
+	}
+	w.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if gorun.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after teardown", before, gorun.NumGoroutine())
+}

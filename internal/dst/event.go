@@ -1,0 +1,95 @@
+// Package dst is a deterministic simulation harness for the cluster
+// stack: a seeded schedule generator emits a typed fault-event stream, a
+// single-threaded executor applies it to a real multi-replica fleet —
+// real gossip, real membership, real admission control, real estimators
+// — on one shared virtual timeline, and invariant checkers run after
+// every step. Failing seeds are recorded as a JSONL trace, replayed
+// byte-for-byte from the seed alone, and shrunk by delta debugging to a
+// minimal failing schedule.
+//
+// Determinism is load-bearing and comes from four rules: all time is a
+// single runtime.FakeClock (per-node views differ only by SkewedClock
+// offsets, which never stretch durations); all randomness is seeded
+// (the generator's stream, the network's, and a per-event seed carried
+// by events that draw samples, so a shrunk subsequence replays its
+// surviving events unchanged); all serving is sequential (no goroutines
+// race the executor); and all fault injection is one-shot and
+// event-addressed (the network's random rates stay zero).
+package dst
+
+import "time"
+
+// Kind names one schedule event type.
+type Kind string
+
+// Event kinds.
+const (
+	// KindAdvance moves the shared base clock forward by D and runs one
+	// synchronous gossip round (the only way protocol time passes).
+	KindAdvance Kind = "advance"
+	// KindKill abruptly stops replica Node (skipped if it is the last
+	// one alive).
+	KindKill Kind = "kill"
+	// KindRestart restarts a killed replica Node with fresh state
+	// (skipped if the node is live).
+	KindRestart Kind = "restart"
+	// KindSplit partitions the network into Groups (cross-group traffic
+	// blocks until KindHeal).
+	KindSplit Kind = "split"
+	// KindHeal removes the partition.
+	KindHeal Kind = "heal"
+	// KindDrop arms the network to silently discard the next Count
+	// messages matching From→To ("" wildcards).
+	KindDrop Kind = "drop"
+	// KindDup arms the network to retransmit the next Count matching
+	// messages (the copy is held and re-checked against the partition at
+	// release time).
+	KindDup Kind = "dup"
+	// KindDelay arms the network to hold the next Count matching
+	// messages for Slots subsequent deliveries — delay and reordering in
+	// one mechanism.
+	KindDelay Kind = "delay"
+	// KindSkew sets replica Node's wall-clock offset to D.
+	KindSkew Kind = "skew"
+	// KindDrift feeds Count estimator observations for provider
+	// "provider" in context Scope to replica Node, each failing with
+	// probability Rate drawn from the event's own Seed — a
+	// failure-parameter drift the estimators should track.
+	KindDrift Kind = "drift"
+	// KindBurst serves Count client requests sequentially through entry
+	// replica Node (first live replica if it is dead), alternating
+	// scopes, and records every answer for the per-answer invariants.
+	KindBurst Kind = "burst"
+	// KindEvalFail arms replica Node's evaluator to fail its next Count
+	// evaluations — the push down the degradation ladder.
+	KindEvalFail Kind = "evalfail"
+)
+
+// Event is one schedule step. The struct is flat so every event kind
+// round-trips through one JSON shape; unused fields stay zero and are
+// omitted from the encoding.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Node is the target replica (kill, restart, skew, drift, burst,
+	// evalfail).
+	Node string `json:"node,omitempty"`
+	// From and To address network directives ("" = any).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Groups are the partition sides (split).
+	Groups [][]string `json:"groups,omitempty"`
+	// Count is the directive arm count, drift observation count, or
+	// burst request count.
+	Count int `json:"count,omitempty"`
+	// Slots is the delay depth in subsequent deliveries (delay).
+	Slots int `json:"slots,omitempty"`
+	// D is the duration operand (advance, skew).
+	D time.Duration `json:"d,omitempty"`
+	// Rate is the drift failure probability (drift).
+	Rate float64 `json:"rate,omitempty"`
+	// Scope is the drift estimation context (drift).
+	Scope string `json:"scope,omitempty"`
+	// Seed feeds the event's own sample draws (drift), so replaying any
+	// subsequence of a schedule replays each surviving event unchanged.
+	Seed int64 `json:"seed,omitempty"`
+}

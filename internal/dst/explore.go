@@ -1,0 +1,47 @@
+package dst
+
+import "fmt"
+
+// Report is the outcome of exploring one seed.
+type Report struct {
+	// Seed is the explored seed and Schedule its generated events.
+	Seed     int64
+	Schedule []Event
+	// Violation is the first invariant failure (nil: the seed passed).
+	Violation *Violation
+	// Trace is the full recorded run.
+	Trace []TraceLine
+	// Shrunk is the delta-debugged minimal failing schedule and Repro a
+	// ready-to-commit regression test for it (both empty on a pass).
+	Shrunk []Event
+	Repro  string
+}
+
+// Explore generates the seed's schedule, runs it under the invariant
+// suite, and — on failure — shrinks the schedule to a locally minimal
+// reproduction. Setup errors are returned as errors; invariant
+// violations are data, in the report.
+func Explore(opts Options, cfg GenConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	if opts.Replicas == 0 {
+		opts.Replicas = cfg.Replicas
+	}
+	schedule := Generate(cfg)
+	w, err := NewWorld(opts)
+	if err != nil {
+		return nil, fmt.Errorf("dst: seed %d: %w", cfg.Seed, err)
+	}
+	v := w.Run(schedule)
+	trace := w.Trace()
+	w.Close()
+
+	rep := &Report{Seed: cfg.Seed, Schedule: schedule, Violation: v, Trace: trace}
+	if v != nil {
+		rep.Shrunk = Shrink(opts, schedule, v.Invariant)
+		rep.Repro = ReproSource(cfg.Seed, v.Invariant, rep.Shrunk)
+	}
+	return rep, nil
+}

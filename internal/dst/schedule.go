@@ -1,0 +1,183 @@
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// GenConfig parameterizes schedule generation.
+type GenConfig struct {
+	// Seed drives every choice; the same seed yields the same schedule.
+	Seed int64
+	// Length is the number of chaos events before the cooldown tail
+	// (default 48).
+	Length int
+	// Replicas is the fleet size the schedule addresses (default 3).
+	Replicas int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Length <= 0 {
+		c.Length = 48
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	return c
+}
+
+// genState mirrors just enough world state to keep generated schedules
+// interesting: kills target live replicas and keep a quorum, restarts
+// target corpses, splits and heals alternate. The executor is still
+// total over arbitrary schedules — shrinking may produce sequences this
+// generator never would, and they must execute — but a generator that
+// mostly emits no-ops would explore nothing.
+type genState struct {
+	rng    *rand.Rand
+	ids    []string
+	killed map[string]bool
+	split  bool
+}
+
+func (g *genState) live() []string {
+	out := make([]string, 0, len(g.ids))
+	for _, id := range g.ids {
+		if !g.killed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (g *genState) pick(ids []string) string {
+	return ids[g.rng.Intn(len(ids))]
+}
+
+// Generate produces a seeded fault schedule: Length weighted chaos
+// events followed by a deterministic cooldown tail (heal if split, then
+// a run of quiet advances) so the convergence and eventually-dead
+// invariants get their eligibility windows on every schedule.
+func Generate(cfg GenConfig) []Event {
+	cfg = cfg.withDefaults()
+	g := &genState{
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		killed: make(map[string]bool),
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		g.ids = append(g.ids, fmt.Sprintf("replica-%d", i))
+	}
+
+	events := make([]Event, 0, cfg.Length+16)
+	for len(events) < cfg.Length {
+		events = append(events, g.next())
+	}
+	// Cooldown tail: converge what chaos left behind.
+	if g.split {
+		events = append(events, Event{Kind: KindHeal})
+	}
+	for i := 0; i < 12; i++ {
+		events = append(events, Event{Kind: KindAdvance, D: 2 * time.Second})
+	}
+	return events
+}
+
+// next draws one weighted event, updating the mirrored state.
+func (g *genState) next() Event {
+	live := g.live()
+	var corpses []string
+	for _, id := range g.ids {
+		if g.killed[id] {
+			corpses = append(corpses, id)
+		}
+	}
+
+	type choice struct {
+		weight int
+		gen    func() Event
+	}
+	choices := []choice{
+		{30, func() Event {
+			return Event{Kind: KindAdvance, D: time.Duration(500+g.rng.Intn(1500)) * time.Millisecond}
+		}},
+		{18, func() Event {
+			return Event{Kind: KindBurst, Node: g.pick(live), Count: 8 + g.rng.Intn(25)}
+		}},
+		{6, func() Event {
+			return Event{Kind: KindDrop, From: g.maybeAny(), To: g.maybeAny(), Count: 1 + g.rng.Intn(4)}
+		}},
+		{5, func() Event {
+			return Event{Kind: KindDup, From: g.maybeAny(), To: g.maybeAny(), Count: 1 + g.rng.Intn(3)}
+		}},
+		{6, func() Event {
+			return Event{Kind: KindDelay, From: g.maybeAny(), To: g.maybeAny(),
+				Count: 1 + g.rng.Intn(4), Slots: 1 + g.rng.Intn(6)}
+		}},
+		{5, func() Event {
+			return Event{Kind: KindSkew, Node: g.pick(live),
+				D: time.Duration(g.rng.Intn(4001)-2000) * time.Millisecond}
+		}},
+		{8, func() Event {
+			return Event{
+				Kind:  KindDrift,
+				Node:  g.pick(live),
+				Scope: []string{"A", "B"}[g.rng.Intn(2)],
+				Rate:  0.05 + 0.25*g.rng.Float64(),
+				Count: 48 + g.rng.Intn(81),
+				Seed:  g.rng.Int63(),
+			}
+		}},
+		{5, func() Event {
+			return Event{Kind: KindEvalFail, Node: g.pick(live), Count: 1 + g.rng.Intn(8)}
+		}},
+	}
+	if len(live) > 2 {
+		choices = append(choices, choice{7, func() Event {
+			id := g.pick(live)
+			g.killed[id] = true
+			return Event{Kind: KindKill, Node: id}
+		}})
+	}
+	if len(corpses) > 0 {
+		choices = append(choices, choice{8, func() Event {
+			id := g.pick(corpses)
+			delete(g.killed, id)
+			return Event{Kind: KindRestart, Node: id}
+		}})
+	}
+	if !g.split && len(live) > 1 {
+		choices = append(choices, choice{5, func() Event {
+			g.split = true
+			cut := 1 + g.rng.Intn(len(live)-1)
+			return Event{Kind: KindSplit, Groups: [][]string{live[:cut], live[cut:]}}
+		}})
+	}
+	if g.split {
+		choices = append(choices, choice{8, func() Event {
+			g.split = false
+			return Event{Kind: KindHeal}
+		}})
+	}
+
+	total := 0
+	for _, c := range choices {
+		total += c.weight
+	}
+	roll := g.rng.Intn(total)
+	for _, c := range choices {
+		if roll < c.weight {
+			return c.gen()
+		}
+		roll -= c.weight
+	}
+	return choices[0].gen() // unreachable
+}
+
+// maybeAny returns a concrete replica ID half the time and the ""
+// wildcard otherwise, so directives exercise both addressing modes.
+func (g *genState) maybeAny() string {
+	if g.rng.Intn(2) == 0 {
+		return ""
+	}
+	return g.pick(g.ids)
+}

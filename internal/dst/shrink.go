@@ -1,0 +1,195 @@
+package dst
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Replay runs the schedule in a fresh world and returns the first
+// violation (nil if the schedule passes). Setup errors surface as a
+// synthetic violation so shrink predicates never mistake a broken world
+// for a passing one.
+func Replay(opts Options, events []Event) *Violation {
+	w, err := NewWorld(opts)
+	if err != nil {
+		return &Violation{Invariant: "world-setup", Err: err}
+	}
+	defer w.Close()
+	return w.Run(events)
+}
+
+// Shrink delta-debugs the schedule down to a locally minimal subsequence
+// that still violates the named invariant: classic ddmin over
+// complement removal, then a final one-at-a-time pass. Each probe replays
+// in a fresh world, so the result is exact, not heuristic. Events carry
+// their own sample seeds, which is what makes subsequences replay their
+// surviving events unchanged.
+func Shrink(opts Options, events []Event, invariant string) []Event {
+	opts.Trace = nil
+	fails := func(candidate []Event) bool {
+		v := Replay(opts, candidate)
+		return v != nil && v.Invariant == invariant
+	}
+	if !fails(events) {
+		return events // not reproducible; nothing to shrink
+	}
+	return onePass(ddmin(events, fails), fails)
+}
+
+// ddmin is the Zeller–Hildebrandt minimizing delta debugger over event
+// subsequences.
+func ddmin(events []Event, fails func([]Event) bool) []Event {
+	n := 2
+	for len(events) >= 2 {
+		chunk := (len(events) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(events); start += chunk {
+			end := start + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			complement := make([]Event, 0, len(events)-(end-start))
+			complement = append(complement, events[:start]...)
+			complement = append(complement, events[end:]...)
+			if len(complement) > 0 && fails(complement) {
+				events = complement
+				n = maxInt(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break
+			}
+			n = minInt(2*n, len(events))
+		}
+	}
+	return events
+}
+
+// onePass drops events one at a time until no single removal still
+// fails — 1-minimality on top of ddmin's coarser chunking.
+func onePass(events []Event, fails func([]Event) bool) []Event {
+	for i := 0; i < len(events); {
+		candidate := make([]Event, 0, len(events)-1)
+		candidate = append(candidate, events[:i]...)
+		candidate = append(candidate, events[i+1:]...)
+		if len(candidate) > 0 && fails(candidate) {
+			events = candidate
+		} else {
+			i++
+		}
+	}
+	return events
+}
+
+// ReproSource renders a ready-to-commit regression test pinning the
+// shrunk schedule, plus the one-line replay command for the seed.
+func ReproSource(seed int64, invariant string, shrunk []Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Replay the full seed:\n//\n//\tgo test ./internal/dst -run TestDSTSeed -dst.seed=%d\n//\n", seed)
+	fmt.Fprintf(&b, "// Shrunk regression (seed %d, invariant %q):\n", seed, invariant)
+	b.WriteString("func TestDSTRegression(t *testing.T) {\n")
+	b.WriteString("\tschedule := []dst.Event{\n")
+	for _, ev := range shrunk {
+		j, _ := json.Marshal(ev)
+		fmt.Fprintf(&b, "\t\t%s,\n", eventLiteral(ev, string(j)))
+	}
+	b.WriteString("\t}\n")
+	fmt.Fprintf(&b, "\tif v := dst.Replay(dst.Options{Seed: %d}, schedule); v != nil {\n", seed)
+	b.WriteString("\t\tt.Fatalf(\"invariant still violated: %v\", v)\n")
+	b.WriteString("\t}\n}\n")
+	return b.String()
+}
+
+// eventLiteral renders one event as a Go composite literal, with its
+// JSON form as a comment for humans diffing traces.
+func eventLiteral(ev Event, jsonForm string) string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("Kind: dst.%s", kindConstName(ev.Kind)))
+	if ev.Node != "" {
+		parts = append(parts, fmt.Sprintf("Node: %q", ev.Node))
+	}
+	if ev.From != "" {
+		parts = append(parts, fmt.Sprintf("From: %q", ev.From))
+	}
+	if ev.To != "" {
+		parts = append(parts, fmt.Sprintf("To: %q", ev.To))
+	}
+	if len(ev.Groups) > 0 {
+		g := make([]string, 0, len(ev.Groups))
+		for _, side := range ev.Groups {
+			q := make([]string, 0, len(side))
+			for _, id := range side {
+				q = append(q, fmt.Sprintf("%q", id))
+			}
+			g = append(g, "{"+strings.Join(q, ", ")+"}")
+		}
+		parts = append(parts, "Groups: [][]string{"+strings.Join(g, ", ")+"}")
+	}
+	if ev.Count != 0 {
+		parts = append(parts, fmt.Sprintf("Count: %d", ev.Count))
+	}
+	if ev.Slots != 0 {
+		parts = append(parts, fmt.Sprintf("Slots: %d", ev.Slots))
+	}
+	if ev.D != 0 {
+		parts = append(parts, fmt.Sprintf("D: %d", int64(ev.D)))
+	}
+	if ev.Rate != 0 {
+		parts = append(parts, fmt.Sprintf("Rate: %g", ev.Rate))
+	}
+	if ev.Scope != "" {
+		parts = append(parts, fmt.Sprintf("Scope: %q", ev.Scope))
+	}
+	if ev.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("Seed: %d", ev.Seed))
+	}
+	return "{" + strings.Join(parts, ", ") + "} // " + jsonForm
+}
+
+func kindConstName(k Kind) string {
+	switch k {
+	case KindAdvance:
+		return "KindAdvance"
+	case KindKill:
+		return "KindKill"
+	case KindRestart:
+		return "KindRestart"
+	case KindSplit:
+		return "KindSplit"
+	case KindHeal:
+		return "KindHeal"
+	case KindDrop:
+		return "KindDrop"
+	case KindDup:
+		return "KindDup"
+	case KindDelay:
+		return "KindDelay"
+	case KindSkew:
+		return "KindSkew"
+	case KindDrift:
+		return "KindDrift"
+	case KindBurst:
+		return "KindBurst"
+	case KindEvalFail:
+		return "KindEvalFail"
+	}
+	return fmt.Sprintf("Kind(%q)", string(k))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

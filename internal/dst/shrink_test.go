@@ -1,0 +1,71 @@
+package dst
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fakeFails builds a predicate that fails whenever the candidate still
+// contains every event in required (by Node identity), counting probes.
+func fakeFails(required []string, probes *int) func([]Event) bool {
+	return func(candidate []Event) bool {
+		*probes++
+		have := make(map[string]bool, len(candidate))
+		for _, ev := range candidate {
+			have[ev.Node] = true
+		}
+		for _, r := range required {
+			if !have[r] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TestDdminMinimizes: ddmin plus the 1-minimal pass isolates exactly the
+// interacting events out of a long schedule, regardless of where they
+// sit.
+func TestDdminMinimizes(t *testing.T) {
+	for _, positions := range [][]int{{0, 1}, {0, 63}, {31, 32}, {10, 40}, {62, 63}} {
+		events := make([]Event, 64)
+		for i := range events {
+			events[i] = Event{Kind: KindAdvance, Node: fmt.Sprintf("filler-%d", i)}
+		}
+		required := []string{"culprit-a", "culprit-b"}
+		events[positions[0]].Node = required[0]
+		events[positions[1]].Node = required[1]
+
+		probes := 0
+		fails := fakeFails(required, &probes)
+		if !fails(events) {
+			t.Fatal("predicate does not fail on the full schedule")
+		}
+		got := onePass(ddmin(events, fails), fails)
+		if len(got) != 2 {
+			t.Fatalf("positions %v: shrunk to %d events, want 2", positions, len(got))
+		}
+		seen := map[string]bool{got[0].Node: true, got[1].Node: true}
+		if !seen[required[0]] || !seen[required[1]] {
+			t.Fatalf("positions %v: shrunk to wrong events: %+v", positions, got)
+		}
+		if probes > 600 {
+			t.Fatalf("positions %v: %d probes for a 64-event schedule — ddmin is degenerating to brute force", positions, probes)
+		}
+	}
+}
+
+// TestDdminSingleton: a single indispensable event survives alone.
+func TestDdminSingleton(t *testing.T) {
+	events := make([]Event, 17)
+	for i := range events {
+		events[i] = Event{Kind: KindAdvance, Node: fmt.Sprintf("filler-%d", i)}
+	}
+	events[9].Node = "culprit"
+	probes := 0
+	fails := fakeFails([]string{"culprit"}, &probes)
+	got := onePass(ddmin(events, fails), fails)
+	if len(got) != 1 || got[0].Node != "culprit" {
+		t.Fatalf("shrunk to %+v, want the single culprit", got)
+	}
+}

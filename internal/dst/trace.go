@@ -1,0 +1,52 @@
+package dst
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceLine is one recorded step: the event applied, a digest of the
+// post-step world state (two runs of the same schedule must agree line
+// by line), and the violation if one fired.
+type TraceLine struct {
+	Step      int    `json:"step"`
+	Event     Event  `json:"event"`
+	Digest    string `json:"digest"`
+	Violation string `json:"violation,omitempty"`
+}
+
+// WriteTrace encodes the lines as JSONL.
+func WriteTrace(w io.Writer, lines []TraceLine) error {
+	enc := json.NewEncoder(w)
+	for _, l := range lines {
+		if err := enc.Encode(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSchedule extracts the event schedule from a recorded JSONL trace
+// (digests and violations are ignored — the schedule alone replays the
+// run).
+func ReadSchedule(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var l TraceLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, fmt.Errorf("dst: bad trace line %d: %w", len(events), err)
+		}
+		events = append(events, l.Event)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

@@ -1,0 +1,68 @@
+package estimate
+
+import "time"
+
+// Load-bucket assignment helpers. Key.Load is a small integer so a
+// provider that only degrades under load is estimated apart from its
+// healthy contexts, but raw load signals — latencies, queue depths,
+// burst sizes — are continuous. These quantizers map a signal to a
+// bucket index by counting crossed thresholds: bucket 0 is everything
+// below the first threshold, bucket len(Thresholds) everything at or
+// above the last. Thresholds must be ascending; the zero value of
+// either quantizer maps every input to bucket 0 (single-bucket
+// estimation, the pre-quantizer behavior).
+
+// LatencyQuantizer buckets by observed invocation latency.
+type LatencyQuantizer struct {
+	// Thresholds are the ascending bucket boundaries.
+	Thresholds []time.Duration
+}
+
+// Bucket returns the index of the bucket d falls in: the number of
+// thresholds at or below d.
+func (q LatencyQuantizer) Bucket(d time.Duration) int {
+	b := 0
+	for _, t := range q.Thresholds {
+		if d < t {
+			break
+		}
+		b++
+	}
+	return b
+}
+
+// DefaultLatencyQuantizer buckets at 1ms / 10ms / 100ms — interactive,
+// nominal, slow, and pathological, matched to the serving layer's
+// millisecond-scale latency targets.
+func DefaultLatencyQuantizer() LatencyQuantizer {
+	return LatencyQuantizer{Thresholds: []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	}}
+}
+
+// DepthQuantizer buckets by an integer depth signal — a queue depth, an
+// in-flight count, or a burst size.
+type DepthQuantizer struct {
+	// Thresholds are the ascending bucket boundaries.
+	Thresholds []int
+}
+
+// Bucket returns the index of the bucket depth falls in: the number of
+// thresholds at or below depth.
+func (q DepthQuantizer) Bucket(depth int) int {
+	b := 0
+	for _, t := range q.Thresholds {
+		if depth < t {
+			break
+		}
+		b++
+	}
+	return b
+}
+
+// DefaultDepthQuantizer buckets at 8 / 32 / 128 — idle, busy, saturated,
+// and overloaded, matched to the admission queue's default capacity
+// scale.
+func DefaultDepthQuantizer() DepthQuantizer {
+	return DepthQuantizer{Thresholds: []int{8, 32, 128}}
+}

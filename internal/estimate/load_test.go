@@ -1,0 +1,63 @@
+package estimate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyQuantizerBuckets(t *testing.T) {
+	q := DefaultLatencyQuantizer()
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Microsecond, 0},
+		{time.Millisecond, 1}, // boundary lands in the upper bucket
+		{5 * time.Millisecond, 1},
+		{10 * time.Millisecond, 2},
+		{99 * time.Millisecond, 2},
+		{100 * time.Millisecond, 3},
+		{time.Hour, 3},
+	}
+	for _, c := range cases {
+		if got := q.Bucket(c.d); got != c.want {
+			t.Errorf("Bucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if got := (LatencyQuantizer{}).Bucket(time.Hour); got != 0 {
+		t.Errorf("zero quantizer Bucket = %d, want 0", got)
+	}
+}
+
+func TestDepthQuantizerBuckets(t *testing.T) {
+	q := DefaultDepthQuantizer()
+	cases := []struct {
+		depth int
+		want  int
+	}{
+		{0, 0},
+		{7, 0},
+		{8, 1},
+		{31, 1},
+		{32, 2},
+		{127, 2},
+		{128, 3},
+		{100000, 3},
+	}
+	for _, c := range cases {
+		if got := q.Bucket(c.depth); got != c.want {
+			t.Errorf("Bucket(%d) = %d, want %d", c.depth, got, c.want)
+		}
+	}
+	if got := (DepthQuantizer{}).Bucket(1 << 20); got != 0 {
+		t.Errorf("zero quantizer Bucket = %d, want 0", got)
+	}
+
+	// Distinct burst sizes land in distinct buckets — the property the
+	// DST load-burst events rely on to exercise per-load estimation.
+	small, large := q.Bucket(4), q.Bucket(64)
+	if small == large {
+		t.Fatalf("burst sizes 4 and 64 share bucket %d", small)
+	}
+}

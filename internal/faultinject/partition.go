@@ -17,7 +17,8 @@ type NetConfig struct {
 	// Drop is the probability a message is silently discarded.
 	Drop float64
 	// Duplicate is the probability a delivered message is delivered
-	// twice.
+	// again later — a retransmit, held like a delayed message and
+	// subject to the partition state at its release time.
 	Duplicate float64
 	// Delay is the probability a message is held and released only after
 	// later traffic has gone past it — delay and reordering in one
@@ -27,6 +28,13 @@ type NetConfig struct {
 	// MaxDelay bounds how many subsequent deliveries a held message can
 	// wait before it is released (default 4).
 	MaxDelay int
+	// PreserveFIFO, when set, keeps per-(src, dst) delivery order: a
+	// message whose pair has traffic still held queues behind it instead
+	// of overtaking, and held messages of one pair never reorder among
+	// themselves. Cross-pair reordering still happens — this models a
+	// per-connection FIFO transport (TCP-like) with lossy links between
+	// different pairs.
+	PreserveFIFO bool
 }
 
 func (c NetConfig) withDefaults() NetConfig {
@@ -42,35 +50,66 @@ type NetStats struct {
 	Sent uint64
 	// Delivered counts executed sends, duplicates included.
 	Delivered uint64
-	// Dropped counts random drops; Blocked counts partition drops.
+	// Dropped counts random drops; Blocked counts partition drops —
+	// checked both at send time and again when a held message releases.
 	Dropped, Blocked uint64
-	// Duplicated counts extra deliveries; Delayed counts held messages.
+	// Duplicated counts extra deliveries; Delayed counts held messages
+	// (FIFO-forced holds included).
 	Duplicated, Delayed uint64
 }
 
-// heldMsg is a delayed message waiting for its release point.
+// netOp is one kind of one-shot fault directive.
+type netOp int
+
+const (
+	opDrop netOp = iota
+	opDup
+	opDelay
+)
+
+// directive is a pending one-shot fault: the next count messages
+// matching (from, to) suffer op. Empty from/to match any endpoint.
+type directive struct {
+	op       netOp
+	from, to string
+	count    int
+	slots    int // opDelay: how many later deliveries overtake
+}
+
+func (d directive) matches(from, to string) bool {
+	return (d.from == "" || d.from == from) && (d.to == "" || d.to == to)
+}
+
+// heldMsg is a delayed message waiting for its release point. The
+// endpoints ride along so the partition map is consulted again at
+// release time: a message in flight when a partition forms is lost at
+// the cut, not teleported across it.
 type heldMsg struct {
-	due  uint64 // message-counter value at which it releases
-	send func()
+	due      uint64 // message-counter value at which it releases
+	from, to string
+	send     func()
 }
 
 // Network injects partitions, drops, duplicates, delays, and reordering
 // into a message-passing layer. Callers route every send through Deliver;
-// the injector decides the message's fate with a seeded RNG and the
-// current partition map. It is safe for concurrent use; sends execute
-// outside the injector's lock.
+// the injector decides the message's fate with a seeded RNG, the current
+// partition map, and any pending one-shot directives (DropNext,
+// DuplicateNext, DelayNext) — the deterministic, event-addressable
+// interface the DST harness schedules faults through. It is safe for
+// concurrent use; sends execute outside the injector's lock.
 type Network struct {
-	mu    sync.Mutex
-	cfg   NetConfig
-	rng   *rand.Rand
-	group map[string]int
-	held  []heldMsg
-	count uint64
-	stats NetStats
+	mu         sync.Mutex
+	cfg        NetConfig
+	rng        *rand.Rand
+	group      map[string]int
+	held       []heldMsg
+	directives []directive
+	count      uint64
+	stats      NetStats
 }
 
 // NewNetwork returns a fault-free network for cfg (zero rates = reliable
-// transport; Partition still applies).
+// transport; Partition and the *Next directives still apply).
 func NewNetwork(cfg NetConfig) *Network {
 	cfg = cfg.withDefaults()
 	return &Network{
@@ -109,11 +148,60 @@ func (n *Network) Reachable(from, to string) bool {
 	return n.group[from] == n.group[to]
 }
 
-// Deliver routes one message: send runs zero times (dropped or blocked by
-// a partition), once, twice (duplicated), or later (held for reordering
-// and released by subsequent Deliver or Flush calls). Messages already
-// due for release are flushed first, so a held message is overtaken by at
-// most MaxDelay later messages.
+// DropNext arranges for the next count messages from→to (empty strings
+// match any endpoint) to be silently discarded, regardless of the
+// configured rates. Directives stack and are consumed in FIFO order.
+func (n *Network) DropNext(from, to string, count int) {
+	n.addDirective(directive{op: opDrop, from: from, to: to, count: count})
+}
+
+// DuplicateNext arranges for the next count matching messages to be
+// delivered and then retransmitted: the extra copy is held like a
+// delayed message and re-checked against the partition at release.
+func (n *Network) DuplicateNext(from, to string, count int) {
+	n.addDirective(directive{op: opDup, from: from, to: to, count: count})
+}
+
+// DelayNext arranges for the next count matching messages to be held
+// until slots later deliveries have gone past them (slots <= 0 uses
+// MaxDelay).
+func (n *Network) DelayNext(from, to string, count, slots int) {
+	n.addDirective(directive{op: opDelay, from: from, to: to, count: count, slots: slots})
+}
+
+func (n *Network) addDirective(d directive) {
+	if d.count <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.directives = append(n.directives, d)
+}
+
+// takeDirectiveLocked consumes one charge of the first pending directive
+// of the given op matching (from, to), returning it.
+func (n *Network) takeDirectiveLocked(op netOp, from, to string) (directive, bool) {
+	for i := range n.directives {
+		d := &n.directives[i]
+		if d.op != op || !d.matches(from, to) {
+			continue
+		}
+		d.count--
+		out := *d
+		if d.count <= 0 {
+			n.directives = append(n.directives[:i], n.directives[i+1:]...)
+		}
+		return out, true
+	}
+	return directive{}, false
+}
+
+// Deliver routes one message: send runs zero times (dropped, or blocked
+// by a partition at send or at release), once, twice (duplicated — the
+// second copy arrives later, as a retransmit), or later (held for
+// reordering and released by subsequent Deliver or Flush calls).
+// Messages already due for release are flushed first, so a held message
+// is overtaken by at most MaxDelay later messages.
 func (n *Network) Deliver(from, to string, send func()) {
 	n.mu.Lock()
 	n.count++
@@ -123,19 +211,32 @@ func (n *Network) Deliver(from, to string, send func()) {
 	switch {
 	case n.group[from] != n.group[to]:
 		n.stats.Blocked++
-	case n.roll(n.cfg.Drop):
+	case n.takeDropLocked(from, to) || n.roll(n.cfg.Drop):
 		n.stats.Dropped++
-	case n.roll(n.cfg.Delay):
-		n.stats.Delayed++
-		wait := 1 + n.rng.Intn(n.cfg.MaxDelay)
-		n.held = append(n.held, heldMsg{due: n.count + uint64(wait), send: send})
 	default:
-		out = append(out, send)
-		if n.roll(n.cfg.Duplicate) {
-			n.stats.Duplicated++
-			out = append(out, send)
+		if slots, delayed := n.delayDecisionLocked(from, to); delayed {
+			n.stats.Delayed++
+			n.holdLocked(from, to, n.count+uint64(slots), send)
+			break
 		}
-		n.stats.Delivered += uint64(len(out))
+		if n.cfg.PreserveFIFO {
+			if fifoDue := n.pairMaxDueLocked(from, to); fifoDue > 0 {
+				// Earlier traffic for this pair is still held: queue
+				// behind it so the pair's order survives the reorder.
+				n.stats.Delayed++
+				n.holdLocked(from, to, fifoDue, send)
+				break
+			}
+		}
+		out = append(out, send)
+		n.stats.Delivered++
+		if n.takeDupLocked(from, to) || n.roll(n.cfg.Duplicate) {
+			// The duplicate is a retransmit: it arrives after later
+			// traffic and is re-checked against the partition at release,
+			// so a dup sent just before a split cannot cross the cut.
+			n.stats.Duplicated++
+			n.holdLocked(from, to, n.count+uint64(1+n.rng.Intn(n.cfg.MaxDelay)), send)
+		}
 	}
 	n.mu.Unlock()
 	for _, s := range due {
@@ -146,12 +247,69 @@ func (n *Network) Deliver(from, to string, send func()) {
 	}
 }
 
+func (n *Network) takeDropLocked(from, to string) bool {
+	_, ok := n.takeDirectiveLocked(opDrop, from, to)
+	return ok
+}
+
+func (n *Network) takeDupLocked(from, to string) bool {
+	_, ok := n.takeDirectiveLocked(opDup, from, to)
+	return ok
+}
+
+// delayDecisionLocked decides whether this message is delayed, and by
+// how many slots: an explicit DelayNext directive first, then the
+// configured random rate.
+func (n *Network) delayDecisionLocked(from, to string) (slots int, delayed bool) {
+	if d, ok := n.takeDirectiveLocked(opDelay, from, to); ok {
+		if d.slots > 0 {
+			return d.slots, true
+		}
+		return n.cfg.MaxDelay, true
+	}
+	if n.roll(n.cfg.Delay) {
+		return 1 + n.rng.Intn(n.cfg.MaxDelay), true
+	}
+	return 0, false
+}
+
+// holdLocked parks one message for later release. Under PreserveFIFO the
+// due point is clamped so it never releases before earlier held traffic
+// of the same pair (takeDueLocked releases in hold order at equal dues,
+// so the pair's order is preserved).
+func (n *Network) holdLocked(from, to string, due uint64, send func()) {
+	if n.cfg.PreserveFIFO {
+		if fifoDue := n.pairMaxDueLocked(from, to); due < fifoDue {
+			due = fifoDue
+		}
+	}
+	n.held = append(n.held, heldMsg{due: due, from: from, to: to, send: send})
+}
+
+// pairMaxDueLocked returns the latest release point among held messages
+// of the pair (0 when none are held).
+func (n *Network) pairMaxDueLocked(from, to string) uint64 {
+	var due uint64
+	for _, h := range n.held {
+		if h.from == from && h.to == to && h.due > due {
+			due = h.due
+		}
+	}
+	return due
+}
+
 // Flush releases every held message immediately (e.g. at the end of a
-// chaos phase, so no traffic is stranded).
+// chaos phase, so no traffic is stranded). Release still respects the
+// partition: a held message whose endpoints are split is lost, not
+// teleported across the cut.
 func (n *Network) Flush() {
 	n.mu.Lock()
 	due := make([]func(), 0, len(n.held))
 	for _, h := range n.held {
+		if n.group[h.from] != n.group[h.to] {
+			n.stats.Blocked++
+			continue
+		}
 		due = append(due, h.send)
 	}
 	n.stats.Delivered += uint64(len(due))
@@ -163,14 +321,19 @@ func (n *Network) Flush() {
 }
 
 // takeDueLocked removes and returns the sends of held messages whose
-// release point has passed. Callers hold n.mu and run the sends after
-// unlocking.
+// release point has passed and whose endpoints are still connected;
+// messages caught behind a partition formed after they were sent are
+// blocked. Callers hold n.mu and run the sends after unlocking.
 func (n *Network) takeDueLocked() []func() {
 	var due []func()
 	kept := n.held[:0]
 	for _, h := range n.held {
 		if h.due <= n.count {
-			due = append(due, h.send)
+			if n.group[h.from] != n.group[h.to] {
+				n.stats.Blocked++
+			} else {
+				due = append(due, h.send)
+			}
 		} else {
 			kept = append(kept, h)
 		}
@@ -200,4 +363,20 @@ func (n *Network) Held() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.held)
+}
+
+// PendingDirectives reports the total remaining charges across all armed
+// one-shot directives. Directives are consumed only by matching messages
+// that actually reach the directive check — a partition blocks messages
+// before directives see them — so an armed directive can outlive the
+// fault era it was injected in. Callers asserting the network is quiet
+// should require this to be zero.
+func (n *Network) PendingDirectives() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, d := range n.directives {
+		total += d.count
+	}
+	return total
 }

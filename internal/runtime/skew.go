@@ -1,0 +1,65 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// SkewedClock derives a per-node clock from a shared base clock by
+// adding an adjustable offset to Now. Durations (After, Sleep) pass
+// through to the base unchanged: skew models a wrong wall clock, not a
+// wrong oscillator, so timers still fire in base time while timestamps
+// — staleness metadata, membership lastAlive, estimator observation
+// times — are read through the skewed lens.
+//
+// In deterministic simulation every node wraps one shared FakeClock in
+// its own SkewedClock, so a single Advance moves the whole fleet while
+// each node keeps its own (possibly wrong) idea of what time it is.
+type SkewedClock struct {
+	base Clock
+
+	mu   sync.Mutex
+	skew time.Duration
+}
+
+// NewSkewedClock wraps base with an initially zero skew.
+func NewSkewedClock(base Clock) *SkewedClock {
+	if base == nil {
+		base = RealClock{}
+	}
+	return &SkewedClock{base: base}
+}
+
+// SetSkew sets the offset added to every Now reading.
+func (c *SkewedClock) SetSkew(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.skew = d
+}
+
+// Skew returns the current offset.
+func (c *SkewedClock) Skew() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skew
+}
+
+// Now implements Clock: the base time shifted by the current skew.
+func (c *SkewedClock) Now() time.Time {
+	c.mu.Lock()
+	skew := c.skew
+	c.mu.Unlock()
+	return c.base.Now().Add(skew)
+}
+
+// After implements Clock, delegating to the base clock: a skewed wall
+// clock does not change how long a duration takes to elapse.
+func (c *SkewedClock) After(d time.Duration) <-chan time.Time {
+	return c.base.After(d)
+}
+
+// Sleep implements Clock, delegating to the base clock.
+func (c *SkewedClock) Sleep(ctx context.Context, d time.Duration) error {
+	return c.base.Sleep(ctx, d)
+}

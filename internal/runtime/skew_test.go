@@ -1,0 +1,47 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSkewedClockShiftsNowOnly: Now is offset, durations are not — two
+// skewed views of one base clock advance together but disagree on the
+// wall time by exactly their skew difference.
+func TestSkewedClockShiftsNowOnly(t *testing.T) {
+	base := NewFakeClock(time.Unix(100, 0))
+	a := NewSkewedClock(base)
+	b := NewSkewedClock(base)
+	a.SetSkew(2 * time.Second)
+	b.SetSkew(-time.Second)
+
+	if got := a.Now().Sub(b.Now()); got != 3*time.Second {
+		t.Fatalf("skew difference %v, want 3s", got)
+	}
+
+	ch := a.After(time.Second)
+	base.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After did not fire on base-clock advance: skew must not stretch durations")
+	}
+
+	if got, want := a.Now(), time.Unix(103, 0); !got.Equal(want) {
+		t.Fatalf("skewed Now %v, want %v", got, want)
+	}
+	if a.Skew() != 2*time.Second {
+		t.Fatalf("Skew() = %v, want 2s", a.Skew())
+	}
+
+	// Sleep delegates: in auto-advance mode it returns immediately and
+	// moves the base, which both skewed views observe.
+	base.AutoAdvance()
+	if err := a.Sleep(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.Now(), time.Unix(101, 0); !got.Equal(want) {
+		t.Fatalf("peer view after shared sleep %v, want %v", got, want)
+	}
+}

@@ -211,6 +211,9 @@ type Stats struct {
 	ShedDraining uint64
 	// Hedging counters.
 	HedgesLaunched, HedgeWins uint64
+	// Repaired counts stale-store entries adopted via RepairSnapshot
+	// (read-repair from a peer's fresher answer).
+	Repaired uint64
 	// Limit is the AIMD limiter's current window; Inflight and
 	// QueueDepth are the live gauges.
 	Limit      float64
@@ -665,6 +668,55 @@ func (s *Server) Drain(ctx context.Context, timeout time.Duration) (Stats, error
 	case <-timer:
 		return s.Stats(), ErrDrainTimeout
 	}
+}
+
+// Snapshot returns the per-point stale-store entry for (scope, service,
+// params) — the value a degraded answer for that point would serve. An
+// empty service resolves to the configured default, matching Serve.
+func (s *Server) Snapshot(scope, service string, params []float64) (socruntime.LastGood, bool) {
+	if service == "" {
+		service = s.cfg.Service
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lg, ok := s.stale[snapshotKey(scope, service, params)]
+	return lg, ok
+}
+
+// RepairSnapshot folds an exact value learned elsewhere — typically a
+// peer replica's fresher answer observed across a forward — into the
+// stale store and the scope's bounds window, but only when it is
+// strictly fresher than the local entry; read-repair must never roll a
+// point backward. It reports whether the entry was adopted. Values
+// outside [0, 1] or carrying no timestamp are rejected.
+func (s *Server) RepairSnapshot(scope, service string, params []float64, lg socruntime.LastGood) bool {
+	if service == "" {
+		service = s.cfg.Service
+	}
+	if lg.At.IsZero() || math.IsNaN(lg.Pfail) || lg.Pfail < 0 || lg.Pfail > 1 {
+		return false
+	}
+	key := snapshotKey(scope, service, params)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.stale[key]; ok && !cur.At.Before(lg.At) {
+		return false
+	}
+	if len(s.stale) >= s.cfg.StaleCapacity {
+		clear(s.stale)
+	}
+	s.stale[key] = lg
+	ring := s.bounds[scope]
+	if ring == nil {
+		if len(s.bounds) >= s.cfg.StaleCapacity {
+			clear(s.bounds)
+		}
+		ring = &boundsRing{vals: make([]float64, s.cfg.BoundsWindow)}
+		s.bounds[scope] = ring
+	}
+	ring.push(lg.Pfail)
+	s.stats.Repaired++
+	return true
 }
 
 // recordExactLocked refreshes the per-point snapshot and the scope's
